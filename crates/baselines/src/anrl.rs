@@ -1,0 +1,112 @@
+//! ANRL-style attributed network embedding (Zhang et al., IJCAI'18).
+//!
+//! ANRL couples a neighbor-enhancement autoencoder over vertex attributes
+//! with a skip-gram structure objective. This reproduction keeps the same
+//! two forces in a lighter parameterization (documented in DESIGN.md):
+//! embeddings are *initialized from hashed attribute features* (projected to
+//! the embedding dimension) and then trained by SGNS with an additional
+//! **neighbor-reconstruction pull** — each vertex's embedding is regressed
+//! toward the mean of its neighbors' attribute projections, which is exactly
+//! the target the neighbor-enhancement decoder reconstructs.
+
+use crate::common::{BaselineEmbeddings, SkipGramParams};
+use aligraph_graph::{AttributedHeterogeneousGraph, Featurizer};
+use aligraph_sampling::walks::{generate_corpus, skipgram_pairs, WalkDirection};
+use aligraph_sampling::{NegativeSampler, UnigramNegative};
+use aligraph_tensor::loss::sgns_update;
+use aligraph_tensor::EmbeddingTable;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Trains the simplified ANRL.
+pub fn train_anrl(
+    graph: &AttributedHeterogeneousGraph,
+    params: &SkipGramParams,
+    reconstruction_weight: f32,
+) -> BaselineEmbeddings {
+    let n = graph.num_vertices();
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    // Attribute projection: hashed features at the embedding dimension.
+    let features = Featurizer::with_salt(params.dim, params.seed ^ 0xa2e1).matrix(graph);
+
+    // Initialize input embeddings from attributes (small scale).
+    let mut input = EmbeddingTable::new(n, params.dim, params.seed);
+    for v in graph.vertices() {
+        let row = features.row(v);
+        let dst = input.row_mut(v.index());
+        for (d, &f) in dst.iter_mut().zip(row) {
+            *d += 0.1 * f;
+        }
+    }
+    let mut output = EmbeddingTable::zeros(n, params.dim);
+    let negative = UnigramNegative::new(graph, None, 0.75);
+    let corpus = generate_corpus(
+        graph,
+        params.walks_per_vertex,
+        params.walk_length,
+        WalkDirection::Both,
+        &mut rng,
+    );
+
+    for _ in 0..params.epochs {
+        for walk in &corpus {
+            for (center, ctx) in skipgram_pairs(walk, params.window) {
+                let negs = negative.sample(graph, &[center, ctx], params.negatives, &mut rng);
+                let neg_idx: Vec<usize> = negs.iter().map(|x| x.index()).collect();
+                sgns_update(&mut input, &mut output, center.index(), ctx.index(), &neg_idx, params.lr);
+
+                // Neighbor-enhancement pull: e_center toward the mean
+                // attribute projection of its neighbors.
+                if reconstruction_weight > 0.0 {
+                    let nbrs = graph.out_neighbors(center);
+                    if !nbrs.is_empty() {
+                        let mut target = vec![0.0f32; params.dim];
+                        for nb in nbrs {
+                            for (t, &f) in target.iter_mut().zip(features.row(nb.vertex)) {
+                                *t += f;
+                            }
+                        }
+                        let inv = 1.0 / nbrs.len() as f32;
+                        let grad: Vec<f32> = input
+                            .row(center.index())
+                            .iter()
+                            .zip(&target)
+                            .map(|(&e, &t)| reconstruction_weight * (e - t * inv))
+                            .collect();
+                        input.sgd_update(center.index(), &grad, params.lr);
+                    }
+                }
+            }
+        }
+    }
+    BaselineEmbeddings::from_tables(&input, &output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aligraph::evaluate_split;
+    use aligraph_eval::link_prediction_split;
+    use aligraph_graph::generate::amazon_sim_scaled;
+
+    #[test]
+    fn anrl_beats_chance() {
+        let g = amazon_sim_scaled(300, 2_400, 19).unwrap();
+        let split = link_prediction_split(&g, 0.15, 20);
+        let emb = train_anrl(&split.train, &SkipGramParams::quick(), 0.05);
+        let m = evaluate_split(&emb, &split);
+        // The synthetic hashed attributes are weaker than real product
+        // metadata, so ANRL lands slightly below the structure-only walks
+        // here; it must still clearly beat chance.
+        assert!(m.roc_auc > 0.54, "AUC {}", m.roc_auc);
+    }
+
+    #[test]
+    fn reconstruction_changes_result() {
+        let g = amazon_sim_scaled(100, 500, 21).unwrap();
+        let a = train_anrl(&g, &SkipGramParams::quick(), 0.0);
+        let b = train_anrl(&g, &SkipGramParams::quick(), 0.5);
+        assert_ne!(a.matrix.as_slice(), b.matrix.as_slice());
+    }
+}

@@ -1,0 +1,262 @@
+//! Shared machinery for the walk-based baselines: hyper-parameters, the
+//! SGNS training loop over a walk corpus, and an edge-type classification
+//! head used by the dynamic-graph comparison (Table 11).
+
+use aligraph::EmbeddingModel;
+use aligraph_graph::{AttributedHeterogeneousGraph, VertexId};
+use aligraph_sampling::walks::skipgram_pairs;
+use aligraph_sampling::{NegativeSampler, UnigramNegative};
+use aligraph_tensor::loss::{logistic_grad, sgns_update};
+use aligraph_tensor::{EmbeddingTable, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hyper-parameters shared by every skip-gram baseline.
+#[derive(Debug, Clone)]
+pub struct SkipGramParams {
+    /// Embedding dimension `d` (the paper uses 200; tests use less).
+    pub dim: usize,
+    /// Walks started per vertex.
+    pub walks_per_vertex: usize,
+    /// Walk length.
+    pub walk_length: usize,
+    /// Skip-gram window.
+    pub window: usize,
+    /// Negatives per positive.
+    pub negatives: usize,
+    /// Epochs over the corpus.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SkipGramParams {
+    /// A small, fast configuration for tests.
+    pub fn quick() -> Self {
+        SkipGramParams {
+            dim: 24,
+            walks_per_vertex: 2,
+            walk_length: 8,
+            window: 2,
+            negatives: 3,
+            epochs: 2,
+            lr: 0.05,
+            seed: 101,
+        }
+    }
+}
+
+/// Trained baseline embeddings (input + output tables summed, the standard
+/// word2vec readout).
+pub struct BaselineEmbeddings {
+    /// `n x d` embedding matrix.
+    pub matrix: Matrix,
+}
+
+impl BaselineEmbeddings {
+    /// From separate input/output tables.
+    pub fn from_tables(input: &EmbeddingTable, output: &EmbeddingTable) -> Self {
+        let n = input.len();
+        let d = input.dim;
+        let mut matrix = Matrix::zeros(n, d);
+        for i in 0..n {
+            for (o, (&a, &b)) in matrix
+                .row_mut(i)
+                .iter_mut()
+                .zip(input.row(i).iter().zip(output.row(i)))
+            {
+                *o = a + b;
+            }
+        }
+        BaselineEmbeddings { matrix }
+    }
+
+    /// Concatenates two embedding sets (e.g. LINE 1st+2nd order).
+    pub fn concat(&self, other: &BaselineEmbeddings) -> BaselineEmbeddings {
+        BaselineEmbeddings { matrix: self.matrix.hcat(&other.matrix) }
+    }
+}
+
+impl EmbeddingModel for BaselineEmbeddings {
+    fn embedding(&self, v: VertexId) -> Vec<f32> {
+        self.matrix.row(v.index()).to_vec()
+    }
+
+    fn score(&self, u: VertexId, v: VertexId) -> f32 {
+        aligraph_tensor::dot(self.matrix.row(u.index()), self.matrix.row(v.index()))
+    }
+}
+
+/// Runs SGNS over a prepared walk corpus.
+pub fn train_skipgram_on_corpus(
+    graph: &AttributedHeterogeneousGraph,
+    corpus: &[Vec<VertexId>],
+    params: &SkipGramParams,
+) -> BaselineEmbeddings {
+    let mut input = EmbeddingTable::new(graph.num_vertices(), params.dim, params.seed);
+    let mut output = EmbeddingTable::zeros(graph.num_vertices(), params.dim);
+    train_skipgram_into(graph, corpus, params, &mut input, &mut output);
+    BaselineEmbeddings::from_tables(&input, &output)
+}
+
+/// As [`train_skipgram_on_corpus`] but updating caller-owned tables (used by
+/// the multiplex baselines that share tables across layers).
+pub fn train_skipgram_into(
+    graph: &AttributedHeterogeneousGraph,
+    corpus: &[Vec<VertexId>],
+    params: &SkipGramParams,
+    input: &mut EmbeddingTable,
+    output: &mut EmbeddingTable,
+) {
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x5659);
+    let negative = UnigramNegative::new(graph, None, 0.75);
+    for _ in 0..params.epochs {
+        for walk in corpus {
+            for (center, ctx) in skipgram_pairs(walk, params.window) {
+                let negs = negative.sample(graph, &[center, ctx], params.negatives, &mut rng);
+                let neg_idx: Vec<usize> = negs.iter().map(|n| n.index()).collect();
+                sgns_update(input, output, center.index(), ctx.index(), &neg_idx, params.lr);
+            }
+        }
+    }
+}
+
+/// A per-edge-type classification head over the pair features
+/// `[z_u ⊙ z_v ; z_v]` (affinity plus destination identity), fitted
+/// one-vs-rest on training edges. Used by the Table 11 experiment to give
+/// every competitor the same multi-class link-prediction head.
+pub struct EdgeTypeHead {
+    /// Per-class weights over the pair features.
+    pub weights: Vec<Vec<f32>>,
+}
+
+impl EdgeTypeHead {
+    /// Fits the head on `graph`'s edges using `model`'s embeddings.
+    pub fn fit<M: EmbeddingModel>(
+        graph: &AttributedHeterogeneousGraph,
+        model: &M,
+        epochs: usize,
+        lr: f32,
+        seed: u64,
+    ) -> Self {
+        let num_classes = graph.num_edge_types() as usize;
+        let dim = model.embedding(VertexId(0)).len();
+        let mut weights = vec![vec![0.1f32; 2 * dim]; num_classes];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = graph.num_vertices();
+        for _ in 0..epochs {
+            for v in graph.vertices() {
+                let hu = model.embedding(v);
+                for nb in graph.out_neighbors(v) {
+                    let feat = pair_features(&hu, &model.embedding(nb.vertex));
+                    for (c, w) in weights.iter_mut().enumerate() {
+                        let s: f32 = w.iter().zip(&feat).map(|(&a, &b)| a * b).sum();
+                        let g = logistic_grad(s, c == nb.etype.index());
+                        for (wi, &hi) in w.iter_mut().zip(&feat) {
+                            *wi -= lr * g * hi;
+                        }
+                    }
+                }
+            }
+            // Non-edges as universal negatives.
+            for _ in 0..graph.num_edges() / 4 {
+                let u = VertexId(rng.gen_range(0..n as u32));
+                let v = VertexId(rng.gen_range(0..n as u32));
+                if u == v || graph.out_neighbors(u).iter().any(|nb| nb.vertex == v) {
+                    continue;
+                }
+                let feat = pair_features(&model.embedding(u), &model.embedding(v));
+                for w in weights.iter_mut() {
+                    let s: f32 = w.iter().zip(&feat).map(|(&a, &b)| a * b).sum();
+                    let g = logistic_grad(s, false);
+                    for (wi, &hi) in w.iter_mut().zip(&feat) {
+                        *wi -= lr * g * hi;
+                    }
+                }
+            }
+        }
+        EdgeTypeHead { weights }
+    }
+
+    /// Predicted class of a candidate edge.
+    pub fn predict<M: EmbeddingModel>(&self, model: &M, u: VertexId, v: VertexId) -> usize {
+        let feat = pair_features(&model.embedding(u), &model.embedding(v));
+        self.weights
+            .iter()
+            .enumerate()
+            .map(|(c, w)| (c, w.iter().zip(&feat).map(|(&a, &b)| a * b).sum::<f32>()))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+}
+
+
+/// The shared pair feature map `[z_u ⊙ z_v ; z_v]`.
+fn pair_features(hu: &[f32], hv: &[f32]) -> Vec<f32> {
+    let mut f = Vec::with_capacity(hu.len() * 2);
+    f.extend(hu.iter().zip(hv).map(|(&a, &b)| a * b));
+    f.extend_from_slice(hv);
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aligraph_graph::generate::erdos_renyi;
+    use aligraph_sampling::walks::{generate_corpus, WalkDirection};
+
+    #[test]
+    fn corpus_training_produces_embeddings() {
+        let g = erdos_renyi(100, 400, 3).unwrap();
+        let params = SkipGramParams::quick();
+        let mut rng = StdRng::seed_from_u64(1);
+        let corpus = generate_corpus(&g, 1, 6, WalkDirection::Both, &mut rng);
+        let emb = train_skipgram_on_corpus(&g, &corpus, &params);
+        assert_eq!(emb.matrix.rows, 100);
+        assert_eq!(emb.matrix.cols, params.dim);
+        assert!(emb.matrix.as_slice().iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn concat_doubles_dim() {
+        let a = BaselineEmbeddings { matrix: Matrix::zeros(5, 4) };
+        let b = BaselineEmbeddings { matrix: Matrix::zeros(5, 3) };
+        assert_eq!(a.concat(&b).matrix.cols, 7);
+    }
+
+    #[test]
+    fn head_learns_edge_types() {
+        use aligraph_graph::{AttrVector, EdgeType, GraphBuilder, VertexType};
+        // Two communities; edges inside community 0 are type 0, inside
+        // community 1 are type 1. A bilinear head over informative
+        // embeddings separates them.
+        let mut b = GraphBuilder::directed();
+        for _ in 0..20 {
+            b.add_vertex(VertexType(0), AttrVector::empty());
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let (x, y) = (rng.gen_range(0..10u32), rng.gen_range(0..10u32));
+            if x != y {
+                b.add_edge(VertexId(x), VertexId(y), EdgeType(0), 1.0).unwrap();
+            }
+            let (x, y) = (rng.gen_range(10..20u32), rng.gen_range(10..20u32));
+            if x != y {
+                b.add_edge(VertexId(x), VertexId(y), EdgeType(1), 1.0).unwrap();
+            }
+        }
+        let g = b.build();
+        // Hand-crafted embeddings: community indicator.
+        let mut m = Matrix::zeros(20, 2);
+        for i in 0..20 {
+            m.set(i, if i < 10 { 0 } else { 1 }, 1.0);
+        }
+        let model = BaselineEmbeddings { matrix: m };
+        let head = EdgeTypeHead::fit(&g, &model, 4, 0.2, 4);
+        assert_eq!(head.predict(&model, VertexId(0), VertexId(1)), 0);
+        assert_eq!(head.predict(&model, VertexId(11), VertexId(12)), 1);
+    }
+}

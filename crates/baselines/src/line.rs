@@ -1,0 +1,120 @@
+//! LINE (Tang et al., WWW'15): first-order proximity (direct neighbors
+//! should have similar embeddings) and second-order proximity (vertices with
+//! similar neighborhoods should), both trained by edge sampling with
+//! negative sampling. `LineOrder::Both` concatenates the two, as in the
+//! original paper.
+
+use crate::common::{BaselineEmbeddings, SkipGramParams};
+use aligraph_graph::AttributedHeterogeneousGraph;
+use aligraph_sampling::{NegativeSampler, TraverseSampler, UnigramNegative, WeightedEdgeTraverse};
+use aligraph_tensor::loss::sgns_update;
+use aligraph_tensor::EmbeddingTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which proximity order(s) to train.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineOrder {
+    /// First-order only.
+    First,
+    /// Second-order only.
+    Second,
+    /// Concatenate both (the paper's LINE(1st+2nd)).
+    Both,
+}
+
+/// Trains LINE by weighted edge sampling.
+pub fn train_line(
+    graph: &AttributedHeterogeneousGraph,
+    params: &SkipGramParams,
+    order: LineOrder,
+) -> BaselineEmbeddings {
+    match order {
+        LineOrder::First => train_order(graph, params, true),
+        LineOrder::Second => train_order(graph, params, false),
+        LineOrder::Both => {
+            let first = train_order(graph, params, true);
+            let mut second_params = params.clone();
+            second_params.seed ^= 0x11e2;
+            let second = train_order(graph, &second_params, false);
+            first.concat(&second)
+        }
+    }
+}
+
+fn train_order(
+    graph: &AttributedHeterogeneousGraph,
+    params: &SkipGramParams,
+    first_order: bool,
+) -> BaselineEmbeddings {
+    let n = graph.num_vertices();
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut input = EmbeddingTable::new(n, params.dim, params.seed);
+    // First order: symmetric — the "context" is the same table in spirit;
+    // we keep a separate table and sum at readout, which is equivalent up to
+    // parameterization. Second order: dedicated context table.
+    let mut output = EmbeddingTable::zeros(n, params.dim);
+    let traverse = WeightedEdgeTraverse::new(graph);
+    let negative = UnigramNegative::new(graph, None, 0.75);
+
+    // Edge samples per epoch: one pass worth of edges.
+    let samples = graph.num_edge_records().max(1);
+    for _ in 0..params.epochs {
+        for _ in 0..samples {
+            let etype = aligraph_graph::EdgeType(rng.gen_range(0..graph.num_edge_types()));
+            let Some(&e) = traverse.sample_edges(graph, etype, 1, &mut rng).first() else {
+                continue;
+            };
+            let rec = graph.edge(e);
+            let negs = negative.sample(graph, &[rec.src, rec.dst], params.negatives, &mut rng);
+            let neg_idx: Vec<usize> = negs.iter().map(|x| x.index()).collect();
+            sgns_update(
+                &mut input,
+                &mut output,
+                rec.src.index(),
+                rec.dst.index(),
+                &neg_idx,
+                params.lr,
+            );
+            if first_order {
+                // Symmetric update: also treat dst as center.
+                sgns_update(
+                    &mut input,
+                    &mut output,
+                    rec.dst.index(),
+                    rec.src.index(),
+                    &neg_idx,
+                    params.lr,
+                );
+            }
+        }
+    }
+    BaselineEmbeddings::from_tables(&input, &output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aligraph::evaluate_split;
+    use aligraph_eval::link_prediction_split;
+    use aligraph_graph::generate::amazon_sim_scaled;
+
+    #[test]
+    fn line_first_order_beats_chance() {
+        let g = amazon_sim_scaled(300, 2_400, 15).unwrap();
+        let split = link_prediction_split(&g, 0.15, 16);
+        let emb = train_line(&split.train, &SkipGramParams::quick(), LineOrder::First);
+        let m = evaluate_split(&emb, &split);
+        assert!(m.roc_auc > 0.6, "AUC {}", m.roc_auc);
+    }
+
+    #[test]
+    fn both_orders_concatenate() {
+        let g = amazon_sim_scaled(100, 500, 17).unwrap();
+        let params = SkipGramParams::quick();
+        let both = train_line(&g, &params, LineOrder::Both);
+        assert_eq!(both.matrix.cols, params.dim * 2);
+        let second = train_line(&g, &params, LineOrder::Second);
+        assert_eq!(second.matrix.cols, params.dim);
+    }
+}

@@ -1,0 +1,33 @@
+//! Criterion bench for Figure 7: cluster build time vs. number of workers.
+
+use aligraph_bench::taobao_small_bench;
+use aligraph_partition::EdgeCutHash;
+use aligraph_storage::{CacheStrategy, Cluster, CostModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_build(c: &mut Criterion) {
+    let graph = Arc::new(taobao_small_bench());
+    let mut group = c.benchmark_group("fig7_build");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                let (cluster, _) = Cluster::build(
+                    Arc::clone(&graph),
+                    &EdgeCutHash,
+                    w,
+                    &CacheStrategy::None,
+                    2,
+                    CostModel::default(),
+                );
+                cluster.num_workers()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench for Figure 9: neighborhood access latency under the
+//! three neighbor-cache strategies at a 20% budget.
+
+use aligraph_bench::taobao_small_bench;
+use aligraph_partition::{EdgeCutHash, WorkerId};
+use aligraph_sampling::neighborhood::ClusterView;
+use aligraph_sampling::{NeighborhoodSampler, UniformNeighborhood};
+use aligraph_storage::{CacheStrategy, Cluster, CostModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_strategies(c: &mut Criterion) {
+    let graph = Arc::new(taobao_small_bench());
+    let mut group = c.benchmark_group("fig9_cache_strategy");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    let strategies: [(&str, CacheStrategy); 3] = [
+        ("importance", CacheStrategy::ImportanceBudget { k: 2, fraction: 0.2 }),
+        ("random", CacheStrategy::Random { fraction: 0.2, seed: 7 }),
+        ("lru", CacheStrategy::Lru { fraction: 0.2 }),
+    ];
+    for (name, strategy) in strategies {
+        let (cluster, _) = Cluster::build(
+            Arc::clone(&graph),
+            &EdgeCutHash,
+            8,
+            &strategy,
+            2,
+            CostModel::default(),
+        );
+        group.bench_function(name, |b| {
+            let view = ClusterView { cluster: &cluster, from: WorkerId(0) };
+            let mut rng = StdRng::seed_from_u64(3);
+            let n = graph.num_vertices() as u32;
+            b.iter(|| {
+                let seeds: Vec<aligraph_graph::VertexId> =
+                    (0..64).map(|_| aligraph_graph::VertexId(rng.gen_range(0..n))).collect();
+                UniformNeighborhood
+                    .sample_context(&view, &seeds, None, &[8, 4], &mut rng)
+                    .context_size()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion bench for Table 4: TRAVERSE / NEIGHBORHOOD / NEGATIVE latency
+//! at batch size 512 with a 20% importance cache.
+
+use aligraph_bench::taobao_small_bench;
+use aligraph_partition::{EdgeCutHash, WorkerId};
+use aligraph_sampling::neighborhood::ClusterView;
+use aligraph_sampling::{
+    NegativeSampler, NeighborhoodSampler, TraverseSampler, UniformNeighborhood, UniformTraverse,
+    UnigramNegative,
+};
+use aligraph_storage::{CacheStrategy, Cluster, CostModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+const BATCH: usize = 512;
+
+fn bench_samplers(c: &mut Criterion) {
+    let graph = Arc::new(taobao_small_bench());
+    let (cluster, _) = Cluster::build(
+        Arc::clone(&graph),
+        &EdgeCutHash,
+        8,
+        &CacheStrategy::ImportanceBudget { k: 2, fraction: 0.2 },
+        2,
+        CostModel::default(),
+    );
+    let mut group = c.benchmark_group("table4_sampling");
+    group.sample_size(20).measurement_time(Duration::from_secs(5));
+
+    group.bench_function("traverse_512", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            UniformTraverse
+                .sample_edges(&graph, aligraph_graph::EdgeType(0), BATCH, &mut rng)
+                .len()
+        })
+    });
+
+    group.bench_function("neighborhood_512_h10_5", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let view = ClusterView { cluster: &cluster, from: WorkerId(0) };
+        let seeds = UniformTraverse.sample_vertices(&graph, None, BATCH, &mut rng);
+        b.iter(|| {
+            UniformNeighborhood
+                .sample_context(&view, &seeds, None, &[10, 5], &mut rng)
+                .context_size()
+        })
+    });
+
+    group.bench_function("negative_512x10", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let negative = UnigramNegative::new(&graph, None, 0.75);
+        let seeds = UniformTraverse.sample_vertices(&graph, None, BATCH, &mut rng);
+        b.iter(|| {
+            let mut total = 0usize;
+            for &v in &seeds {
+                total += negative.sample(&graph, &[v], 10, &mut rng).len();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench for Table 5: the AGGREGATE/COMBINE mini-batch with the
+//! materialization cache on vs. off (the paper's primary operator ablation).
+
+use aligraph::{EpisodeTape, GnnEncoder};
+use aligraph_bench::taobao_small_bench;
+use aligraph_graph::{Featurizer, VertexId};
+use aligraph_sampling::UniformNeighborhood;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::time::Duration;
+
+fn bench_operators(c: &mut Criterion) {
+    let graph = taobao_small_bench();
+    let features = Featurizer::new(32).matrix(&graph);
+    let encoder = GnnEncoder::sage(32, &[64, 32], &[10, 5], 0.01, 1);
+    let n = graph.num_vertices() as u32;
+
+    let mut group = c.benchmark_group("table5_operators");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for (name, memoized) in [("with_cache", true), ("without_cache", false)] {
+        group.bench_function(name, |b| {
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| {
+                let seeds: Vec<VertexId> =
+                    (0..128).map(|_| VertexId(rng.gen_range(0..n))).collect();
+                let mut tape = if memoized {
+                    EpisodeTape::new()
+                } else {
+                    EpisodeTape::without_memoization()
+                };
+                let mut acc = 0.0f32;
+                for &v in &seeds {
+                    let idx = encoder.forward(
+                        &graph,
+                        &features,
+                        &UniformNeighborhood,
+                        v,
+                        &mut tape,
+                        &mut rng,
+                    );
+                    acc += tape.output(idx)[0];
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Table 10: Hierarchical GNN vs GraphSAGE on link prediction.
+//!
+//! Paper shape: the hierarchical model clearly beats flat GraphSAGE
+//! (ROC-AUC 87.34 vs 82.89, PR-AUC 54.87 vs 44.45, F1 53.20 vs 45.76).
+
+use aligraph::models::graphsage::{train_graphsage, GraphSageConfig};
+use aligraph::models::hierarchical::{train_hierarchical, HierarchicalConfig};
+use aligraph::trainer::evaluate_split;
+use aligraph_bench::{header, pct, row, taobao_algo};
+use aligraph_eval::link_prediction_split;
+
+fn main() {
+    println!("# Table 10 — Hierarchical GNN vs GraphSAGE\n");
+    let graph = taobao_algo();
+    let split = link_prediction_split(&graph, 0.15, 1010);
+
+    let mut sage_cfg = GraphSageConfig::quick();
+    sage_cfg.feature_dim = 128;
+    sage_cfg.dims = vec![96, 48];
+    sage_cfg.fanouts = vec![10, 5];
+    sage_cfg.lr = 0.01;
+    sage_cfg.train.epochs = 6;
+    sage_cfg.train.batches_per_epoch = 50;
+    sage_cfg.train.batch_size = 32;
+    let sage = train_graphsage(&split.train, &sage_cfg);
+    let ms = evaluate_split(&sage.embeddings, &split);
+
+    let hier_cfg = HierarchicalConfig {
+        dim: 64,
+        levels: 2,
+        clusters: 96,
+        pairs_per_epoch: 40_000,
+        epochs: 12,
+        lr: 0.05,
+        ..HierarchicalConfig::quick()
+    };
+    let hier = train_hierarchical(&split.train, &hier_cfg);
+    let mh = evaluate_split(&hier, &split);
+
+    header(&["method", "ROC-AUC", "PR-AUC", "F1-score"]);
+    row(&["GraphSAGE".into(), pct(ms.roc_auc), pct(ms.pr_auc), pct(ms.f1)]);
+    row(&["Hierarchical GNN".into(), pct(mh.roc_auc), pct(mh.pr_auc), pct(mh.f1)]);
+    println!("\npaper: GraphSAGE 82.89/44.45/45.76 vs Hierarchical 87.34/54.87/53.20.");
+}

@@ -1,0 +1,128 @@
+//! Table 12: Bayesian GNN — hit recall of GraphSAGE with and without the
+//! Bayesian prior correction, at brand and category granularity.
+//!
+//! Paper shape: the correction lifts HR@10/30/50 by 1–3 points at both
+//! granularities, for both click and buy behaviors. Setup: the *knowledge*
+//! prior comes from GraphSAGE embeddings of the item–item co-occurrence
+//! graph; the Bayesian layer corrects them against the full behavior graph
+//! (Eq. 7). A recommendation hits at granularity g when a top-k item shares
+//! the held-out item's g-attribute (brand = categorical field 1 of the item
+//! profile; category = that code modulo 8, a coarser rollup).
+
+use aligraph::models::bayesian::{train_bayesian, BayesianConfig};
+use aligraph::models::graphsage::{train_graphsage_with_features, GraphSageConfig};
+use aligraph_bench::{f, header, row, taobao_algo};
+use aligraph_graph::ids::well_known::{BUY, CLICK, ITEM, USER};
+use aligraph_graph::{AttrValue, AttributedHeterogeneousGraph, EdgeType, Featurizer, VertexId};
+use aligraph_tensor::Matrix;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn brand(graph: &AttributedHeterogeneousGraph, item: VertexId) -> u32 {
+    match graph.vertex_attrs(item).0.get(1) {
+        Some(AttrValue::Categorical(c)) => *c,
+        _ => 0,
+    }
+}
+
+fn category(graph: &AttributedHeterogeneousGraph, item: VertexId) -> u32 {
+    brand(graph, item) % 8
+}
+
+/// HR@k at a granularity: hit when a top-k item shares the held-out item's
+/// granularity code.
+fn hr_at(
+    graph: &AttributedHeterogeneousGraph,
+    embed: &dyn Fn(VertexId) -> Vec<f32>,
+    tests: &[(VertexId, VertexId)],
+    items: &[VertexId],
+    k: usize,
+    gran: &dyn Fn(&AttributedHeterogeneousGraph, VertexId) -> u32,
+) -> f64 {
+    let mut hits = 0usize;
+    for &(user, truth) in tests {
+        let zu = embed(user);
+        let mut scored: Vec<(VertexId, f32)> = items
+            .iter()
+            .map(|&i| (i, aligraph_tensor::dot(&zu, &embed(i))))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let want = gran(graph, truth);
+        if scored.iter().take(k).any(|&(i, _)| gran(graph, i) == want) {
+            hits += 1;
+        }
+    }
+    hits as f64 / tests.len().max(1) as f64
+}
+
+fn test_pairs(
+    graph: &AttributedHeterogeneousGraph,
+    etype: EdgeType,
+    count: usize,
+    seed: u64,
+) -> Vec<(VertexId, VertexId)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let users = graph.vertices_of_type(USER);
+    while out.len() < count {
+        let u = users[rng.gen_range(0..users.len())];
+        let typed = graph.out_neighbors_typed(u, etype);
+        if typed.is_empty() {
+            continue;
+        }
+        out.push((u, typed[rng.gen_range(0..typed.len())].vertex));
+    }
+    out
+}
+
+fn main() {
+    println!("# Table 12 — Bayesian GNN correction (hit recall)\n");
+    let graph = taobao_algo();
+    let items: Vec<VertexId> = graph.vertices_of_type(ITEM).to_vec();
+
+    // Prior: GraphSAGE on the behavior graph (the paper's baseline column).
+    let mut sage_cfg = GraphSageConfig::quick();
+    sage_cfg.train.batches_per_epoch = 40;
+    sage_cfg.train.epochs = 5;
+    let features = Featurizer::new(sage_cfg.feature_dim).with_identity().matrix(&graph);
+    let sage = train_graphsage_with_features(&graph, &features, &sage_cfg);
+    let prior_matrix = sage.embeddings.matrix.clone();
+
+    // Bayesian correction toward the behavior graph (Eq. 7).
+    let mut bayes_cfg = BayesianConfig::quick();
+    bayes_cfg.prior_strength = 0.25; // stronger anchor: correct, don't replace
+    let corrected = train_bayesian(
+        Matrix::from_vec(
+            prior_matrix.rows,
+            prior_matrix.cols,
+            prior_matrix.as_slice().to_vec(),
+        ),
+        &graph,
+        &bayes_cfg,
+    );
+
+    let base_embed = |v: VertexId| prior_matrix.row(v.index()).to_vec();
+    let corr_embed = |v: VertexId| corrected.corrected(v);
+
+    header(&["granularity", "HR", "behavior", "GraphSAGE", "GraphSAGE + Bayesian"]);
+    for (gran_name, gran) in [
+        ("Brand", &brand as &dyn Fn(&AttributedHeterogeneousGraph, VertexId) -> u32),
+        ("Category", &category),
+    ] {
+        for (bname, etype) in [("Click", CLICK), ("Buy", BUY)] {
+            let tests = test_pairs(&graph, etype, 150, 7 + etype.0 as u64);
+            for k in [10usize, 30, 50] {
+                let hb = hr_at(&graph, &base_embed, &tests, &items, k, gran);
+                let hc = hr_at(&graph, &corr_embed, &tests, &items, k, gran);
+                row(&[
+                    gran_name.into(),
+                    k.to_string(),
+                    bname.into(),
+                    f(hb * 100.0, 2),
+                    f(hc * 100.0, 2),
+                ]);
+            }
+        }
+    }
+    println!("\npaper: the Bayesian correction lifts HR by 1-3 points at every k and granularity.");
+}

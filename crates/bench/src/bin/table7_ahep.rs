@@ -1,0 +1,41 @@
+//! Table 7: effectiveness of AHEP vs HEP (link prediction on Taobao-small).
+//!
+//! Paper shape: AHEP's quality is close to HEP's (ROC-AUC 75.51 vs 77.77,
+//! F1 50.97 vs 57.93) at a fraction of the cost; the other GNN baselines do
+//! not finish at production scale at all ("N.A." / "O.O.M" in the paper).
+
+use aligraph::models::hep::{train_hep, HepConfig};
+use aligraph::trainer::evaluate_split;
+use aligraph_bench::{header, pct, row, taobao_algo};
+use aligraph_eval::link_prediction_split;
+
+fn main() {
+    println!("# Table 7 — AHEP vs HEP effectiveness\n");
+    let graph = taobao_algo();
+    let split = link_prediction_split(&graph, 0.15, 77);
+
+    let dim = 64;
+    let mut hep_cfg = HepConfig::hep_quick(dim);
+    hep_cfg.epochs = 15;
+    hep_cfg.batches_per_epoch = (split.train.num_vertices() / hep_cfg.batch_size).max(12);
+    let mut ahep_cfg = HepConfig::ahep_quick(dim, 5);
+    ahep_cfg.epochs = hep_cfg.epochs;
+    ahep_cfg.batches_per_epoch = hep_cfg.batches_per_epoch;
+    let hep = train_hep(&split.train, &hep_cfg);
+    let ahep = train_hep(&split.train, &ahep_cfg);
+    let mh = evaluate_split(&hep, &split);
+    let ma = evaluate_split(&ahep, &split);
+
+    header(&["method", "ROC-AUC", "F1-score"]);
+    row(&["Structural2Vec".into(), "N.A.".into(), "N.A.".into()]);
+    row(&["GCN".into(), "N.A.".into(), "N.A.".into()]);
+    row(&["FastGCN".into(), "N.A.".into(), "N.A.".into()]);
+    row(&["GraphSAGE".into(), "N.A.".into(), "N.A.".into()]);
+    row(&["AS-GCN".into(), "O.O.M.".into(), "O.O.M.".into()]);
+    row(&["HEP".into(), pct(mh.roc_auc), pct(mh.f1)]);
+    row(&["AHEP".into(), pct(ma.roc_auc), pct(ma.f1)]);
+    println!("\n('N.A.'/'O.O.M.' rows mirror the paper: those baselines do not");
+    println!(" terminate at full Taobao scale — the system experiments run them");
+    println!(" at simulator scale instead.)");
+    println!("paper: HEP 77.77/57.93, AHEP 75.51/50.97 — AHEP close to HEP.");
+}

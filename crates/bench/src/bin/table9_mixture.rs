@@ -1,0 +1,75 @@
+//! Table 9: Mixture GNN vs DAE and β-VAE on the recommendation task,
+//! hit recall rate HR@20 / HR@50.
+//!
+//! Paper shape: Mixture GNN lifts HR by ~2 points over the autoencoder
+//! baselines. Protocol: leave-one-out — one interacted item per test user
+//! is held out; each model ranks the unseen items; a hit means the held-out
+//! item appears in the top-k.
+
+use aligraph::models::mixture::{train_mixture, MixtureConfig};
+use aligraph_baselines::{train_recommender, RecommenderConfig};
+use aligraph_bench::{f, header, leave_one_out, row, taobao_algo};
+use aligraph_graph::ids::well_known::ITEM;
+use aligraph_graph::VertexId;
+
+fn hr(hits: &[bool]) -> f64 {
+    hits.iter().filter(|&&h| h).count() as f64 / hits.len().max(1) as f64
+}
+
+fn main() {
+    println!("# Table 9 — Mixture GNN vs DAE / β-VAE (hit recall rate)\n");
+    let graph = taobao_algo();
+    let (train, truth) = leave_one_out(&graph, 99);
+    let items: Vec<VertexId> = train.vertices_of_type(ITEM).to_vec();
+
+    // --- DAE and β-VAE. ---
+    let mut dae_cfg = RecommenderConfig::dae_quick();
+    dae_cfg.hidden = 48;
+    let mut vae_cfg = RecommenderConfig::beta_vae_quick();
+    vae_cfg.hidden = 48;
+    let dae = train_recommender(&train, &dae_cfg);
+    let vae = train_recommender(&train, &vae_cfg);
+
+    // --- Mixture GNN. ---
+    let mix_cfg = MixtureConfig { dim: 48, epochs: 2, ..MixtureConfig::quick() };
+    let mixture = train_mixture(&train, &mix_cfg);
+
+    let ks = [20usize, 50];
+    let mut results: Vec<(&str, Vec<f64>)> = Vec::new();
+    for (name, recommend) in [
+        (
+            "DAE",
+            Box::new(|u: VertexId, k: usize| dae.recommend(&train, u, k))
+                as Box<dyn Fn(VertexId, usize) -> Vec<VertexId>>,
+        ),
+        ("beta*-VAE", Box::new(|u, k| vae.recommend(&train, u, k))),
+        (
+            "Mixture GNN",
+            Box::new(|u, k| {
+                let seen: Vec<VertexId> =
+                    train.out_neighbors(u).iter().map(|n| n.vertex).collect();
+                let candidates: Vec<VertexId> =
+                    items.iter().copied().filter(|i| !seen.contains(i)).collect();
+                let mut ranked = mixture.recommend(u, &candidates);
+                ranked.truncate(k);
+                ranked
+            }),
+        ),
+    ] {
+        let mut hrs = Vec::new();
+        for &k in &ks {
+            let hits: Vec<bool> = truth
+                .iter()
+                .map(|&(u, item)| recommend(u, k).contains(&item))
+                .collect();
+            hrs.push(hr(&hits));
+        }
+        results.push((name, hrs));
+    }
+
+    header(&["method", "HR Rate@20", "HR Rate@50"]);
+    for (name, hrs) in &results {
+        row(&[name.to_string(), f(hrs[0], 5), f(hrs[1], 5)]);
+    }
+    println!("\npaper: DAE 0.126/0.216, beta*-VAE 0.118/0.200, Mixture GNN 0.143/0.237 (~+2 points).");
+}

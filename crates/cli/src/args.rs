@@ -1,0 +1,123 @@
+//! Hand-rolled `--key value` argument parsing (the sanctioned dependency
+//! set has no CLI parser, and the surface is small enough not to need one).
+
+use std::collections::HashMap;
+
+/// CLI errors, split so the binary can pick exit codes.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation (usage text included).
+    Usage(String),
+    /// Runtime failure (I/O, graph errors, ...).
+    Runtime(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Runtime(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<aligraph_graph::GraphError> for CliError {
+    fn from(e: aligraph_graph::GraphError) -> Self {
+        CliError::Runtime(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Runtime(format!("io error: {e}"))
+    }
+}
+
+/// Parsed invocation: a command plus `--key value` options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    options: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `argv` (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Args, CliError> {
+        let mut it = argv.iter();
+        let command = it
+            .next()
+            .cloned()
+            .ok_or_else(|| CliError::Usage(crate::HELP.to_string()))?;
+        let mut options = HashMap::new();
+        while let Some(key) = it.next() {
+            let key = key
+                .strip_prefix("--")
+                .ok_or_else(|| CliError::Usage(format!("expected --option, got `{key}`")))?;
+            let value = it
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("--{key} requires a value")))?;
+            options.insert(key.to_string(), value.clone());
+        }
+        Ok(Args { command, options })
+    }
+
+    /// A required string option.
+    pub fn required(&self, key: &str) -> Result<&str, CliError> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("missing required option --{key}")))
+    }
+
+    /// An optional string option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// A parsed numeric option with a default.
+    pub fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{key}: cannot parse `{v}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = Args::parse(&argv(&["generate", "--kind", "taobao", "--scale", "0.5"])).unwrap();
+        assert_eq!(a.command, "generate");
+        assert_eq!(a.required("kind").unwrap(), "taobao");
+        assert_eq!(a.num_or("scale", 1.0f64).unwrap(), 0.5);
+        assert_eq!(a.num_or("seed", 7u64).unwrap(), 7);
+        assert_eq!(a.get_or("missing", "x"), "x");
+    }
+
+    #[test]
+    fn rejects_malformed_invocations() {
+        assert!(matches!(Args::parse(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            Args::parse(&argv(&["train", "positional"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            Args::parse(&argv(&["train", "--graph"])),
+            Err(CliError::Usage(_))
+        ));
+        let a = Args::parse(&argv(&["train", "--dim", "abc"])).unwrap();
+        assert!(matches!(a.num_or("dim", 8usize), Err(CliError::Usage(_))));
+        assert!(matches!(a.required("graph"), Err(CliError::Usage(_))));
+    }
+}

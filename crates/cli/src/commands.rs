@@ -1,0 +1,283 @@
+//! The subcommand implementations. Each returns its report as a `String`
+//! (printed by `main`, asserted on by the tests).
+
+use crate::args::{Args, CliError};
+use aligraph::models::gatne::{train_gatne, GatneConfig};
+use aligraph::models::graphsage::{train_graphsage, GraphSageConfig};
+use aligraph::models::hep::{train_hep, HepConfig};
+use aligraph::{evaluate_split, select_model, Candidate, EmbeddingModel};
+use aligraph_baselines::{
+    train_deepwalk, train_line, train_node2vec, LineOrder, SkipGramParams,
+};
+use aligraph_eval::link_prediction_split;
+use aligraph_graph::generate::{amazon_sim_scaled, barabasi_albert, TaobaoConfig};
+use aligraph_graph::powerlaw::{fit_exponent, head_mass};
+use aligraph_graph::{read_graph, write_graph, AttributedHeterogeneousGraph};
+use aligraph_partition::{
+    EdgeCutHash, Grid2D, MetisLike, PartitionQuality, Partitioner, StreamingLdg, VertexCutGreedy,
+};
+use std::fmt::Write as _;
+use std::fs::File;
+
+fn load(args: &Args) -> Result<AttributedHeterogeneousGraph, CliError> {
+    let path = args.required("graph")?;
+    let file = File::open(path)
+        .map_err(|e| CliError::Runtime(format!("cannot open {path}: {e}")))?;
+    Ok(read_graph(file)?)
+}
+
+/// `aligraph generate --kind taobao|amazon|ba [--scale F] [--seed N] --out FILE`
+pub fn generate(args: &Args) -> Result<String, CliError> {
+    let kind = args.get_or("kind", "taobao");
+    let scale: f64 = args.num_or("scale", 0.001)?;
+    let seed: u64 = args.num_or("seed", 42)?;
+    let graph = match kind {
+        "taobao" => {
+            let mut cfg = TaobaoConfig::small_sim().scaled(scale);
+            cfg.seed = seed;
+            cfg.reverse_ui_prob = args.num_or("reverse", 0.15)?;
+            cfg.generate()?
+        }
+        "amazon" => {
+            let n = ((10_166.0 * scale.max(0.01)) as usize).max(10);
+            let m = ((148_865.0 * scale.max(0.01)) as usize).max(20);
+            amazon_sim_scaled(n, m, seed)?
+        }
+        "ba" => {
+            let n = ((20_000.0 * scale.max(0.001)) as usize).max(10);
+            barabasi_albert(n, args.num_or("attach", 4usize)?, seed)?
+        }
+        other => return Err(CliError::Usage(format!("unknown --kind `{other}`"))),
+    };
+    let out = args.required("out")?;
+    let mut file = File::create(out)?;
+    write_graph(&graph, &mut file)?;
+    Ok(format!(
+        "wrote {} vertices / {} edges ({} vertex types, {} edge types) to {out}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.num_vertex_types(),
+        graph.num_edge_types(),
+    ))
+}
+
+/// `aligraph stats --graph FILE`
+pub fn stats(args: &Args) -> Result<String, CliError> {
+    let g = load(args)?;
+    let degs: Vec<f64> = g.vertices().map(|v| (g.in_degree(v) + g.out_degree(v)) as f64).collect();
+    let mut out = String::new();
+    writeln!(out, "vertices:        {}", g.num_vertices()).ok();
+    writeln!(out, "edges:           {}", g.num_edges()).ok();
+    writeln!(out, "vertex types:    {}", g.num_vertex_types()).ok();
+    writeln!(out, "edge types:      {}", g.num_edge_types()).ok();
+    writeln!(out, "adjacency bytes: {}", g.adjacency_bytes()).ok();
+    writeln!(
+        out,
+        "attr bytes:      {} (naive co-located: {})",
+        g.attribute_bytes(),
+        g.naive_attribute_bytes()
+    )
+    .ok();
+    writeln!(out, "mean degree:     {:.2}", degs.iter().sum::<f64>() / degs.len().max(1) as f64).ok();
+    writeln!(out, "top-20%% degree mass: {:.1}%", head_mass(&degs, 0.2) * 100.0).ok();
+    if let Some(fit) = fit_exponent(&degs, 2.0, 30) {
+        writeln!(out, "power-law fit:   alpha = {:.2} (tail {})", fit.alpha, fit.tail_len).ok();
+    }
+    Ok(out)
+}
+
+/// `aligraph partition --graph FILE [--workers N] [--algo ...]`
+pub fn partition(args: &Args) -> Result<String, CliError> {
+    let g = load(args)?;
+    let workers: usize = args.num_or("workers", 8)?;
+    let algo = args.get_or("algo", "hash");
+    let partitioner: Box<dyn Partitioner> = match algo {
+        "hash" => Box::new(EdgeCutHash),
+        "metis" => Box::new(MetisLike::default()),
+        "vertex-cut" => Box::new(VertexCutGreedy::default()),
+        "2d" => Box::new(Grid2D),
+        "ldg" => Box::new(StreamingLdg::default()),
+        other => return Err(CliError::Usage(format!("unknown --algo `{other}`"))),
+    };
+    let part = partitioner.partition(&g, workers);
+    let q = PartitionQuality::evaluate(&g, &part);
+    Ok(format!(
+        "{} over {} workers: edge-cut {:.1}%, replication {:.2}, vertex imbalance {:.2}, edge imbalance {:.2}",
+        partitioner.name(),
+        part.num_workers,
+        q.edge_cut_ratio * 100.0,
+        q.replication_factor,
+        q.vertex_imbalance,
+        q.edge_imbalance,
+    ))
+}
+
+fn train_model(
+    g: &AttributedHeterogeneousGraph,
+    model: &str,
+    dim: usize,
+    seed: u64,
+) -> Result<Box<dyn EmbeddingModel>, CliError> {
+    let params = SkipGramParams { dim, seed, ..SkipGramParams::quick() };
+    Ok(match model {
+        "graphsage" => {
+            let mut cfg = GraphSageConfig::quick();
+            cfg.dims = vec![dim.max(8), dim];
+            cfg.train.seed = seed;
+            Box::new(train_graphsage(g, &cfg).embeddings)
+        }
+        "deepwalk" => Box::new(train_deepwalk(g, &params)),
+        "node2vec" => Box::new(train_node2vec(g, &params, 1.0, 0.5)),
+        "line" => Box::new(train_line(g, &params, LineOrder::Both)),
+        "gatne" => Box::new(train_gatne(g, &GatneConfig { dim, ..GatneConfig::quick() })),
+        "hep" => Box::new(train_hep(g, &HepConfig::hep_quick(dim))),
+        other => return Err(CliError::Usage(format!("unknown --model `{other}`"))),
+    })
+}
+
+/// `aligraph train --graph FILE [--model M] [--dim N] --out FILE`
+pub fn train(args: &Args) -> Result<String, CliError> {
+    let g = load(args)?;
+    let model_name = args.get_or("model", "graphsage");
+    let dim: usize = args.num_or("dim", 32)?;
+    let seed: u64 = args.num_or("seed", 42)?;
+    let model = train_model(&g, model_name, dim, seed)?;
+
+    let out = args.required("out")?;
+    let mut file = std::io::BufWriter::new(File::create(out)?);
+    use std::io::Write;
+    for v in g.vertices() {
+        let e = model.embedding(v);
+        let cells: Vec<String> = e.iter().map(|x| format!("{x:.6}")).collect();
+        writeln!(file, "{}\t{}", v.0, cells.join("\t"))?;
+    }
+    Ok(format!(
+        "trained {model_name} (dim {dim}) on {} vertices; embeddings written to {out}",
+        g.num_vertices()
+    ))
+}
+
+/// `aligraph eval --graph FILE [--model M] [--test-fraction F] [--seed N]`
+pub fn eval(args: &Args) -> Result<String, CliError> {
+    let g = load(args)?;
+    let model_name = args.get_or("model", "graphsage");
+    let dim: usize = args.num_or("dim", 32)?;
+    let seed: u64 = args.num_or("seed", 42)?;
+    let fraction: f64 = args.num_or("test-fraction", 0.15)?;
+    let split = link_prediction_split(&g, fraction, seed);
+    let model = train_model(&split.train, model_name, dim, seed)?;
+    let metrics = evaluate_split(model.as_ref(), &split);
+    Ok(format!("{model_name} link prediction: {metrics}"))
+}
+
+/// `aligraph automl --graph FILE` — the §7 model-selection tournament.
+pub fn automl(args: &Args) -> Result<String, CliError> {
+    let g = load(args)?;
+    let dim: usize = args.num_or("dim", 24)?;
+    let seed: u64 = args.num_or("seed", 42)?;
+    let params = SkipGramParams { dim, seed, ..SkipGramParams::quick() };
+    let p2 = params.clone();
+    let board = select_model(
+        &g,
+        vec![
+            Candidate::new("graphsage", move |g: &AttributedHeterogeneousGraph| {
+                let mut cfg = GraphSageConfig::quick();
+                cfg.train.seed = seed;
+                train_graphsage(g, &cfg).embeddings
+            }),
+            Candidate::new("deepwalk", move |g: &AttributedHeterogeneousGraph| {
+                train_deepwalk(g, &params)
+            }),
+            Candidate::new("line", move |g: &AttributedHeterogeneousGraph| {
+                train_line(g, &p2, LineOrder::Both)
+            }),
+            Candidate::new("hep", move |g: &AttributedHeterogeneousGraph| {
+                train_hep(g, &HepConfig::hep_quick(dim))
+            }),
+        ],
+        0.15,
+        seed,
+    );
+    let mut out = String::new();
+    writeln!(out, "model selection (validation ROC-AUC):").ok();
+    for r in &board.results {
+        writeln!(out, "  {:<12} {}", r.name, r.metrics).ok();
+    }
+    writeln!(out, "winner: {}", board.winner()).ok();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::parse(&s.iter().map(|x| x.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("aligraph-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_stats_partition_roundtrip() {
+        let path = tmp("toy.tsv");
+        let msg = generate(&args(&[
+            "generate", "--kind", "taobao", "--scale", "0.002", "--out", &path,
+        ]))
+        .unwrap();
+        assert!(msg.contains("wrote"));
+
+        let s = stats(&args(&["stats", "--graph", &path])).unwrap();
+        assert!(s.contains("vertices:"));
+        assert!(s.contains("edge types:      4"));
+
+        let p = partition(&args(&[
+            "partition", "--graph", &path, "--workers", "4", "--algo", "ldg",
+        ]))
+        .unwrap();
+        assert!(p.contains("streaming-ldg"), "{p}");
+        assert!(p.contains("edge-cut"));
+    }
+
+    #[test]
+    fn train_writes_embeddings_and_eval_reports() {
+        let path = tmp("toy2.tsv");
+        generate(&args(&["generate", "--kind", "amazon", "--scale", "0.02", "--out", &path]))
+            .unwrap();
+        let emb = tmp("emb.tsv");
+        let msg = train(&args(&[
+            "train", "--graph", &path, "--model", "deepwalk", "--dim", "16", "--out", &emb,
+        ]))
+        .unwrap();
+        assert!(msg.contains("deepwalk"));
+        let content = std::fs::read_to_string(&emb).unwrap();
+        let first = content.lines().next().unwrap();
+        assert_eq!(first.split('\t').count(), 17); // id + 16 dims
+
+        let e = eval(&args(&["eval", "--graph", &path, "--model", "deepwalk", "--dim", "16"]))
+            .unwrap();
+        assert!(e.contains("ROC-AUC"), "{e}");
+    }
+
+    #[test]
+    fn unknown_options_error_cleanly() {
+        let path = tmp("toy3.tsv");
+        generate(&args(&["generate", "--kind", "ba", "--scale", "0.002", "--out", &path]))
+            .unwrap();
+        assert!(matches!(
+            partition(&args(&["partition", "--graph", &path, "--algo", "nope"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            train(&args(&["train", "--graph", &path, "--model", "nope", "--out", "x"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            load(&args(&["stats", "--graph", "/definitely/missing"])),
+            Err(CliError::Runtime(_))
+        ));
+    }
+}

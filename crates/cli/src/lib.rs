@@ -1,0 +1,54 @@
+//! # aligraph-cli
+//!
+//! The `aligraph` command: a thin, dependency-free front door to the
+//! platform for downstream users who want graphs, partitions, embeddings
+//! and metrics without writing Rust.
+//!
+//! ```text
+//! aligraph generate  --kind taobao --scale 0.01 --out graph.tsv
+//! aligraph stats     --graph graph.tsv
+//! aligraph partition --graph graph.tsv --workers 8 --algo metis
+//! aligraph train     --graph graph.tsv --model graphsage --out emb.tsv
+//! aligraph eval      --graph graph.tsv --model deepwalk
+//! aligraph automl    --graph graph.tsv
+//! ```
+//!
+//! The library half exposes the argument parser and command runners so the
+//! behaviour is unit-testable; `main.rs` is a two-line shim.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Args, CliError};
+
+/// Entry point shared by `main` and the tests: parses and dispatches.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "generate" => commands::generate(&args),
+        "stats" => commands::stats(&args),
+        "partition" => commands::partition(&args),
+        "train" => commands::train(&args),
+        "eval" => commands::eval(&args),
+        "automl" => commands::automl(&args),
+        "help" | "--help" | "-h" => Ok(HELP.to_string()),
+        other => Err(CliError::Usage(format!("unknown command `{other}`\n\n{HELP}"))),
+    }
+}
+
+/// Top-level usage text.
+pub const HELP: &str = "\
+aligraph — the AliGraph reproduction CLI
+
+USAGE:
+    aligraph <COMMAND> [--key value ...]
+
+COMMANDS:
+    generate   synthesize a graph        --kind taobao|amazon|ba [--scale F] [--seed N] --out FILE
+    stats      inspect a graph           --graph FILE
+    partition  partition + quality       --graph FILE [--workers N] [--algo hash|metis|vertex-cut|2d|ldg]
+    train      train embeddings          --graph FILE [--model graphsage|deepwalk|node2vec|line|gatne|hep] [--dim N] --out FILE
+    eval       link-prediction metrics   --graph FILE [--model ...] [--test-fraction F] [--seed N]
+    automl     model-selection tournament --graph FILE
+    help       this text
+";

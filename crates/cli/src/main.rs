@@ -1,0 +1,16 @@
+//! The `aligraph` binary: parse, dispatch, print, exit.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match aligraph_cli::run(&argv) {
+        Ok(report) => println!("{report}"),
+        Err(aligraph_cli::CliError::Usage(msg)) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+        Err(aligraph_cli::CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,573 @@
+//! The GNN framework of the paper's Algorithm 1, as a trainable encoder.
+//!
+//! ```text
+//! h(0)_v ← x_v
+//! for k ← 1 to kmax:
+//!     S_v   ← SAMPLE(Nb(v))
+//!     h'_v  ← AGGREGATE(h(k-1)_u, ∀u ∈ S_v)
+//!     h(k)_v ← COMBINE(h(k-1)_v, h'_v)
+//! normalize; return h(kmax)_v
+//! ```
+//!
+//! [`GnnEncoder`] executes this recursion on an [`EpisodeTape`]: every
+//! `(vertex, hop)` computation becomes a tape node recording its inputs, so
+//! one reverse sweep backpropagates the loss through COMBINE and AGGREGATE
+//! into every parameter (and optionally into the input features).
+//!
+//! The tape memoizes `(vertex, hop)` results within a mini-batch — exactly
+//! the intermediate-vector materialization of §3.4. Construct the tape with
+//! [`EpisodeTape::without_memoization`] to reproduce the unoptimized
+//! operator baseline of Table 5.
+
+use aligraph_graph::{FeatureMatrix, VertexId};
+use aligraph_ops::{Activation, Aggregator, Combiner, ConcatCombiner, MeanAggregator};
+use aligraph_sampling::{NeighborAccess, NeighborhoodSampler};
+use aligraph_tensor::Matrix;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Reference to a hop-(k-1) input of a tape node: either a raw feature row
+/// (`h^(0)`) or another tape node's output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Child {
+    /// `h^(0)_v = x_v`.
+    Feature(VertexId),
+    /// Output of tape node `i`.
+    Node(usize),
+}
+
+/// One `(vertex, hop)` computation on the tape.
+#[derive(Debug, Clone)]
+struct TapeNode {
+    /// Kept for debugging/tracing tape dumps.
+    #[allow(dead_code)]
+    v: VertexId,
+    k: usize,
+    child_self: Child,
+    child_nbrs: Vec<Child>,
+    h_self: Vec<f32>,
+    h_nbr: Vec<f32>,
+    output: Vec<f32>,
+    grad: Vec<f32>,
+}
+
+/// The forward tape of one mini-batch.
+#[derive(Debug, Default)]
+pub struct EpisodeTape {
+    nodes: Vec<TapeNode>,
+    memo: HashMap<(u8, u32), usize>,
+    memoize: bool,
+    /// Accumulated gradients w.r.t. input feature rows (for models with
+    /// trainable input embeddings).
+    pub feature_grads: HashMap<u32, Vec<f32>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl EpisodeTape {
+    /// A tape with per-(vertex, hop) memoization — the §3.4 optimization.
+    pub fn new() -> Self {
+        EpisodeTape { memoize: true, ..Default::default() }
+    }
+
+    /// A tape that recomputes every embedding — the Table 5 baseline.
+    pub fn without_memoization() -> Self {
+        EpisodeTape { memoize: false, ..Default::default() }
+    }
+
+    /// Clears the tape for the next mini-batch (capacity retained).
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.memo.clear();
+        self.feature_grads.clear();
+    }
+
+    /// Number of tape nodes (computations actually performed).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// `(memo hits, computations)` since creation — Table 5's evidence.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// The output embedding of a tape node.
+    pub fn output(&self, idx: usize) -> &[f32] {
+        &self.nodes[idx].output
+    }
+
+    /// Adds `grad` to a node's output gradient (called by the loss).
+    pub fn add_grad(&mut self, idx: usize, grad: &[f32]) {
+        let g = &mut self.nodes[idx].grad;
+        for (a, &b) in g.iter_mut().zip(grad) {
+            *a += b;
+        }
+    }
+}
+
+/// The trainable Algorithm 1 encoder: one COMBINE per hop plus a shared
+/// AGGREGATE, both pluggable.
+pub struct GnnEncoder {
+    /// Fan-out at each hop (`hop_nums`); length = `kmax`.
+    pub fanouts: Vec<usize>,
+    aggregator: Box<dyn Aggregator>,
+    combiners: Vec<Box<dyn Combiner>>,
+    dims: Vec<usize>,
+    dim_in: usize,
+}
+
+impl GnnEncoder {
+    /// A GraphSAGE-shaped encoder: mean aggregation + concat combine with
+    /// `dims[k]` output units at hop `k+1`.
+    pub fn sage(dim_in: usize, dims: &[usize], fanouts: &[usize], lr: f32, seed: u64) -> Self {
+        assert_eq!(dims.len(), fanouts.len(), "one fanout per hop");
+        let mut combiners: Vec<Box<dyn Combiner>> = Vec::with_capacity(dims.len());
+        let mut prev = dim_in;
+        for (k, &d) in dims.iter().enumerate() {
+            combiners.push(Box::new(ConcatCombiner::new(
+                prev,
+                d,
+                if k + 1 == dims.len() { Activation::Linear } else { Activation::Relu },
+                lr,
+                seed.wrapping_add(k as u64),
+            )));
+            prev = d;
+        }
+        GnnEncoder {
+            fanouts: fanouts.to_vec(),
+            aggregator: Box::new(MeanAggregator),
+            combiners,
+            dims: dims.to_vec(),
+            dim_in,
+        }
+    }
+
+    /// A fully custom encoder from plugin operators. `combiners[k]` must map
+    /// hop-`k` inputs to `dims[k]` outputs.
+    pub fn custom(
+        dim_in: usize,
+        dims: Vec<usize>,
+        fanouts: Vec<usize>,
+        aggregator: Box<dyn Aggregator>,
+        combiners: Vec<Box<dyn Combiner>>,
+    ) -> Self {
+        assert_eq!(dims.len(), fanouts.len());
+        assert_eq!(dims.len(), combiners.len());
+        GnnEncoder { fanouts, aggregator, combiners, dims, dim_in }
+    }
+
+    /// Number of hops `kmax`.
+    pub fn kmax(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Output embedding dimension.
+    pub fn out_dim(&self) -> usize {
+        *self.dims.last().expect("at least one hop")
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.dim_in
+    }
+
+    /// Forward pass: computes `h^(kmax)_v` on the tape and returns its node
+    /// index. Neighborhoods are read through `access` and subsampled by
+    /// `sampler` with this encoder's fan-outs.
+    pub fn forward<A: NeighborAccess, S: NeighborhoodSampler, R: Rng>(
+        &self,
+        access: &A,
+        features: &FeatureMatrix,
+        sampler: &S,
+        v: VertexId,
+        tape: &mut EpisodeTape,
+        rng: &mut R,
+    ) -> usize {
+        self.embed(access, features, sampler, v, self.kmax(), tape, rng)
+    }
+
+    fn embed<A: NeighborAccess, S: NeighborhoodSampler, R: Rng>(
+        &self,
+        access: &A,
+        features: &FeatureMatrix,
+        sampler: &S,
+        v: VertexId,
+        k: usize,
+        tape: &mut EpisodeTape,
+        rng: &mut R,
+    ) -> usize {
+        debug_assert!(k >= 1);
+        if tape.memoize {
+            if let Some(&idx) = tape.memo.get(&(k as u8, v.0)) {
+                tape.hits += 1;
+                return idx;
+            }
+        }
+        tape.misses += 1;
+
+        // SAMPLE: fan-out for hop k (deeper hops use later fanout entries).
+        let fanout = self.fanouts[k - 1];
+        let nbr_records = access.neighbors(v, k);
+        let sampled = sampler.sample_one(v, nbr_records, fanout, rng);
+
+        // Recurse: h^(k-1) of self and of each sampled neighbor.
+        let child_self = self.child(access, features, sampler, v, k - 1, tape, rng);
+        let child_nbrs: Vec<Child> = sampled
+            .iter()
+            .map(|&u| self.child(access, features, sampler, u, k - 1, tape, rng))
+            .collect();
+
+        let h_self = self.resolve(features, tape, child_self);
+        let nbr_embs: Vec<Vec<f32>> =
+            child_nbrs.iter().map(|&c| self.resolve(features, tape, c)).collect();
+        let nbr_refs: Vec<&[f32]> = nbr_embs.iter().map(Vec::as_slice).collect();
+
+        // AGGREGATE.
+        let in_dim = if k == 1 { self.dim_in } else { self.dims[k - 2] };
+        let mut h_nbr = vec![0.0f32; in_dim];
+        self.aggregator.forward(&h_self, &nbr_refs, &mut h_nbr);
+
+        // COMBINE.
+        let self_m = Matrix::from_vec(1, in_dim, h_self.clone());
+        let nbr_m = Matrix::from_vec(1, in_dim, h_nbr.clone());
+        let out_m = self.combiners[k - 1].forward(&self_m, &nbr_m);
+        let output = out_m.as_slice().to_vec();
+
+        let idx = tape.nodes.len();
+        let grad = vec![0.0; output.len()];
+        tape.nodes.push(TapeNode { v, k, child_self, child_nbrs, h_self, h_nbr, output, grad });
+        if tape.memoize {
+            tape.memo.insert((k as u8, v.0), idx);
+        }
+        idx
+    }
+
+    fn child<A: NeighborAccess, S: NeighborhoodSampler, R: Rng>(
+        &self,
+        access: &A,
+        features: &FeatureMatrix,
+        sampler: &S,
+        v: VertexId,
+        k: usize,
+        tape: &mut EpisodeTape,
+        rng: &mut R,
+    ) -> Child {
+        if k == 0 {
+            Child::Feature(v)
+        } else {
+            Child::Node(self.embed(access, features, sampler, v, k, tape, rng))
+        }
+    }
+
+    fn resolve(&self, features: &FeatureMatrix, tape: &EpisodeTape, c: Child) -> Vec<f32> {
+        match c {
+            Child::Feature(v) => features.row(v).to_vec(),
+            Child::Node(i) => tape.nodes[i].output.clone(),
+        }
+    }
+
+    /// Backward pass: consumes the gradients seeded with
+    /// [`EpisodeTape::add_grad`] and accumulates parameter gradients in the
+    /// combiners (and feature gradients on the tape). Call
+    /// [`step`](Self::step) afterwards to apply them.
+    pub fn backward(&mut self, tape: &mut EpisodeTape, features: &FeatureMatrix) {
+        for i in (0..tape.nodes.len()).rev() {
+            if tape.nodes[i].grad.iter().all(|&g| g == 0.0) {
+                continue;
+            }
+            let node = tape.nodes[i].clone();
+            let in_dim = node.h_self.len();
+            let self_m = Matrix::from_vec(1, in_dim, node.h_self.clone());
+            let nbr_m = Matrix::from_vec(1, in_dim, node.h_nbr.clone());
+            let out_m = Matrix::from_vec(1, node.output.len(), node.output.clone());
+            let grad_m = Matrix::from_vec(1, node.grad.len(), node.grad.clone());
+            let (d_self, d_nbr) =
+                self.combiners[node.k - 1].backward(&self_m, &nbr_m, &out_m, &grad_m);
+
+            // Route d_self.
+            route(tape, features, node.child_self, d_self.as_slice());
+
+            // AGGREGATE backward: distribute d_nbr to each sampled neighbor.
+            if !node.child_nbrs.is_empty() {
+                let nbr_embs: Vec<Vec<f32>> = node
+                    .child_nbrs
+                    .iter()
+                    .map(|&c| match c {
+                        Child::Feature(v) => features.row(v).to_vec(),
+                        Child::Node(j) => tape.nodes[j].output.clone(),
+                    })
+                    .collect();
+                let nbr_refs: Vec<&[f32]> = nbr_embs.iter().map(Vec::as_slice).collect();
+                let mut grads = vec![vec![0.0f32; in_dim]; nbr_refs.len()];
+                self.aggregator.backward(&node.h_self, &nbr_refs, d_nbr.as_slice(), &mut grads);
+                for (&c, g) in node.child_nbrs.iter().zip(&grads) {
+                    route(tape, features, c, g);
+                }
+            }
+        }
+    }
+
+    /// Applies accumulated parameter gradients, averaged over `batch`.
+    pub fn step(&mut self, batch: usize) {
+        for c in &mut self.combiners {
+            c.step(batch);
+        }
+    }
+
+    /// Inference: embeds `seeds` (memoized, no gradients kept afterwards)
+    /// and returns an L2-normalized `seeds.len() x out_dim` matrix —
+    /// Algorithm 1's final normalize step.
+    pub fn embed_batch<A: NeighborAccess, S: NeighborhoodSampler, R: Rng>(
+        &self,
+        access: &A,
+        features: &FeatureMatrix,
+        sampler: &S,
+        seeds: &[VertexId],
+        rng: &mut R,
+    ) -> Matrix {
+        let mut tape = EpisodeTape::new();
+        let mut out = Matrix::zeros(seeds.len(), self.out_dim());
+        for (i, &v) in seeds.iter().enumerate() {
+            let idx = self.forward(access, features, sampler, v, &mut tape, rng);
+            out.row_mut(i).copy_from_slice(tape.output(idx));
+        }
+        out.l2_normalize_rows();
+        out
+    }
+}
+
+fn route(tape: &mut EpisodeTape, _features: &FeatureMatrix, child: Child, grad: &[f32]) {
+    match child {
+        Child::Node(j) => {
+            let g = &mut tape.nodes[j].grad;
+            for (a, &b) in g.iter_mut().zip(grad) {
+                *a += b;
+            }
+        }
+        Child::Feature(v) => {
+            let entry = tape
+                .feature_grads
+                .entry(v.0)
+                .or_insert_with(|| vec![0.0; grad.len()]);
+            for (a, &b) in entry.iter_mut().zip(grad) {
+                *a += b;
+            }
+        }
+    }
+}
+
+/// A NEIGHBORHOOD "sampler" that keeps the whole neighborhood (up to the
+/// requested fan-out cap) — GCN's full-neighborhood convolution expressed as
+/// an Algorithm 1 plugin.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullNeighborhood;
+
+impl NeighborhoodSampler for FullNeighborhood {
+    fn sample_one<R: Rng>(
+        &self,
+        _target: VertexId,
+        nbrs: &[aligraph_graph::Neighbor],
+        count: usize,
+        _rng: &mut R,
+    ) -> Vec<VertexId> {
+        nbrs.iter().take(count).map(|n| n.vertex).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aligraph_graph::generate::TaobaoConfig;
+    use aligraph_graph::Featurizer;
+    use aligraph_sampling::UniformNeighborhood;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (aligraph_graph::AttributedHeterogeneousGraph, FeatureMatrix) {
+        let g = TaobaoConfig::tiny().generate().unwrap();
+        let f = Featurizer::new(16).matrix(&g);
+        (g, f)
+    }
+
+    #[test]
+    fn forward_produces_out_dim_embeddings() {
+        let (g, f) = setup();
+        let enc = GnnEncoder::sage(16, &[32, 8], &[5, 3], 0.01, 1);
+        assert_eq!(enc.kmax(), 2);
+        assert_eq!(enc.out_dim(), 8);
+        let mut tape = EpisodeTape::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let idx = enc.forward(&g, &f, &UniformNeighborhood, VertexId(0), &mut tape, &mut rng);
+        assert_eq!(tape.output(idx).len(), 8);
+        assert!(!tape.is_empty());
+    }
+
+    #[test]
+    fn memoization_reduces_computation() {
+        let (g, f) = setup();
+        let enc = GnnEncoder::sage(16, &[16, 16], &[8, 4], 0.01, 2);
+        let seeds: Vec<VertexId> = g.vertices().take(32).collect();
+
+        let mut memo_tape = EpisodeTape::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for &v in &seeds {
+            enc.forward(&g, &f, &UniformNeighborhood, v, &mut memo_tape, &mut rng);
+        }
+        let mut plain_tape = EpisodeTape::without_memoization();
+        let mut rng = StdRng::seed_from_u64(3);
+        for &v in &seeds {
+            enc.forward(&g, &f, &UniformNeighborhood, v, &mut plain_tape, &mut rng);
+        }
+        assert!(
+            memo_tape.len() < plain_tape.len(),
+            "memoized {} vs plain {}",
+            memo_tape.len(),
+            plain_tape.len()
+        );
+        assert!(memo_tape.stats().0 > 0, "expected memo hits");
+        assert_eq!(plain_tape.stats().0, 0);
+    }
+
+    #[test]
+    fn backward_accumulates_and_training_moves_embeddings() {
+        let (g, f) = setup();
+        let mut enc = GnnEncoder::sage(16, &[16], &[4], 0.05, 4);
+        let v = VertexId(0);
+        let mut rng = StdRng::seed_from_u64(5);
+
+        let before = {
+            let mut tape = EpisodeTape::new();
+            let idx = enc.forward(&g, &f, &UniformNeighborhood, v, &mut tape, &mut rng);
+            tape.output(idx).to_vec()
+        };
+        // Push the embedding toward all-ones for a few steps.
+        for _ in 0..20 {
+            let mut tape = EpisodeTape::new();
+            let idx = enc.forward(&g, &f, &UniformNeighborhood, v, &mut tape, &mut rng);
+            let grad: Vec<f32> = tape.output(idx).iter().map(|&o| o - 1.0).collect();
+            tape.add_grad(idx, &grad);
+            enc.backward(&mut tape, &f);
+            enc.step(1);
+        }
+        let after = {
+            let mut tape = EpisodeTape::new();
+            let idx = enc.forward(&g, &f, &UniformNeighborhood, v, &mut tape, &mut rng);
+            tape.output(idx).to_vec()
+        };
+        let dist = |x: &[f32]| -> f32 { x.iter().map(|&a| (a - 1.0) * (a - 1.0)).sum() };
+        assert!(dist(&after) < dist(&before), "{} -> {}", dist(&before), dist(&after));
+    }
+
+    #[test]
+    fn feature_grads_populated() {
+        let (g, f) = setup();
+        let mut enc = GnnEncoder::sage(16, &[8], &[4], 0.01, 6);
+        let mut tape = EpisodeTape::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let idx = enc.forward(&g, &f, &UniformNeighborhood, VertexId(1), &mut tape, &mut rng);
+        tape.add_grad(idx, &vec![1.0; 8]);
+        enc.backward(&mut tape, &f);
+        assert!(!tape.feature_grads.is_empty());
+        // The target vertex itself must receive a feature gradient.
+        assert!(tape.feature_grads.contains_key(&1));
+    }
+
+    #[test]
+    fn embed_batch_is_normalized() {
+        let (g, f) = setup();
+        let enc = GnnEncoder::sage(16, &[8, 8], &[4, 2], 0.01, 8);
+        let seeds: Vec<VertexId> = g.vertices().take(10).collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = enc.embed_batch(&g, &f, &UniformNeighborhood, &seeds, &mut rng);
+        assert_eq!((m.rows, m.cols), (10, 8));
+        for r in 0..m.rows {
+            let n: f32 = m.row(r).iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-3 || n < 1e-6, "row {r} norm {n}");
+        }
+    }
+
+    #[test]
+    fn full_neighborhood_keeps_all_up_to_cap() {
+        let (g, _) = setup();
+        let v = g.vertices().find(|&v| g.out_degree(v) >= 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let all = FullNeighborhood.sample_one(v, g.out_neighbors(v), usize::MAX, &mut rng);
+        assert_eq!(all.len(), g.out_degree(v));
+        let capped = FullNeighborhood.sample_one(v, g.out_neighbors(v), 2, &mut rng);
+        assert_eq!(capped.len(), 2);
+    }
+
+    #[test]
+    fn tape_clear_resets() {
+        let (g, f) = setup();
+        let enc = GnnEncoder::sage(16, &[8], &[4], 0.01, 11);
+        let mut tape = EpisodeTape::new();
+        let mut rng = StdRng::seed_from_u64(12);
+        enc.forward(&g, &f, &UniformNeighborhood, VertexId(0), &mut tape, &mut rng);
+        assert!(!tape.is_empty());
+        tape.clear();
+        assert!(tape.is_empty());
+        assert!(tape.feature_grads.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod neural_aggregator_tests {
+    use super::*;
+    use aligraph_graph::generate::TaobaoConfig;
+    use aligraph_graph::Featurizer;
+    use aligraph_ops::{Activation, Combiner, ConcatCombiner, LstmAggregator, PoolNnAggregator};
+    use aligraph_sampling::UniformNeighborhood;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The paper's named AGGREGATE variants (LSTM, max-pooling network) slot
+    /// into Algorithm 1 through the same plugin seam as the mean aggregator.
+    fn encoder_with(aggregator: Box<dyn Aggregator>) -> GnnEncoder {
+        let combiners: Vec<Box<dyn Combiner>> = vec![
+            Box::new(ConcatCombiner::new(16, 16, Activation::Relu, 0.01, 1)),
+            Box::new(ConcatCombiner::new(16, 8, Activation::Linear, 0.01, 2)),
+        ];
+        GnnEncoder::custom(16, vec![16, 8], vec![5, 3], aggregator, combiners)
+    }
+
+    #[test]
+    fn lstm_aggregator_composes_with_algorithm_1() {
+        let g = TaobaoConfig::tiny().generate().unwrap();
+        let f = Featurizer::new(16).matrix(&g);
+        let mut enc = encoder_with(Box::new(LstmAggregator::new(16, 9)));
+        let mut tape = EpisodeTape::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let idx = enc.forward(&g, &f, &UniformNeighborhood, VertexId(0), &mut tape, &mut rng);
+        assert_eq!(tape.output(idx).len(), 8);
+        assert!(tape.output(idx).iter().all(|x| x.is_finite()));
+        // Backward runs through the straight-through LSTM route.
+        tape.add_grad(idx, &vec![1.0; 8]);
+        enc.backward(&mut tape, &f);
+        enc.step(1);
+    }
+
+    #[test]
+    fn pool_nn_aggregator_composes_with_algorithm_1() {
+        let g = TaobaoConfig::tiny().generate().unwrap();
+        let f = Featurizer::new(16).matrix(&g);
+        let mut enc = encoder_with(Box::new(PoolNnAggregator::new(16, 0.01, 11)));
+        let seeds: Vec<VertexId> = g.vertices().take(8).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = enc.embed_batch(&g, &f, &UniformNeighborhood, &seeds, &mut rng);
+        assert_eq!((m.rows, m.cols), (8, 8));
+        assert!(m.as_slice().iter().all(|x| x.is_finite()));
+        // A training step with the trainable pooling layer in the loop.
+        let mut tape = EpisodeTape::new();
+        let idx = enc.forward(&g, &f, &UniformNeighborhood, seeds[0], &mut tape, &mut rng);
+        tape.add_grad(idx, &vec![0.5; 8]);
+        enc.backward(&mut tape, &f);
+        enc.step(1);
+    }
+}

@@ -1,0 +1,272 @@
+//! Bayesian GNN (paper §4.2, Eq. 7): correct prior knowledge-graph
+//! embeddings toward a specific task.
+//!
+//! Given a prior embedding `h_v` (learned from the knowledge graph alone),
+//! the task-specific embedding is `z_v ≈ f(h_v + δ_v)` where the correction
+//! `δ_v` is drawn from `N(0, s_v²)` with `s_v` determined by the
+//! coefficients of `h_v` (here: the per-vertex standard deviation of `h_v`'s
+//! components — vertices with confident, concentrated priors move less).
+//! The posterior mean `μ̂_v` of the correction is estimated by MAP gradient
+//! descent on the task (behavior-graph) loss with the Gaussian prior acting
+//! as per-vertex L2 anchoring, and `f` is a learned projection.
+//!
+//! Table 12 compares hit recall of the base model with and without the
+//! Bayesian correction.
+
+use crate::trainer::EmbeddingModel;
+use aligraph_graph::{AttributedHeterogeneousGraph, VertexId};
+use aligraph_sampling::{NegativeSampler, UniformNegative};
+use aligraph_tensor::init::{seeded_rng, xavier_uniform};
+use aligraph_tensor::loss::logistic_grad;
+use aligraph_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Bayesian correction hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct BayesianConfig {
+    /// MAP gradient steps (edge samples) per epoch.
+    pub pairs_per_epoch: usize,
+    /// Epochs.
+    pub epochs: usize,
+    /// Learning rate for `δ` and `f`.
+    pub lr: f32,
+    /// Global prior strength multiplier (scales the `1/s_v²` anchors).
+    pub prior_strength: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BayesianConfig {
+    /// A small, fast configuration.
+    pub fn quick() -> Self {
+        BayesianConfig { pairs_per_epoch: 2_000, epochs: 3, lr: 0.05, prior_strength: 0.1, seed: 81 }
+    }
+}
+
+/// A Bayesian-corrected embedding model.
+pub struct TrainedBayesian {
+    /// Prior embeddings `h_v` (`n x d`).
+    pub prior: Matrix,
+    /// Posterior-mean corrections `μ̂_v` (`n x d`).
+    pub delta: Matrix,
+    /// The learned projection `f` (`d x d`, applied as `tanh((h+δ) W)`).
+    pub w: Matrix,
+}
+
+impl TrainedBayesian {
+    /// The corrected, task-specific embedding `f(h_v + μ̂_v)`.
+    pub fn corrected(&self, v: VertexId) -> Vec<f32> {
+        let d = self.prior.cols;
+        let mut input = vec![0.0f32; d];
+        for ((x, &h), &dl) in input
+            .iter_mut()
+            .zip(self.prior.row(v.index()))
+            .zip(self.delta.row(v.index()))
+        {
+            *x = h + dl;
+        }
+        let mut out = vec![0.0f32; self.w.cols];
+        for (r, &xi) in input.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            for (c, o) in out.iter_mut().enumerate() {
+                *o += xi * self.w.get(r, c);
+            }
+        }
+        out.iter_mut().for_each(|o| *o = o.tanh());
+        out
+    }
+
+    /// The uncorrected prior embedding (the Table 12 baseline).
+    pub fn prior_embedding(&self, v: VertexId) -> Vec<f32> {
+        self.prior.row(v.index()).to_vec()
+    }
+}
+
+impl EmbeddingModel for TrainedBayesian {
+    fn embedding(&self, v: VertexId) -> Vec<f32> {
+        self.corrected(v)
+    }
+}
+
+/// Fits the correction `δ` and projection `f` on the task graph, starting
+/// from prior embeddings (rows of `prior` indexed by vertex id — typically
+/// the output of a GNN trained on the knowledge graph).
+pub fn train_bayesian(
+    prior: Matrix,
+    task_graph: &AttributedHeterogeneousGraph,
+    config: &BayesianConfig,
+) -> TrainedBayesian {
+    assert_eq!(prior.rows, task_graph.num_vertices(), "prior rows must cover all vertices");
+    let d = prior.cols;
+    let n = prior.rows;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut init_rng = seeded_rng(config.seed ^ 0xba1e);
+
+    // s_v from the coefficients of h_v: component standard deviation.
+    let anchors: Vec<f32> = (0..n)
+        .map(|i| {
+            let row = prior.row(i);
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            let var: f32 = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / d as f32;
+            // Anchor strength ∝ 1/s_v² (floored to stay finite).
+            config.prior_strength / var.max(1e-3)
+        })
+        .collect();
+
+    let mut model = TrainedBayesian {
+        prior,
+        delta: Matrix::zeros(n, d),
+        w: xavier_uniform(d, d, &mut init_rng),
+    };
+    let negative = UniformNegative { vtype: None };
+
+    for _ in 0..config.epochs {
+        for _ in 0..config.pairs_per_epoch {
+            let u = VertexId(rng.gen_range(0..n as u32));
+            let out = task_graph.out_neighbors(u);
+            if out.is_empty() {
+                continue;
+            }
+            let pos = out[rng.gen_range(0..out.len())].vertex;
+            map_step(&mut model, task_graph, u, pos, true, &anchors, config);
+            for neg in negative.sample(task_graph, &[u, pos], 2, &mut rng) {
+                map_step(&mut model, task_graph, u, neg, false, &anchors, config);
+            }
+        }
+    }
+    model
+}
+
+/// One MAP gradient step on pair `(u, v)`: logistic task loss on
+/// `z_u · z_v` plus the Gaussian prior pull `anchor_v · δ_v`.
+fn map_step(
+    model: &mut TrainedBayesian,
+    _graph: &AttributedHeterogeneousGraph,
+    u: VertexId,
+    v: VertexId,
+    label: bool,
+    anchors: &[f32],
+    config: &BayesianConfig,
+) {
+    let zu = model.corrected(u);
+    let zv = model.corrected(v);
+    let s = aligraph_tensor::dot(&zu, &zv);
+    let g = logistic_grad(s, label);
+    let lr = config.lr;
+    let d = model.prior.cols;
+
+    // Backward through tanh and W into (h + δ); only δ is trainable among
+    // the inputs. dz_u = g * zv (and symmetrically).
+    for (vertex, z_self, z_other) in [(u, &zu, &zv), (v, &zv, &zu)] {
+        // d pre-activation = g * z_other * (1 - z²), clamped so the
+        // correction cannot run away from its Gaussian anchor in one step.
+        let dpre: Vec<f32> = z_self
+            .iter()
+            .zip(z_other)
+            .map(|(&z, &o)| (g * o * (1.0 - z * z)).clamp(-0.5, 0.5))
+            .collect();
+        // δ gradient: W dpre + prior pull.
+        let anchor = anchors[vertex.index()];
+        for r in 0..d {
+            let mut grad = 0.0f32;
+            for (c, &dp) in dpre.iter().enumerate() {
+                grad += model.w.get(r, c) * dp;
+            }
+            let cur = model.delta.get(vertex.index(), r);
+            let pull = anchor * cur; // d/dδ of anchor/2 · δ²
+            model.delta.set(vertex.index(), r, cur - lr * (grad + pull));
+        }
+        // W gradient: (h+δ) ⊗ dpre.
+        for r in 0..d {
+            let x = model.prior.get(vertex.index(), r) + model.delta.get(vertex.index(), r);
+            if x == 0.0 {
+                continue;
+            }
+            for (c, &dp) in dpre.iter().enumerate() {
+                model.w.set(r, c, model.w.get(r, c) - lr * x * dp);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aligraph_graph::generate::TaobaoConfig;
+    use aligraph_tensor::loss::logistic_loss;
+
+    fn prior_for(g: &AttributedHeterogeneousGraph, d: usize) -> Matrix {
+        // A crude "knowledge" prior: hashed features as embeddings.
+        let f = aligraph_graph::Featurizer::new(d).matrix(g);
+        Matrix::from_vec(g.num_vertices(), d, f.as_slice().to_vec())
+    }
+
+    #[test]
+    fn correction_improves_task_ranking() {
+        let g = TaobaoConfig::tiny().generate().unwrap();
+        let prior = prior_for(&g, 16);
+        let trained = train_bayesian(prior.clone(), &g, &BayesianConfig::quick());
+
+        // Rank real edges against random same-type negatives with and
+        // without the correction.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut prior_scored = Vec::new();
+        let mut corrected_scored = Vec::new();
+        for _ in 0..400 {
+            let u = VertexId(rng.gen_range(0..g.num_vertices() as u32));
+            let out = g.out_neighbors(u);
+            if out.is_empty() {
+                continue;
+            }
+            let v = out[rng.gen_range(0..out.len())].vertex;
+            let roster = g.vertices_of_type(g.vertex_type(v));
+            let neg = roster[rng.gen_range(0..roster.len())];
+            let sp = |a: VertexId, b: VertexId| {
+                aligraph_tensor::dot(prior.row(a.index()), prior.row(b.index()))
+            };
+            let sc = |a: VertexId, b: VertexId| {
+                aligraph_tensor::dot(&trained.corrected(a), &trained.corrected(b))
+            };
+            prior_scored.push((sp(u, v), true));
+            prior_scored.push((sp(u, neg), false));
+            corrected_scored.push((sc(u, v), true));
+            corrected_scored.push((sc(u, neg), false));
+        }
+        let auc_prior = aligraph_eval::roc_auc(&prior_scored);
+        let auc_corrected = aligraph_eval::roc_auc(&corrected_scored);
+        assert!(
+            auc_corrected > auc_prior,
+            "corrected {auc_corrected} vs prior {auc_prior}"
+        );
+        let _ = logistic_loss; // keep the shared import used
+    }
+
+    #[test]
+    fn delta_stays_anchored() {
+        let g = TaobaoConfig::tiny().generate().unwrap();
+        let prior = prior_for(&g, 8);
+        let trained = train_bayesian(prior, &g, &BayesianConfig::quick());
+        // The Gaussian anchor keeps corrections bounded.
+        let max_delta = trained
+            .delta
+            .as_slice()
+            .iter()
+            .fold(0.0f32, |m, &x| m.max(x.abs()));
+        assert!(max_delta < 10.0, "max |δ| = {max_delta}");
+        // But training must have moved at least some corrections.
+        assert!(trained.delta.as_slice().iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn corrected_embedding_is_bounded_by_tanh() {
+        let g = TaobaoConfig::tiny().generate().unwrap();
+        let prior = prior_for(&g, 8);
+        let trained = train_bayesian(prior, &g, &BayesianConfig::quick());
+        let z = trained.corrected(VertexId(0));
+        assert!(z.iter().all(|&x| x.abs() <= 1.0));
+        assert_eq!(z.len(), 8);
+    }
+}

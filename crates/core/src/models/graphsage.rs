@@ -1,0 +1,113 @@
+//! GraphSAGE (paper §4.1's worked example): node-wise uniform neighborhood
+//! sampling, (weighted) element-wise mean AGGREGATE, concatenation COMBINE —
+//! all expressed as Algorithm 1 plugins on the shared encoder.
+
+use crate::framework::GnnEncoder;
+use crate::trainer::{embed_all, train_unsupervised, MatrixEmbeddings, TrainConfig, TrainReport};
+use aligraph_graph::{AttributedHeterogeneousGraph, FeatureMatrix, Featurizer};
+use aligraph_sampling::UniformNeighborhood;
+
+/// GraphSAGE hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct GraphSageConfig {
+    /// Input feature dimension (hashed from attributes).
+    pub feature_dim: usize,
+    /// Hidden/output dims per hop.
+    pub dims: Vec<usize>,
+    /// Fan-out per hop.
+    pub fanouts: Vec<usize>,
+    /// Learning rate.
+    pub lr: f32,
+    /// Trainer settings.
+    pub train: TrainConfig,
+}
+
+impl Default for GraphSageConfig {
+    fn default() -> Self {
+        GraphSageConfig {
+            feature_dim: 32,
+            dims: vec![64, 32],
+            fanouts: vec![10, 5],
+            lr: 0.02,
+            train: TrainConfig::default(),
+        }
+    }
+}
+
+impl GraphSageConfig {
+    /// A small, fast configuration for tests and quick experiments.
+    pub fn quick() -> Self {
+        GraphSageConfig {
+            feature_dim: 16,
+            dims: vec![24, 16],
+            fanouts: vec![6, 3],
+            lr: 0.03,
+            train: TrainConfig { epochs: 4, batches_per_epoch: 12, batch_size: 24, negatives: 4, seed: 11, ..TrainConfig::default() },
+        }
+    }
+}
+
+/// A trained GraphSAGE model: embeddings plus the loss trace.
+pub struct TrainedGraphSage {
+    /// Final (inference-pass) vertex embeddings.
+    pub embeddings: MatrixEmbeddings,
+    /// Training report.
+    pub report: TrainReport,
+}
+
+/// Trains GraphSAGE end-to-end on `graph` and returns all-vertex embeddings.
+pub fn train_graphsage(
+    graph: &AttributedHeterogeneousGraph,
+    config: &GraphSageConfig,
+) -> TrainedGraphSage {
+    // Identity-augmented features: interned attribute profiles are shared by
+    // many vertices, and GraphSAGE needs to tell them apart.
+    let features = Featurizer::new(config.feature_dim).with_identity().matrix(graph);
+    train_graphsage_with_features(graph, &features, config)
+}
+
+/// As [`train_graphsage`] but with caller-provided input features.
+pub fn train_graphsage_with_features(
+    graph: &AttributedHeterogeneousGraph,
+    features: &FeatureMatrix,
+    config: &GraphSageConfig,
+) -> TrainedGraphSage {
+    let mut encoder = GnnEncoder::sage(
+        config.feature_dim,
+        &config.dims,
+        &config.fanouts,
+        config.lr,
+        config.train.seed,
+    );
+    let report =
+        train_unsupervised(&mut encoder, graph, features, &UniformNeighborhood, &config.train);
+    let embeddings = embed_all(&encoder, graph, features, &UniformNeighborhood, config.train.seed);
+    TrainedGraphSage { embeddings, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::evaluate_split;
+    use aligraph_eval::link_prediction_split;
+    use aligraph_graph::generate::TaobaoConfig;
+
+    #[test]
+    fn graphsage_learns_link_structure() {
+        let g = TaobaoConfig::tiny().generate().unwrap();
+        let split = link_prediction_split(&g, 0.15, 1);
+        let trained = train_graphsage(&split.train, &GraphSageConfig::quick());
+        assert!(trained.report.final_loss() < trained.report.epoch_losses[0]);
+        let metrics = evaluate_split(&trained.embeddings, &split);
+        assert!(metrics.roc_auc > 0.55, "AUC {}", metrics.roc_auc);
+    }
+
+    #[test]
+    fn embedding_dims_match_config() {
+        let g = TaobaoConfig::tiny().generate().unwrap();
+        let cfg = GraphSageConfig::quick();
+        let trained = train_graphsage(&g, &cfg);
+        assert_eq!(trained.embeddings.matrix.rows, g.num_vertices());
+        assert_eq!(trained.embeddings.matrix.cols, *cfg.dims.last().unwrap());
+    }
+}

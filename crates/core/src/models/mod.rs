@@ -1,0 +1,25 @@
+//! The algorithm layer's model zoo.
+//!
+//! §4.1 classics, all instances of the Algorithm 1 framework with different
+//! SAMPLE / AGGREGATE / COMBINE plugins:
+//! * [`graphsage`] — node-wise uniform sampling, mean aggregate, concat combine;
+//! * [`gcn`] — full-neighborhood convolution, sum combine; plus FastGCN
+//!   (layer-wise importance sampling) and AS-GCN (adaptive, dynamic-weight
+//!   sampling) variants.
+//!
+//! §4.2 in-house models:
+//! * [`hep`] — HEP and AHEP (adaptive-sampled embedding propagation, Eq. 2);
+//! * [`gatne`] — general attributed multiplex heterogeneous embedding (Eq. 3–4);
+//! * [`mixture`] — multi-sense Mixture GNN (Eq. 5–6);
+//! * [`hierarchical`] — DiffPool-style Hierarchical GNN;
+//! * [`evolving`] — dynamic-graph Evolving GNN with normal/burst links;
+//! * [`bayesian`] — Bayesian prior-correction GNN (Eq. 7).
+
+pub mod bayesian;
+pub mod evolving;
+pub mod gatne;
+pub mod gcn;
+pub mod graphsage;
+pub mod hep;
+pub mod hierarchical;
+pub mod mixture;

@@ -1,0 +1,275 @@
+//! Binary and multi-class classification metrics.
+
+/// Area under the ROC curve via the rank statistic (Mann–Whitney U),
+/// with average ranks for tied scores. Returns 0.5 when either class is
+/// absent (no ranking information).
+pub fn roc_auc(scored: &[(f32, bool)]) -> f64 {
+    let pos = scored.iter().filter(|&&(_, l)| l).count();
+    let neg = scored.len() - pos;
+    if pos == 0 || neg == 0 {
+        return 0.5;
+    }
+    let mut sorted: Vec<&(f32, bool)> = scored.iter().collect();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    // Average ranks over tie groups.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1].0 == sorted[i].0 {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0; // ranks are 1-based
+        for item in &sorted[i..=j] {
+            if item.1 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (pos as f64) * (pos as f64 + 1.0) / 2.0;
+    u / (pos as f64 * neg as f64)
+}
+
+/// Area under the precision–recall curve, computed as average precision
+/// (AP): `Σ_k P(k) · ΔR(k)` over descending-score prefixes.
+pub fn pr_auc(scored: &[(f32, bool)]) -> f64 {
+    let pos = scored.iter().filter(|&&(_, l)| l).count();
+    if pos == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<&(f32, bool)> = scored.iter().collect();
+    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut tp = 0usize;
+    let mut ap = 0.0f64;
+    for (k, &&(_, label)) in sorted.iter().enumerate() {
+        if label {
+            tp += 1;
+            ap += tp as f64 / (k + 1) as f64;
+        }
+    }
+    ap / pos as f64
+}
+
+/// Best F1 over all score thresholds (the standard protocol when a paper
+/// reports a single F1 for a scoring model).
+pub fn best_f1(scored: &[(f32, bool)]) -> f64 {
+    let pos = scored.iter().filter(|&&(_, l)| l).count();
+    if pos == 0 || scored.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<&(f32, bool)> = scored.iter().collect();
+    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut tp = 0usize;
+    let mut best = 0.0f64;
+    for (k, &&(_, label)) in sorted.iter().enumerate() {
+        if label {
+            tp += 1;
+        }
+        // Threshold just below sorted[k]: predictions = k+1 positives.
+        let precision = tp as f64 / (k + 1) as f64;
+        let recall = tp as f64 / pos as f64;
+        if precision + recall > 0.0 {
+            let f1 = 2.0 * precision * recall / (precision + recall);
+            if f1 > best {
+                best = f1;
+            }
+        }
+    }
+    best
+}
+
+/// Micro-averaged F1 for single-label multi-class predictions (equals
+/// accuracy in this setting, reported separately because the paper does).
+pub fn micro_f1(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let correct = pred.iter().zip(truth).filter(|(p, t)| p == t).count();
+    correct as f64 / pred.len() as f64
+}
+
+/// Macro-averaged F1: unweighted mean of per-class F1 over classes present
+/// in the ground truth.
+pub fn macro_f1(pred: &[usize], truth: &[usize], num_classes: usize) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() || num_classes == 0 {
+        return 0.0;
+    }
+    let mut tp = vec![0usize; num_classes];
+    let mut fp = vec![0usize; num_classes];
+    let mut fne = vec![0usize; num_classes];
+    for (&p, &t) in pred.iter().zip(truth) {
+        if p == t {
+            tp[t] += 1;
+        } else {
+            fp[p] += 1;
+            fne[t] += 1;
+        }
+    }
+    let mut sum = 0.0;
+    let mut present = 0usize;
+    for c in 0..num_classes {
+        if tp[c] + fne[c] == 0 {
+            continue; // class absent from ground truth
+        }
+        present += 1;
+        let denom = 2 * tp[c] + fp[c] + fne[c];
+        if denom > 0 {
+            sum += 2.0 * tp[c] as f64 / denom as f64;
+        }
+    }
+    if present == 0 {
+        0.0
+    } else {
+        sum / present as f64
+    }
+}
+
+/// Hit recall rate at `k`: fraction of test users whose held-out item
+/// appears in their top-`k` recommendations.
+pub fn hit_rate_at_k<T: PartialEq>(recommendations: &[Vec<T>], truth: &[T], k: usize) -> f64 {
+    assert_eq!(recommendations.len(), truth.len());
+    if recommendations.is_empty() {
+        return 0.0;
+    }
+    let hits = recommendations
+        .iter()
+        .zip(truth)
+        .filter(|(recs, t)| recs.iter().take(k).any(|r| r == *t))
+        .count();
+    hits as f64 / recommendations.len() as f64
+}
+
+/// The binary link-prediction metric bundle the paper reports.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinkMetrics {
+    /// Area under the ROC curve.
+    pub roc_auc: f64,
+    /// Area under the PR curve (average precision).
+    pub pr_auc: f64,
+    /// Best-threshold F1.
+    pub f1: f64,
+}
+
+impl LinkMetrics {
+    /// Computes all three from scored pairs.
+    pub fn from_scored(scored: &[(f32, bool)]) -> Self {
+        LinkMetrics {
+            roc_auc: roc_auc(scored),
+            pr_auc: pr_auc(scored),
+            f1: best_f1(scored),
+        }
+    }
+
+    /// Unweighted mean over per-edge-type metrics ("each metric is averaged
+    /// among different types of edges").
+    pub fn average(parts: &[LinkMetrics]) -> Self {
+        if parts.is_empty() {
+            return LinkMetrics::default();
+        }
+        let n = parts.len() as f64;
+        LinkMetrics {
+            roc_auc: parts.iter().map(|m| m.roc_auc).sum::<f64>() / n,
+            pr_auc: parts.iter().map(|m| m.pr_auc).sum::<f64>() / n,
+            f1: parts.iter().map(|m| m.f1).sum::<f64>() / n,
+        }
+    }
+}
+
+impl std::fmt::Display for LinkMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ROC-AUC {:.2}%  PR-AUC {:.2}%  F1 {:.2}%",
+            self.roc_auc * 100.0,
+            self.pr_auc * 100.0,
+            self.f1 * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roc_auc_perfect_and_inverted() {
+        let perfect = [(0.9, true), (0.8, true), (0.2, false), (0.1, false)];
+        assert!((roc_auc(&perfect) - 1.0).abs() < 1e-9);
+        let inverted = [(0.1, true), (0.2, true), (0.8, false), (0.9, false)];
+        assert!((roc_auc(&inverted) - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roc_auc_random_is_half() {
+        // All scores tied: AUC must be exactly 0.5 via average ranks.
+        let tied = [(0.5, true), (0.5, false), (0.5, true), (0.5, false)];
+        assert!((roc_auc(&tied) - 0.5).abs() < 1e-9);
+        // Degenerate single-class input.
+        assert_eq!(roc_auc(&[(0.5, true)]), 0.5);
+        assert_eq!(roc_auc(&[]), 0.5);
+    }
+
+    #[test]
+    fn roc_auc_known_value() {
+        // pos scores {0.8, 0.4}, neg {0.6, 0.2}: pairs won = 3/4.
+        let s = [(0.8, true), (0.4, true), (0.6, false), (0.2, false)];
+        assert!((roc_auc(&s) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pr_auc_values() {
+        let perfect = [(0.9, true), (0.1, false)];
+        assert!((pr_auc(&perfect) - 1.0).abs() < 1e-9);
+        // One positive ranked second: AP = 1/2.
+        let s = [(0.9, false), (0.8, true)];
+        assert!((pr_auc(&s) - 0.5).abs() < 1e-9);
+        assert_eq!(pr_auc(&[(0.5, false)]), 0.0);
+    }
+
+    #[test]
+    fn best_f1_perfect_separation() {
+        let s = [(0.9, true), (0.8, true), (0.2, false)];
+        assert!((best_f1(&s) - 1.0).abs() < 1e-9);
+        assert_eq!(best_f1(&[]), 0.0);
+    }
+
+    #[test]
+    fn micro_macro_f1() {
+        let pred = [0, 1, 1, 2];
+        let truth = [0, 1, 2, 2];
+        assert!((micro_f1(&pred, &truth) - 0.75).abs() < 1e-9);
+        // Per-class F1: c0 = 1.0, c1 = 2/3 (tp1 fp1 fn0), c2 = 2/3 (tp1 fp0 fn1).
+        let expected = (1.0 + 2.0 / 3.0 + 2.0 / 3.0) / 3.0;
+        assert!((macro_f1(&pred, &truth, 3) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn macro_f1_ignores_absent_classes() {
+        let pred = [0, 0];
+        let truth = [0, 0];
+        assert!((macro_f1(&pred, &truth, 5) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let recs = vec![vec![1, 2, 3], vec![4, 5, 6]];
+        let truth = vec![2, 9];
+        assert!((hit_rate_at_k(&recs, &truth, 3) - 0.5).abs() < 1e-9);
+        assert!((hit_rate_at_k(&recs, &truth, 1) - 0.0).abs() < 1e-9);
+        let empty: Vec<Vec<i32>> = vec![];
+        assert_eq!(hit_rate_at_k(&empty, &[], 5), 0.0);
+    }
+
+    #[test]
+    fn bundle_and_average() {
+        let s = [(0.9, true), (0.1, false)];
+        let m = LinkMetrics::from_scored(&s);
+        assert!(m.roc_auc > 0.99 && m.pr_auc > 0.99 && m.f1 > 0.99);
+        let avg = LinkMetrics::average(&[m, LinkMetrics::default()]);
+        assert!((avg.roc_auc - m.roc_auc / 2.0).abs() < 1e-9);
+        assert!(m.to_string().contains("ROC-AUC"));
+    }
+}

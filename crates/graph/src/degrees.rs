@@ -1,0 +1,294 @@
+//! k-hop degree counting and the vertex importance metric (paper Eq. 1).
+//!
+//! `D_o^(k)(v)` is the number of distinct vertices reachable from `v` within
+//! `k` hops following out-edges (excluding `v` itself); `D_i^(k)(v)` is the
+//! mirror along in-edges. The importance
+//! `Imp^(k)(v) = D_i^(k)(v) / D_o^(k)(v)` drives the storage layer's
+//! neighbor-caching decision (Algorithm 2 lines 5–9): a vertex that many
+//! others reach (large `D_i`) but whose neighborhood is cheap to replicate
+//! (small `D_o`) is worth caching.
+
+use crate::graph::AttributedHeterogeneousGraph;
+use crate::ids::VertexId;
+
+/// Reusable BFS scratch for exact k-hop neighbor counting.
+///
+/// Holds an epoch-stamped visited array so repeated queries on the same graph
+/// do not reallocate or clear `O(n)` state.
+#[derive(Debug)]
+pub struct KhopCounter {
+    visited_epoch: Vec<u32>,
+    epoch: u32,
+    frontier: Vec<VertexId>,
+    next: Vec<VertexId>,
+}
+
+impl KhopCounter {
+    /// Creates scratch space sized for `graph`.
+    pub fn new(graph: &AttributedHeterogeneousGraph) -> Self {
+        KhopCounter {
+            visited_epoch: vec![0; graph.num_vertices()],
+            epoch: 0,
+            frontier: Vec::new(),
+            next: Vec::new(),
+        }
+    }
+
+    /// Exact `D_o^(k)(v)`: distinct vertices within `k` out-hops of `v`.
+    pub fn khop_out(&mut self, graph: &AttributedHeterogeneousGraph, v: VertexId, k: usize) -> usize {
+        self.khop(graph, v, k, Direction::Out)
+    }
+
+    /// Exact `D_i^(k)(v)`: distinct vertices within `k` in-hops of `v`.
+    pub fn khop_in(&mut self, graph: &AttributedHeterogeneousGraph, v: VertexId, k: usize) -> usize {
+        self.khop(graph, v, k, Direction::In)
+    }
+
+    fn khop(
+        &mut self,
+        graph: &AttributedHeterogeneousGraph,
+        v: VertexId,
+        k: usize,
+        dir: Direction,
+    ) -> usize {
+        if k == 0 {
+            return 0;
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped; reset stamps so stale marks cannot alias.
+            self.visited_epoch.fill(0);
+            self.epoch = 1;
+        }
+        let epoch = self.epoch;
+        self.visited_epoch[v.index()] = epoch;
+        self.frontier.clear();
+        self.frontier.push(v);
+        let mut count = 0usize;
+        for _ in 0..k {
+            self.next.clear();
+            for &u in &self.frontier {
+                let nbrs = match dir {
+                    Direction::Out => graph.out_neighbors(u),
+                    Direction::In => graph.in_neighbors(u),
+                };
+                for n in nbrs {
+                    let w = n.vertex;
+                    if self.visited_epoch[w.index()] != epoch {
+                        self.visited_epoch[w.index()] = epoch;
+                        count += 1;
+                        self.next.push(w);
+                    }
+                }
+            }
+            std::mem::swap(&mut self.frontier, &mut self.next);
+            if self.frontier.is_empty() {
+                break;
+            }
+        }
+        count
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Direction {
+    Out,
+    In,
+}
+
+/// Precomputed `D_i^(k)` / `D_o^(k)` for every vertex at hops `1..=h`.
+#[derive(Debug, Clone)]
+pub struct DegreeTable {
+    /// Maximum hop depth `h`.
+    pub max_hop: usize,
+    /// `d_in[k-1][v]` = `D_i^(k)(v)`.
+    pub d_in: Vec<Vec<u32>>,
+    /// `d_out[k-1][v]` = `D_o^(k)(v)`.
+    pub d_out: Vec<Vec<u32>>,
+}
+
+impl DegreeTable {
+    /// Computes the table with exact BFS counts. `h` is typically 2: the
+    /// paper notes "setting h to a small number, usually 2, is enough".
+    pub fn compute(graph: &AttributedHeterogeneousGraph, max_hop: usize) -> Self {
+        let n = graph.num_vertices();
+        let mut counter = KhopCounter::new(graph);
+        let mut d_in = vec![vec![0u32; n]; max_hop];
+        let mut d_out = vec![vec![0u32; n]; max_hop];
+        for v in graph.vertices() {
+            for k in 1..=max_hop {
+                d_in[k - 1][v.index()] = counter.khop_in(graph, v, k) as u32;
+                d_out[k - 1][v.index()] = counter.khop_out(graph, v, k) as u32;
+            }
+        }
+        DegreeTable { max_hop, d_in, d_out }
+    }
+
+    /// `D_i^(k)(v)`.
+    #[inline]
+    pub fn khop_in(&self, v: VertexId, k: usize) -> u32 {
+        self.d_in[k - 1][v.index()]
+    }
+
+    /// `D_o^(k)(v)`.
+    #[inline]
+    pub fn khop_out(&self, v: VertexId, k: usize) -> u32 {
+        self.d_out[k - 1][v.index()]
+    }
+}
+
+/// Importance values `Imp^(k)(v)` for all vertices at hops `1..=h`.
+#[derive(Debug, Clone)]
+pub struct ImportanceTable {
+    /// `imp[k-1][v]` = `Imp^(k)(v)`.
+    pub imp: Vec<Vec<f64>>,
+}
+
+impl ImportanceTable {
+    /// Derives importance from a degree table. A vertex with `D_o^(k) = 0`
+    /// gets importance 0 (nothing to cache, so it is never worth caching).
+    pub fn from_degrees(degrees: &DegreeTable) -> Self {
+        let imp = (1..=degrees.max_hop)
+            .map(|k| {
+                degrees.d_in[k - 1]
+                    .iter()
+                    .zip(&degrees.d_out[k - 1])
+                    .map(|(&di, &dy)| if dy == 0 { 0.0 } else { di as f64 / dy as f64 })
+                    .collect()
+            })
+            .collect();
+        ImportanceTable { imp }
+    }
+
+    /// `Imp^(k)(v)`.
+    #[inline]
+    pub fn importance(&self, v: VertexId, k: usize) -> f64 {
+        self.imp[k - 1][v.index()]
+    }
+
+    /// Fraction of vertices with `Imp^(k) >= threshold` — the y-axis of the
+    /// paper's Figure 8.
+    pub fn cache_rate(&self, k: usize, threshold: f64) -> f64 {
+        let row = &self.imp[k - 1];
+        if row.is_empty() {
+            return 0.0;
+        }
+        row.iter().filter(|&&x| x >= threshold).count() as f64 / row.len() as f64
+    }
+
+    /// Vertices sorted by descending `Imp^(k)` — used by the cache-budget
+    /// experiments (Figure 9).
+    pub fn ranked(&self, k: usize) -> Vec<VertexId> {
+        let row = &self.imp[k - 1];
+        let mut ids: Vec<VertexId> = (0..row.len() as u32).map(VertexId).collect();
+        ids.sort_by(|a, b| {
+            row[b.index()]
+                .partial_cmp(&row[a.index()])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrVector;
+    use crate::graph::GraphBuilder;
+    use crate::ids::well_known::*;
+
+    /// A path 0 -> 1 -> 2 -> 3.
+    fn path4() -> AttributedHeterogeneousGraph {
+        let mut b = GraphBuilder::directed();
+        let v: Vec<_> = (0..4).map(|_| b.add_vertex(USER, AttrVector::empty())).collect();
+        for w in v.windows(2) {
+            b.add_edge(w[0], w[1], CLICK, 1.0).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn khop_counts_on_path() {
+        let g = path4();
+        let mut c = KhopCounter::new(&g);
+        assert_eq!(c.khop_out(&g, VertexId(0), 1), 1);
+        assert_eq!(c.khop_out(&g, VertexId(0), 2), 2);
+        assert_eq!(c.khop_out(&g, VertexId(0), 3), 3);
+        assert_eq!(c.khop_out(&g, VertexId(0), 10), 3);
+        assert_eq!(c.khop_in(&g, VertexId(3), 2), 2);
+        assert_eq!(c.khop_out(&g, VertexId(3), 2), 0);
+        assert_eq!(c.khop_out(&g, VertexId(0), 0), 0);
+    }
+
+    #[test]
+    fn khop_does_not_double_count_on_diamond() {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3: D_o^(2)(0) must count 3 once.
+        let mut b = GraphBuilder::directed();
+        let v: Vec<_> = (0..4).map(|_| b.add_vertex(USER, AttrVector::empty())).collect();
+        b.add_edge(v[0], v[1], CLICK, 1.0).unwrap();
+        b.add_edge(v[0], v[2], CLICK, 1.0).unwrap();
+        b.add_edge(v[1], v[3], CLICK, 1.0).unwrap();
+        b.add_edge(v[2], v[3], CLICK, 1.0).unwrap();
+        let g = b.build();
+        let mut c = KhopCounter::new(&g);
+        assert_eq!(c.khop_out(&g, VertexId(0), 2), 3);
+    }
+
+    #[test]
+    fn cycle_does_not_count_self() {
+        // 0 -> 1 -> 0.
+        let mut b = GraphBuilder::directed();
+        let a = b.add_vertex(USER, AttrVector::empty());
+        let c2 = b.add_vertex(USER, AttrVector::empty());
+        b.add_edge(a, c2, CLICK, 1.0).unwrap();
+        b.add_edge(c2, a, CLICK, 1.0).unwrap();
+        let g = b.build();
+        let mut c = KhopCounter::new(&g);
+        assert_eq!(c.khop_out(&g, a, 2), 1);
+    }
+
+    #[test]
+    fn degree_table_matches_counter() {
+        let g = path4();
+        let t = DegreeTable::compute(&g, 2);
+        let mut c = KhopCounter::new(&g);
+        for v in g.vertices() {
+            for k in 1..=2 {
+                assert_eq!(t.khop_out(v, k) as usize, c.khop_out(&g, v, k));
+                assert_eq!(t.khop_in(v, k) as usize, c.khop_in(&g, v, k));
+            }
+        }
+    }
+
+    #[test]
+    fn importance_star_hub() {
+        // Many spokes point at a hub; hub points at one sink.
+        // Hub: D_i large, D_o small => high importance, worth caching.
+        let mut b = GraphBuilder::directed();
+        let hub = b.add_vertex(ITEM, AttrVector::empty());
+        let sink = b.add_vertex(ITEM, AttrVector::empty());
+        b.add_edge(hub, sink, CLICK, 1.0).unwrap();
+        for _ in 0..50 {
+            let s = b.add_vertex(USER, AttrVector::empty());
+            b.add_edge(s, hub, CLICK, 1.0).unwrap();
+        }
+        let g = b.build();
+        let t = DegreeTable::compute(&g, 1);
+        let imp = ImportanceTable::from_degrees(&t);
+        assert!(imp.importance(hub, 1) >= 50.0);
+        assert_eq!(imp.importance(sink, 1), 0.0); // D_o = 0 guard
+        assert_eq!(imp.ranked(1)[0], hub);
+    }
+
+    #[test]
+    fn cache_rate_monotone_in_threshold() {
+        let g = path4();
+        let t = DegreeTable::compute(&g, 2);
+        let imp = ImportanceTable::from_degrees(&t);
+        let r1 = imp.cache_rate(1, 0.0);
+        let r2 = imp.cache_rate(1, 0.5);
+        let r3 = imp.cache_rate(1, 2.0);
+        assert!(r1 >= r2 && r2 >= r3);
+        assert!(r1 <= 1.0 && r3 >= 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Dynamic graphs: snapshot series `G(1), G(2), ..., G(T)` (paper §2) with
+//! per-step deltas labelled *normal evolution* vs *burst links* — the split
+//! the Evolving GNN (paper §4.2) learns from.
+
+use crate::error::GraphError;
+use crate::graph::AttributedHeterogeneousGraph;
+use crate::ids::{EdgeType, VertexId};
+use crate::Result;
+
+/// Whether an edge change belongs to the normal drift of the graph or to a
+/// rare, abnormal burst (paper §4.2: "burst links representing rare and
+/// abnormal evolving edges").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvolutionKind {
+    /// Ordinary churn (the majority of reasonable changes).
+    Normal,
+    /// Abnormal burst change.
+    Burst,
+}
+
+/// One edge addition or removal in a snapshot delta.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeEvent {
+    /// Source endpoint.
+    pub src: VertexId,
+    /// Destination endpoint.
+    pub dst: VertexId,
+    /// Edge type.
+    pub etype: EdgeType,
+    /// Normal or burst evolution.
+    pub kind: EvolutionKind,
+}
+
+/// The changes between snapshot `t-1` and snapshot `t`.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotDelta {
+    /// Edges present in `G(t)` but not `G(t-1)`.
+    pub added: Vec<EdgeEvent>,
+    /// Edges present in `G(t-1)` but not `G(t)`.
+    pub removed: Vec<EdgeEvent>,
+}
+
+impl SnapshotDelta {
+    /// Added events of one evolution kind.
+    pub fn added_of(&self, kind: EvolutionKind) -> impl Iterator<Item = &EdgeEvent> {
+        self.added.iter().filter(move |e| e.kind == kind)
+    }
+}
+
+/// A series of graph snapshots with aligned deltas.
+///
+/// Invariant: `deltas.len() == snapshots.len()`, and `deltas[0]` is empty
+/// (there is nothing before the first snapshot).
+#[derive(Debug, Clone)]
+pub struct DynamicGraph {
+    snapshots: Vec<AttributedHeterogeneousGraph>,
+    deltas: Vec<SnapshotDelta>,
+}
+
+impl DynamicGraph {
+    /// Builds a dynamic graph, validating the snapshot/delta alignment.
+    pub fn new(
+        snapshots: Vec<AttributedHeterogeneousGraph>,
+        deltas: Vec<SnapshotDelta>,
+    ) -> Result<Self> {
+        if snapshots.is_empty() {
+            return Err(GraphError::InvalidConfig("dynamic graph needs >= 1 snapshot".into()));
+        }
+        if snapshots.len() != deltas.len() {
+            return Err(GraphError::InvalidConfig(format!(
+                "snapshot/delta mismatch: {} snapshots vs {} deltas",
+                snapshots.len(),
+                deltas.len()
+            )));
+        }
+        Ok(DynamicGraph { snapshots, deltas })
+    }
+
+    /// Number of timestamps `T`.
+    pub fn num_snapshots(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// The graph at timestamp `t` (0-based).
+    pub fn snapshot(&self, t: usize) -> Result<&AttributedHeterogeneousGraph> {
+        self.snapshots
+            .get(t)
+            .ok_or(GraphError::SnapshotOutOfRange { t, len: self.snapshots.len() })
+    }
+
+    /// All snapshots in order.
+    pub fn snapshots(&self) -> &[AttributedHeterogeneousGraph] {
+        &self.snapshots
+    }
+
+    /// All deltas in order (`deltas()[t]` transforms `t-1` into `t`).
+    pub fn deltas(&self) -> &[SnapshotDelta] {
+        &self.deltas
+    }
+
+    /// The delta leading into snapshot `t`.
+    pub fn delta(&self, t: usize) -> Result<&SnapshotDelta> {
+        self.deltas
+            .get(t)
+            .ok_or(GraphError::SnapshotOutOfRange { t, len: self.deltas.len() })
+    }
+
+    /// Total burst events across the whole series.
+    pub fn total_burst_events(&self) -> usize {
+        self.deltas
+            .iter()
+            .map(|d| {
+                d.added.iter().filter(|e| e.kind == EvolutionKind::Burst).count()
+                    + d.removed.iter().filter(|e| e.kind == EvolutionKind::Burst).count()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::erdos_renyi;
+
+    #[test]
+    fn validates_alignment() {
+        let g = erdos_renyi(10, 20, 0).unwrap();
+        assert!(DynamicGraph::new(vec![], vec![]).is_err());
+        assert!(DynamicGraph::new(vec![g.clone()], vec![]).is_err());
+        let d = DynamicGraph::new(vec![g], vec![SnapshotDelta::default()]).unwrap();
+        assert_eq!(d.num_snapshots(), 1);
+    }
+
+    #[test]
+    fn snapshot_access_and_errors() {
+        let g = erdos_renyi(10, 20, 0).unwrap();
+        let d = DynamicGraph::new(
+            vec![g.clone(), g],
+            vec![SnapshotDelta::default(), SnapshotDelta::default()],
+        )
+        .unwrap();
+        assert!(d.snapshot(1).is_ok());
+        assert!(matches!(d.snapshot(2), Err(GraphError::SnapshotOutOfRange { .. })));
+        assert!(d.delta(1).is_ok());
+    }
+
+    #[test]
+    fn burst_filter() {
+        let ev = |kind| EdgeEvent { src: VertexId(0), dst: VertexId(1), etype: EdgeType(0), kind };
+        let delta = SnapshotDelta {
+            added: vec![ev(EvolutionKind::Normal), ev(EvolutionKind::Burst)],
+            removed: vec![],
+        };
+        assert_eq!(delta.added_of(EvolutionKind::Burst).count(), 1);
+        assert_eq!(delta.added_of(EvolutionKind::Normal).count(), 1);
+        let g = erdos_renyi(4, 4, 0).unwrap();
+        let d = DynamicGraph::new(vec![g], vec![delta]).unwrap();
+        assert_eq!(d.total_burst_events(), 1);
+    }
+}

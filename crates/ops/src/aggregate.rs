@@ -1,0 +1,356 @@
+//! AGGREGATE operators (paper §3.4): collapse the sampled neighborhood of a
+//! vertex into one vector — "the convolution operation" of a GNN. Each
+//! aggregator is a plugin with forward and backward passes.
+
+use aligraph_tensor::activations::softmax;
+
+/// An AGGREGATE plugin: `h'_v = AGG({h_u : u ∈ S_v})`.
+pub trait Aggregator: Send + Sync {
+    /// Forward: writes the aggregate of `neighbors` (each a `d`-dim row)
+    /// into `out` (also `d`-dim). `target` is the aggregating vertex's own
+    /// embedding, used by attention-style aggregators. With no neighbors,
+    /// `out` is zeroed.
+    fn forward(&self, target: &[f32], neighbors: &[&[f32]], out: &mut [f32]);
+
+    /// Backward: given `dL/dout`, writes `dL/dh_u` for every neighbor into
+    /// `grad_neighbors[u]` (pre-sized `d`-dim buffers).
+    fn backward(
+        &self,
+        target: &[f32],
+        neighbors: &[&[f32]],
+        grad_out: &[f32],
+        grad_neighbors: &mut [Vec<f32>],
+    );
+
+    /// Operator name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Element-wise mean — GraphSAGE's default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeanAggregator;
+
+impl Aggregator for MeanAggregator {
+    fn forward(&self, _target: &[f32], neighbors: &[&[f32]], out: &mut [f32]) {
+        out.fill(0.0);
+        if neighbors.is_empty() {
+            return;
+        }
+        for nbr in neighbors {
+            for (o, &x) in out.iter_mut().zip(*nbr) {
+                *o += x;
+            }
+        }
+        let inv = 1.0 / neighbors.len() as f32;
+        for o in out.iter_mut() {
+            *o *= inv;
+        }
+    }
+
+    fn backward(
+        &self,
+        _target: &[f32],
+        neighbors: &[&[f32]],
+        grad_out: &[f32],
+        grad_neighbors: &mut [Vec<f32>],
+    ) {
+        if neighbors.is_empty() {
+            return;
+        }
+        let inv = 1.0 / neighbors.len() as f32;
+        for g in grad_neighbors.iter_mut() {
+            for (gn, &go) in g.iter_mut().zip(grad_out) {
+                *gn = go * inv;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "mean"
+    }
+}
+
+/// Element-wise sum (GCN-style unnormalized).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SumAggregator;
+
+impl Aggregator for SumAggregator {
+    fn forward(&self, _target: &[f32], neighbors: &[&[f32]], out: &mut [f32]) {
+        out.fill(0.0);
+        for nbr in neighbors {
+            for (o, &x) in out.iter_mut().zip(*nbr) {
+                *o += x;
+            }
+        }
+    }
+
+    fn backward(
+        &self,
+        _target: &[f32],
+        neighbors: &[&[f32]],
+        grad_out: &[f32],
+        grad_neighbors: &mut [Vec<f32>],
+    ) {
+        for g in grad_neighbors.iter_mut().take(neighbors.len()) {
+            g.copy_from_slice(grad_out);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sum"
+    }
+}
+
+/// Element-wise max pooling; backward routes each component's gradient to
+/// the argmax neighbor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxPoolAggregator;
+
+impl Aggregator for MaxPoolAggregator {
+    fn forward(&self, _target: &[f32], neighbors: &[&[f32]], out: &mut [f32]) {
+        out.fill(0.0);
+        if neighbors.is_empty() {
+            return;
+        }
+        out.copy_from_slice(neighbors[0]);
+        for nbr in &neighbors[1..] {
+            for (o, &x) in out.iter_mut().zip(*nbr) {
+                if x > *o {
+                    *o = x;
+                }
+            }
+        }
+    }
+
+    fn backward(
+        &self,
+        _target: &[f32],
+        neighbors: &[&[f32]],
+        grad_out: &[f32],
+        grad_neighbors: &mut [Vec<f32>],
+    ) {
+        if neighbors.is_empty() {
+            return;
+        }
+        for g in grad_neighbors.iter_mut() {
+            g.iter_mut().for_each(|x| *x = 0.0);
+        }
+        for j in 0..grad_out.len() {
+            let mut best = 0usize;
+            let mut best_val = neighbors[0][j];
+            for (i, nbr) in neighbors.iter().enumerate().skip(1) {
+                if nbr[j] > best_val {
+                    best_val = nbr[j];
+                    best = i;
+                }
+            }
+            grad_neighbors[best][j] = grad_out[j];
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "max-pool"
+    }
+}
+
+/// Mean weighted by caller-supplied per-neighbor weights (edge weights);
+/// the "weighted element-wise mean" the paper names for GraphSAGE.
+#[derive(Debug, Clone, Default)]
+pub struct WeightedMeanAggregator {
+    /// Per-neighbor weights, set per call site (aligned with `neighbors`).
+    pub weights: Vec<f32>,
+}
+
+impl Aggregator for WeightedMeanAggregator {
+    fn forward(&self, _target: &[f32], neighbors: &[&[f32]], out: &mut [f32]) {
+        out.fill(0.0);
+        if neighbors.is_empty() {
+            return;
+        }
+        debug_assert_eq!(self.weights.len(), neighbors.len());
+        let total: f32 = self.weights.iter().sum();
+        let norm = if total > 0.0 { 1.0 / total } else { 1.0 / neighbors.len() as f32 };
+        for (nbr, &w) in neighbors.iter().zip(&self.weights) {
+            let scale = w * norm;
+            for (o, &x) in out.iter_mut().zip(*nbr) {
+                *o += scale * x;
+            }
+        }
+    }
+
+    fn backward(
+        &self,
+        _target: &[f32],
+        neighbors: &[&[f32]],
+        grad_out: &[f32],
+        grad_neighbors: &mut [Vec<f32>],
+    ) {
+        if neighbors.is_empty() {
+            return;
+        }
+        let total: f32 = self.weights.iter().sum();
+        let norm = if total > 0.0 { 1.0 / total } else { 1.0 / neighbors.len() as f32 };
+        for (g, &w) in grad_neighbors.iter_mut().zip(&self.weights) {
+            let scale = w * norm;
+            for (gn, &go) in g.iter_mut().zip(grad_out) {
+                *gn = go * scale;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "weighted-mean"
+    }
+}
+
+/// Dot-product self-attention over neighbors: weights are
+/// `softmax(h_v · h_u / sqrt(d))`. Backward treats the attention weights as
+/// constants (stop-gradient through the softmax), the standard cheap
+/// approximation for sampled-neighborhood attention.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AttentionAggregator;
+
+impl AttentionAggregator {
+    fn scores(&self, target: &[f32], neighbors: &[&[f32]]) -> Vec<f32> {
+        let scale = 1.0 / (target.len() as f32).sqrt();
+        let mut s: Vec<f32> = neighbors
+            .iter()
+            .map(|n| aligraph_tensor::dot(target, n) * scale)
+            .collect();
+        softmax(&mut s);
+        s
+    }
+}
+
+impl Aggregator for AttentionAggregator {
+    fn forward(&self, target: &[f32], neighbors: &[&[f32]], out: &mut [f32]) {
+        out.fill(0.0);
+        if neighbors.is_empty() {
+            return;
+        }
+        let attn = self.scores(target, neighbors);
+        for (nbr, &a) in neighbors.iter().zip(&attn) {
+            for (o, &x) in out.iter_mut().zip(*nbr) {
+                *o += a * x;
+            }
+        }
+    }
+
+    fn backward(
+        &self,
+        target: &[f32],
+        neighbors: &[&[f32]],
+        grad_out: &[f32],
+        grad_neighbors: &mut [Vec<f32>],
+    ) {
+        if neighbors.is_empty() {
+            return;
+        }
+        let attn = self.scores(target, neighbors);
+        for (g, &a) in grad_neighbors.iter_mut().zip(&attn) {
+            for (gn, &go) in g.iter_mut().zip(grad_out) {
+                *gn = go * a;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "attention"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: [f32; 2] = [1.0, 0.0];
+
+    fn run(agg: &dyn Aggregator, nbrs: &[&[f32]]) -> Vec<f32> {
+        let mut out = vec![0.0; 2];
+        agg.forward(&T, nbrs, &mut out);
+        out
+    }
+
+    #[test]
+    fn mean_forward_backward() {
+        let n1 = [2.0f32, 0.0];
+        let n2 = [0.0f32, 4.0];
+        let out = run(&MeanAggregator, &[&n1, &n2]);
+        assert_eq!(out, vec![1.0, 2.0]);
+        let mut grads = vec![vec![0.0; 2]; 2];
+        MeanAggregator.backward(&T, &[&n1, &n2], &[1.0, 1.0], &mut grads);
+        assert_eq!(grads[0], vec![0.5, 0.5]);
+        assert_eq!(grads[1], vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn sum_forward_backward() {
+        let n1 = [2.0f32, 1.0];
+        let n2 = [3.0f32, -1.0];
+        assert_eq!(run(&SumAggregator, &[&n1, &n2]), vec![5.0, 0.0]);
+        let mut grads = vec![vec![0.0; 2]; 2];
+        SumAggregator.backward(&T, &[&n1, &n2], &[2.0, 3.0], &mut grads);
+        assert_eq!(grads[0], vec![2.0, 3.0]);
+        assert_eq!(grads[1], vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn maxpool_routes_gradient_to_argmax() {
+        let n1 = [5.0f32, 0.0];
+        let n2 = [1.0f32, 7.0];
+        assert_eq!(run(&MaxPoolAggregator, &[&n1, &n2]), vec![5.0, 7.0]);
+        let mut grads = vec![vec![0.0; 2]; 2];
+        MaxPoolAggregator.backward(&T, &[&n1, &n2], &[1.0, 1.0], &mut grads);
+        assert_eq!(grads[0], vec![1.0, 0.0]);
+        assert_eq!(grads[1], vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn weighted_mean_respects_weights() {
+        let n1 = [1.0f32, 0.0];
+        let n2 = [0.0f32, 1.0];
+        let agg = WeightedMeanAggregator { weights: vec![3.0, 1.0] };
+        let mut out = vec![0.0; 2];
+        agg.forward(&T, &[&n1, &n2], &mut out);
+        assert!((out[0] - 0.75).abs() < 1e-6);
+        assert!((out[1] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn attention_prefers_similar_neighbors() {
+        let similar = [1.0f32, 0.0];
+        let orthogonal = [0.0f32, 1.0];
+        let out = run(&AttentionAggregator, &[&similar, &orthogonal]);
+        // Output leans toward the neighbor aligned with the target.
+        assert!(out[0] > out[1], "out {out:?}");
+        // Attention weights sum to 1 => output is a convex combination.
+        assert!((out[0] + out[1] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_neighborhood_zeroes_out() {
+        for agg in [
+            &MeanAggregator as &dyn Aggregator,
+            &SumAggregator,
+            &MaxPoolAggregator,
+            &AttentionAggregator,
+        ] {
+            let mut out = vec![9.0; 2];
+            agg.forward(&T, &[], &mut out);
+            assert_eq!(out, vec![0.0, 0.0], "{}", agg.name());
+        }
+    }
+
+    #[test]
+    fn names_distinct() {
+        let names = [
+            MeanAggregator.name(),
+            SumAggregator.name(),
+            MaxPoolAggregator.name(),
+            AttentionAggregator.name(),
+            WeightedMeanAggregator::default().name(),
+        ];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

@@ -1,0 +1,185 @@
+//! A trainable dense layer with explicit forward/backward, the building
+//! block of every COMBINE operator and of the model heads in the algorithm
+//! layer.
+
+use aligraph_tensor::activations;
+use aligraph_tensor::init::{seeded_rng, xavier_uniform};
+use aligraph_tensor::{Adam, Matrix, Optimizer};
+
+/// Activation applied after the affine map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity.
+    Linear,
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+/// `y = act(x @ W + b)` with accumulated gradients and an owned Adam
+/// optimizer per parameter tensor.
+#[derive(Debug, Clone)]
+pub struct DenseLayer {
+    w: Matrix,
+    b: Vec<f32>,
+    act: Activation,
+    grad_w: Matrix,
+    grad_b: Vec<f32>,
+    opt_w: Adam,
+    opt_b: Adam,
+}
+
+impl DenseLayer {
+    /// Xavier-initialized layer `in_dim -> out_dim`.
+    pub fn new(in_dim: usize, out_dim: usize, act: Activation, lr: f32, seed: u64) -> Self {
+        let mut rng = seeded_rng(seed);
+        DenseLayer {
+            w: xavier_uniform(in_dim, out_dim, &mut rng),
+            b: vec![0.0; out_dim],
+            act,
+            grad_w: Matrix::zeros(in_dim, out_dim),
+            grad_b: vec![0.0; out_dim],
+            opt_w: Adam::new(lr),
+            opt_b: Adam::new(lr),
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w.rows
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.cols
+    }
+
+    /// Forward pass over a batch (rows = samples). Returns the activated
+    /// output; keep it around for the backward pass.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.w);
+        y.add_row_vector(&self.b);
+        match self.act {
+            Activation::Linear => {}
+            Activation::Relu => activations::relu(&mut y),
+            Activation::Tanh => activations::tanh_inplace(&mut y),
+            Activation::Sigmoid => activations::sigmoid_inplace(&mut y),
+        }
+        y
+    }
+
+    /// Backward pass: given the batch input `x`, the forward output
+    /// `activated`, and `grad_out = dL/dy`, accumulates parameter gradients
+    /// and returns `dL/dx`.
+    pub fn backward(&mut self, x: &Matrix, activated: &Matrix, grad_out: &Matrix) -> Matrix {
+        let mut g = grad_out.clone();
+        match self.act {
+            Activation::Linear => {}
+            Activation::Relu => activations::relu_backward(&mut g, activated),
+            Activation::Tanh => activations::tanh_backward(&mut g, activated),
+            Activation::Sigmoid => activations::sigmoid_backward(&mut g, activated),
+        }
+        // dW = x^T g ; db = column sums of g ; dx = g W^T.
+        self.grad_w.add_assign(&x.transpose_matmul(&g));
+        for (gb, s) in self.grad_b.iter_mut().zip(g.column_sums()) {
+            *gb += s;
+        }
+        g.matmul_transpose(&self.w)
+    }
+
+    /// Applies accumulated gradients (scaled by `1/batch`) and clears them.
+    pub fn step(&mut self, batch: usize) {
+        let scale = 1.0 / batch.max(1) as f32;
+        self.grad_w.scale(scale);
+        for gb in &mut self.grad_b {
+            *gb *= scale;
+        }
+        self.grad_w.clip(5.0);
+        self.opt_w.step(self.w.as_mut_slice(), self.grad_w.as_slice());
+        self.opt_b.step(&mut self.b, &self.grad_b);
+        self.grad_w.scale(0.0);
+        self.grad_b.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Read-only weights (tests, serialization).
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let l = DenseLayer::new(4, 3, Activation::Relu, 0.01, 1);
+        let x = Matrix::zeros(5, 4);
+        let y = l.forward(&x);
+        assert_eq!((y.rows, y.cols), (5, 3));
+        assert_eq!(l.in_dim(), 4);
+        assert_eq!(l.out_dim(), 3);
+    }
+
+    #[test]
+    fn gradient_check_linear_layer() {
+        // Numerical gradient check of dL/dx for L = sum(y), linear act.
+        let mut l = DenseLayer::new(3, 2, Activation::Linear, 0.01, 2);
+        let x = Matrix::from_vec(1, 3, vec![0.3, -0.2, 0.5]);
+        let y = l.forward(&x);
+        let grad_out = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let dx = l.backward(&x, &y, &grad_out);
+        let eps = 1e-3;
+        for j in 0..3 {
+            let mut xp = x.clone();
+            xp.set(0, j, x.get(0, j) + eps);
+            let mut xm = x.clone();
+            xm.set(0, j, x.get(0, j) - eps);
+            let lp: f32 = l.forward(&xp).as_slice().iter().sum();
+            let lm: f32 = l.forward(&xm).as_slice().iter().sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((dx.get(0, j) - fd).abs() < 1e-2, "j={j}: {} vs {}", dx.get(0, j), fd);
+        }
+    }
+
+    #[test]
+    fn training_reduces_regression_loss() {
+        // Fit y = 2x (1-D) with a linear layer.
+        let mut l = DenseLayer::new(1, 1, Activation::Linear, 0.05, 3);
+        let xs: Vec<f32> = (0..16).map(|i| i as f32 / 8.0 - 1.0).collect();
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..200 {
+            let x = Matrix::from_vec(16, 1, xs.clone());
+            let y = l.forward(&x);
+            // L = 0.5 * sum (y - 2x)^2 ; dL/dy = y - 2x.
+            let mut loss = 0.0;
+            let mut g = Matrix::zeros(16, 1);
+            for i in 0..16 {
+                let diff = y.get(i, 0) - 2.0 * xs[i];
+                loss += 0.5 * diff * diff;
+                g.set(i, 0, diff);
+            }
+            l.backward(&x, &y, &g);
+            l.step(16);
+            first.get_or_insert(loss);
+            last = loss;
+        }
+        assert!(last < first.unwrap() * 0.05, "loss {last} from {}", first.unwrap());
+        assert!((l.weights().get(0, 0) - 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn relu_backward_masks() {
+        let mut l = DenseLayer::new(2, 2, Activation::Relu, 0.01, 4);
+        let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let y = l.forward(&x);
+        let g = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let dx = l.backward(&x, &y, &g);
+        // Wherever y == 0 the gradient contribution through that unit is 0.
+        assert_eq!((dx.rows, dx.cols), (1, 2));
+    }
+}

@@ -1,0 +1,142 @@
+//! Walker's alias method: O(n) build, O(1) weighted sampling.
+//!
+//! Used by the weighted TRAVERSE sampler, the unigram^0.75 NEGATIVE sampler,
+//! and the item-popularity machinery in the benchmarks.
+
+use rand::Rng;
+
+/// An alias table over `n` outcomes with fixed weights.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f32>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table. Returns `None` when `weights` is empty or its sum
+    /// is not a positive finite number.
+    pub fn new(weights: &[f32]) -> Option<Self> {
+        let n = weights.len();
+        if n == 0 {
+            return None;
+        }
+        let sum: f64 = weights.iter().map(|&w| w.max(0.0) as f64).sum();
+        if !(sum > 0.0) || !sum.is_finite() {
+            return None;
+        }
+        let scale = n as f64 / sum;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| (w.max(0.0) as f64) * scale).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s] = l as u32;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers saturate to 1.
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+        }
+        Some(AliasTable { prob: prob.into_iter().map(|p| p as f32).collect(), alias })
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table is over zero outcomes (never constructed so).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one outcome index.
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f32>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(AliasTable::new(&[]).is_none());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_none());
+        assert!(AliasTable::new(&[f32::NAN]).is_none());
+        assert!(AliasTable::new(&[-1.0, -1.0]).is_none());
+    }
+
+    #[test]
+    fn single_outcome() {
+        let t = AliasTable::new(&[3.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn empirical_distribution_matches_weights() {
+        let weights = [1.0f32, 2.0, 4.0, 1.0];
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 4];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        let total: f32 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / total;
+            let observed = counts[i] as f32 / draws as f32;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "outcome {i}: expected {expected}, observed {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_drawn() {
+        let t = AliasTable::new(&[1.0, 0.0, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert_ne!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn uniform_weights_near_uniform_draws() {
+        let t = AliasTable::new(&[1.0; 10]).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "count {c}");
+        }
+    }
+}

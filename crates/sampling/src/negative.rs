@@ -1,0 +1,180 @@
+//! NEGATIVE samplers (paper §3.3): draw non-neighbors to contrast against
+//! during training. "Negative sampling is flexible in algorithm, and we do
+//! not need to call all graph servers in a batch" — both implementations
+//! here draw from a roster that can be a whole graph or one shard.
+
+use crate::alias::AliasTable;
+use aligraph_graph::{AttributedHeterogeneousGraph, VertexId, VertexType};
+use rand::Rng;
+
+/// A pluggable NEGATIVE sampler.
+pub trait NegativeSampler {
+    /// Draws `count` negatives, avoiding the vertices in `exclude`
+    /// (best-effort: after a bounded number of rejections the draw is kept,
+    /// matching the behaviour of production samplers on small rosters).
+    fn sample<R: Rng>(
+        &self,
+        graph: &AttributedHeterogeneousGraph,
+        exclude: &[VertexId],
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<VertexId>;
+}
+
+const MAX_REJECTIONS: usize = 8;
+
+/// Uniform negatives over all vertices (optionally one type).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniformNegative {
+    /// Restrict draws to this vertex type.
+    pub vtype: Option<VertexType>,
+}
+
+impl NegativeSampler for UniformNegative {
+    fn sample<R: Rng>(
+        &self,
+        graph: &AttributedHeterogeneousGraph,
+        exclude: &[VertexId],
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<VertexId> {
+        let draw = |rng: &mut R| -> Option<VertexId> {
+            match self.vtype {
+                Some(t) => {
+                    let roster = graph.vertices_of_type(t);
+                    (!roster.is_empty()).then(|| roster[rng.gen_range(0..roster.len())])
+                }
+                None => {
+                    let n = graph.num_vertices();
+                    (n > 0).then(|| VertexId(rng.gen_range(0..n as u32)))
+                }
+            }
+        };
+        sample_with_rejection(draw, exclude, count, rng)
+    }
+}
+
+/// Degree-biased negatives with the word2vec unigram^0.75 distribution,
+/// served in O(1) by an alias table.
+#[derive(Debug, Clone)]
+pub struct UnigramNegative {
+    roster: Vec<VertexId>,
+    table: Option<AliasTable>,
+}
+
+impl UnigramNegative {
+    /// Builds the distribution over all vertices (or one type) weighted by
+    /// `(in_degree + out_degree)^power`; `power` is conventionally 0.75.
+    pub fn new(graph: &AttributedHeterogeneousGraph, vtype: Option<VertexType>, power: f32) -> Self {
+        let roster: Vec<VertexId> = match vtype {
+            Some(t) => graph.vertices_of_type(t).to_vec(),
+            None => graph.vertices().collect(),
+        };
+        let weights: Vec<f32> = roster
+            .iter()
+            .map(|&v| ((graph.in_degree(v) + graph.out_degree(v)) as f32).powf(power))
+            .collect();
+        let table = AliasTable::new(&weights);
+        UnigramNegative { roster, table }
+    }
+}
+
+impl NegativeSampler for UnigramNegative {
+    fn sample<R: Rng>(
+        &self,
+        _graph: &AttributedHeterogeneousGraph,
+        exclude: &[VertexId],
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<VertexId> {
+        let Some(table) = &self.table else { return Vec::new() };
+        let draw = |rng: &mut R| Some(self.roster[table.sample(rng)]);
+        sample_with_rejection(draw, exclude, count, rng)
+    }
+}
+
+fn sample_with_rejection<R: Rng>(
+    mut draw: impl FnMut(&mut R) -> Option<VertexId>,
+    exclude: &[VertexId],
+    count: usize,
+    rng: &mut R,
+) -> Vec<VertexId> {
+    let mut out = Vec::with_capacity(count);
+    'outer: for _ in 0..count {
+        for _ in 0..MAX_REJECTIONS {
+            match draw(rng) {
+                Some(v) if !exclude.contains(&v) => {
+                    out.push(v);
+                    continue 'outer;
+                }
+                Some(_) => continue,
+                None => break 'outer,
+            }
+        }
+        // Roster is tiny or dominated by `exclude`: keep whatever came last.
+        if let Some(v) = draw(rng) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aligraph_graph::generate::{barabasi_albert, TaobaoConfig};
+    use aligraph_graph::ids::well_known::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_type_and_exclusion() {
+        let g = TaobaoConfig::tiny().generate().unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let exclude: Vec<VertexId> = g.vertices_of_type(ITEM)[..5].to_vec();
+        let sampler = UniformNegative { vtype: Some(ITEM) };
+        let negs = sampler.sample(&g, &exclude, 100, &mut rng);
+        assert_eq!(negs.len(), 100);
+        assert!(negs.iter().all(|&v| g.vertex_type(v) == ITEM));
+        assert!(negs.iter().all(|v| !exclude.contains(v)));
+    }
+
+    #[test]
+    fn unigram_prefers_high_degree() {
+        let g = barabasi_albert(500, 3, 11).unwrap();
+        let sampler = UnigramNegative::new(&g, None, 0.75);
+        let mut rng = StdRng::seed_from_u64(2);
+        let negs = sampler.sample(&g, &[], 20_000, &mut rng);
+        // Mean degree of drawn vertices must exceed the global mean.
+        let mean_drawn: f64 = negs
+            .iter()
+            .map(|&v| (g.in_degree(v) + g.out_degree(v)) as f64)
+            .sum::<f64>()
+            / negs.len() as f64;
+        let mean_all: f64 = g
+            .vertices()
+            .map(|v| (g.in_degree(v) + g.out_degree(v)) as f64)
+            .sum::<f64>()
+            / g.num_vertices() as f64;
+        assert!(mean_drawn > mean_all, "drawn {mean_drawn} vs all {mean_all}");
+    }
+
+    #[test]
+    fn tiny_roster_still_returns() {
+        let g = TaobaoConfig::tiny().generate().unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        // Exclude everything: rejection gives up but still returns draws.
+        let all: Vec<VertexId> = g.vertices_of_type(USER).to_vec();
+        let sampler = UniformNegative { vtype: Some(USER) };
+        let negs = sampler.sample(&g, &all, 10, &mut rng);
+        assert_eq!(negs.len(), 10);
+    }
+
+    #[test]
+    fn unigram_empty_type_roster() {
+        let g = TaobaoConfig::tiny().generate().unwrap();
+        let sampler = UnigramNegative::new(&g, Some(VertexType(7)), 0.75);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(sampler.sample(&g, &[], 5, &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! The sampling stage of the paper's Figure 5, verbatim:
+//!
+//! ```text
+//! def sampling(s1, s2, s3, batch_size):
+//!     vertex  = s1.sample(edge_type, batch_size)
+//!     context = s2.sample(edge_type, vertex, hop_nums)
+//!     neg     = s3.sample(edge_type, vertex, neg_num)
+//!     return vertex, context, neg
+//! ```
+
+use crate::negative::NegativeSampler;
+use crate::neighborhood::{ContextTree, NeighborAccess, NeighborhoodSampler};
+use crate::traverse::TraverseSampler;
+use aligraph_graph::{AttributedHeterogeneousGraph, EdgeType, VertexId};
+use rand::Rng;
+
+/// One training batch: seed vertices, their multi-hop context, and per-seed
+/// negatives.
+#[derive(Debug, Clone)]
+pub struct SampleBatch {
+    /// Seed vertices (sources of the traversed edges).
+    pub vertices: Vec<VertexId>,
+    /// Positive targets (destinations of the traversed edges).
+    pub positives: Vec<VertexId>,
+    /// Multi-hop context of the seeds.
+    pub context: ContextTree,
+    /// `negatives[i]` are the negatives drawn for `vertices[i]`.
+    pub negatives: Vec<Vec<VertexId>>,
+}
+
+/// The three-sampler pipeline (`s1`, `s2`, `s3` of Figure 5).
+pub struct SamplingPipeline<T, N, G> {
+    /// TRAVERSE sampler.
+    pub traverse: T,
+    /// NEIGHBORHOOD sampler.
+    pub neighborhood: N,
+    /// NEGATIVE sampler.
+    pub negative: G,
+    /// Fan-out per hop (`hop_nums`).
+    pub hop_nums: Vec<usize>,
+    /// Negatives per seed (`neg_num`).
+    pub neg_num: usize,
+}
+
+impl<T, N, G> SamplingPipeline<T, N, G>
+where
+    T: TraverseSampler,
+    N: NeighborhoodSampler,
+    G: NegativeSampler,
+{
+    /// Runs one sampling stage over `graph` with storage reads going through
+    /// `access` (pass the graph itself for single-machine runs, or a
+    /// [`crate::neighborhood::ClusterView`] for accounted distributed runs).
+    pub fn sample<A: NeighborAccess, R: Rng>(
+        &self,
+        graph: &AttributedHeterogeneousGraph,
+        access: &A,
+        etype: EdgeType,
+        batch_size: usize,
+        rng: &mut R,
+    ) -> SampleBatch {
+        // vertex = s1.sample(edge_type, batch_size)
+        let edges = self.traverse.sample_edges(graph, etype, batch_size, rng);
+        let mut vertices = Vec::with_capacity(edges.len());
+        let mut positives = Vec::with_capacity(edges.len());
+        for e in edges {
+            let rec = graph.edge(e);
+            vertices.push(rec.src);
+            positives.push(rec.dst);
+        }
+        // context = s2.sample(edge_type, vertex, hop_nums)
+        let context = self.neighborhood.sample_context(
+            access,
+            &vertices,
+            Some(etype),
+            &self.hop_nums,
+            rng,
+        );
+        // neg = s3.sample(edge_type, vertex, neg_num)
+        let negatives = vertices
+            .iter()
+            .zip(&positives)
+            .map(|(&v, &p)| self.negative.sample(graph, &[v, p], self.neg_num, rng))
+            .collect();
+        SampleBatch { vertices, positives, context, negatives }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::negative::UniformNegative;
+    use crate::neighborhood::UniformNeighborhood;
+    use crate::traverse::UniformTraverse;
+    use aligraph_graph::generate::TaobaoConfig;
+    use aligraph_graph::ids::well_known::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pipeline() -> SamplingPipeline<UniformTraverse, UniformNeighborhood, UniformNegative> {
+        SamplingPipeline {
+            traverse: UniformTraverse,
+            neighborhood: UniformNeighborhood,
+            negative: UniformNegative { vtype: Some(ITEM) },
+            hop_nums: vec![5, 3],
+            neg_num: 4,
+        }
+    }
+
+    #[test]
+    fn batch_shape_matches_figure5_contract() {
+        let g = TaobaoConfig::tiny().generate().unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let batch = pipeline().sample(&g, &g, BUY, 32, &mut rng);
+        assert_eq!(batch.vertices.len(), 32);
+        assert_eq!(batch.positives.len(), 32);
+        assert_eq!(batch.negatives.len(), 32);
+        assert!(batch.negatives.iter().all(|n| n.len() == 4));
+        assert_eq!(batch.context.layers[0].targets, batch.vertices);
+        // Seeds are sources of BUY edges (users); positives are items.
+        assert!(batch.vertices.iter().all(|&v| g.vertex_type(v) == USER));
+        assert!(batch.positives.iter().all(|&v| g.vertex_type(v) == ITEM));
+    }
+
+    #[test]
+    fn negatives_exclude_the_positive_pair() {
+        let g = TaobaoConfig::tiny().generate().unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let batch = pipeline().sample(&g, &g, CLICK, 64, &mut rng);
+        for ((v, p), negs) in batch
+            .vertices
+            .iter()
+            .zip(&batch.positives)
+            .zip(&batch.negatives)
+        {
+            assert!(!negs.contains(v));
+            assert!(!negs.contains(p));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = TaobaoConfig::tiny().generate().unwrap();
+        let b1 = pipeline().sample(&g, &g, BUY, 16, &mut StdRng::seed_from_u64(3));
+        let b2 = pipeline().sample(&g, &g, BUY, 16, &mut StdRng::seed_from_u64(3));
+        assert_eq!(b1.vertices, b2.vertices);
+        assert_eq!(b1.positives, b2.positives);
+        assert_eq!(b1.negatives, b2.negatives);
+        assert_eq!(b1.context, b2.context);
+    }
+}

@@ -1,0 +1,200 @@
+//! TRAVERSE samplers: batches of vertices or edges from the (partitioned)
+//! graph — the seed generator of every training pipeline (paper §3.3:
+//! "TRAVERSE samplers get data from the local subgraphs").
+
+use crate::alias::AliasTable;
+use aligraph_graph::{AttributedHeterogeneousGraph, EdgeId, EdgeType, VertexId, VertexType};
+use rand::Rng;
+
+/// A pluggable TRAVERSE sampler.
+pub trait TraverseSampler {
+    /// Draws `batch` vertices (optionally restricted to one vertex type).
+    fn sample_vertices<R: Rng>(
+        &self,
+        graph: &AttributedHeterogeneousGraph,
+        vtype: Option<VertexType>,
+        batch: usize,
+        rng: &mut R,
+    ) -> Vec<VertexId>;
+
+    /// Draws `batch` edges of one type.
+    fn sample_edges<R: Rng>(
+        &self,
+        graph: &AttributedHeterogeneousGraph,
+        etype: EdgeType,
+        batch: usize,
+        rng: &mut R,
+    ) -> Vec<EdgeId>;
+}
+
+/// Uniform traversal over the vertex/edge rosters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniformTraverse;
+
+impl UniformTraverse {
+    /// Uniform batch from an explicit roster (e.g. one worker's owned
+    /// vertices — the "local subgraph" form).
+    pub fn sample_from_roster<R: Rng>(
+        roster: &[VertexId],
+        batch: usize,
+        rng: &mut R,
+    ) -> Vec<VertexId> {
+        if roster.is_empty() {
+            return Vec::new();
+        }
+        (0..batch).map(|_| roster[rng.gen_range(0..roster.len())]).collect()
+    }
+}
+
+impl TraverseSampler for UniformTraverse {
+    fn sample_vertices<R: Rng>(
+        &self,
+        graph: &AttributedHeterogeneousGraph,
+        vtype: Option<VertexType>,
+        batch: usize,
+        rng: &mut R,
+    ) -> Vec<VertexId> {
+        match vtype {
+            Some(t) => Self::sample_from_roster(graph.vertices_of_type(t), batch, rng),
+            None => {
+                let n = graph.num_vertices();
+                if n == 0 {
+                    return Vec::new();
+                }
+                (0..batch).map(|_| VertexId(rng.gen_range(0..n as u32))).collect()
+            }
+        }
+    }
+
+    fn sample_edges<R: Rng>(
+        &self,
+        graph: &AttributedHeterogeneousGraph,
+        etype: EdgeType,
+        batch: usize,
+        rng: &mut R,
+    ) -> Vec<EdgeId> {
+        let roster = graph.edges_of_type(etype);
+        if roster.is_empty() {
+            return Vec::new();
+        }
+        (0..batch).map(|_| roster[rng.gen_range(0..roster.len())]).collect()
+    }
+}
+
+/// Weight-proportional edge traversal: edges of a type are drawn with
+/// probability proportional to their weight, via a prebuilt alias table.
+#[derive(Debug, Clone)]
+pub struct WeightedEdgeTraverse {
+    tables: Vec<Option<AliasTable>>,
+}
+
+impl WeightedEdgeTraverse {
+    /// Precomputes one alias table per edge type.
+    pub fn new(graph: &AttributedHeterogeneousGraph) -> Self {
+        let tables = (0..graph.num_edge_types())
+            .map(|t| {
+                let roster = graph.edges_of_type(EdgeType(t));
+                if roster.is_empty() {
+                    return None;
+                }
+                let weights: Vec<f32> = roster.iter().map(|&e| graph.edge(e).weight).collect();
+                AliasTable::new(&weights)
+            })
+            .collect();
+        WeightedEdgeTraverse { tables }
+    }
+}
+
+impl TraverseSampler for WeightedEdgeTraverse {
+    fn sample_vertices<R: Rng>(
+        &self,
+        graph: &AttributedHeterogeneousGraph,
+        vtype: Option<VertexType>,
+        batch: usize,
+        rng: &mut R,
+    ) -> Vec<VertexId> {
+        // Vertex traversal falls back to uniform; the weighting is on edges.
+        UniformTraverse.sample_vertices(graph, vtype, batch, rng)
+    }
+
+    fn sample_edges<R: Rng>(
+        &self,
+        graph: &AttributedHeterogeneousGraph,
+        etype: EdgeType,
+        batch: usize,
+        rng: &mut R,
+    ) -> Vec<EdgeId> {
+        let roster = graph.edges_of_type(etype);
+        match self.tables.get(etype.index()).and_then(|t| t.as_ref()) {
+            Some(table) => (0..batch).map(|_| roster[table.sample(rng)]).collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aligraph_graph::generate::TaobaoConfig;
+    use aligraph_graph::ids::well_known::*;
+    use aligraph_graph::{AttrVector, GraphBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_vertices_respect_type() {
+        let g = TaobaoConfig::tiny().generate().unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let batch = UniformTraverse.sample_vertices(&g, Some(ITEM), 64, &mut rng);
+        assert_eq!(batch.len(), 64);
+        assert!(batch.iter().all(|&v| g.vertex_type(v) == ITEM));
+        let any = UniformTraverse.sample_vertices(&g, None, 10, &mut rng);
+        assert_eq!(any.len(), 10);
+    }
+
+    #[test]
+    fn uniform_edges_respect_type() {
+        let g = TaobaoConfig::tiny().generate().unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let batch = UniformTraverse.sample_edges(&g, BUY, 32, &mut rng);
+        assert_eq!(batch.len(), 32);
+        assert!(batch.iter().all(|&e| g.edge(e).etype == BUY));
+    }
+
+    #[test]
+    fn missing_type_yields_empty() {
+        let g = TaobaoConfig::tiny().generate().unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(UniformTraverse.sample_edges(&g, EdgeType(7), 8, &mut rng).is_empty());
+        assert!(UniformTraverse
+            .sample_vertices(&g, Some(VertexType(9)), 8, &mut rng)
+            .is_empty());
+    }
+
+    #[test]
+    fn weighted_edges_prefer_heavy() {
+        // Two edges of the same type, one 100x heavier.
+        let mut b = GraphBuilder::directed();
+        let u = b.add_vertex(USER, AttrVector::empty());
+        let i1 = b.add_vertex(ITEM, AttrVector::empty());
+        let i2 = b.add_vertex(ITEM, AttrVector::empty());
+        b.add_edge(u, i1, CLICK, 100.0).unwrap();
+        b.add_edge(u, i2, CLICK, 1.0).unwrap();
+        let g = b.build();
+        let sampler = WeightedEdgeTraverse::new(&g);
+        let mut rng = StdRng::seed_from_u64(4);
+        let draws = sampler.sample_edges(&g, CLICK, 5_000, &mut rng);
+        let heavy = draws.iter().filter(|&&e| g.edge(e).dst == i1).count();
+        assert!(heavy > 4_700, "heavy drawn {heavy}/5000");
+    }
+
+    #[test]
+    fn roster_sampling() {
+        let roster = vec![VertexId(3), VertexId(9)];
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = UniformTraverse::sample_from_roster(&roster, 100, &mut rng);
+        assert_eq!(s.len(), 100);
+        assert!(s.iter().all(|v| roster.contains(v)));
+        assert!(UniformTraverse::sample_from_roster(&[], 4, &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,298 @@
+//! Random-walk corpus generation: uniform, node2vec (p, q) and
+//! metapath-constrained walks, plus skip-gram windowing. These feed every
+//! random-walk model in the algorithm layer (DeepWalk, Node2Vec,
+//! Metapath2Vec, PMNE, GATNE, Mixture GNN).
+
+use aligraph_graph::{AttributedHeterogeneousGraph, EdgeType, VertexId, VertexType};
+use rand::Rng;
+
+/// Which adjacency a walk follows. E-commerce behavior graphs are directed
+/// (user → item); embedding corpora conventionally treat them as undirected
+/// so walks do not die at sink vertices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkDirection {
+    /// Out-edges only.
+    Out,
+    /// Out- and in-edges.
+    Both,
+}
+
+fn step_candidates(
+    graph: &AttributedHeterogeneousGraph,
+    v: VertexId,
+    etype: Option<EdgeType>,
+    direction: WalkDirection,
+    out: &mut Vec<VertexId>,
+) {
+    out.clear();
+    let push = |out: &mut Vec<VertexId>, nbrs: &[aligraph_graph::Neighbor]| {
+        for n in nbrs {
+            out.push(n.vertex);
+        }
+    };
+    match (etype, direction) {
+        (Some(t), WalkDirection::Out) => push(out, graph.out_neighbors_typed(v, t)),
+        (Some(t), WalkDirection::Both) => {
+            push(out, graph.out_neighbors_typed(v, t));
+            push(out, graph.in_neighbors_typed(v, t));
+        }
+        (None, WalkDirection::Out) => push(out, graph.out_neighbors(v)),
+        (None, WalkDirection::Both) => {
+            push(out, graph.out_neighbors(v));
+            push(out, graph.in_neighbors(v));
+        }
+    }
+}
+
+/// A uniform random walk of at most `len` vertices (including the start);
+/// stops early at dead ends.
+pub fn uniform_walk<R: Rng>(
+    graph: &AttributedHeterogeneousGraph,
+    start: VertexId,
+    len: usize,
+    etype: Option<EdgeType>,
+    direction: WalkDirection,
+    rng: &mut R,
+) -> Vec<VertexId> {
+    let mut walk = Vec::with_capacity(len);
+    walk.push(start);
+    let mut candidates = Vec::new();
+    let mut cur = start;
+    while walk.len() < len {
+        step_candidates(graph, cur, etype, direction, &mut candidates);
+        if candidates.is_empty() {
+            break;
+        }
+        cur = candidates[rng.gen_range(0..candidates.len())];
+        walk.push(cur);
+    }
+    walk
+}
+
+/// A node2vec second-order walk with return parameter `p` and in-out
+/// parameter `q` (Grover & Leskovec). Unnormalized transition weights from
+/// the previous vertex `t` through current `v` to candidate `x`:
+/// `1/p` if `x == t`, `1` if `x` neighbors `t`, else `1/q`.
+pub fn node2vec_walk<R: Rng>(
+    graph: &AttributedHeterogeneousGraph,
+    start: VertexId,
+    len: usize,
+    p: f32,
+    q: f32,
+    direction: WalkDirection,
+    rng: &mut R,
+) -> Vec<VertexId> {
+    let mut walk = Vec::with_capacity(len);
+    walk.push(start);
+    let mut candidates = Vec::new();
+    let mut prev: Option<VertexId> = None;
+    let mut cur = start;
+    while walk.len() < len {
+        step_candidates(graph, cur, None, direction, &mut candidates);
+        if candidates.is_empty() {
+            break;
+        }
+        let next = match prev {
+            None => candidates[rng.gen_range(0..candidates.len())],
+            Some(t) => {
+                let mut prev_nbrs = Vec::new();
+                step_candidates(graph, t, None, direction, &mut prev_nbrs);
+                let weights: Vec<f32> = candidates
+                    .iter()
+                    .map(|&x| {
+                        if x == t {
+                            1.0 / p
+                        } else if prev_nbrs.contains(&x) {
+                            1.0
+                        } else {
+                            1.0 / q
+                        }
+                    })
+                    .collect();
+                let total: f32 = weights.iter().sum();
+                let mut x = rng.gen::<f32>() * total;
+                let mut chosen = candidates[candidates.len() - 1];
+                for (i, &w) in weights.iter().enumerate() {
+                    if x < w {
+                        chosen = candidates[i];
+                        break;
+                    }
+                    x -= w;
+                }
+                chosen
+            }
+        };
+        prev = Some(cur);
+        cur = next;
+        walk.push(cur);
+    }
+    walk
+}
+
+/// A metapath-constrained walk (Metapath2Vec): step `i` must land on a
+/// vertex of type `pattern[(i + offset) % pattern.len()]`, where `offset`
+/// aligns the pattern with the start vertex's type. Returns early when no
+/// neighbor of the required type exists.
+pub fn metapath_walk<R: Rng>(
+    graph: &AttributedHeterogeneousGraph,
+    start: VertexId,
+    pattern: &[VertexType],
+    len: usize,
+    rng: &mut R,
+) -> Vec<VertexId> {
+    let mut walk = Vec::with_capacity(len);
+    walk.push(start);
+    if pattern.is_empty() {
+        return walk;
+    }
+    // Align the pattern with the start type (fall back to position 0).
+    let offset = pattern
+        .iter()
+        .position(|&t| t == graph.vertex_type(start))
+        .unwrap_or(0);
+    let mut candidates = Vec::new();
+    let mut typed = Vec::new();
+    let mut cur = start;
+    for step in 1..len {
+        let want = pattern[(offset + step) % pattern.len()];
+        step_candidates(graph, cur, None, WalkDirection::Both, &mut candidates);
+        typed.clear();
+        typed.extend(candidates.iter().copied().filter(|&x| graph.vertex_type(x) == want));
+        if typed.is_empty() {
+            break;
+        }
+        cur = typed[rng.gen_range(0..typed.len())];
+        walk.push(cur);
+    }
+    walk
+}
+
+/// `(center, context)` skip-gram pairs from a walk with the given window.
+pub fn skipgram_pairs(walk: &[VertexId], window: usize) -> Vec<(VertexId, VertexId)> {
+    let mut pairs = Vec::new();
+    for (i, &c) in walk.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(walk.len());
+        for (j, &ctx) in walk.iter().enumerate().take(hi).skip(lo) {
+            if i != j {
+                pairs.push((c, ctx));
+            }
+        }
+    }
+    pairs
+}
+
+/// A full corpus: `walks_per_vertex` walks from every vertex.
+pub fn generate_corpus<R: Rng>(
+    graph: &AttributedHeterogeneousGraph,
+    walks_per_vertex: usize,
+    len: usize,
+    direction: WalkDirection,
+    rng: &mut R,
+) -> Vec<Vec<VertexId>> {
+    let mut corpus = Vec::with_capacity(graph.num_vertices() * walks_per_vertex);
+    for v in graph.vertices() {
+        for _ in 0..walks_per_vertex {
+            corpus.push(uniform_walk(graph, v, len, None, direction, rng));
+        }
+    }
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aligraph_graph::generate::TaobaoConfig;
+    use aligraph_graph::ids::well_known::*;
+    use aligraph_graph::{AttrVector, GraphBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn path3() -> AttributedHeterogeneousGraph {
+        let mut b = GraphBuilder::directed();
+        let v0 = b.add_vertex(USER, AttrVector::empty());
+        let v1 = b.add_vertex(ITEM, AttrVector::empty());
+        let v2 = b.add_vertex(USER, AttrVector::empty());
+        b.add_edge(v0, v1, CLICK, 1.0).unwrap();
+        b.add_edge(v1, v2, CLICK, 1.0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn uniform_walk_follows_edges_and_stops_at_dead_end() {
+        let g = path3();
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = uniform_walk(&g, VertexId(0), 10, None, WalkDirection::Out, &mut rng);
+        assert_eq!(w, vec![VertexId(0), VertexId(1), VertexId(2)]);
+    }
+
+    #[test]
+    fn both_direction_walk_does_not_die() {
+        let g = path3();
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = uniform_walk(&g, VertexId(2), 8, None, WalkDirection::Both, &mut rng);
+        assert_eq!(w.len(), 8);
+        // Every consecutive pair is an edge in one direction or the other.
+        for pair in w.windows(2) {
+            let fwd = g.out_neighbors(pair[0]).iter().any(|n| n.vertex == pair[1]);
+            let back = g.in_neighbors(pair[0]).iter().any(|n| n.vertex == pair[1]);
+            assert!(fwd || back);
+        }
+    }
+
+    #[test]
+    fn node2vec_low_p_returns_often() {
+        // Low p => strong return bias; the walk oscillates.
+        let g = path3();
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = node2vec_walk(&g, VertexId(0), 50, 0.01, 1.0, WalkDirection::Both, &mut rng);
+        let returns = w
+            .windows(3)
+            .filter(|tri| tri[0] == tri[2])
+            .count();
+        assert!(returns > 30, "returns {returns}");
+    }
+
+    #[test]
+    fn node2vec_high_p_low_q_explores() {
+        let g = TaobaoConfig::tiny().generate().unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = node2vec_walk(&g, VertexId(0), 40, 10.0, 0.1, WalkDirection::Both, &mut rng);
+        assert!(w.len() > 10);
+        let distinct: std::collections::HashSet<_> = w.iter().collect();
+        assert!(distinct.len() > w.len() / 2, "exploring walk revisits rarely");
+    }
+
+    #[test]
+    fn metapath_walk_alternates_types() {
+        let g = TaobaoConfig::tiny().generate().unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let start = g.vertices_of_type(USER)[0];
+        let w = metapath_walk(&g, start, &[USER, ITEM], 9, &mut rng);
+        for (i, &v) in w.iter().enumerate() {
+            let want = if i % 2 == 0 { USER } else { ITEM };
+            assert_eq!(g.vertex_type(v), want, "step {i}");
+        }
+        assert!(w.len() >= 3, "walk should make progress on the u-i graph");
+    }
+
+    #[test]
+    fn skipgram_pairs_window() {
+        let walk: Vec<VertexId> = (0..4).map(VertexId).collect();
+        let pairs = skipgram_pairs(&walk, 1);
+        // Each interior vertex has 2 context pairs, ends have 1: 2+2+1+1 = 6.
+        assert_eq!(pairs.len(), 6);
+        assert!(pairs.contains(&(VertexId(1), VertexId(0))));
+        assert!(pairs.contains(&(VertexId(1), VertexId(2))));
+        assert!(!pairs.contains(&(VertexId(0), VertexId(2))));
+    }
+
+    #[test]
+    fn corpus_shape() {
+        let g = path3();
+        let mut rng = StdRng::seed_from_u64(6);
+        let corpus = generate_corpus(&g, 2, 5, WalkDirection::Both, &mut rng);
+        assert_eq!(corpus.len(), 6);
+        assert!(corpus.iter().all(|w| !w.is_empty() && w.len() <= 5));
+    }
+}

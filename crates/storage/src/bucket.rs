@@ -1,0 +1,229 @@
+//! Lock-free request-flow buckets (paper §3.3, Figure 6).
+//!
+//! Reads and updates against the in-memory graph state (here: the dynamic
+//! sampling weights that samplers adjust in their backward pass) are grouped
+//! by vertex into request-flow buckets. Each bucket is a **lock-free queue**
+//! bound to one worker thread that owns that vertex group's data outright —
+//! operations within a group execute sequentially with no locking at all.
+//!
+//! [`MutexWeightService`] is the contended global-lock baseline used by the
+//! `ablation_bucket` bench.
+
+use aligraph_graph::VertexId;
+use crossbeam::channel::{bounded, Sender};
+use crossbeam::queue::SegQueue;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Shared interface over vertex-weight storage, so samplers and benches can
+/// swap the lock-free and mutex implementations.
+pub trait WeightService: Send + Sync {
+    /// Applies `delta` to the weight of `v` (a sampler backward update).
+    fn update(&self, v: VertexId, delta: f32);
+    /// Reads the current weight of `v`, observing all previously submitted
+    /// updates to `v`'s group.
+    fn get(&self, v: VertexId) -> f32;
+    /// Blocks until every submitted operation has been applied.
+    fn flush(&self);
+}
+
+enum Op {
+    Update(u32, f32),
+    Get(u32, Sender<f32>),
+    Flush(Sender<()>),
+}
+
+struct Bucket {
+    queue: Arc<SegQueue<Op>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// The Figure 6 design: vertices sharded into buckets, one lock-free queue
+/// and one owning thread per bucket.
+pub struct LockFreeWeightService {
+    buckets: Vec<Bucket>,
+    stop: Arc<AtomicBool>,
+    num_buckets: usize,
+}
+
+impl LockFreeWeightService {
+    /// Spawns `num_buckets` bucket executors over `n` vertex weights, all
+    /// initialized to `initial`.
+    pub fn new(n: usize, num_buckets: usize, initial: f32) -> Self {
+        let num_buckets = num_buckets.max(1);
+        let stop = Arc::new(AtomicBool::new(false));
+        let buckets = (0..num_buckets)
+            .map(|b| {
+                let queue = Arc::new(SegQueue::new());
+                let q = Arc::clone(&queue);
+                let stop = Arc::clone(&stop);
+                // This thread exclusively owns the weights of its group
+                // (vertices with v % num_buckets == b): no lock needed.
+                let shard_len = n / num_buckets + 1;
+                let handle = std::thread::spawn(move || {
+                    // Global vertex v maps to shard-local slot v / num_buckets
+                    // (the bucket is chosen by v % num_buckets).
+                    let mut weights = vec![initial; shard_len];
+                    let mut idle_spins = 0u32;
+                    loop {
+                        match q.pop() {
+                            Some(Op::Update(v, delta)) => {
+                                weights[(v as usize) / num_buckets] += delta;
+                                idle_spins = 0;
+                            }
+                            Some(Op::Get(v, reply)) => {
+                                let _ = reply.send(weights[(v as usize) / num_buckets]);
+                                idle_spins = 0;
+                            }
+                            Some(Op::Flush(reply)) => {
+                                let _ = reply.send(());
+                                idle_spins = 0;
+                            }
+                            None => {
+                                if stop.load(Ordering::Acquire) {
+                                    break;
+                                }
+                                idle_spins += 1;
+                                if idle_spins < 64 {
+                                    std::hint::spin_loop();
+                                } else {
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                });
+                let _ = b;
+                Bucket { queue, handle: Some(handle) }
+            })
+            .collect();
+        LockFreeWeightService { buckets, stop, num_buckets }
+    }
+
+    #[inline]
+    fn bucket_of(&self, v: VertexId) -> &SegQueue<Op> {
+        &self.buckets[(v.0 as usize) % self.num_buckets].queue
+    }
+}
+
+impl WeightService for LockFreeWeightService {
+    fn update(&self, v: VertexId, delta: f32) {
+        self.bucket_of(v).push(Op::Update(v.0, delta));
+    }
+
+    fn get(&self, v: VertexId) -> f32 {
+        let (tx, rx) = bounded(1);
+        self.bucket_of(v).push(Op::Get(v.0, tx));
+        rx.recv().expect("bucket executor alive")
+    }
+
+    fn flush(&self) {
+        for b in &self.buckets {
+            let (tx, rx) = bounded(1);
+            b.queue.push(Op::Flush(tx));
+            rx.recv().expect("bucket executor alive");
+        }
+    }
+}
+
+impl Drop for LockFreeWeightService {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for b in &mut self.buckets {
+            if let Some(h) = b.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// The baseline: one global mutex around the whole weight table.
+pub struct MutexWeightService {
+    weights: Mutex<Vec<f32>>,
+}
+
+impl MutexWeightService {
+    /// A table of `n` weights initialized to `initial`.
+    pub fn new(n: usize, initial: f32) -> Self {
+        MutexWeightService { weights: Mutex::new(vec![initial; n]) }
+    }
+}
+
+impl WeightService for MutexWeightService {
+    fn update(&self, v: VertexId, delta: f32) {
+        self.weights.lock()[v.index()] += delta;
+    }
+
+    fn get(&self, v: VertexId) -> f32 {
+        self.weights.lock()[v.index()]
+    }
+
+    fn flush(&self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_free_update_then_get() {
+        let svc = LockFreeWeightService::new(100, 4, 1.0);
+        svc.update(VertexId(7), 0.5);
+        svc.update(VertexId(7), 0.25);
+        svc.flush();
+        assert!((svc.get(VertexId(7)) - 1.75).abs() < 1e-6);
+        assert!((svc.get(VertexId(8)) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lock_free_concurrent_updates_all_applied() {
+        let svc = Arc::new(LockFreeWeightService::new(64, 4, 0.0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let svc = Arc::clone(&svc);
+                std::thread::spawn(move || {
+                    for i in 0..1_000u32 {
+                        svc.update(VertexId(i % 64), 1.0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        svc.flush();
+        let total: f32 = (0..64).map(|v| svc.get(VertexId(v))).sum();
+        assert!((total - 8_000.0).abs() < 1e-3, "total {total}");
+    }
+
+    #[test]
+    fn mutex_service_equivalent_semantics() {
+        let svc = MutexWeightService::new(10, 2.0);
+        svc.update(VertexId(3), -1.0);
+        assert!((svc.get(VertexId(3)) - 1.0).abs() < 1e-6);
+        svc.flush();
+    }
+
+    #[test]
+    fn same_group_ops_are_ordered() {
+        // All ops on one vertex land in one bucket => strictly sequential.
+        let svc = LockFreeWeightService::new(16, 2, 0.0);
+        for _ in 0..100 {
+            svc.update(VertexId(5), 1.0);
+        }
+        // A get submitted after the updates must observe all of them.
+        assert!((svc.get(VertexId(5)) - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_bucket_degenerate() {
+        let svc = LockFreeWeightService::new(8, 1, 0.0);
+        svc.update(VertexId(0), 3.0);
+        svc.update(VertexId(7), 4.0);
+        svc.flush();
+        assert_eq!(svc.get(VertexId(0)), 3.0);
+        assert_eq!(svc.get(VertexId(7)), 4.0);
+    }
+}

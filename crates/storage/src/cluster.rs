@@ -1,0 +1,303 @@
+//! The simulated distributed store: partition → parallel ingest → serving.
+//!
+//! `Cluster::build` is the code path behind the paper's Figure 7 (graph
+//! building time vs. number of workers): partitioning assigns every edge to
+//! a worker (Algorithm 2 lines 1–4), then one OS thread per worker ingests
+//! only its own shard — local adjacency plus per-vertex weight indexes and
+//! the neighbor cache. Each shard times itself, so the report exposes both
+//! the as-executed wall time and the distributed makespan (slowest shard),
+//! which is what a real cluster's build time would be.
+
+use crate::cost::{AccessKind, AccessStats, CostModel};
+use crate::neighbor_cache::{CacheStrategy, NeighborCache};
+use crate::server::GraphServer;
+use aligraph_graph::{
+    AttributedHeterogeneousGraph, DegreeTable, ImportanceTable, Neighbor, VertexId,
+};
+use aligraph_partition::{Partition, Partitioner, WorkerId};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Timing breakdown of a cluster build (Figure 7's measurement).
+#[derive(Debug, Clone)]
+pub struct ClusterBuildReport {
+    /// Time spent in the partitioner.
+    pub partition_time: Duration,
+    /// Time computing the importance table (shared across shards).
+    pub importance_time: Duration,
+    /// Wall-clock time of the shard ingest (all shards, as executed on this
+    /// machine — equals the makespan only when enough cores exist).
+    pub ingest_time: Duration,
+    /// Per-shard self-timed ingest durations.
+    pub shard_times: Vec<Duration>,
+    /// Number of workers used.
+    pub num_workers: usize,
+}
+
+impl ClusterBuildReport {
+    /// Total build time as executed.
+    pub fn total(&self) -> Duration {
+        self.partition_time + self.importance_time + self.ingest_time
+    }
+
+    /// The parallel-cluster makespan: the slowest shard's ingest. On a
+    /// machine with >= `num_workers` cores this matches `ingest_time`; on
+    /// smaller machines it is the modelled distributed ingest time a real
+    /// cluster would see (each worker ingests only its own shard).
+    pub fn ingest_makespan(&self) -> Duration {
+        self.shard_times.iter().max().copied().unwrap_or_default()
+    }
+
+    /// Modelled total on a real cluster: partition + importance + makespan.
+    pub fn modeled_parallel_total(&self) -> Duration {
+        self.partition_time + self.importance_time + self.ingest_makespan()
+    }
+}
+
+/// An in-process cluster of graph servers over one shared immutable graph.
+pub struct Cluster {
+    graph: Arc<AttributedHeterogeneousGraph>,
+    partition: Arc<Partition>,
+    servers: Vec<GraphServer>,
+    stats: Arc<AccessStats>,
+    cost: CostModel,
+}
+
+impl Cluster {
+    /// Partitions `graph`, ingests all shards in parallel, and returns the
+    /// serving cluster plus the build timing report.
+    ///
+    /// `max_hop` bounds the neighbor-cache depth `h` (the paper uses 2).
+    pub fn build(
+        graph: Arc<AttributedHeterogeneousGraph>,
+        partitioner: &dyn Partitioner,
+        num_workers: usize,
+        strategy: &CacheStrategy,
+        max_hop: usize,
+        cost: CostModel,
+    ) -> (Self, ClusterBuildReport) {
+        let p = num_workers.max(1);
+
+        let t0 = Instant::now();
+        let partition = Arc::new(partitioner.partition(&graph, p));
+        let partition_time = t0.elapsed();
+
+        // Importance is a pure function of the graph; computed once and
+        // shared by every shard's cache construction. Static strategies that
+        // do not consult importance skip the computation entirely.
+        let t1 = Instant::now();
+        let importance = match strategy {
+            CacheStrategy::None | CacheStrategy::Random { .. } | CacheStrategy::Lru { .. } => {
+                ImportanceTable { imp: vec![vec![0.0; graph.num_vertices()]; max_hop.max(1)] }
+            }
+            _ => {
+                let degrees = DegreeTable::compute(&graph, max_hop.max(1));
+                ImportanceTable::from_degrees(&degrees)
+            }
+        };
+        let importance_time = t1.elapsed();
+
+        let t2 = Instant::now();
+        let (servers, shard_times) =
+            ingest_parallel(&graph, &partition, &importance, strategy, p);
+        let ingest_time = t2.elapsed();
+
+        let report = ClusterBuildReport {
+            partition_time,
+            importance_time,
+            ingest_time,
+            shard_times,
+            num_workers: p,
+        };
+        (
+            Cluster { graph, partition, servers, stats: Arc::new(AccessStats::new()), cost },
+            report,
+        )
+    }
+
+    /// The shared graph.
+    pub fn graph(&self) -> &Arc<AttributedHeterogeneousGraph> {
+        &self.graph
+    }
+
+    /// The partition in effect.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// A server shard.
+    pub fn server(&self, w: WorkerId) -> &GraphServer {
+        &self.servers[w.index()]
+    }
+
+    /// The worker owning a vertex (request routing).
+    #[inline]
+    pub fn route(&self, v: VertexId) -> WorkerId {
+        self.partition.owner_of(v)
+    }
+
+    /// Shared access statistics.
+    pub fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    /// The cost model in effect.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Out-neighbors of `v` as observed from `from` (accounted). The common
+    /// entry point for the sampling layer.
+    #[inline]
+    pub fn neighbors_from(&self, from: WorkerId, v: VertexId, hop: usize) -> &[Neighbor] {
+        let (nbrs, _) = self.servers[from.index()].neighbors(v, hop, &self.stats, &self.cost);
+        nbrs
+    }
+
+    /// Like [`neighbors_from`](Self::neighbors_from) but also reporting how
+    /// the access was served.
+    #[inline]
+    pub fn neighbors_from_kind(
+        &self,
+        from: WorkerId,
+        v: VertexId,
+        hop: usize,
+    ) -> (&[Neighbor], AccessKind) {
+        self.servers[from.index()].neighbors(v, hop, &self.stats, &self.cost)
+    }
+
+    /// Fraction of vertices statically cached per shard (identical across
+    /// shards for the static strategies).
+    pub fn cached_fraction(&self) -> f64 {
+        self.servers
+            .first()
+            .map(|s| s.neighbor_cache().cached_fraction())
+            .unwrap_or(0.0)
+    }
+}
+
+/// Ingests each worker's shard in turn, timing every shard in isolation.
+///
+/// Shards are independent (each touches only its own roster), so a real
+/// cluster executes them concurrently and finishes in the *makespan* —
+/// `max(shard_times)` — which [`ClusterBuildReport`] exposes. Running them
+/// sequentially here keeps the per-shard timings exact regardless of how
+/// many cores the simulator machine has (timing concurrent threads on a
+/// smaller machine would fold scheduler wait into every shard).
+fn ingest_parallel(
+    graph: &Arc<AttributedHeterogeneousGraph>,
+    partition: &Arc<Partition>,
+    importance: &ImportanceTable,
+    strategy: &CacheStrategy,
+    p: usize,
+) -> (Vec<GraphServer>, Vec<Duration>) {
+    let attr_cache_capacity = (graph.num_vertices() / 50).max(256);
+    // One routing pass assigns each vertex to its shard's roster.
+    let mut rosters: Vec<Vec<VertexId>> = vec![Vec::new(); p];
+    for v in graph.vertices() {
+        rosters[partition.owner_of(v).index()].push(v);
+    }
+    let mut servers = Vec::with_capacity(p);
+    let mut shard_times = Vec::with_capacity(p);
+    for (w, roster) in rosters.iter().enumerate() {
+        let t0 = Instant::now();
+        let cache = NeighborCache::build(graph, importance, strategy);
+        servers.push(GraphServer::ingest(
+            WorkerId(w as u32),
+            Arc::clone(graph),
+            Arc::clone(partition),
+            roster,
+            cache,
+            attr_cache_capacity,
+        ));
+        shard_times.push(t0.elapsed());
+    }
+    (servers, shard_times)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aligraph_graph::generate::TaobaoConfig;
+    use aligraph_partition::EdgeCutHash;
+
+    fn tiny_cluster(p: usize, strategy: CacheStrategy) -> (Cluster, ClusterBuildReport) {
+        let g = Arc::new(TaobaoConfig::tiny().generate().unwrap());
+        Cluster::build(g, &EdgeCutHash, p, &strategy, 2, CostModel::default())
+    }
+
+    #[test]
+    fn build_produces_p_shards_covering_graph() {
+        let (c, report) = tiny_cluster(4, CacheStrategy::None);
+        assert_eq!(c.num_workers(), 4);
+        assert_eq!(report.num_workers, 4);
+        let owned: usize = (0..4).map(|w| c.server(WorkerId(w)).num_owned()).sum();
+        assert_eq!(owned, c.graph().num_vertices());
+    }
+
+    #[test]
+    fn routing_matches_partition() {
+        let (c, _) = tiny_cluster(3, CacheStrategy::None);
+        for v in c.graph().vertices() {
+            let w = c.route(v);
+            assert!(c.server(w).is_local(v));
+        }
+    }
+
+    #[test]
+    fn local_vs_remote_accounting() {
+        let (c, _) = tiny_cluster(2, CacheStrategy::None);
+        let g = c.graph().clone();
+        let v = g.vertices().next().unwrap();
+        let home = c.route(v);
+        let away = WorkerId(1 - home.0);
+        c.neighbors_from(home, v, 1);
+        c.neighbors_from(away, v, 1);
+        let snap = c.stats().snapshot();
+        assert_eq!(snap.local, 1);
+        assert_eq!(snap.remote, 1);
+    }
+
+    #[test]
+    fn importance_cache_reduces_remote_traffic() {
+        let (none, _) = tiny_cluster(4, CacheStrategy::None);
+        let (cached, _) = tiny_cluster(
+            4,
+            CacheStrategy::ImportanceBudget { k: 2, fraction: 0.3 },
+        );
+        // Same access pattern against both clusters: every vertex read from
+        // worker 0.
+        for v in none.graph().vertices() {
+            none.neighbors_from(WorkerId(0), v, 1);
+            cached.neighbors_from(WorkerId(0), v, 1);
+        }
+        let sn = none.stats().snapshot();
+        let sc = cached.stats().snapshot();
+        assert!(sc.remote < sn.remote, "cached {} vs none {}", sc.remote, sn.remote);
+        assert!(sc.virtual_ns < sn.virtual_ns);
+    }
+
+    #[test]
+    fn single_worker_everything_local() {
+        let (c, _) = tiny_cluster(1, CacheStrategy::None);
+        for v in c.graph().vertices().take(100) {
+            let (_, kind) = c.neighbors_from_kind(WorkerId(0), v, 1);
+            assert_eq!(kind, AccessKind::Local);
+        }
+        assert_eq!(c.stats().snapshot().remote, 0);
+    }
+
+    #[test]
+    fn report_total_sums_phases() {
+        let (_, report) = tiny_cluster(2, CacheStrategy::None);
+        assert_eq!(
+            report.total(),
+            report.partition_time + report.importance_time + report.ingest_time
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! # aligraph-storage
+//!
+//! The storage layer of the AliGraph reproduction (paper §3.2), simulated as
+//! an in-process cluster:
+//!
+//! * [`cluster::Cluster`] — a set of [`server::GraphServer`] shards built by
+//!   a pluggable partitioner; every shard's ingest is timed in isolation so
+//!   the build report exposes the distributed makespan, the Figure 7
+//!   graph-building measurement;
+//! * [`lru::LruCache`] — the LRU caches placed in front of the attribute
+//!   indices `I_V` / `I_E`;
+//! * [`neighbor_cache`] — **importance-based caching of k-hop out-neighbors
+//!   of important vertices** (Algorithm 2 lines 5–9, Eq. 1), with `Random`
+//!   and `Lru` alternatives for the Figure 9 strategy comparison;
+//! * [`bucket`] / [`service`] — the lock-free request-flow buckets of
+//!   Figure 6: vertices grouped per server, each group's read/update
+//!   operations draining through a lock-free queue bound to one thread that
+//!   owns the group's data outright, so no data lock is ever taken.
+//!   `service::GraphRequestService` is the full variant (neighbor reads,
+//!   weighted draws, dynamic-weight updates); `bucket` is the minimal
+//!   weight-only variant benchmarked against a global mutex;
+//! * [`cost`] — simulated local/remote access costs and atomic statistics.
+//!
+//! The "network" is simulated: every shard can physically reach the whole
+//! graph, but accesses to vertices owned by another worker are accounted (and
+//! cost-modelled) as remote unless served by a neighbor cache. This keeps the
+//! *relative* behaviour the paper measures — cache-policy effects, scaling
+//! with workers, sampling latencies — while running on one machine.
+
+pub mod bucket;
+pub mod cluster;
+pub mod cost;
+pub mod lru;
+pub mod neighbor_cache;
+pub mod server;
+pub mod service;
+
+pub use bucket::{LockFreeWeightService, MutexWeightService, WeightService};
+pub use cluster::{Cluster, ClusterBuildReport};
+pub use cost::{AccessKind, AccessStats, AccessStatsSnapshot, CostModel};
+pub use lru::LruCache;
+pub use neighbor_cache::{CacheStrategy, NeighborCache};
+pub use server::GraphServer;
+pub use service::GraphRequestService;

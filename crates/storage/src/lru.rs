@@ -1,0 +1,226 @@
+//! A classic O(1) LRU cache (paper §3.2 places one in front of each
+//! attribute index, and Figure 9 compares an LRU *neighbor* cache against
+//! the importance-based strategy).
+//!
+//! Implementation: hash map into a slab-backed intrusive doubly-linked list,
+//! no allocation after warm-up.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// Least-recently-used cache with fixed capacity.
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Entry<K, V>>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// A cache holding at most `capacity` entries (capacity 0 caches nothing).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// (hits, misses, evictions) since creation.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+
+    /// Looks up a key, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                self.unlink(idx);
+                self.push_front(idx);
+                Some(&self.slab[idx].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Checks membership without touching recency or stats.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|&i| &self.slab[i].value)
+    }
+
+    /// Inserts (or refreshes) a key. Returns `true` if an older entry was
+    /// evicted to make room.
+    pub fn put(&mut self, key: K, value: V) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = value;
+            self.unlink(idx);
+            self.push_front(idx);
+            return false;
+        }
+        let mut evicted = false;
+        let idx = if self.map.len() >= self.capacity {
+            // Reuse the LRU slot.
+            let idx = self.tail;
+            debug_assert_ne!(idx, NIL);
+            self.unlink(idx);
+            let old_key = std::mem::replace(&mut self.slab[idx].key, key.clone());
+            self.map.remove(&old_key);
+            self.slab[idx].value = value;
+            self.evictions += 1;
+            evicted = true;
+            idx
+        } else {
+            let idx = self.slab.len();
+            self.slab.push(Entry { key: key.clone(), value, prev: NIL, next: NIL });
+            idx
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        evicted
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.put(1, "a");
+        c.put(2, "b");
+        assert_eq!(c.get(&1), Some(&"a")); // 1 now MRU
+        let evicted = c.put(3, "c"); // evicts 2
+        assert!(evicted);
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(&"a"));
+        assert_eq!(c.get(&3), Some(&"c"));
+    }
+
+    #[test]
+    fn update_refreshes_without_eviction() {
+        let mut c = LruCache::new(2);
+        c.put(1, 10);
+        c.put(2, 20);
+        assert!(!c.put(1, 11)); // update, no eviction
+        assert!(c.put(3, 30)); // evicts 2, not 1
+        assert_eq!(c.peek(&1), Some(&11));
+        assert_eq!(c.peek(&2), None);
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let mut c = LruCache::new(0);
+        assert!(!c.put(1, 1));
+        assert_eq!(c.get(&1), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn stats_track_hits_misses_evictions() {
+        let mut c = LruCache::new(1);
+        c.get(&1);
+        c.put(1, 1);
+        c.get(&1);
+        c.put(2, 2);
+        let (h, m, e) = c.stats();
+        assert_eq!((h, m, e), (1, 1, 1));
+    }
+
+    #[test]
+    fn single_entry_cycle() {
+        let mut c = LruCache::new(1);
+        for i in 0..10 {
+            c.put(i, i * 2);
+            assert_eq!(c.get(&i), Some(&(i * 2)));
+            assert_eq!(c.len(), 1);
+        }
+        assert_eq!(c.stats().2, 9);
+    }
+
+    #[test]
+    fn heavy_mixed_workload_consistent() {
+        let mut c = LruCache::new(64);
+        for i in 0..10_000u64 {
+            let k = i % 150;
+            if c.get(&k).is_none() {
+                c.put(k, k);
+            }
+        }
+        assert!(c.len() <= 64);
+        // Everything retrievable via peek matches its key.
+        for k in 0..150u64 {
+            if let Some(&v) = c.peek(&k) {
+                assert_eq!(v, k);
+            }
+        }
+    }
+}

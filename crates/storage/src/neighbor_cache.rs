@@ -1,0 +1,296 @@
+//! Local caching of remote vertices' out-neighbors.
+//!
+//! Algorithm 2 (lines 5–9): for each vertex `v` and hop `k <= h`, cache the
+//! 1..k-hop out-neighbors of `v` on every partition where `v` occurs if
+//! `Imp^(k)(v) = D_i^(k)(v)/D_o^(k)(v) >= τ_k`. By Theorem 2 the importance
+//! values are power-law, so only a small head of vertices qualifies — that
+//! is why a ~20% cache already removes most remote traffic (Figures 8–9).
+//!
+//! Three strategies are provided because Figure 9 compares them:
+//! * [`CacheStrategy::ImportanceThreshold`] — the paper's policy;
+//! * [`CacheStrategy::ImportanceBudget`] — top-x% by importance (used for
+//!   sweeps over cache size);
+//! * [`CacheStrategy::Random`] — random x% of vertices;
+//! * [`CacheStrategy::Lru`] — a dynamic LRU over remote lookups, which pays
+//!   replacement churn.
+
+use crate::cost::{AccessStats, CostModel};
+use crate::lru::LruCache;
+use aligraph_graph::{AttributedHeterogeneousGraph, DegreeTable, ImportanceTable, VertexId};
+use parking_lot::Mutex;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Which vertices' neighborhoods get cached locally.
+#[derive(Debug, Clone)]
+pub enum CacheStrategy {
+    /// No caching (every non-local access is remote).
+    None,
+    /// The paper's policy: cache `v` up to hop `k` when `Imp^(k)(v) >= τ_k`.
+    /// `thresholds[k-1]` is `τ_k`; `thresholds.len()` is the max depth `h`.
+    ImportanceThreshold {
+        /// `τ_1..τ_h`.
+        thresholds: Vec<f64>,
+    },
+    /// Cache the top `fraction` of vertices ranked by `Imp^(k)`.
+    ImportanceBudget {
+        /// Hop the importance is computed at (usually 2).
+        k: usize,
+        /// Fraction of vertices to cache, `0.0..=1.0`.
+        fraction: f64,
+    },
+    /// Cache a uniformly random `fraction` of vertices.
+    Random {
+        /// Fraction of vertices to cache.
+        fraction: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Dynamic LRU keyed by vertex, sized to `fraction` of the vertex count.
+    Lru {
+        /// Capacity as a fraction of `n`.
+        fraction: f64,
+    },
+}
+
+/// Outcome of a neighbor-cache lookup for a *remote* vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served locally from cache.
+    Hit,
+    /// Not cached; remote call required.
+    Miss,
+    /// Not cached; remote call required, and (for LRU) the fetched entry was
+    /// inserted, evicting another entry.
+    MissEvicted,
+}
+
+/// A per-server neighbor cache.
+pub struct NeighborCache {
+    /// Static cached-depth per vertex (0 = not cached, k = cached to hop k).
+    cached_depth: Vec<u8>,
+    /// Dynamic LRU (only for `CacheStrategy::Lru`).
+    lru: Option<Mutex<LruCache<u32, ()>>>,
+    /// Number of statically cached vertices.
+    static_cached: usize,
+    n: usize,
+}
+
+impl NeighborCache {
+    /// Builds the cache for a graph. `importance` may be shared across all
+    /// servers (it is a pure function of the graph).
+    pub fn build(
+        graph: &AttributedHeterogeneousGraph,
+        importance: &ImportanceTable,
+        strategy: &CacheStrategy,
+    ) -> Self {
+        let n = graph.num_vertices();
+        let mut cached_depth = vec![0u8; n];
+        let mut lru = None;
+        match strategy {
+            CacheStrategy::None => {}
+            CacheStrategy::ImportanceThreshold { thresholds } => {
+                for (ki, &tau) in thresholds.iter().enumerate() {
+                    let k = ki + 1;
+                    if k > importance.imp.len() {
+                        break;
+                    }
+                    for v in 0..n {
+                        if importance.imp[ki][v] >= tau {
+                            cached_depth[v] = cached_depth[v].max(k as u8);
+                        }
+                    }
+                }
+            }
+            CacheStrategy::ImportanceBudget { k, fraction } => {
+                let budget = ((n as f64) * fraction.clamp(0.0, 1.0)) as usize;
+                let k = (*k).min(importance.imp.len()).max(1);
+                for v in importance.ranked(k).into_iter().take(budget) {
+                    cached_depth[v.index()] = k as u8;
+                }
+            }
+            CacheStrategy::Random { fraction, seed } => {
+                let budget = ((n as f64) * fraction.clamp(0.0, 1.0)) as usize;
+                let mut ids: Vec<u32> = (0..n as u32).collect();
+                let mut rng = StdRng::seed_from_u64(*seed);
+                ids.shuffle(&mut rng);
+                for &v in ids.iter().take(budget) {
+                    cached_depth[v as usize] = 1;
+                }
+            }
+            CacheStrategy::Lru { fraction } => {
+                let capacity = ((n as f64) * fraction.clamp(0.0, 1.0)) as usize;
+                lru = Some(Mutex::new(LruCache::new(capacity)));
+            }
+        }
+        let static_cached = cached_depth.iter().filter(|&&d| d > 0).count();
+        NeighborCache { cached_depth, lru, static_cached, n }
+    }
+
+    /// Convenience: computes degrees + importance, then builds. Prefer
+    /// [`build`](Self::build) when the importance table is reused.
+    pub fn build_fresh(graph: &AttributedHeterogeneousGraph, strategy: &CacheStrategy, max_hop: usize) -> Self {
+        let degrees = DegreeTable::compute(graph, max_hop.max(1));
+        let imp = ImportanceTable::from_degrees(&degrees);
+        Self::build(graph, &imp, strategy)
+    }
+
+    /// Looks up a remote vertex, recording hit/miss/replacement in `stats`.
+    /// `hop` is the neighborhood depth the caller needs served locally.
+    pub fn lookup(
+        &self,
+        v: VertexId,
+        hop: usize,
+        stats: &AccessStats,
+        model: &CostModel,
+    ) -> CacheOutcome {
+        if self.cached_depth[v.index()] as usize >= hop {
+            return CacheOutcome::Hit;
+        }
+        if let Some(lru) = &self.lru {
+            let mut lru = lru.lock();
+            // An LRU entry holds what a previous remote fetch returned — the
+            // vertex's 1-hop adjacency. Unlike the importance strategy, which
+            // pre-materializes 1..k-hop neighborhoods (Algorithm 2), it can
+            // never serve a deeper expansion locally.
+            if hop <= 1 && lru.get(&v.0).is_some() {
+                return CacheOutcome::Hit;
+            }
+            // Fetch remotely and insert — LRU churn is the cost the paper
+            // calls out ("frequently replaces cached vertices").
+            let evicted = lru.put(v.0, ());
+            if evicted {
+                stats.record_replacement(model);
+                return CacheOutcome::MissEvicted;
+            }
+            return CacheOutcome::Miss;
+        }
+        CacheOutcome::Miss
+    }
+
+    /// Fraction of vertices cached statically (Figure 8's y-axis).
+    pub fn cached_fraction(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.static_cached as f64 / self.n as f64
+    }
+
+    /// Statically cached vertex count.
+    pub fn cached_count(&self) -> usize {
+        self.static_cached
+    }
+
+    /// The cached depth of one vertex (0 = not cached).
+    pub fn depth(&self, v: VertexId) -> u8 {
+        self.cached_depth[v.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aligraph_graph::generate::barabasi_albert;
+
+    fn setup() -> (AttributedHeterogeneousGraph, ImportanceTable) {
+        let g = barabasi_albert(500, 3, 21).unwrap();
+        let deg = DegreeTable::compute(&g, 2);
+        (g, ImportanceTable::from_degrees(&deg))
+    }
+
+    #[test]
+    fn threshold_caches_head_only() {
+        let (g, imp) = setup();
+        let low = NeighborCache::build(
+            &g,
+            &imp,
+            &CacheStrategy::ImportanceThreshold { thresholds: vec![0.05, 0.05] },
+        );
+        let high = NeighborCache::build(
+            &g,
+            &imp,
+            &CacheStrategy::ImportanceThreshold { thresholds: vec![5.0, 5.0] },
+        );
+        assert!(low.cached_fraction() > high.cached_fraction());
+        assert!(high.cached_fraction() < 0.5, "power-law head should be small");
+    }
+
+    #[test]
+    fn budget_caches_exact_fraction() {
+        let (g, imp) = setup();
+        let c = NeighborCache::build(&g, &imp, &CacheStrategy::ImportanceBudget { k: 2, fraction: 0.2 });
+        assert_eq!(c.cached_count(), 100);
+        // The cached set is the top of the importance ranking.
+        let ranked = imp.ranked(2);
+        for v in &ranked[..100] {
+            assert!(c.depth(*v) > 0);
+        }
+    }
+
+    #[test]
+    fn random_caches_fraction() {
+        let (g, imp) = setup();
+        let c = NeighborCache::build(&g, &imp, &CacheStrategy::Random { fraction: 0.1, seed: 3 });
+        assert_eq!(c.cached_count(), 50);
+    }
+
+    #[test]
+    fn lookup_hits_and_misses() {
+        let (g, imp) = setup();
+        let c = NeighborCache::build(&g, &imp, &CacheStrategy::ImportanceBudget { k: 1, fraction: 0.1 });
+        let stats = AccessStats::new();
+        let model = CostModel::default();
+        let ranked = imp.ranked(1);
+        assert_eq!(c.lookup(ranked[0], 1, &stats, &model), CacheOutcome::Hit);
+        assert_eq!(
+            c.lookup(*ranked.last().unwrap(), 1, &stats, &model),
+            CacheOutcome::Miss
+        );
+        // Depth matters: cached at hop 1 does not serve hop 2.
+        assert_eq!(c.lookup(ranked[0], 2, &stats, &model), CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn lru_strategy_caches_dynamically() {
+        let (g, imp) = setup();
+        let c = NeighborCache::build(&g, &imp, &CacheStrategy::Lru { fraction: 0.01 }); // 5 slots
+        let stats = AccessStats::new();
+        let model = CostModel::default();
+        let v = VertexId(42);
+        assert_eq!(c.lookup(v, 1, &stats, &model), CacheOutcome::Miss);
+        assert_eq!(c.lookup(v, 1, &stats, &model), CacheOutcome::Hit);
+        // Fill beyond capacity => evictions recorded.
+        for i in 0..10 {
+            c.lookup(VertexId(i), 1, &stats, &model);
+        }
+        assert!(stats.snapshot().replacements > 0);
+    }
+
+    #[test]
+    fn none_strategy_never_hits() {
+        let (g, imp) = setup();
+        let c = NeighborCache::build(&g, &imp, &CacheStrategy::None);
+        let stats = AccessStats::new();
+        let model = CostModel::default();
+        assert_eq!(c.cached_fraction(), 0.0);
+        assert_eq!(c.lookup(VertexId(0), 1, &stats, &model), CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn build_fresh_matches_two_step_build() {
+        let g = barabasi_albert(200, 2, 5).unwrap();
+        let c1 = NeighborCache::build_fresh(
+            &g,
+            &CacheStrategy::ImportanceThreshold { thresholds: vec![0.2, 0.2] },
+            2,
+        );
+        let deg = DegreeTable::compute(&g, 2);
+        let imp = ImportanceTable::from_degrees(&deg);
+        let c2 = NeighborCache::build(
+            &g,
+            &imp,
+            &CacheStrategy::ImportanceThreshold { thresholds: vec![0.2, 0.2] },
+        );
+        assert_eq!(c1.cached_count(), c2.cached_count());
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests (proptest) on the platform's core invariants.
+
+use aligraph_suite::eval::{best_f1, macro_f1, micro_f1, pr_auc, roc_auc};
+use aligraph_suite::graph::generate::{erdos_renyi, TaobaoConfig};
+use aligraph_suite::graph::{AttrValue, AttrVector, EdgeType, GraphBuilder, VertexId, VertexType};
+use aligraph_suite::partition::{EdgeCutHash, Partitioner, StreamingLdg, VertexCutGreedy};
+use aligraph_suite::sampling::AliasTable;
+use aligraph_suite::storage::LruCache;
+use aligraph_suite::tensor::Matrix;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Builder invariant: degrees sum to the number of directed records and
+    /// in-degrees mirror out-degrees.
+    #[test]
+    fn graph_degree_conservation(edges in prop::collection::vec((0u32..40, 0u32..40, 0u8..3), 1..120)) {
+        let mut b = GraphBuilder::directed();
+        b.add_vertices(VertexType(0), 40);
+        for &(s, d, t) in &edges {
+            b.add_edge(VertexId(s), VertexId(d), EdgeType(t), 1.0).unwrap();
+        }
+        let g = b.build();
+        let out_sum: usize = g.vertices().map(|v| g.out_degree(v)).sum();
+        let in_sum: usize = g.vertices().map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out_sum, edges.len());
+        prop_assert_eq!(in_sum, edges.len());
+        prop_assert_eq!(g.num_edge_records(), edges.len());
+        // Typed sub-slices partition the adjacency.
+        for v in g.vertices() {
+            let total: usize = (0..g.num_edge_types())
+                .map(|t| g.out_neighbors_typed(v, EdgeType(t)).len())
+                .sum();
+            prop_assert_eq!(total, g.out_degree(v));
+        }
+    }
+
+    /// Attribute interning: identical records always map to the same id;
+    /// resolution is exact.
+    #[test]
+    fn attr_interning_roundtrip(vals in prop::collection::vec(-1000i64..1000, 0..6)) {
+        let mut b = GraphBuilder::directed();
+        let rec = AttrVector(vals.iter().map(|&v| AttrValue::Int(v)).collect());
+        let v1 = b.add_vertex(VertexType(0), rec.clone());
+        let v2 = b.add_vertex(VertexType(0), rec.clone());
+        let g = b.build();
+        prop_assert_eq!(g.vertex_attr_id(v1), g.vertex_attr_id(v2));
+        prop_assert_eq!(g.vertex_attrs(v1), &rec);
+    }
+
+    /// Alias tables only ever produce in-range indices, and zero-weight
+    /// outcomes are never drawn.
+    #[test]
+    fn alias_table_in_range(weights in prop::collection::vec(0.0f32..10.0, 1..64), seed in 0u64..1000) {
+        prop_assume!(weights.iter().any(|&w| w > 0.0));
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let i = table.sample(&mut rng);
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0, "drew zero-weight outcome {}", i);
+        }
+    }
+
+    /// The LRU never exceeds capacity and always returns what was inserted
+    /// most recently for a key.
+    #[test]
+    fn lru_capacity_and_freshness(ops in prop::collection::vec((0u32..20, 0u32..100), 1..200), cap in 1usize..16) {
+        let mut lru = LruCache::new(cap);
+        let mut latest = std::collections::HashMap::new();
+        for &(k, v) in &ops {
+            lru.put(k, v);
+            latest.insert(k, v);
+            prop_assert!(lru.len() <= cap);
+        }
+        for (k, v) in &latest {
+            if let Some(got) = lru.peek(k) {
+                prop_assert_eq!(got, v);
+            }
+        }
+    }
+
+    /// Metric bounds: every classification metric stays in [0, 1].
+    #[test]
+    fn metric_bounds(scored in prop::collection::vec((-10.0f32..10.0, prop::bool::ANY), 1..100)) {
+        let auc = roc_auc(&scored);
+        let pr = pr_auc(&scored);
+        let f1 = best_f1(&scored);
+        prop_assert!((0.0..=1.0).contains(&auc), "auc {}", auc);
+        prop_assert!((0.0..=1.0).contains(&pr), "pr {}", pr);
+        prop_assert!((0.0..=1.0).contains(&f1), "f1 {}", f1);
+    }
+
+    /// Multi-class F1: micro equals accuracy; both bounded; perfect
+    /// predictions give exactly 1.
+    #[test]
+    fn multiclass_f1_properties(truth in prop::collection::vec(0usize..4, 1..60)) {
+        prop_assert!((micro_f1(&truth, &truth) - 1.0).abs() < 1e-12);
+        prop_assert!((macro_f1(&truth, &truth, 4) - 1.0).abs() < 1e-12);
+        let wrong: Vec<usize> = truth.iter().map(|&t| (t + 1) % 4).collect();
+        prop_assert_eq!(micro_f1(&wrong, &truth), 0.0);
+    }
+
+    /// Partitioners are total: every vertex owned, every owner in range.
+    #[test]
+    fn partitioners_total(n in 2usize..60, m in 1usize..150, p in 1usize..9, seed in 0u64..100) {
+        let g = erdos_renyi(n, m, seed).unwrap();
+        for partitioner in [&EdgeCutHash as &dyn Partitioner, &VertexCutGreedy::default(), &StreamingLdg::default()] {
+            let part = partitioner.partition(&g, p);
+            prop_assert_eq!(part.vertex_owner.len(), n);
+            prop_assert!(part.vertex_owner.iter().all(|w| w.index() < part.num_workers));
+            prop_assert!(part.edge_owner.iter().all(|w| w.index() < part.num_workers));
+        }
+    }
+
+    /// Matrix algebra invariants: (A B)ᵀ = Bᵀ Aᵀ on random shapes.
+    #[test]
+    fn matmul_transpose_identity(r in 1usize..6, k in 1usize..6, c in 1usize..6, seed in 0u64..50) {
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
+        let a = Matrix::uniform(r, k, 1.0, &mut rng);
+        let b = Matrix::uniform(k, c, 1.0, &mut rng);
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Link-prediction splits conserve edges and never leak a held-out
+    /// positive into the training graph beyond its multiplicity.
+    #[test]
+    fn split_conserves_edges(frac in 0.05f64..0.5, seed in 0u64..30) {
+        let g = TaobaoConfig::tiny().generate().unwrap();
+        let split = aligraph_suite::eval::link_prediction_split(&g, frac, seed);
+        prop_assert_eq!(
+            split.train.num_edge_records() + split.test_pos.len(),
+            g.num_edge_records()
+        );
+        // Negatives are never true edges.
+        for neg in split.test_neg.iter().take(20) {
+            let is_edge = g
+                .out_neighbors_typed(neg.src, neg.etype)
+                .iter()
+                .any(|n| n.vertex == neg.dst);
+            prop_assert!(!is_edge);
+        }
+    }
+}
