@@ -54,7 +54,14 @@ pub fn train_anrl(
             for (center, ctx) in skipgram_pairs(walk, params.window) {
                 let negs = negative.sample(graph, &[center, ctx], params.negatives, &mut rng);
                 let neg_idx: Vec<usize> = negs.iter().map(|x| x.index()).collect();
-                sgns_update(&mut input, &mut output, center.index(), ctx.index(), &neg_idx, params.lr);
+                sgns_update(
+                    &mut input,
+                    &mut output,
+                    center.index(),
+                    ctx.index(),
+                    &neg_idx,
+                    params.lr,
+                );
 
                 // Neighbor-enhancement pull: e_center toward the mean
                 // attribute projection of its neighbors.

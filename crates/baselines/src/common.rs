@@ -62,10 +62,8 @@ impl BaselineEmbeddings {
         let d = input.dim;
         let mut matrix = Matrix::zeros(n, d);
         for i in 0..n {
-            for (o, (&a, &b)) in matrix
-                .row_mut(i)
-                .iter_mut()
-                .zip(input.row(i).iter().zip(output.row(i)))
+            for (o, (&a, &b)) in
+                matrix.row_mut(i).iter_mut().zip(input.row(i).iter().zip(output.row(i)))
             {
                 *o = a + b;
             }
@@ -192,7 +190,6 @@ impl EdgeTypeHead {
             .unwrap_or(0)
     }
 }
-
 
 /// The shared pair feature map `[z_u ⊙ z_v ; z_v]`.
 fn pair_features(hu: &[f32], hv: &[f32]) -> Vec<f32> {

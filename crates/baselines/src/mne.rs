@@ -38,22 +38,19 @@ pub fn train_mne(
     let negative = UnigramNegative::new(graph, None, 0.75);
     let mix = 0.5f32; // the paper's `w`
 
-    let typed_embedding = |base: &EmbeddingTable,
-                           extra: &[EmbeddingTable],
-                           v: usize,
-                           t: usize|
-     -> Vec<f32> {
-        let mut h = base.row(v).to_vec();
-        let u = extra[t].row(v);
-        for (j, hj) in h.iter_mut().enumerate() {
-            let mut acc = 0.0;
-            for (i, &ui) in u.iter().enumerate() {
-                acc += x[t].get(i, j) * ui;
+    let typed_embedding =
+        |base: &EmbeddingTable, extra: &[EmbeddingTable], v: usize, t: usize| -> Vec<f32> {
+            let mut h = base.row(v).to_vec();
+            let u = extra[t].row(v);
+            for (j, hj) in h.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (i, &ui) in u.iter().enumerate() {
+                    acc += x[t].get(i, j) * ui;
+                }
+                *hj += mix * acc;
             }
-            *hj += mix * acc;
-        }
-        h
-    };
+            h
+        };
 
     for _ in 0..params.epochs {
         for t in 0..types {
@@ -76,8 +73,8 @@ pub fn train_mne(
                     for (center, ctx) in skipgram_pairs(&walk, params.window) {
                         let negs =
                             negative.sample(graph, &[center, ctx], params.negatives, &mut rng);
-                        for (other, label) in std::iter::once((ctx, true))
-                            .chain(negs.into_iter().map(|x| (x, false)))
+                        for (other, label) in
+                            std::iter::once((ctx, true)).chain(negs.into_iter().map(|x| (x, false)))
                         {
                             let h = typed_embedding(&base, &extra, center.index(), t);
                             let s = aligraph_tensor::dot(&h, context.row(other.index()));

@@ -24,9 +24,8 @@ pub fn train_mve(
     let mut rng = StdRng::seed_from_u64(params.seed);
     let negative = UnigramNegative::new(graph, None, 0.75);
 
-    let mut view_inputs: Vec<EmbeddingTable> = (0..views)
-        .map(|t| EmbeddingTable::new(n, params.dim, params.seed + t as u64))
-        .collect();
+    let mut view_inputs: Vec<EmbeddingTable> =
+        (0..views).map(|t| EmbeddingTable::new(n, params.dim, params.seed + t as u64)).collect();
     let mut view_outputs: Vec<EmbeddingTable> =
         (0..views).map(|_| EmbeddingTable::zeros(n, params.dim)).collect();
     // View quality: mean training loss (lower = better view).
@@ -94,12 +93,7 @@ pub fn train_mve(
     for (t, (inp, outp)) in view_inputs.iter().zip(&view_outputs).enumerate() {
         let w = attn[t] as f32;
         for i in 0..n {
-            for ((m, &a), &b) in matrix
-                .row_mut(i)
-                .iter_mut()
-                .zip(inp.row(i))
-                .zip(outp.row(i))
-            {
+            for ((m, &a), &b) in matrix.row_mut(i).iter_mut().zip(inp.row(i)).zip(outp.row(i)) {
                 *m += w * (a + b);
             }
         }

@@ -83,14 +83,8 @@ fn layer_corpus(
             continue;
         }
         for _ in 0..params.walks_per_vertex {
-            let walk = uniform_walk(
-                graph,
-                v,
-                params.walk_length,
-                Some(etype),
-                WalkDirection::Both,
-                rng,
-            );
+            let walk =
+                uniform_walk(graph, v, params.walk_length, Some(etype), WalkDirection::Both, rng);
             if walk.len() > 1 {
                 corpus.push(walk);
             }

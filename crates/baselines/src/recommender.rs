@@ -114,11 +114,8 @@ impl TrainedRecommender {
     ) -> Vec<VertexId> {
         let x = self.preference_row(graph, user);
         let scores = self.scores(&x);
-        let mut ranked: Vec<(usize, f32)> = scores
-            .into_iter()
-            .enumerate()
-            .filter(|&(col, _)| x[col] == 0.0)
-            .collect();
+        let mut ranked: Vec<(usize, f32)> =
+            scores.into_iter().enumerate().filter(|&(col, _)| x[col] == 0.0).collect();
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         ranked.into_iter().take(k).map(|(col, _)| self.items[col]).collect()
     }
@@ -140,12 +137,19 @@ pub fn train_recommender(
     let users: Vec<VertexId> = graph.vertices_of_type(config.user_type).to_vec();
     let num_items = items.len();
 
-    let mut encoder = DenseLayer::new(num_items, config.hidden, Activation::Tanh, config.lr, config.seed);
+    let mut encoder =
+        DenseLayer::new(num_items, config.hidden, Activation::Tanh, config.lr, config.seed);
     let mut decoder =
         DenseLayer::new(config.hidden, num_items, Activation::Sigmoid, config.lr, config.seed + 1);
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0xec);
 
-    let mut model = TrainedRecommender { encoder: encoder.clone(), decoder: decoder.clone(), items, item_col, kind: config.kind };
+    let mut model = TrainedRecommender {
+        encoder: encoder.clone(),
+        decoder: decoder.clone(),
+        items,
+        item_col,
+        kind: config.kind,
+    };
 
     for _ in 0..config.epochs {
         for &user in &users {
@@ -241,10 +245,7 @@ mod tests {
         let items = g.vertices_of_type(ITEM);
         let most = items[0];
         let least = items[items.len() - 1];
-        let (mc, lc) = (
-            model.item_column(most).unwrap(),
-            model.item_column(least).unwrap(),
-        );
+        let (mc, lc) = (model.item_column(most).unwrap(), model.item_column(least).unwrap());
         let mut most_sum = 0.0f32;
         let mut least_sum = 0.0f32;
         for &u in g.vertices_of_type(USER).iter().take(30) {
@@ -261,11 +262,8 @@ mod tests {
         let model = train_recommender(&g, &RecommenderConfig::dae_quick());
         let user = g.vertices_of_type(USER)[2];
         let row = model.preference_row(&g, user);
-        let interactions = g
-            .out_neighbors(user)
-            .iter()
-            .filter(|n| g.vertex_type(n.vertex) == ITEM)
-            .count();
+        let interactions =
+            g.out_neighbors(user).iter().filter(|n| g.vertex_type(n.vertex) == ITEM).count();
         let marked = row.iter().filter(|&&x| x > 0.0).count();
         assert!(marked <= interactions);
         assert!(marked >= 1 || interactions == 0);

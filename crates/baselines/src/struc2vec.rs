@@ -71,10 +71,8 @@ pub fn train_struc2vec(
         } else {
             (0..CANDIDATES).map(|_| rng.gen_range(0..n)).filter(|&u| u != v).collect()
         };
-        let mut scored: Vec<(usize, f32)> = candidates
-            .into_iter()
-            .map(|u| (u, distance(&signatures[v], &signatures[u])))
-            .collect();
+        let mut scored: Vec<(usize, f32)> =
+            candidates.into_iter().map(|u| (u, distance(&signatures[v], &signatures[u]))).collect();
         scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         sim_adj.push(scored.into_iter().take(KNN).map(|(u, _)| u as u32).collect());
     }
@@ -129,9 +127,8 @@ mod tests {
         let hub0 = emb.matrix.row(hubs[0].index());
         let hub1 = emb.matrix.row(hubs[1].index());
         let leaf = emb.matrix.row(hubs[0].index() + 1);
-        let d = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-        };
+        let d =
+            |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
         assert!(
             d(hub0, hub1) < d(hub0, leaf),
             "hubs {} apart vs hub-leaf {}",

@@ -43,7 +43,14 @@ pub fn train_tne(
                 for (center, ctx) in skipgram_pairs(walk, params.window) {
                     let negs = negative.sample(graph, &[center, ctx], params.negatives, &mut rng);
                     let neg_idx: Vec<usize> = negs.iter().map(|x| x.index()).collect();
-                    sgns_update(&mut input, &mut output, center.index(), ctx.index(), &neg_idx, params.lr);
+                    sgns_update(
+                        &mut input,
+                        &mut output,
+                        center.index(),
+                        ctx.index(),
+                        &neg_idx,
+                        params.lr,
+                    );
                     // Temporal smoothness pull toward the previous snapshot.
                     if let Some(prev) = &prev {
                         if smoothness > 0.0 {

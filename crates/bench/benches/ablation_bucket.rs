@@ -25,7 +25,7 @@ fn hammer(service: Arc<dyn WeightService>) {
     for t in threads {
         t.join().expect("worker");
     }
-    service.flush();
+    service.flush().expect("service running");
 }
 
 fn bench_buckets(c: &mut Criterion) {

@@ -3,7 +3,9 @@
 //! `platform_tour` example; this bench isolates speed.
 
 use aligraph_bench::taobao_small_bench;
-use aligraph_partition::{EdgeCutHash, Grid2D, MetisLike, Partitioner, StreamingLdg, VertexCutGreedy};
+use aligraph_partition::{
+    EdgeCutHash, Grid2D, MetisLike, Partitioner, StreamingLdg, VertexCutGreedy,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
@@ -19,9 +21,7 @@ fn bench_partitioners(c: &mut Criterion) {
         Box::new(MetisLike::default()),
     ];
     for p in &partitioners {
-        group.bench_function(p.name(), |b| {
-            b.iter(|| p.partition(&graph, 8).num_workers)
-        });
+        group.bench_function(p.name(), |b| b.iter(|| p.partition(&graph, 8).num_workers));
     }
     group.finish();
 }

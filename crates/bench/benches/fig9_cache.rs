@@ -22,14 +22,8 @@ fn bench_strategies(c: &mut Criterion) {
         ("lru", CacheStrategy::Lru { fraction: 0.2 }),
     ];
     for (name, strategy) in strategies {
-        let (cluster, _) = Cluster::build(
-            Arc::clone(&graph),
-            &EdgeCutHash,
-            8,
-            &strategy,
-            2,
-            CostModel::default(),
-        );
+        let (cluster, _) =
+            Cluster::build(Arc::clone(&graph), &EdgeCutHash, 8, &strategy, 2, CostModel::default());
         group.bench_function(name, |b| {
             let view = ClusterView { cluster: &cluster, from: WorkerId(0) };
             let mut rng = StdRng::seed_from_u64(3);

@@ -33,9 +33,7 @@ fn bench_samplers(c: &mut Criterion) {
     group.bench_function("traverse_512", |b| {
         let mut rng = StdRng::seed_from_u64(1);
         b.iter(|| {
-            UniformTraverse
-                .sample_edges(&graph, aligraph_graph::EdgeType(0), BATCH, &mut rng)
-                .len()
+            UniformTraverse.sample_edges(&graph, aligraph_graph::EdgeType(0), BATCH, &mut rng).len()
         })
     });
 

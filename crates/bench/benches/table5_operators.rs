@@ -24,11 +24,8 @@ fn bench_operators(c: &mut Criterion) {
             b.iter(|| {
                 let seeds: Vec<VertexId> =
                     (0..128).map(|_| VertexId(rng.gen_range(0..n))).collect();
-                let mut tape = if memoized {
-                    EpisodeTape::new()
-                } else {
-                    EpisodeTape::without_memoization()
-                };
+                let mut tape =
+                    if memoized { EpisodeTape::new() } else { EpisodeTape::without_memoization() };
                 let mut acc = 0.0f32;
                 for &v in &seeds {
                     let idx = encoder.forward(

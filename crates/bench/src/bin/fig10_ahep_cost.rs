@@ -39,16 +39,8 @@ fn main() {
     let ahep = train_hep(&graph, &ahep_cfg);
 
     header(&["method", "ms / batch", "working set KB / batch"]);
-    row(&[
-        "HEP".into(),
-        f(hep.cost.ms_per_batch, 2),
-        f(hep.cost.bytes_per_batch / 1024.0, 1),
-    ]);
-    row(&[
-        "AHEP".into(),
-        f(ahep.cost.ms_per_batch, 2),
-        f(ahep.cost.bytes_per_batch / 1024.0, 1),
-    ]);
+    row(&["HEP".into(), f(hep.cost.ms_per_batch, 2), f(hep.cost.bytes_per_batch / 1024.0, 1)]);
+    row(&["AHEP".into(), f(ahep.cost.ms_per_batch, 2), f(ahep.cost.bytes_per_batch / 1024.0, 1)]);
     println!(
         "\nAHEP speedup: {:.1}x   memory reduction: {:.1}x",
         hep.cost.ms_per_batch / ahep.cost.ms_per_batch,

@@ -55,5 +55,7 @@ fn main() {
     }
     println!("\n'cluster build' = partition + slowest shard's ingest (the distributed");
     println!("makespan; on a machine with >= `workers` cores it equals wall time).");
-    println!("paper: build time decreases w.r.t. workers; Taobao-large builds in ~5 min on 400 workers.");
+    println!(
+        "paper: build time decreases w.r.t. workers; Taobao-large builds in ~5 min on 400 workers."
+    );
 }

@@ -17,11 +17,7 @@ fn main() {
     header(&["threshold", "cached vertices (k=2)", "cached vertices (k=1)"]);
     let mut t = 0.05f64;
     while t <= 0.451 {
-        row(&[
-            format!("{t:.2}"),
-            pct(imp.cache_rate(2, t)),
-            pct(imp.cache_rate(1, t)),
-        ]);
+        row(&[format!("{t:.2}"), pct(imp.cache_rate(2, t)), pct(imp.cache_rate(1, t))]);
         t += 0.05;
     }
     println!("\npaper: drops drastically below 0.2, then flat; τ=0.2 caches ~20% of vertices.");

@@ -33,7 +33,14 @@ fn workload_cost(cluster: &Cluster, seed: u64) -> f64 {
 fn main() {
     println!("# Figure 9 — access cost vs fraction of cached vertices\n");
     let graph = Arc::new(taobao_small_bench());
-    header(&["cached fraction", "importance (ns/access)", "random (ns/access)", "LRU (ns/access)", "importance saves vs random", "vs LRU"]);
+    header(&[
+        "cached fraction",
+        "importance (ns/access)",
+        "random (ns/access)",
+        "LRU (ns/access)",
+        "importance saves vs random",
+        "vs LRU",
+    ]);
 
     for fraction in [0.0f64, 0.1, 0.2, 0.3, 0.4, 0.5] {
         let strategies = [

@@ -24,11 +24,9 @@ fn main() {
     let t = full.num_snapshots();
 
     // Training prefix: snapshots 0..T-1.
-    let prefix = DynamicGraph::new(
-        full.snapshots()[..t - 1].to_vec(),
-        full.deltas()[..t - 1].to_vec(),
-    )
-    .expect("prefix is aligned");
+    let prefix =
+        DynamicGraph::new(full.snapshots()[..t - 1].to_vec(), full.deltas()[..t - 1].to_vec())
+            .expect("prefix is aligned");
     let last_train = prefix.snapshot(prefix.num_snapshots() - 1).expect("non-empty");
     let classes = last_train.num_edge_types() as usize;
 
@@ -45,13 +43,7 @@ fn main() {
         classes
     );
 
-    header(&[
-        "method",
-        "normal micro-F1",
-        "normal macro-F1",
-        "burst micro-F1",
-        "burst macro-F1",
-    ]);
+    header(&["method", "normal micro-F1", "normal macro-F1", "burst micro-F1", "burst macro-F1"]);
 
     let walk_params = SkipGramParams { dim: 48, epochs: 2, ..SkipGramParams::quick() };
 

@@ -42,10 +42,8 @@ fn hr_at(
     let mut hits = 0usize;
     for &(user, truth) in tests {
         let zu = embed(user);
-        let mut scored: Vec<(VertexId, f32)> = items
-            .iter()
-            .map(|&i| (i, aligraph_tensor::dot(&zu, &embed(i))))
-            .collect();
+        let mut scored: Vec<(VertexId, f32)> =
+            items.iter().map(|&i| (i, aligraph_tensor::dot(&zu, &embed(i)))).collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         let want = gran(graph, truth);
         if scored.iter().take(k).any(|&(i, _)| gran(graph, i) == want) {
@@ -92,11 +90,7 @@ fn main() {
     let mut bayes_cfg = BayesianConfig::quick();
     bayes_cfg.prior_strength = 0.25; // stronger anchor: correct, don't replace
     let corrected = train_bayesian(
-        Matrix::from_vec(
-            prior_matrix.rows,
-            prior_matrix.cols,
-            prior_matrix.as_slice().to_vec(),
-        ),
+        Matrix::from_vec(prior_matrix.rows, prior_matrix.cols, prior_matrix.as_slice().to_vec()),
         &graph,
         &bayes_cfg,
     );

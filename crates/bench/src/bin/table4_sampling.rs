@@ -21,7 +21,14 @@ const ROUNDS: u32 = 20;
 
 fn main() {
     println!("# Table 4 — sampler time (batch = 512, ~20% importance cache)\n");
-    header(&["dataset", "workers", "cache rate", "TRAVERSE (ms)", "NEIGHBORHOOD (ms)", "NEGATIVE (ms)"]);
+    header(&[
+        "dataset",
+        "workers",
+        "cache rate",
+        "TRAVERSE (ms)",
+        "NEIGHBORHOOD (ms)",
+        "NEGATIVE (ms)",
+    ]);
 
     for (name, graph, workers) in [
         ("Taobao-small(sim)", Arc::new(taobao_small_bench()), 8usize),

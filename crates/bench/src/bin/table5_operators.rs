@@ -30,10 +30,12 @@ fn run(graph: &aligraph_graph::AttributedHeterogeneousGraph, memoized: bool) -> 
     let mut computes = 0;
     for _ in 0..ROUNDS {
         let seeds: Vec<VertexId> = (0..BATCH).map(|_| VertexId(rng.gen_range(0..n))).collect();
-        let mut tape = if memoized { EpisodeTape::new() } else { EpisodeTape::without_memoization() };
+        let mut tape =
+            if memoized { EpisodeTape::new() } else { EpisodeTape::without_memoization() };
         let t0 = Instant::now();
         for &v in &seeds {
-            let idx = encoder.forward(graph, &features, &UniformNeighborhood, v, &mut tape, &mut rng);
+            let idx =
+                encoder.forward(graph, &features, &UniformNeighborhood, v, &mut tape, &mut rng);
             std::hint::black_box(tape.output(idx)[0]);
         }
         total += t0.elapsed().as_secs_f64() * 1e3;
@@ -46,11 +48,16 @@ fn run(graph: &aligraph_graph::AttributedHeterogeneousGraph, memoized: bool) -> 
 
 fn main() {
     println!("# Table 5 — operator time with/without the materialization cache\n");
-    header(&["dataset", "W/O cache (ms/batch)", "with cache (ms/batch)", "speedup", "cache hit rate"]);
-    for (name, graph) in [
-        ("Taobao-small(sim)", taobao_small_bench()),
-        ("Taobao-large(sim)", taobao_large_bench()),
-    ] {
+    header(&[
+        "dataset",
+        "W/O cache (ms/batch)",
+        "with cache (ms/batch)",
+        "speedup",
+        "cache hit rate",
+    ]);
+    for (name, graph) in
+        [("Taobao-small(sim)", taobao_small_bench()), ("Taobao-large(sim)", taobao_large_bench())]
+    {
         let (without_ms, _, _) = run(&graph, false);
         let (with_ms, hits, computes) = run(&graph, true);
         row(&[

@@ -62,10 +62,9 @@ fn main() {
         ..GatneConfig::quick()
     };
 
-    for (dataset, graph, taobao) in [
-        ("Amazon(sim)", amazon_algo(), false),
-        ("Taobao-small(sim)", taobao_algo(), true),
-    ] {
+    for (dataset, graph, taobao) in
+        [("Amazon(sim)", amazon_algo(), false), ("Taobao-small(sim)", taobao_algo(), true)]
+    {
         println!("\n## {dataset}\n");
         let split = aligraph_eval::link_prediction_split(&graph, 0.15, 88);
         header(&["method", "ROC-AUC", "PR-AUC", "F1"]);
@@ -88,7 +87,8 @@ fn main() {
         row(&cells(
             "Metapath2Vec",
             run_all.then(|| {
-                let pattern = if taobao { vec![USER, ITEM] } else { vec![aligraph_graph::VertexType(0)] };
+                let pattern =
+                    if taobao { vec![USER, ITEM] } else { vec![aligraph_graph::VertexType(0)] };
                 eval(&train_metapath2vec(&split.train, &params, &pattern))
             }),
         ));
@@ -108,5 +108,7 @@ fn main() {
         row(&cells("MNE", Some(eval(&train_mne(&split.train, &params)))));
         row(&cells("GATNE", Some(gatne_metrics(&split, &gatne_cfg))));
     }
-    println!("\npaper: GATNE tops every column (Amazon 96.25/94.77/91.36; Taobao 84.20/95.04/89.94).");
+    println!(
+        "\npaper: GATNE tops every column (Amazon 96.25/94.77/91.36; Taobao 84.20/95.04/89.94)."
+    );
 }

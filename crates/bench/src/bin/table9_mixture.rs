@@ -46,8 +46,7 @@ fn main() {
         (
             "Mixture GNN",
             Box::new(|u, k| {
-                let seen: Vec<VertexId> =
-                    train.out_neighbors(u).iter().map(|n| n.vertex).collect();
+                let seen: Vec<VertexId> = train.out_neighbors(u).iter().map(|n| n.vertex).collect();
                 let candidates: Vec<VertexId> =
                     items.iter().copied().filter(|i| !seen.contains(i)).collect();
                 let mut ranked = mixture.recommend(u, &candidates);
@@ -58,10 +57,8 @@ fn main() {
     ] {
         let mut hrs = Vec::new();
         for &k in &ks {
-            let hits: Vec<bool> = truth
-                .iter()
-                .map(|&(u, item)| recommend(u, k).contains(&item))
-                .collect();
+            let hits: Vec<bool> =
+                truth.iter().map(|&(u, item)| recommend(u, k).contains(&item)).collect();
             hrs.push(hr(&hits));
         }
         results.push((name, hrs));
@@ -71,5 +68,7 @@ fn main() {
     for (name, hrs) in &results {
         row(&[name.to_string(), f(hrs[0], 5), f(hrs[1], 5)]);
     }
-    println!("\npaper: DAE 0.126/0.216, beta*-VAE 0.118/0.200, Mixture GNN 0.143/0.237 (~+2 points).");
+    println!(
+        "\npaper: DAE 0.126/0.216, beta*-VAE 0.118/0.200, Mixture GNN 0.143/0.237 (~+2 points)."
+    );
 }

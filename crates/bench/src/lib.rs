@@ -15,10 +15,7 @@ use aligraph_graph::{AttributedHeterogeneousGraph, DynamicGraph};
 
 /// The global linear scale multiplier.
 pub fn scale() -> f64 {
-    std::env::var("ALIGRAPH_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0)
+    std::env::var("ALIGRAPH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
 }
 
 /// True when `ALIGRAPH_FAST=1`.
@@ -102,11 +99,8 @@ pub fn leave_one_out(
     let mut held: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
     let mut truth = Vec::new();
     for &u in graph.vertices_of_type(USER) {
-        let items: Vec<_> = graph
-            .out_neighbors(u)
-            .iter()
-            .filter(|n| graph.vertex_type(n.vertex) == ITEM)
-            .collect();
+        let items: Vec<_> =
+            graph.out_neighbors(u).iter().filter(|n| graph.vertex_type(n.vertex) == ITEM).collect();
         if items.len() >= 2 {
             let pick = items[rng.gen_range(0..items.len())];
             held.insert(u.0, pick.edge.0);

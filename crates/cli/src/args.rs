@@ -46,18 +46,14 @@ impl Args {
     /// Parses `argv` (without the program name).
     pub fn parse(argv: &[String]) -> Result<Args, CliError> {
         let mut it = argv.iter();
-        let command = it
-            .next()
-            .cloned()
-            .ok_or_else(|| CliError::Usage(crate::HELP.to_string()))?;
+        let command = it.next().cloned().ok_or_else(|| CliError::Usage(crate::HELP.to_string()))?;
         let mut options = HashMap::new();
         while let Some(key) = it.next() {
             let key = key
                 .strip_prefix("--")
                 .ok_or_else(|| CliError::Usage(format!("expected --option, got `{key}`")))?;
-            let value = it
-                .next()
-                .ok_or_else(|| CliError::Usage(format!("--{key} requires a value")))?;
+            let value =
+                it.next().ok_or_else(|| CliError::Usage(format!("--{key} requires a value")))?;
             options.insert(key.to_string(), value.clone());
         }
         Ok(Args { command, options })
@@ -80,9 +76,9 @@ impl Args {
     pub fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
         match self.options.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| CliError::Usage(format!("--{key}: cannot parse `{v}`"))),
+            Some(v) => {
+                v.parse().map_err(|_| CliError::Usage(format!("--{key}: cannot parse `{v}`")))
+            }
         }
     }
 }
@@ -108,14 +104,8 @@ mod tests {
     #[test]
     fn rejects_malformed_invocations() {
         assert!(matches!(Args::parse(&[]), Err(CliError::Usage(_))));
-        assert!(matches!(
-            Args::parse(&argv(&["train", "positional"])),
-            Err(CliError::Usage(_))
-        ));
-        assert!(matches!(
-            Args::parse(&argv(&["train", "--graph"])),
-            Err(CliError::Usage(_))
-        ));
+        assert!(matches!(Args::parse(&argv(&["train", "positional"])), Err(CliError::Usage(_))));
+        assert!(matches!(Args::parse(&argv(&["train", "--graph"])), Err(CliError::Usage(_))));
         let a = Args::parse(&argv(&["train", "--dim", "abc"])).unwrap();
         assert!(matches!(a.num_or("dim", 8usize), Err(CliError::Usage(_))));
         assert!(matches!(a.required("graph"), Err(CliError::Usage(_))));

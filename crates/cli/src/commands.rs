@@ -6,9 +6,7 @@ use aligraph::models::gatne::{train_gatne, GatneConfig};
 use aligraph::models::graphsage::{train_graphsage, GraphSageConfig};
 use aligraph::models::hep::{train_hep, HepConfig};
 use aligraph::{evaluate_split, select_model, Candidate, EmbeddingModel};
-use aligraph_baselines::{
-    train_deepwalk, train_line, train_node2vec, LineOrder, SkipGramParams,
-};
+use aligraph_baselines::{train_deepwalk, train_line, train_node2vec, LineOrder, SkipGramParams};
 use aligraph_eval::link_prediction_split;
 use aligraph_graph::generate::{amazon_sim_scaled, barabasi_albert, TaobaoConfig};
 use aligraph_graph::powerlaw::{fit_exponent, head_mass};
@@ -21,8 +19,8 @@ use std::fs::File;
 
 fn load(args: &Args) -> Result<AttributedHeterogeneousGraph, CliError> {
     let path = args.required("graph")?;
-    let file = File::open(path)
-        .map_err(|e| CliError::Runtime(format!("cannot open {path}: {e}")))?;
+    let file =
+        File::open(path).map_err(|e| CliError::Runtime(format!("cannot open {path}: {e}")))?;
     Ok(read_graph(file)?)
 }
 
@@ -78,7 +76,8 @@ pub fn stats(args: &Args) -> Result<String, CliError> {
         g.naive_attribute_bytes()
     )
     .ok();
-    writeln!(out, "mean degree:     {:.2}", degs.iter().sum::<f64>() / degs.len().max(1) as f64).ok();
+    writeln!(out, "mean degree:     {:.2}", degs.iter().sum::<f64>() / degs.len().max(1) as f64)
+        .ok();
     writeln!(out, "top-20%% degree mass: {:.1}%", head_mass(&degs, 0.2) * 100.0).ok();
     if let Some(fit) = fit_exponent(&degs, 2.0, 30) {
         writeln!(out, "power-law fit:   alpha = {:.2} (tail {})", fit.alpha, fit.tail_len).ok();
@@ -207,6 +206,151 @@ pub fn automl(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `aligraph serve-bench [--requests N] [--clients N] [--workers N]
+/// [--scale F] [--seed N] [--delta-every-ms N] [--batch N] [--queue N]
+/// [--cache N]` — replays a synthetic Taobao-small request stream against
+/// the online serving layer while a writer thread interleaves dynamic graph
+/// updates, then prints the latency/throughput report.
+pub fn serve_bench(args: &Args) -> Result<String, CliError> {
+    use aligraph_graph::dynamic::{EdgeEvent, EvolutionKind, SnapshotDelta};
+    use aligraph_graph::ids::well_known::CLICK;
+    use aligraph_graph::VertexId;
+    use aligraph_sampling::WeightedNeighborhood;
+    use aligraph_serving::{ServeError, ServingConfig, ServingService};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let requests: u64 = args.num_or("requests", 10_000u64)?;
+    let clients: usize = args.num_or("clients", 4usize)?.max(1);
+    let workers: usize = args.num_or("workers", 2usize)?.max(1);
+    let scale: f64 = args.num_or("scale", 0.1)?;
+    let seed: u64 = args.num_or("seed", 42u64)?;
+    let delta_every_ms: u64 = args.num_or("delta-every-ms", 2u64)?.max(1);
+    let config = ServingConfig {
+        workers,
+        max_batch: args.num_or("batch", 32usize)?,
+        queue_capacity: args.num_or("queue", 512usize)?,
+        cache_capacity: args.num_or("cache", 4_096usize)?,
+        seed,
+        ..Default::default()
+    };
+
+    let mut cfg = TaobaoConfig::small_sim().scaled(scale);
+    cfg.seed = seed;
+    let graph = Arc::new(cfg.generate()?);
+    let n = graph.num_vertices() as u32;
+    let service = ServingService::start(Arc::clone(&graph), WeightedNeighborhood, config);
+
+    let done = AtomicBool::new(false);
+    let start = Instant::now();
+    // (completed, retries, failures) across clients; (applied, invalidated)
+    // from the delta writer.
+    let (served, retries, failures, applied, invalidated) = std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            // Each update adds a handful of random CLICK edges and retracts
+            // the previous update's additions, so the graph churns without
+            // growing — the paper's "dynamically changed subgraphs".
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xd17a);
+            let mut prev: Vec<EdgeEvent> = Vec::new();
+            let mut applied = 0u64;
+            let mut invalidated = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                let added: Vec<EdgeEvent> = (0..8)
+                    .map(|_| EdgeEvent {
+                        src: VertexId(rng.gen_range(0..n)),
+                        dst: VertexId(rng.gen_range(0..n)),
+                        etype: CLICK,
+                        kind: EvolutionKind::Normal,
+                    })
+                    .collect();
+                let delta =
+                    SnapshotDelta { added: added.clone(), removed: std::mem::take(&mut prev) };
+                invalidated += service.apply_delta(&delta) as u64;
+                prev = added;
+                applied += 1;
+                std::thread::sleep(Duration::from_millis(delta_every_ms));
+            }
+            (applied, invalidated)
+        });
+
+        let client_handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let todo =
+                    requests / clients as u64 + if c == 0 { requests % clients as u64 } else { 0 };
+                let service = &service;
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed ^ (c as u64).wrapping_mul(7919) ^ 1);
+                    let (mut ok, mut retries, mut failures) = (0u64, 0u64, 0u64);
+                    while ok < todo {
+                        // Zipf-ish popularity: cubing the uniform draw skews
+                        // traffic heavily toward low vertex ids.
+                        let r: f64 = rng.gen();
+                        let u = VertexId(((n as f64 * r * r * r) as u32).min(n - 1));
+                        let outcome = if rng.gen_bool(0.2) {
+                            let r2: f64 = rng.gen();
+                            let v = VertexId(((n as f64 * r2 * r2 * r2) as u32).min(n - 1));
+                            service.score(u, v).map(|_| ())
+                        } else {
+                            service.embedding(u).map(|_| ())
+                        };
+                        match outcome {
+                            Ok(()) => ok += 1,
+                            Err(ServeError::Overloaded { retry_after_ms, .. }) => {
+                                retries += 1;
+                                std::thread::sleep(Duration::from_millis(retry_after_ms.min(5)));
+                            }
+                            Err(_) => {
+                                failures += 1;
+                                break;
+                            }
+                        }
+                    }
+                    (ok, retries, failures)
+                })
+            })
+            .collect();
+
+        let (mut ok, mut retries, mut failures) = (0u64, 0u64, 0u64);
+        for h in client_handles {
+            let (o, r, f) = h.join().expect("client thread");
+            ok += o;
+            retries += r;
+            failures += f;
+        }
+        done.store(true, Ordering::Relaxed);
+        let (applied, invalidated) = writer.join().expect("delta writer");
+        (ok, retries, failures, applied, invalidated)
+    });
+
+    let elapsed = start.elapsed();
+    let report = service.report(elapsed);
+    service.shutdown();
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "serve-bench: {served} requests served by {workers} workers ({clients} clients) over \
+         {} vertices / {} edges in {elapsed:.2?}",
+        graph.num_vertices(),
+        graph.num_edges(),
+    )
+    .ok();
+    writeln!(
+        out,
+        "dynamic updates: {applied} deltas applied concurrently, {invalidated} cache entries \
+         invalidated, {retries} overload retries, {failures} failures",
+    )
+    .ok();
+    writeln!(out, "{report}").ok();
+    if failures > 0 {
+        return Err(CliError::Runtime(format!("{failures} requests failed\n\n{out}")));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,20 +368,18 @@ mod tests {
     #[test]
     fn generate_stats_partition_roundtrip() {
         let path = tmp("toy.tsv");
-        let msg = generate(&args(&[
-            "generate", "--kind", "taobao", "--scale", "0.002", "--out", &path,
-        ]))
-        .unwrap();
+        let msg =
+            generate(&args(&["generate", "--kind", "taobao", "--scale", "0.002", "--out", &path]))
+                .unwrap();
         assert!(msg.contains("wrote"));
 
         let s = stats(&args(&["stats", "--graph", &path])).unwrap();
         assert!(s.contains("vertices:"));
         assert!(s.contains("edge types:      4"));
 
-        let p = partition(&args(&[
-            "partition", "--graph", &path, "--workers", "4", "--algo", "ldg",
-        ]))
-        .unwrap();
+        let p =
+            partition(&args(&["partition", "--graph", &path, "--workers", "4", "--algo", "ldg"]))
+                .unwrap();
         assert!(p.contains("streaming-ldg"), "{p}");
         assert!(p.contains("edge-cut"));
     }
@@ -257,16 +399,39 @@ mod tests {
         let first = content.lines().next().unwrap();
         assert_eq!(first.split('\t').count(), 17); // id + 16 dims
 
-        let e = eval(&args(&["eval", "--graph", &path, "--model", "deepwalk", "--dim", "16"]))
-            .unwrap();
+        let e =
+            eval(&args(&["eval", "--graph", &path, "--model", "deepwalk", "--dim", "16"])).unwrap();
         assert!(e.contains("ROC-AUC"), "{e}");
+    }
+
+    #[test]
+    fn serve_bench_reports_latency_and_cache_evidence() {
+        let out = serve_bench(&args(&[
+            "serve-bench",
+            "--requests",
+            "400",
+            "--clients",
+            "2",
+            "--workers",
+            "2",
+            "--scale",
+            "0.003",
+            "--delta-every-ms",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("400 requests served"), "{out}");
+        assert!(out.contains("p50"), "{out}");
+        assert!(out.contains("req/s"), "{out}");
+        assert!(out.contains("embedding cache: hit rate"), "{out}");
+        assert!(out.contains("deltas applied"), "{out}");
+        assert!(out.contains("0 failures"), "{out}");
     }
 
     #[test]
     fn unknown_options_error_cleanly() {
         let path = tmp("toy3.tsv");
-        generate(&args(&["generate", "--kind", "ba", "--scale", "0.002", "--out", &path]))
-            .unwrap();
+        generate(&args(&["generate", "--kind", "ba", "--scale", "0.002", "--out", &path])).unwrap();
         assert!(matches!(
             partition(&args(&["partition", "--graph", &path, "--algo", "nope"])),
             Err(CliError::Usage(_))

@@ -31,6 +31,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "train" => commands::train(&args),
         "eval" => commands::eval(&args),
         "automl" => commands::automl(&args),
+        "serve-bench" => commands::serve_bench(&args),
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
         other => Err(CliError::Usage(format!("unknown command `{other}`\n\n{HELP}"))),
     }
@@ -50,5 +51,6 @@ COMMANDS:
     train      train embeddings          --graph FILE [--model graphsage|deepwalk|node2vec|line|gatne|hep] [--dim N] --out FILE
     eval       link-prediction metrics   --graph FILE [--model ...] [--test-fraction F] [--seed N]
     automl     model-selection tournament --graph FILE
+    serve-bench online-serving load test  [--requests N] [--clients N] [--workers N] [--scale F] [--seed N] [--delta-every-ms N] [--batch N] [--queue N] [--cache N]
     help       this text
 ";

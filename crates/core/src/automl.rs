@@ -78,10 +78,7 @@ pub fn select_model(
         })
         .collect();
     results.sort_by(|a, b| {
-        b.metrics
-            .roc_auc
-            .partial_cmp(&a.metrics.roc_auc)
-            .unwrap_or(std::cmp::Ordering::Equal)
+        b.metrics.roc_auc.partial_cmp(&a.metrics.roc_auc).unwrap_or(std::cmp::Ordering::Equal)
     });
     Leaderboard { results }
 }

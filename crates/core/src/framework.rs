@@ -192,6 +192,7 @@ impl GnnEncoder {
         self.embed(access, features, sampler, v, self.kmax(), tape, rng)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn embed<A: NeighborAccess, S: NeighborhoodSampler, R: Rng>(
         &self,
         access: &A,
@@ -248,6 +249,7 @@ impl GnnEncoder {
         idx
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn child<A: NeighborAccess, S: NeighborhoodSampler, R: Rng>(
         &self,
         access: &A,
@@ -351,10 +353,7 @@ fn route(tape: &mut EpisodeTape, _features: &FeatureMatrix, child: Child, grad: 
             }
         }
         Child::Feature(v) => {
-            let entry = tape
-                .feature_grads
-                .entry(v.0)
-                .or_insert_with(|| vec![0.0; grad.len()]);
+            let entry = tape.feature_grads.entry(v.0).or_insert_with(|| vec![0.0; grad.len()]);
             for (a, &b) in entry.iter_mut().zip(grad) {
                 *a += b;
             }
@@ -471,7 +470,7 @@ mod tests {
         let mut tape = EpisodeTape::new();
         let mut rng = StdRng::seed_from_u64(7);
         let idx = enc.forward(&g, &f, &UniformNeighborhood, VertexId(1), &mut tape, &mut rng);
-        tape.add_grad(idx, &vec![1.0; 8]);
+        tape.add_grad(idx, &[1.0; 8]);
         enc.backward(&mut tape, &f);
         assert!(!tape.feature_grads.is_empty());
         // The target vertex itself must receive a feature gradient.
@@ -548,7 +547,7 @@ mod neural_aggregator_tests {
         assert_eq!(tape.output(idx).len(), 8);
         assert!(tape.output(idx).iter().all(|x| x.is_finite()));
         // Backward runs through the straight-through LSTM route.
-        tape.add_grad(idx, &vec![1.0; 8]);
+        tape.add_grad(idx, &[1.0; 8]);
         enc.backward(&mut tape, &f);
         enc.step(1);
     }
@@ -566,7 +565,7 @@ mod neural_aggregator_tests {
         // A training step with the trainable pooling layer in the loop.
         let mut tape = EpisodeTape::new();
         let idx = enc.forward(&g, &f, &UniformNeighborhood, seeds[0], &mut tape, &mut rng);
-        tape.add_grad(idx, &vec![0.5; 8]);
+        tape.add_grad(idx, &[0.5; 8]);
         enc.backward(&mut tape, &f);
         enc.step(1);
     }

@@ -85,10 +85,7 @@ impl TrainedEvolving {
     /// Per-class scores of a candidate edge.
     pub fn class_scores(&self, u: VertexId, v: VertexId) -> Vec<f32> {
         let feat = self.pair_features(u, v);
-        self.class_weights
-            .iter()
-            .map(|w| w.iter().zip(&feat).map(|(&r, &x)| r * x).sum())
-            .collect()
+        self.class_weights.iter().map(|w| w.iter().zip(&feat).map(|(&r, &x)| r * x).sum()).collect()
     }
 
     /// Predicted edge type of a candidate edge.
@@ -182,11 +179,10 @@ pub fn train_evolving(dynamic: &DynamicGraph, config: &EvolvingConfig) -> Traine
     }
 
     // ---- Edge-type head on the final snapshot. ----
-    let last = dynamic
-        .snapshot(dynamic.num_snapshots() - 1)
-        .expect("non-empty");
+    let last = dynamic.snapshot(dynamic.num_snapshots() - 1).expect("non-empty");
     let num_classes = last.num_edge_types() as usize;
-    let mut model = TrainedEvolving { states, class_weights: vec![vec![0.1f32; 2 * d]; num_classes] };
+    let mut model =
+        TrainedEvolving { states, class_weights: vec![vec![0.1f32; 2 * d]; num_classes] };
     for _ in 0..config.head_epochs {
         for v in last.vertices() {
             for nb in last.out_neighbors(v) {

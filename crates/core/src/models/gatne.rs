@@ -273,12 +273,12 @@ fn train_pair(
     let (_, attn) = model.mixed_specific(center, c);
     let s = config.specific_dim;
     let mut dmixed = vec![0.0f32; s];
-    for i in 0..s {
+    for (i, dm) in dmixed.iter_mut().enumerate() {
         let mut acc = 0.0;
         for (j, &dj) in dh.iter().enumerate() {
             acc += model.m[c].get(i, j) * dj;
         }
-        dmixed[i] = config.alpha * acc;
+        *dm = config.alpha * acc;
     }
     for (t, &a) in attn.iter().enumerate() {
         if a > 1e-6 {
@@ -291,10 +291,10 @@ fn train_pair(
     let mat_lr = lr * 0.01;
     // M_c gradient: α · mixed ⊗ dh.
     let (mixed, _) = model.mixed_specific(center, c);
-    for i in 0..s {
+    for (i, &mi) in mixed.iter().enumerate().take(s) {
         for (j, &dj) in dh.iter().enumerate() {
             let cur = model.m[c].get(i, j);
-            model.m[c].set(i, j, (cur - mat_lr * config.alpha * mixed[i] * dj).clamp(-5.0, 5.0));
+            model.m[c].set(i, j, (cur - mat_lr * config.alpha * mi * dj).clamp(-5.0, 5.0));
         }
     }
     // D gradient: β · x ⊗ dh.

@@ -42,7 +42,14 @@ impl GraphSageConfig {
             dims: vec![24, 16],
             fanouts: vec![6, 3],
             lr: 0.03,
-            train: TrainConfig { epochs: 4, batches_per_epoch: 12, batch_size: 24, negatives: 4, seed: 11, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 4,
+                batches_per_epoch: 12,
+                batch_size: 24,
+                negatives: 4,
+                seed: 11,
+                ..TrainConfig::default()
+            },
         }
     }
 }

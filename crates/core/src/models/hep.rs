@@ -160,8 +160,7 @@ pub fn train_hep(graph: &AttributedHeterogeneousGraph, config: &HepConfig) -> Tr
                     epoch_loss += (config.alpha * term) as f64;
                     terms += 1;
 
-                    let gv: Vec<f32> =
-                        diff.iter().map(|d| 2.0 * config.alpha * d).collect();
+                    let gv: Vec<f32> = diff.iter().map(|d| 2.0 * config.alpha * d).collect();
                     table.sgd_update(v.index(), &gv, config.lr);
                     let gu_scale = -2.0 * config.alpha * inv;
                     for &u in &chosen {
@@ -179,8 +178,7 @@ pub fn train_hep(graph: &AttributedHeterogeneousGraph, config: &HepConfig) -> Tr
                     let negs = negative.sample(graph, &[v, pos], 2, &mut rng);
                     epoch_loss += pair_update(&mut table, v, pos, true, config.lr) as f64;
                     for nvx in negs {
-                        epoch_loss +=
-                            pair_update(&mut table, v, nvx, false, config.lr) as f64;
+                        epoch_loss += pair_update(&mut table, v, nvx, false, config.lr) as f64;
                     }
                     terms += 3;
                 }
@@ -241,13 +239,7 @@ fn adaptive_sample(
         .collect()
 }
 
-fn pair_update(
-    table: &mut EmbeddingTable,
-    u: VertexId,
-    v: VertexId,
-    label: bool,
-    lr: f32,
-) -> f32 {
+fn pair_update(table: &mut EmbeddingTable, u: VertexId, v: VertexId, label: bool, lr: f32) -> f32 {
     let s = table.dot_rows(u.index(), v.index());
     let g = logistic_grad(s, label);
     let gu: Vec<f32> = table.row(v.index()).iter().map(|&x| g * x).collect();
@@ -305,8 +297,7 @@ mod tests {
     #[test]
     fn adaptive_sample_keeps_all_when_budget_suffices() {
         let g = TaobaoConfig::tiny().generate().unwrap();
-        let bucket: Vec<(VertexId, f32)> =
-            vec![(VertexId(0), 1.0), (VertexId(1), 1.0)];
+        let bucket: Vec<(VertexId, f32)> = vec![(VertexId(0), 1.0), (VertexId(1), 1.0)];
         let mut rng = StdRng::seed_from_u64(1);
         let s = adaptive_sample(&g, &bucket, 5, &mut rng);
         assert_eq!(s.len(), 2);

@@ -76,11 +76,11 @@ impl LevelGraph {
 
     fn from_dense(a: &Matrix) -> Self {
         let mut adj: Vec<Vec<(usize, f32)>> = vec![Vec::new(); a.rows];
-        for i in 0..a.rows {
+        for (i, row) in adj.iter_mut().enumerate() {
             for j in 0..a.cols {
                 let w = a.get(i, j);
                 if w > 1e-6 && i != j {
-                    adj[i].push((j, w));
+                    row.push((j, w));
                 }
             }
         }
@@ -184,7 +184,15 @@ pub fn train_hierarchical(
         // ---- (i) level embedding: SGNS on the level's edges, smoothed by
         // one propagation pass (Z = Â E) — the single-layer GNN of the
         // level. ----
-        let e = sgns_on_level(&level, config.dim, config.epochs, config.pairs_per_epoch, config.lr, config.seed + l as u64, &mut rng);
+        let e = sgns_on_level(
+            &level,
+            config.dim,
+            config.epochs,
+            config.pairs_per_epoch,
+            config.lr,
+            config.seed + l as u64,
+            &mut rng,
+        );
         // One propagation pass (Â E): the level's single-layer GNN;
         // smoothing the SGNS embedding over the neighborhood is what lifts
         // it above the flat baseline.

@@ -95,10 +95,8 @@ impl TrainedMixture {
 
     /// Ranks `candidates` for `user` by best-sense score, descending.
     pub fn recommend(&self, user: VertexId, candidates: &[VertexId]) -> Vec<VertexId> {
-        let mut scored: Vec<(VertexId, f32)> = candidates
-            .iter()
-            .map(|&c| (c, self.score_best_sense(user, c)))
-            .collect();
+        let mut scored: Vec<(VertexId, f32)> =
+            candidates.iter().map(|&c| (c, self.score_best_sense(user, c))).collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         scored.into_iter().map(|(c, _)| c).collect()
     }
@@ -111,7 +109,10 @@ impl EmbeddingModel for TrainedMixture {
 }
 
 /// Trains the mixture model with hard-EM sense assignment.
-pub fn train_mixture(graph: &AttributedHeterogeneousGraph, config: &MixtureConfig) -> TrainedMixture {
+pub fn train_mixture(
+    graph: &AttributedHeterogeneousGraph,
+    config: &MixtureConfig,
+) -> TrainedMixture {
     let n = graph.num_vertices();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut sense_tables: Vec<EmbeddingTable> = (0..config.senses)
@@ -124,20 +125,16 @@ pub fn train_mixture(graph: &AttributedHeterogeneousGraph, config: &MixtureConfi
     for _ in 0..config.epochs {
         for v in graph.vertices() {
             for _ in 0..config.walks_per_vertex {
-                let walk = uniform_walk(
-                    graph,
-                    v,
-                    config.walk_length,
-                    None,
-                    WalkDirection::Both,
-                    &mut rng,
-                );
+                let walk =
+                    uniform_walk(graph, v, config.walk_length, None, WalkDirection::Both, &mut rng);
                 for (center, ctx) in skipgram_pairs(&walk, config.window) {
                     // E-step (hard): pick the sense explaining the pair best.
                     let best = (0..config.senses)
                         .max_by(|&a, &b| {
-                            let sa = sense_tables[a].dot_with(center.index(), &context, ctx.index());
-                            let sb = sense_tables[b].dot_with(center.index(), &context, ctx.index());
+                            let sa =
+                                sense_tables[a].dot_with(center.index(), &context, ctx.index());
+                            let sb =
+                                sense_tables[b].dot_with(center.index(), &context, ctx.index());
                             sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
                         })
                         .expect("senses >= 1");

@@ -5,7 +5,9 @@
 use crate::framework::{EpisodeTape, GnnEncoder};
 use aligraph_eval::{LinkMetrics, LinkSplit};
 use aligraph_graph::{AttributedHeterogeneousGraph, FeatureMatrix, VertexId};
-use aligraph_sampling::{NegativeSampler, NeighborhoodSampler, TraverseSampler, UniformNegative, UniformTraverse};
+use aligraph_sampling::{
+    NegativeSampler, NeighborhoodSampler, TraverseSampler, UniformNegative, UniformTraverse,
+};
 use aligraph_tensor::loss::{logistic_grad, logistic_loss};
 use aligraph_tensor::Matrix;
 use rand::rngs::StdRng;
@@ -111,9 +113,7 @@ pub fn train_unsupervised<S: NeighborhoodSampler>(
         for _ in 0..config.batches_per_epoch {
             let mut tape = EpisodeTape::new();
             // One positive edge per element, any edge type.
-            let etype = aligraph_graph::EdgeType(
-                rng.gen_range(0..graph.num_edge_types().max(1)),
-            );
+            let etype = aligraph_graph::EdgeType(rng.gen_range(0..graph.num_edge_types().max(1)));
             let edges = UniformTraverse.sample_edges(graph, etype, config.batch_size, &mut rng);
             if edges.is_empty() {
                 continue;
@@ -225,14 +225,17 @@ mod tests {
         let g = TaobaoConfig::tiny().generate().unwrap();
         let f = Featurizer::new(16).matrix(&g);
         let mut enc = GnnEncoder::sage(16, &[16], &[5], 0.05, 1);
-        let cfg = TrainConfig { epochs: 4, batches_per_epoch: 10, batch_size: 16, negatives: 3, seed: 2, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 4,
+            batches_per_epoch: 10,
+            batch_size: 16,
+            negatives: 3,
+            seed: 2,
+            ..TrainConfig::default()
+        };
         let report = train_unsupervised(&mut enc, &g, &f, &UniformNeighborhood, &cfg);
         assert_eq!(report.epoch_losses.len(), 4);
-        assert!(
-            report.final_loss() < report.epoch_losses[0],
-            "{:?}",
-            report.epoch_losses
-        );
+        assert!(report.final_loss() < report.epoch_losses[0], "{:?}", report.epoch_losses);
     }
 
     #[test]
@@ -241,7 +244,14 @@ mod tests {
         let split = link_prediction_split(&g, 0.15, 3);
         let f = Featurizer::new(32).with_identity().matrix(&split.train);
         let mut enc = GnnEncoder::sage(32, &[32, 16], &[6, 3], 0.02, 4);
-        let cfg = TrainConfig { epochs: 8, batches_per_epoch: 20, batch_size: 24, negatives: 4, seed: 5, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 8,
+            batches_per_epoch: 20,
+            batch_size: 24,
+            negatives: 4,
+            seed: 5,
+            ..TrainConfig::default()
+        };
         train_unsupervised(&mut enc, &split.train, &f, &UniformNeighborhood, &cfg);
         let model = embed_all(&enc, &split.train, &f, &UniformNeighborhood, 6);
         let metrics = evaluate_split(&model, &split);

@@ -9,7 +9,5 @@
 pub mod metrics;
 pub mod split;
 
-pub use metrics::{
-    best_f1, hit_rate_at_k, macro_f1, micro_f1, pr_auc, roc_auc, LinkMetrics,
-};
+pub use metrics::{best_f1, hit_rate_at_k, macro_f1, micro_f1, pr_auc, roc_auc, LinkMetrics};
 pub use split::{link_prediction_split, HeldOutEdge, LinkSplit};

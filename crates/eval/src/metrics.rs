@@ -156,11 +156,7 @@ pub struct LinkMetrics {
 impl LinkMetrics {
     /// Computes all three from scored pairs.
     pub fn from_scored(scored: &[(f32, bool)]) -> Self {
-        LinkMetrics {
-            roc_auc: roc_auc(scored),
-            pr_auc: pr_auc(scored),
-            f1: best_f1(scored),
-        }
+        LinkMetrics { roc_auc: roc_auc(scored), pr_auc: pr_auc(scored), f1: best_f1(scored) }
     }
 
     /// Unweighted mean over per-edge-type metrics ("each metric is averaged

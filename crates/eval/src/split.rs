@@ -2,9 +2,7 @@
 //! portion of the data as the training data and reserve the remaining part
 //! as test data").
 
-use aligraph_graph::{
-    AttrVector, AttributedHeterogeneousGraph, EdgeType, GraphBuilder, VertexId,
-};
+use aligraph_graph::{AttrVector, AttributedHeterogeneousGraph, EdgeType, GraphBuilder, VertexId};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -106,10 +104,8 @@ pub fn link_prediction_split(
             if cand == pos.src {
                 continue;
             }
-            let is_edge = graph
-                .out_neighbors_typed(pos.src, pos.etype)
-                .iter()
-                .any(|n| n.vertex == cand);
+            let is_edge =
+                graph.out_neighbors_typed(pos.src, pos.etype).iter().any(|n| n.vertex == cand);
             if !is_edge {
                 chosen = Some(cand);
                 break;
@@ -134,10 +130,7 @@ mod tests {
         let split = link_prediction_split(&g, 0.2, 1);
         let expected = (g.num_edge_records() as f64 * 0.2) as usize;
         assert_eq!(split.test_pos.len(), expected);
-        assert_eq!(
-            split.train.num_edge_records() + split.test_pos.len(),
-            g.num_edge_records()
-        );
+        assert_eq!(split.train.num_edge_records() + split.test_pos.len(), g.num_edge_records());
         assert_eq!(split.train.num_vertices(), g.num_vertices());
         // Vertex metadata preserved.
         for v in g.vertices() {
@@ -151,10 +144,8 @@ mod tests {
         let split = link_prediction_split(&g, 0.1, 2);
         assert!(!split.test_neg.is_empty());
         for neg in &split.test_neg {
-            let is_edge = g
-                .out_neighbors_typed(neg.src, neg.etype)
-                .iter()
-                .any(|n| n.vertex == neg.dst);
+            let is_edge =
+                g.out_neighbors_typed(neg.src, neg.etype).iter().any(|n| n.vertex == neg.dst);
             assert!(!is_edge, "{neg:?} is a true edge");
             // Negative preserves destination vertex type semantics.
             assert_eq!(
@@ -178,10 +169,7 @@ mod tests {
         // Count multiplicity: a (src,dst,etype) may appear multiple times in
         // the multigraph, so compare counts rather than membership.
         let count = |g: &AttributedHeterogeneousGraph, e: &HeldOutEdge| {
-            g.out_neighbors_typed(e.src, e.etype)
-                .iter()
-                .filter(|n| n.vertex == e.dst)
-                .count()
+            g.out_neighbors_typed(e.src, e.etype).iter().filter(|n| n.vertex == e.dst).count()
         };
         for pos in split.test_pos.iter().take(50) {
             assert!(count(&split.train, pos) < count(&g, pos));

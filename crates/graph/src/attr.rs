@@ -148,11 +148,7 @@ pub struct AttrIndex {
 impl AttrIndex {
     /// Creates an index pre-seeded with the empty record at [`AttrId::EMPTY`].
     pub fn new() -> Self {
-        let mut idx = AttrIndex {
-            records: Vec::new(),
-            lookup: HashMap::new(),
-            total_bytes: 0,
-        };
+        let mut idx = AttrIndex { records: Vec::new(), lookup: HashMap::new(), total_bytes: 0 };
         idx.intern(AttrVector::empty());
         idx
     }

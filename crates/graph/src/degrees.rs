@@ -35,12 +35,22 @@ impl KhopCounter {
     }
 
     /// Exact `D_o^(k)(v)`: distinct vertices within `k` out-hops of `v`.
-    pub fn khop_out(&mut self, graph: &AttributedHeterogeneousGraph, v: VertexId, k: usize) -> usize {
+    pub fn khop_out(
+        &mut self,
+        graph: &AttributedHeterogeneousGraph,
+        v: VertexId,
+        k: usize,
+    ) -> usize {
         self.khop(graph, v, k, Direction::Out)
     }
 
     /// Exact `D_i^(k)(v)`: distinct vertices within `k` in-hops of `v`.
-    pub fn khop_in(&mut self, graph: &AttributedHeterogeneousGraph, v: VertexId, k: usize) -> usize {
+    pub fn khop_in(
+        &mut self,
+        graph: &AttributedHeterogeneousGraph,
+        v: VertexId,
+        k: usize,
+    ) -> usize {
         self.khop(graph, v, k, Direction::In)
     }
 
@@ -182,9 +192,7 @@ impl ImportanceTable {
         let row = &self.imp[k - 1];
         let mut ids: Vec<VertexId> = (0..row.len() as u32).map(VertexId).collect();
         ids.sort_by(|a, b| {
-            row[b.index()]
-                .partial_cmp(&row[a.index()])
-                .unwrap_or(std::cmp::Ordering::Equal)
+            row[b.index()].partial_cmp(&row[a.index()]).unwrap_or(std::cmp::Ordering::Equal)
         });
         ids
     }

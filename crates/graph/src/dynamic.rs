@@ -83,9 +83,7 @@ impl DynamicGraph {
 
     /// The graph at timestamp `t` (0-based).
     pub fn snapshot(&self, t: usize) -> Result<&AttributedHeterogeneousGraph> {
-        self.snapshots
-            .get(t)
-            .ok_or(GraphError::SnapshotOutOfRange { t, len: self.snapshots.len() })
+        self.snapshots.get(t).ok_or(GraphError::SnapshotOutOfRange { t, len: self.snapshots.len() })
     }
 
     /// All snapshots in order.
@@ -100,9 +98,7 @@ impl DynamicGraph {
 
     /// The delta leading into snapshot `t`.
     pub fn delta(&self, t: usize) -> Result<&SnapshotDelta> {
-        self.deltas
-            .get(t)
-            .ok_or(GraphError::SnapshotOutOfRange { t, len: self.deltas.len() })
+        self.deltas.get(t).ok_or(GraphError::SnapshotOutOfRange { t, len: self.deltas.len() })
     }
 
     /// Total burst events across the whole series.

@@ -30,11 +30,7 @@ impl FeatureMatrix {
 
     /// Number of rows (vertices).
     pub fn len(&self) -> usize {
-        if self.dim == 0 {
-            0
-        } else {
-            self.data.len() / self.dim
-        }
+        self.data.len().checked_div(self.dim).unwrap_or(0)
     }
 
     /// True when the matrix has no rows.
@@ -152,7 +148,7 @@ impl Featurizer {
                         out[(h as usize) % self.dim] += squash(*i as f32);
                     }
                     AttrValue::Float(x) => {
-                        let h = splitmix64(self.salt ^ field.wrapping_mul(0x1234_5678_9));
+                        let h = splitmix64(self.salt ^ field.wrapping_mul(0x0001_2345_6789));
                         out[(h as usize) % self.dim] += squash(*x);
                     }
                 }

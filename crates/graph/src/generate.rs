@@ -22,7 +22,11 @@ use serde::{Deserialize, Serialize};
 /// Each new vertex draws `m_attach` out-edges whose targets are chosen
 /// proportionally to current in-degree (+1 smoothing), which yields the
 /// power-law in-degree distribution the paper's caching analysis assumes.
-pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Result<AttributedHeterogeneousGraph> {
+pub fn barabasi_albert(
+    n: usize,
+    m_attach: usize,
+    seed: u64,
+) -> Result<AttributedHeterogeneousGraph> {
     if n < 2 || m_attach == 0 {
         return Err(GraphError::InvalidConfig(format!(
             "barabasi_albert needs n >= 2 and m_attach >= 1 (got n={n}, m_attach={m_attach})"
@@ -269,11 +273,7 @@ pub fn amazon_sim(seed: u64) -> Result<AttributedHeterogeneousGraph> {
 }
 
 /// The Amazon-style generator with explicit scale (used by quick tests).
-pub fn amazon_sim_scaled(
-    n: usize,
-    m: usize,
-    seed: u64,
-) -> Result<AttributedHeterogeneousGraph> {
+pub fn amazon_sim_scaled(n: usize, m: usize, seed: u64) -> Result<AttributedHeterogeneousGraph> {
     if n < 2 {
         return Err(GraphError::InvalidConfig("amazon_sim needs n >= 2".into()));
     }
@@ -306,11 +306,7 @@ pub fn amazon_sim_scaled(
         while c == a {
             c = sampler.sample(&mut rng);
         }
-        let etype = if rng.gen::<f64>() < 0.7 {
-            well_known::CO_VIEW
-        } else {
-            well_known::CO_BUY
-        };
+        let etype = if rng.gen::<f64>() < 0.7 { well_known::CO_VIEW } else { well_known::CO_BUY };
         b.add_edge(VertexId(a as u32), VertexId(c as u32), etype, 1.0)?;
     }
     Ok(b.build())
@@ -378,28 +374,26 @@ impl DynamicConfig {
         // targets — so edge types are *learnable* from structure, as in
         // real behavior streams, rather than random labels.
         let community = |v: VertexId| v.0 % k;
-        let add_pref_edge =
-            |edges: &mut Vec<(VertexId, VertexId, EdgeType, f32)>,
-             degree_pool: &mut Vec<u32>,
-             rng: &mut StdRng| {
-                let src = VertexId(rng.gen_range(0..n as u32));
-                let mut dst = VertexId(degree_pool[rng.gen_range(0..degree_pool.len())]);
-                // Homophily: retry toward the source's community.
-                for _ in 0..4 {
-                    if dst != src && (community(dst) == community(src) || rng.gen::<f64>() < 0.3)
-                    {
-                        break;
-                    }
-                    dst = VertexId(degree_pool[rng.gen_range(0..degree_pool.len())]);
+        let add_pref_edge = |edges: &mut Vec<(VertexId, VertexId, EdgeType, f32)>,
+                             degree_pool: &mut Vec<u32>,
+                             rng: &mut StdRng| {
+            let src = VertexId(rng.gen_range(0..n as u32));
+            let mut dst = VertexId(degree_pool[rng.gen_range(0..degree_pool.len())]);
+            // Homophily: retry toward the source's community.
+            for _ in 0..4 {
+                if dst != src && (community(dst) == community(src) || rng.gen::<f64>() < 0.3) {
+                    break;
                 }
-                while dst == src {
-                    dst = VertexId(rng.gen_range(0..n as u32));
-                }
-                let etype = EdgeType(community(dst) as u8);
-                edges.push((src, dst, etype, 1.0));
-                degree_pool.push(dst.0);
-                (src, dst, etype)
-            };
+                dst = VertexId(degree_pool[rng.gen_range(0..degree_pool.len())]);
+            }
+            while dst == src {
+                dst = VertexId(rng.gen_range(0..n as u32));
+            }
+            let etype = EdgeType(community(dst) as u8);
+            edges.push((src, dst, etype, 1.0));
+            degree_pool.push(dst.0);
+            (src, dst, etype)
+        };
 
         for _ in 0..self.initial_edges {
             add_pref_edge(&mut edges, &mut degree_pool, &mut rng);
@@ -643,7 +637,7 @@ mod tests {
             .map(|dl| dl.added.iter().filter(|e| e.kind == EvolutionKind::Burst).count())
             .sum();
         assert_eq!(burst_events, 30); // only t=2 bursts within 4 steps (t=1..3)
-        // Edge counts evolve: +50 -20 per step, +30 on burst.
+                                      // Edge counts evolve: +50 -20 per step, +30 on burst.
         assert_eq!(d.snapshot(0).unwrap().num_edges(), 300);
         assert_eq!(d.snapshot(1).unwrap().num_edges(), 330);
         assert_eq!(d.snapshot(2).unwrap().num_edges(), 390);

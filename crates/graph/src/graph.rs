@@ -359,7 +359,7 @@ impl GraphBuilder {
         if src.index() >= self.vtypes.len() || dst.index() >= self.vtypes.len() {
             return Err(GraphError::DanglingEdge { src, dst });
         }
-        if !(weight > 0.0) {
+        if weight.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(GraphError::NonPositiveWeight { weight });
         }
         self.max_edge_type = self.max_edge_type.max(etype.0);
@@ -420,8 +420,7 @@ impl GraphBuilder {
         }
         let mut out_nbrs = Vec::with_capacity(records.len());
         let mut edge_src = Vec::with_capacity(records.len());
-        let mut edges_by_type: Vec<Vec<EdgeId>> =
-            vec![Vec::new(); self.max_edge_type as usize + 1];
+        let mut edges_by_type: Vec<Vec<EdgeId>> = vec![Vec::new(); self.max_edge_type as usize + 1];
         for (i, e) in records.iter().enumerate() {
             let id = EdgeId(i as u64);
             out_nbrs.push(Neighbor {
@@ -586,10 +585,7 @@ mod tests {
             b.add_edge(a, VertexId(5), CLICK, 1.0),
             Err(GraphError::DanglingEdge { .. })
         ));
-        assert!(matches!(
-            b.add_edge(a, a, CLICK, 0.0),
-            Err(GraphError::NonPositiveWeight { .. })
-        ));
+        assert!(matches!(b.add_edge(a, a, CLICK, 0.0), Err(GraphError::NonPositiveWeight { .. })));
         assert!(matches!(
             b.add_edge(a, a, CLICK, f32::NAN),
             Err(GraphError::NonPositiveWeight { .. })

@@ -28,7 +28,10 @@ use crate::Result;
 use std::io::{BufRead, BufReader, Read, Write};
 
 /// Serializes a graph to the edge-list text format.
-pub fn write_graph<W: Write>(graph: &AttributedHeterogeneousGraph, out: &mut W) -> std::io::Result<()> {
+pub fn write_graph<W: Write>(
+    graph: &AttributedHeterogeneousGraph,
+    out: &mut W,
+) -> std::io::Result<()> {
     let mut w = std::io::BufWriter::new(out);
     writeln!(w, "# aligraph edge-list v1")?;
     writeln!(
@@ -39,20 +42,12 @@ pub fn write_graph<W: Write>(graph: &AttributedHeterogeneousGraph, out: &mut W) 
         graph.is_directed()
     )?;
     for v in graph.vertices() {
-        writeln!(
-            w,
-            "v\t{}\t{}",
-            graph.vertex_type(v).0,
-            encode_attrs(graph.vertex_attrs(v))
-        )?;
+        writeln!(w, "v\t{}\t{}", graph.vertex_type(v).0, encode_attrs(graph.vertex_attrs(v)))?;
     }
     for v in graph.vertices() {
         for nb in graph.out_neighbors(v) {
-            let attrs = graph
-                .edge_attr_index()
-                .get(nb.attr)
-                .cloned()
-                .unwrap_or_else(AttrVector::empty);
+            let attrs =
+                graph.edge_attr_index().get(nb.attr).cloned().unwrap_or_else(AttrVector::empty);
             writeln!(
                 w,
                 "e\t{}\t{}\t{}\t{}\t{}",
@@ -155,9 +150,7 @@ fn decode_attrs(field: &str, lineno: usize) -> Result<AttrVector> {
     }
     let mut vals = Vec::new();
     for part in split_unescaped(field, '|') {
-        let (kind, payload) = part
-            .split_once(':')
-            .ok_or_else(|| bad(lineno, "attribute field"))?;
+        let (kind, payload) = part.split_once(':').ok_or_else(|| bad(lineno, "attribute field"))?;
         let value = match kind {
             "i" => AttrValue::Int(payload.parse().map_err(|_| bad(lineno, "int attr"))?),
             "f" => AttrValue::Float(payload.parse().map_err(|_| bad(lineno, "float attr"))?),
@@ -278,10 +271,8 @@ mod tests {
     #[test]
     fn text_attrs_with_special_characters() {
         let mut b = GraphBuilder::directed();
-        let v = b.add_vertex(
-            VertexType(0),
-            AttrVector(vec![AttrValue::Text("a|b\tc\\d\ne".into())]),
-        );
+        let v =
+            b.add_vertex(VertexType(0), AttrVector(vec![AttrValue::Text("a|b\tc\\d\ne".into())]));
         let u = b.add_vertex(VertexType(0), AttrVector::empty());
         b.add_edge_with_attrs(
             v,

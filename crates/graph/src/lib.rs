@@ -36,12 +36,8 @@ pub use degrees::{DegreeTable, ImportanceTable, KhopCounter};
 pub use dynamic::{DynamicGraph, EdgeEvent, EvolutionKind, SnapshotDelta};
 pub use error::GraphError;
 pub use features::{FeatureMatrix, Featurizer};
-pub use generate::{
-    amazon_sim, barabasi_albert, erdos_renyi, DynamicConfig, TaobaoConfig,
-};
-pub use graph::{
-    AdjacencySlice, AttributedHeterogeneousGraph, EdgeRecord, GraphBuilder, Neighbor,
-};
+pub use generate::{amazon_sim, barabasi_albert, erdos_renyi, DynamicConfig, TaobaoConfig};
+pub use graph::{AdjacencySlice, AttributedHeterogeneousGraph, EdgeRecord, GraphBuilder, Neighbor};
 pub use ids::{EdgeId, EdgeType, VertexId, VertexType};
 pub use io::{read_graph, read_graph_parts, write_graph};
 

@@ -107,11 +107,7 @@ mod tests {
         for &alpha in &[2.1f64, 2.5, 3.0] {
             let samples = powerlaw_samples(alpha, 50_000, 11);
             let fit = fit_exponent(&samples, 5.0, 100).expect("fit");
-            assert!(
-                (fit.alpha - alpha).abs() < 0.3,
-                "alpha {alpha} estimated as {}",
-                fit.alpha
-            );
+            assert!((fit.alpha - alpha).abs() < 0.3, "alpha {alpha} estimated as {}", fit.alpha);
         }
     }
 

@@ -213,10 +213,8 @@ pub struct AttentionAggregator;
 impl AttentionAggregator {
     fn scores(&self, target: &[f32], neighbors: &[&[f32]]) -> Vec<f32> {
         let scale = 1.0 / (target.len() as f32).sqrt();
-        let mut s: Vec<f32> = neighbors
-            .iter()
-            .map(|n| aligraph_tensor::dot(target, n) * scale)
-            .collect();
+        let mut s: Vec<f32> =
+            neighbors.iter().map(|n| aligraph_tensor::dot(target, n) * scale).collect();
         softmax(&mut s);
         s
     }

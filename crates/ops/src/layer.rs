@@ -158,8 +158,8 @@ mod tests {
             // L = 0.5 * sum (y - 2x)^2 ; dL/dy = y - 2x.
             let mut loss = 0.0;
             let mut g = Matrix::zeros(16, 1);
-            for i in 0..16 {
-                let diff = y.get(i, 0) - 2.0 * xs[i];
+            for (i, &xi) in xs.iter().enumerate() {
+                let diff = y.get(i, 0) - 2.0 * xi;
                 loss += 0.5 * diff * diff;
                 g.set(i, 0, diff);
             }

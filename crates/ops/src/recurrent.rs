@@ -164,7 +164,7 @@ impl Aggregator for PoolNnAggregator {
         // the dense layer (accumulating the layer's own gradients).
         let t = self.transformed(neighbors);
         let mut grad_t = Matrix::zeros(t.rows, t.cols);
-        for j in 0..grad_out.len() {
+        for (j, &go) in grad_out.iter().enumerate() {
             let mut best = 0usize;
             let mut best_val = t.get(0, j);
             for i in 1..t.rows {
@@ -173,7 +173,7 @@ impl Aggregator for PoolNnAggregator {
                     best = i;
                 }
             }
-            grad_t.set(best, j, grad_out[j]);
+            grad_t.set(best, j, go);
         }
         let mut x = Matrix::zeros(neighbors.len(), self.dim);
         for (i, nbr) in neighbors.iter().enumerate() {

@@ -135,7 +135,12 @@ impl MetisLike {
     }
 
     /// Greedy BFS region growing over the coarsest graph.
-    fn initial_partition(adj: &[Vec<(u32, f32)>], vweight: &[u32], p: usize, seed: u64) -> Vec<u32> {
+    fn initial_partition(
+        adj: &[Vec<(u32, f32)>],
+        vweight: &[u32],
+        p: usize,
+        seed: u64,
+    ) -> Vec<u32> {
         let n = adj.len();
         let total: u64 = vweight.iter().map(|&w| w as u64).sum();
         let target = (total as f64 / p as f64).ceil() as u64;
@@ -214,9 +219,7 @@ impl MetisLike {
                     .enumerate()
                     .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
                     .expect("p >= 1");
-                if best != from
-                    && best_conn > conn[from]
-                    && loads[best] + vweight[v] as u64 <= cap
+                if best != from && best_conn > conn[from] && loads[best] + vweight[v] as u64 <= cap
                 {
                     loads[from] -= vweight[v] as u64;
                     loads[best] += vweight[v] as u64;
@@ -263,7 +266,14 @@ impl Partitioner for MetisLike {
         // Initial partition on the coarsest level.
         let last = adjs.len() - 1;
         let mut part = Self::initial_partition(&adjs[last], &weights[last], p, self.seed);
-        Self::refine(&adjs[last], &weights[last], &mut part, p, self.refine_passes, self.balance_tolerance);
+        Self::refine(
+            &adjs[last],
+            &weights[last],
+            &mut part,
+            p,
+            self.refine_passes,
+            self.balance_tolerance,
+        );
 
         // Project back with refinement at every level.
         for level in (0..last).rev() {
@@ -273,7 +283,14 @@ impl Partitioner for MetisLike {
                 fine[v] = part[c as usize];
             }
             part = fine;
-            Self::refine(&adjs[level], &weights[level], &mut part, p, self.refine_passes, self.balance_tolerance);
+            Self::refine(
+                &adjs[level],
+                &weights[level],
+                &mut part,
+                p,
+                self.refine_passes,
+                self.balance_tolerance,
+            );
         }
 
         let vertex_owner = part.into_iter().map(WorkerId).collect();

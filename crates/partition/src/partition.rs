@@ -134,9 +134,8 @@ impl Partitioner for VertexCutGreedy {
     fn partition(&self, graph: &AttributedHeterogeneousGraph, num_workers: usize) -> Partition {
         let p = num_workers.max(1);
         let n = graph.num_vertices();
-        let capacity = ((graph.num_edge_records() as f64 / p as f64) * self.slack)
-            .ceil()
-            .max(1.0) as usize;
+        let capacity =
+            ((graph.num_edge_records() as f64 / p as f64) * self.slack).ceil().max(1.0) as usize;
         // replicas[v] = bitset of workers holding v (p <= 64 fast path,
         // falls back to a Vec<bool> matrix above that).
         let mut replicas = ReplicaSet::new(n, p);
@@ -162,9 +161,7 @@ impl Partitioner for VertexCutGreedy {
                     })
                     // All workers at capacity can only happen through slack
                     // rounding; fall back to the least loaded.
-                    .unwrap_or_else(|| {
-                        (0..p).min_by_key(|&w| loads[w]).expect("p >= 1")
-                    });
+                    .unwrap_or_else(|| (0..p).min_by_key(|&w| loads[w]).expect("p >= 1"));
                 edge_owner[nbr.edge.index()] = WorkerId(best as u32);
                 loads[best] += 1;
                 replicas.insert(src, best);
@@ -202,7 +199,7 @@ impl Grid2D {
     pub fn grid_shape(p: usize) -> (usize, usize) {
         let p = p.max(1);
         let mut r = (p as f64).sqrt() as usize;
-        while r > 1 && p % r != 0 {
+        while r > 1 && !p.is_multiple_of(r) {
             r -= 1;
         }
         (r.max(1), p / r.max(1))
@@ -273,9 +270,7 @@ impl ReplicaSet {
                 let r = rows[v.index()];
                 (r != 0).then(|| r.trailing_zeros() as usize)
             }
-            ReplicaSet::Wide { p, bits } => {
-                (0..*p).find(|&w| bits[v.index() * p + w])
-            }
+            ReplicaSet::Wide { p, bits } => (0..*p).find(|&w| bits[v.index() * p + w]),
         }
     }
 }
@@ -371,9 +366,7 @@ mod tests {
             Grid2D.partition(&g, 5),
         ] {
             let name = part.vertex_owner.clone();
-            let again = match part.num_workers {
-                _ => part, // determinism re-checked below per algorithm
-            };
+            let again = part;
             let _ = (name, again);
         }
         let a = VertexCutGreedy::default().partition(&g, 5);

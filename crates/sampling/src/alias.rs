@@ -21,7 +21,7 @@ impl AliasTable {
             return None;
         }
         let sum: f64 = weights.iter().map(|&w| w.max(0.0) as f64).sum();
-        if !(sum > 0.0) || !sum.is_finite() {
+        if sum <= 0.0 || !sum.is_finite() {
             return None;
         }
         let scale = n as f64 / sum;

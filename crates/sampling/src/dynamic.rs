@@ -14,7 +14,7 @@
 
 use crate::neighborhood::NeighborhoodSampler;
 use aligraph_graph::{Neighbor, VertexId};
-use aligraph_storage::WeightService;
+use aligraph_storage::{ExecutorStopped, WeightService};
 use parking_lot::RwLock;
 use rand::Rng;
 use std::sync::Arc;
@@ -72,10 +72,11 @@ impl DynamicWeights {
         self.mode
     }
 
-    /// Current weight of `v`.
-    pub fn get(&self, v: VertexId) -> f32 {
+    /// Current weight of `v`. In asynchronous mode this can fail with
+    /// [`ExecutorStopped`] if the backing service has shut down.
+    pub fn get(&self, v: VertexId) -> Result<f32, ExecutorStopped> {
         if let Some(local) = &self.local {
-            return local.read()[v.index()];
+            return Ok(local.read()[v.index()]);
         }
         self.service.as_ref().expect("one backend is set").get(v)
     }
@@ -91,10 +92,11 @@ impl DynamicWeights {
     }
 
     /// Blocks until asynchronous updates are visible (no-op in sync mode).
-    pub fn flush(&self) {
+    pub fn flush(&self) -> Result<(), ExecutorStopped> {
         if let Some(service) = &self.service {
-            service.flush();
+            service.flush()?;
         }
+        Ok(())
     }
 }
 
@@ -117,9 +119,11 @@ impl NeighborhoodSampler for DynamicNeighborhood {
         if nbrs.is_empty() {
             return Vec::new();
         }
+        // A stopped weight service (service shutting down mid-draw)
+        // degrades to the static edge weights rather than panicking.
         let probs: Vec<f32> = nbrs
             .iter()
-            .map(|n| n.weight * self.weights.get(n.vertex).max(1e-3))
+            .map(|n| n.weight * self.weights.get(n.vertex).unwrap_or(1.0).max(1e-3))
             .collect();
         let total: f32 = probs.iter().sum();
         (0..count)
@@ -150,7 +154,7 @@ mod tests {
     fn synchronous_backward_applies_immediately() {
         let w = DynamicWeights::synchronous(10, 1.0);
         w.backward(VertexId(3), 0.25);
-        assert!((w.get(VertexId(3)) - 0.75).abs() < 1e-6); // default f = -g
+        assert!((w.get(VertexId(3)).unwrap() - 0.75).abs() < 1e-6); // default f = -g
         assert_eq!(w.mode(), WeightUpdateMode::Synchronous);
     }
 
@@ -159,7 +163,7 @@ mod tests {
         let lr = 0.1f32;
         let w = DynamicWeights::synchronous(4, 1.0).register_gradient(move |g| -lr * g);
         w.backward(VertexId(0), 1.0);
-        assert!((w.get(VertexId(0)) - 0.9).abs() < 1e-6);
+        assert!((w.get(VertexId(0)).unwrap() - 0.9).abs() < 1e-6);
     }
 
     #[test]
@@ -168,8 +172,8 @@ mod tests {
         let w = DynamicWeights::asynchronous(service);
         assert_eq!(w.mode(), WeightUpdateMode::Asynchronous);
         w.backward(VertexId(5), 0.5);
-        w.flush();
-        assert!((w.get(VertexId(5)) - 0.5).abs() < 1e-6);
+        w.flush().unwrap();
+        assert!((w.get(VertexId(5)).unwrap() - 0.5).abs() < 1e-6);
     }
 
     #[test]

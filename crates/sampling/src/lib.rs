@@ -33,8 +33,8 @@ pub use alias::AliasTable;
 pub use dynamic::{DynamicNeighborhood, DynamicWeights, WeightUpdateMode};
 pub use negative::{NegativeSampler, UniformNegative, UnigramNegative};
 pub use neighborhood::{
-    ContextTree, Layer, NeighborAccess, NeighborhoodSampler, TopKNeighborhood,
-    UniformNeighborhood, WeightedNeighborhood,
+    ContextTree, Layer, NeighborAccess, NeighborhoodSampler, TopKNeighborhood, UniformNeighborhood,
+    WeightedNeighborhood,
 };
 pub use pipeline::{SampleBatch, SamplingPipeline};
 pub use traverse::{TraverseSampler, UniformTraverse, WeightedEdgeTraverse};

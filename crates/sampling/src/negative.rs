@@ -65,7 +65,11 @@ pub struct UnigramNegative {
 impl UnigramNegative {
     /// Builds the distribution over all vertices (or one type) weighted by
     /// `(in_degree + out_degree)^power`; `power` is conventionally 0.75.
-    pub fn new(graph: &AttributedHeterogeneousGraph, vtype: Option<VertexType>, power: f32) -> Self {
+    pub fn new(
+        graph: &AttributedHeterogeneousGraph,
+        vtype: Option<VertexType>,
+        power: f32,
+    ) -> Self {
         let roster: Vec<VertexId> = match vtype {
             Some(t) => graph.vertices_of_type(t).to_vec(),
             None => graph.vertices().collect(),
@@ -146,16 +150,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let negs = sampler.sample(&g, &[], 20_000, &mut rng);
         // Mean degree of drawn vertices must exceed the global mean.
-        let mean_drawn: f64 = negs
-            .iter()
-            .map(|&v| (g.in_degree(v) + g.out_degree(v)) as f64)
-            .sum::<f64>()
-            / negs.len() as f64;
-        let mean_all: f64 = g
-            .vertices()
-            .map(|v| (g.in_degree(v) + g.out_degree(v)) as f64)
-            .sum::<f64>()
-            / g.num_vertices() as f64;
+        let mean_drawn: f64 =
+            negs.iter().map(|&v| (g.in_degree(v) + g.out_degree(v)) as f64).sum::<f64>()
+                / negs.len() as f64;
+        let mean_all: f64 =
+            g.vertices().map(|v| (g.in_degree(v) + g.out_degree(v)) as f64).sum::<f64>()
+                / g.num_vertices() as f64;
         assert!(mean_drawn > mean_all, "drawn {mean_drawn} vs all {mean_all}");
     }
 

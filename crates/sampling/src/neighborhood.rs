@@ -325,14 +325,8 @@ mod tests {
         use aligraph_storage::{CacheStrategy, CostModel};
         use std::sync::Arc;
         let g = Arc::new(TaobaoConfig::tiny().generate().unwrap());
-        let (cluster, _) = Cluster::build(
-            g,
-            &EdgeCutHash,
-            4,
-            &CacheStrategy::None,
-            2,
-            CostModel::default(),
-        );
+        let (cluster, _) =
+            Cluster::build(g, &EdgeCutHash, 4, &CacheStrategy::None, 2, CostModel::default());
         let view = ClusterView { cluster: &cluster, from: WorkerId(0) };
         let seeds: Vec<VertexId> = cluster.graph().vertices().take(16).collect();
         let mut rng = StdRng::seed_from_u64(7);

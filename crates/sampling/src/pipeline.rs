@@ -69,13 +69,8 @@ where
             positives.push(rec.dst);
         }
         // context = s2.sample(edge_type, vertex, hop_nums)
-        let context = self.neighborhood.sample_context(
-            access,
-            &vertices,
-            Some(etype),
-            &self.hop_nums,
-            rng,
-        );
+        let context =
+            self.neighborhood.sample_context(access, &vertices, Some(etype), &self.hop_nums, rng);
         // neg = s3.sample(edge_type, vertex, neg_num)
         let negatives = vertices
             .iter()
@@ -127,12 +122,7 @@ mod tests {
         let g = TaobaoConfig::tiny().generate().unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         let batch = pipeline().sample(&g, &g, CLICK, 64, &mut rng);
-        for ((v, p), negs) in batch
-            .vertices
-            .iter()
-            .zip(&batch.positives)
-            .zip(&batch.negatives)
-        {
+        for ((v, p), negs) in batch.vertices.iter().zip(&batch.positives).zip(&batch.negatives) {
             assert!(!negs.contains(v));
             assert!(!negs.contains(p));
         }

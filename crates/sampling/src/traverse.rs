@@ -166,9 +166,7 @@ mod tests {
         let g = TaobaoConfig::tiny().generate().unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         assert!(UniformTraverse.sample_edges(&g, EdgeType(7), 8, &mut rng).is_empty());
-        assert!(UniformTraverse
-            .sample_vertices(&g, Some(VertexType(9)), 8, &mut rng)
-            .is_empty());
+        assert!(UniformTraverse.sample_vertices(&g, Some(VertexType(9)), 8, &mut rng).is_empty());
     }
 
     #[test]

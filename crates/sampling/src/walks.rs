@@ -146,10 +146,7 @@ pub fn metapath_walk<R: Rng>(
         return walk;
     }
     // Align the pattern with the start type (fall back to position 0).
-    let offset = pattern
-        .iter()
-        .position(|&t| t == graph.vertex_type(start))
-        .unwrap_or(0);
+    let offset = pattern.iter().position(|&t| t == graph.vertex_type(start)).unwrap_or(0);
     let mut candidates = Vec::new();
     let mut typed = Vec::new();
     let mut cur = start;
@@ -246,10 +243,7 @@ mod tests {
         let g = path3();
         let mut rng = StdRng::seed_from_u64(3);
         let w = node2vec_walk(&g, VertexId(0), 50, 0.01, 1.0, WalkDirection::Both, &mut rng);
-        let returns = w
-            .windows(3)
-            .filter(|tri| tri[0] == tri[2])
-            .count();
+        let returns = w.windows(3).filter(|tri| tri[0] == tri[2]).count();
         assert!(returns > 30, "returns {returns}");
     }
 

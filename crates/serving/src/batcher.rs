@@ -1,0 +1,71 @@
+//! The adaptive micro-batcher: block for the first request, then collect
+//! until the batch is full *or* the first request's latency budget is spent.
+//!
+//! Under load the size cap dominates (big batches, maximum dedup); when
+//! traffic is sparse the deadline dominates (a lone request never waits more
+//! than `max_delay`). That is the classic serving trade: batching amortizes
+//! the k-hop SAMPLE/AGGREGATE work across requests, the deadline bounds the
+//! tail latency it may add.
+
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use std::time::{Duration, Instant};
+
+/// Blocks for one item, then drains up to `max_batch - 1` more until
+/// `max_delay` after the first item arrived. Returns `None` once the channel
+/// is disconnected and empty (shutdown).
+pub(crate) fn next_batch<T>(
+    rx: &Receiver<T>,
+    max_batch: usize,
+    max_delay: Duration,
+) -> Option<Vec<T>> {
+    let first = rx.recv().ok()?;
+    let deadline = Instant::now() + max_delay;
+    let mut batch = Vec::with_capacity(max_batch);
+    batch.push(first);
+    while batch.len() < max_batch {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        match rx.recv_timeout(deadline - now) {
+            Ok(item) => batch.push(item),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    Some(batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+
+    #[test]
+    fn flushes_on_size_before_deadline() {
+        let (tx, rx) = bounded(16);
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        let start = Instant::now();
+        let batch = next_batch(&rx, 4, Duration::from_secs(5)).unwrap();
+        assert_eq!(batch, vec![0, 1, 2, 3]);
+        assert!(start.elapsed() < Duration::from_secs(1), "size flush must not wait");
+    }
+
+    #[test]
+    fn flushes_on_deadline_with_partial_batch() {
+        let (tx, rx) = bounded(16);
+        tx.send(42).unwrap();
+        let batch = next_batch(&rx, 64, Duration::from_millis(20)).unwrap();
+        assert_eq!(batch, vec![42]);
+    }
+
+    #[test]
+    fn returns_none_on_disconnect() {
+        let (tx, rx) = bounded::<u32>(4);
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(next_batch(&rx, 8, Duration::from_millis(5)), Some(vec![7]));
+        assert_eq!(next_batch(&rx, 8, Duration::from_millis(5)), None);
+    }
+}

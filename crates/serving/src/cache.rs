@@ -1,0 +1,167 @@
+//! Versioned embedding cache: never serves a stale embedding.
+//!
+//! Every cached vector is tagged with the graph version it was computed
+//! against. [`EmbeddingCache::insert`] drops the write unless the tag still
+//! matches the cache's current version — that closes the race where a worker
+//! finishes a batch against version `n` *after* a delta has moved the graph
+//! to `n+1` (the in-flight result may be stale for invalidated vertices, and
+//! the invalidation sweep has already run, so it must not land). Targeted
+//! invalidation of [`affected_seeds`](crate::overlay::affected_seeds) keeps
+//! every *unaffected* entry warm across deltas.
+
+use aligraph_storage::LruCache;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counter snapshot of the cache, for the serving report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a forward pass.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries removed by delta invalidation.
+    pub invalidations: u64,
+    /// Inserts dropped because a delta landed mid-batch.
+    pub stale_rejects: u64,
+    /// Live entries.
+    pub len: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A shared, versioned LRU over per-vertex embeddings.
+pub struct EmbeddingCache {
+    /// Invariant: every live entry was computed at `current_version` —
+    /// inserts at other versions are rejected and [`advance`](Self::advance)
+    /// removes everything a version change could have altered.
+    inner: Mutex<LruCache<u32, Arc<Vec<f32>>>>,
+    /// The graph version entries must match to be inserted or served.
+    current_version: AtomicU64,
+    invalidations: AtomicU64,
+    stale_rejects: AtomicU64,
+}
+
+impl EmbeddingCache {
+    /// A cache holding at most `capacity` embeddings, at version 0.
+    pub fn new(capacity: usize) -> Self {
+        EmbeddingCache {
+            inner: Mutex::new(LruCache::new(capacity)),
+            current_version: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            stale_rejects: AtomicU64::new(0),
+        }
+    }
+
+    /// The version inserts are currently admitted against.
+    pub fn version(&self) -> u64 {
+        self.current_version.load(Ordering::Acquire)
+    }
+
+    /// Looks up `v`, promoting it on a hit. Entries can only exist at the
+    /// current version (older ones are dropped at insert or invalidated), so
+    /// a hit is always fresh.
+    pub fn get(&self, v: u32) -> Option<Arc<Vec<f32>>> {
+        self.inner.lock().get(&v).map(Arc::clone)
+    }
+
+    /// Inserts `v`'s embedding computed against `version`; dropped (counted
+    /// as a stale reject) if a delta has advanced the cache past `version`.
+    pub fn insert(&self, v: u32, version: u64, data: Arc<Vec<f32>>) {
+        let mut inner = self.inner.lock();
+        // Checked under the lock so an `advance` cannot interleave.
+        if version != self.current_version.load(Ordering::Acquire) {
+            drop(inner);
+            self.stale_rejects.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        inner.put(v, data);
+    }
+
+    /// Moves the cache to `version` and removes the affected entries.
+    /// Returns how many live entries were invalidated.
+    pub fn advance(&self, version: u64, affected: impl IntoIterator<Item = u32>) -> usize {
+        let mut inner = self.inner.lock();
+        self.current_version.store(version, Ordering::Release);
+        let mut dropped = 0;
+        for v in affected {
+            if inner.remove(&v).is_some() {
+                dropped += 1;
+            }
+        }
+        drop(inner);
+        self.invalidations.fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        let (hits, misses, evictions) = inner.stats();
+        CacheStats {
+            hits,
+            misses,
+            evictions,
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            stale_rejects: self.stale_rejects.load(Ordering::Relaxed),
+            len: inner.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emb(x: f32) -> Arc<Vec<f32>> {
+        Arc::new(vec![x; 4])
+    }
+
+    #[test]
+    fn round_trips_at_current_version() {
+        let c = EmbeddingCache::new(8);
+        c.insert(1, 0, emb(1.0));
+        assert_eq!(c.get(1).unwrap()[0], 1.0);
+        assert_eq!(c.get(2), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
+    }
+
+    #[test]
+    fn advance_invalidates_only_affected_keys() {
+        let c = EmbeddingCache::new(8);
+        c.insert(1, 0, emb(1.0));
+        c.insert(2, 0, emb(2.0));
+        let dropped = c.advance(1, [2, 99]);
+        assert_eq!(dropped, 1); // 99 was never cached
+        assert!(c.get(1).is_some(), "unaffected entry stays warm");
+        assert!(c.get(2).is_none());
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn stale_insert_is_dropped_after_advance() {
+        let c = EmbeddingCache::new(8);
+        c.advance(1, []);
+        // A batch that started at version 0 tries to publish late.
+        c.insert(7, 0, emb(7.0));
+        assert_eq!(c.get(7), None);
+        assert_eq!(c.stats().stale_rejects, 1);
+        // The same vertex recomputed at the current version is admitted.
+        c.insert(7, 1, emb(7.5));
+        assert_eq!(c.get(7).unwrap()[0], 7.5);
+    }
+}

@@ -1,0 +1,48 @@
+//! Serving-layer errors. Admission control surfaces overload as a typed
+//! error with a retry hint instead of blocking the caller (bounded-queue
+//! backpressure, not unbounded buffering).
+
+use aligraph_graph::VertexId;
+use aligraph_storage::ExecutorStopped;
+use std::fmt;
+
+/// Why a serving request could not be answered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The owning worker's admission queue is full. The caller should back
+    /// off for roughly `retry_after_ms` before retrying.
+    Overloaded {
+        /// Capacity of the queue that rejected the request.
+        queue_capacity: usize,
+        /// Suggested client back-off in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The service is shutting down; no further requests will be served.
+    ShuttingDown,
+    /// The vertex id is outside the served graph.
+    UnknownVertex(VertexId),
+    /// A storage-layer bucket executor stopped underneath the service.
+    Storage(ExecutorStopped),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { queue_capacity, retry_after_ms } => write!(
+                f,
+                "serving queue full (capacity {queue_capacity}); retry after ~{retry_after_ms} ms"
+            ),
+            ServeError::ShuttingDown => write!(f, "serving service is shutting down"),
+            ServeError::UnknownVertex(v) => write!(f, "vertex {} is not in the served graph", v.0),
+            ServeError::Storage(e) => write!(f, "storage layer stopped: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ExecutorStopped> for ServeError {
+    fn from(e: ExecutorStopped) -> Self {
+        ServeError::Storage(e)
+    }
+}

@@ -1,0 +1,45 @@
+//! # aligraph-serving
+//!
+//! Online inference serving over the AliGraph reproduction: the layer that
+//! answers "embedding of vertex v, *now*" while the graph keeps changing
+//! underneath (paper §2's online requirement: GNNs on dynamic graphs must be
+//! recalculated incrementally, and downstream recommenders consume the
+//! embeddings at serving time).
+//!
+//! Pieces:
+//!
+//! * [`service::ServingService`] — bounded-queue admission with
+//!   backpressure, workers pinned to storage shards, adaptive micro-batching
+//!   ([`batcher`]) that dedups overlapping k-hop neighborhoods through a
+//!   shared memoizing episode tape;
+//! * [`overlay::OverlayGraph`] — copy-on-write graph versions so online
+//!   deltas never block or tear in-flight batches, plus
+//!   [`overlay::affected_seeds`], the reverse k-hop reachability set a delta
+//!   invalidates;
+//! * [`cache::EmbeddingCache`] — version-tagged LRU over served embeddings;
+//!   stale results are structurally unservable (inserts are admitted only at
+//!   the current graph version, invalidation removes everything a delta
+//!   could have changed);
+//! * [`metrics::ServingReport`] — p50/p95/p99 latency, QPS, cache hit rate,
+//!   and the batching-dedup evidence (`forwards < completed`).
+//!
+//! ```text
+//! clients ──try_send──> [worker queues] ──micro-batch──> forward (dedup+cache)
+//!                 │ full?                      ▲                │
+//!                 └──> Overloaded{retry}       │ snapshot       ▼
+//! deltas ──apply_delta──> OverlayGraph vN+1 ───┘        EmbeddingCache@vN
+//!                          └── affected_seeds ──────────── invalidate ┘
+//! ```
+
+pub mod batcher;
+pub mod cache;
+pub mod error;
+pub mod metrics;
+pub mod overlay;
+pub mod service;
+
+pub use cache::{CacheStats, EmbeddingCache};
+pub use error::ServeError;
+pub use metrics::{ServingMetrics, ServingReport};
+pub use overlay::{affected_seeds, OverlayGraph};
+pub use service::{ServingConfig, ServingService};

@@ -1,0 +1,239 @@
+//! Latency/throughput accounting for the serving layer.
+//!
+//! Workers record per-request latencies (enqueue → reply) and batch-level
+//! counters; [`ServingMetrics::report`] folds them into a [`ServingReport`]
+//! with tail percentiles, QPS and the cache/dedup evidence the serve-bench
+//! prints.
+
+use crate::cache::CacheStats;
+use aligraph_storage::AccessStatsSnapshot;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Keep at most this many latency samples (a serve-bench run is well under
+/// it; the bound just keeps a long-lived service from growing unboundedly).
+const MAX_SAMPLES: usize = 1 << 22;
+
+/// Shared counters + latency samples, updated lock-free except the sample
+/// push.
+#[derive(Default)]
+pub struct ServingMetrics {
+    requests: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    batches: AtomicU64,
+    forwards: AtomicU64,
+    tape_hits: AtomicU64,
+    tape_misses: AtomicU64,
+    latencies_ns: Mutex<Vec<u64>>,
+}
+
+impl ServingMetrics {
+    /// Counts an admitted request.
+    pub fn admitted(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a rejected (backpressured) request.
+    pub fn rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one drained batch: its size, how many encoder forward passes
+    /// it actually ran, and the episode-tape memo counters.
+    pub fn batch(&self, size: usize, forwards: usize, tape_hits: u64, tape_misses: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.completed.fetch_add(size as u64, Ordering::Relaxed);
+        self.forwards.fetch_add(forwards as u64, Ordering::Relaxed);
+        self.tape_hits.fetch_add(tape_hits, Ordering::Relaxed);
+        self.tape_misses.fetch_add(tape_misses, Ordering::Relaxed);
+    }
+
+    /// Records one request's enqueue-to-reply latency.
+    pub fn latency(&self, d: Duration) {
+        let mut samples = self.latencies_ns.lock();
+        if samples.len() < MAX_SAMPLES {
+            samples.push(d.as_nanos() as u64);
+        }
+    }
+
+    /// Encoder forward passes run so far (the dedup denominator).
+    pub fn forwards_so_far(&self) -> u64 {
+        self.forwards.load(Ordering::Relaxed)
+    }
+
+    /// Mean request latency in microseconds (0 before any sample) — feeds
+    /// the `retry_after_ms` hint on rejections.
+    pub fn mean_latency_us(&self) -> u64 {
+        let samples = self.latencies_ns.lock();
+        if samples.is_empty() {
+            return 0;
+        }
+        let sum: u128 = samples.iter().map(|&ns| ns as u128).sum();
+        (sum / samples.len() as u128 / 1_000) as u64
+    }
+
+    /// Folds everything into a report. `elapsed` is the measurement window
+    /// (for QPS); cache and storage-access snapshots come from the service.
+    pub fn report(
+        &self,
+        elapsed: Duration,
+        cache: CacheStats,
+        access: AccessStatsSnapshot,
+    ) -> ServingReport {
+        let mut samples = self.latencies_ns.lock().clone();
+        samples.sort_unstable();
+        let completed = self.completed.load(Ordering::Relaxed);
+        let secs = elapsed.as_secs_f64();
+        ServingReport {
+            requests: self.requests.load(Ordering::Relaxed),
+            completed,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            forwards: self.forwards.load(Ordering::Relaxed),
+            tape_hits: self.tape_hits.load(Ordering::Relaxed),
+            tape_misses: self.tape_misses.load(Ordering::Relaxed),
+            p50_us: percentile_us(&samples, 50.0),
+            p95_us: percentile_us(&samples, 95.0),
+            p99_us: percentile_us(&samples, 99.0),
+            qps: if secs > 0.0 { completed as f64 / secs } else { 0.0 },
+            cache,
+            access,
+        }
+    }
+}
+
+/// Nearest-rank percentile over sorted nanosecond samples, in microseconds.
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * (sorted_ns.len() as f64 - 1.0)).round() as usize;
+    sorted_ns[rank.min(sorted_ns.len() - 1)] as f64 / 1_000.0
+}
+
+/// A point-in-time serving summary.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// Requests admitted to a queue.
+    pub requests: u64,
+    /// Requests answered.
+    pub completed: u64,
+    /// Requests rejected with a retry hint.
+    pub rejected: u64,
+    /// Batches drained.
+    pub batches: u64,
+    /// Encoder forward passes (unique seeds actually computed). Strictly
+    /// below `completed` whenever batching dedup or the cache did any work.
+    pub forwards: u64,
+    /// Episode-tape memo hits across batches (shared k-hop sub-trees).
+    pub tape_hits: u64,
+    /// Episode-tape memo misses across batches.
+    pub tape_misses: u64,
+    /// Median enqueue-to-reply latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Answered requests per second over the measurement window.
+    pub qps: f64,
+    /// Embedding-cache counters.
+    pub cache: CacheStats,
+    /// Seed-level shard access accounting (local / cached / remote).
+    pub access: AccessStatsSnapshot,
+}
+
+impl ServingReport {
+    /// Mean requests per drained batch.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.batches as f64
+        }
+    }
+}
+
+impl fmt::Display for ServingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "requests: {} completed, {} rejected (of {} admitted)",
+            self.completed, self.rejected, self.requests
+        )?;
+        writeln!(
+            f,
+            "latency:  p50 {:.0} us   p95 {:.0} us   p99 {:.0} us",
+            self.p50_us, self.p95_us, self.p99_us
+        )?;
+        writeln!(f, "throughput: {:.0} req/s", self.qps)?;
+        writeln!(
+            f,
+            "batching: {} batches (mean size {:.1}), {} encoder forwards for {} requests",
+            self.batches,
+            self.mean_batch_size(),
+            self.forwards,
+            self.completed
+        )?;
+        writeln!(
+            f,
+            "embedding cache: hit rate {:.1}% ({} hits / {} misses), {} invalidated, {} stale inserts dropped",
+            self.cache.hit_rate() * 100.0,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.invalidations,
+            self.cache.stale_rejects
+        )?;
+        writeln!(
+            f,
+            "tape memo: {} hits / {} misses across batches",
+            self.tape_hits, self.tape_misses
+        )?;
+        write!(
+            f,
+            "shard access: {} local, {} cache-served, {} remote (hit rate {:.1}%)",
+            self.access.local,
+            self.access.cached_remote,
+            self.access.remote,
+            self.access.cache_hit_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_on_known_distribution() {
+        let m = ServingMetrics::default();
+        for i in 1..=100u64 {
+            m.latency(Duration::from_micros(i));
+        }
+        m.batch(100, 40, 10, 50);
+        for _ in 0..100 {
+            m.admitted();
+        }
+        let report = m.report(
+            Duration::from_secs(1),
+            CacheStats {
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                invalidations: 0,
+                stale_rejects: 0,
+                len: 0,
+            },
+            AccessStatsSnapshot::default(),
+        );
+        assert!((report.p50_us - 50.0).abs() <= 1.0, "p50 {}", report.p50_us);
+        assert!((report.p99_us - 99.0).abs() <= 1.0, "p99 {}", report.p99_us);
+        assert!((report.qps - 100.0).abs() < 1e-9);
+        assert_eq!(report.forwards, 40);
+        assert!(report.forwards < report.completed);
+        assert!((report.mean_batch_size() - 100.0).abs() < 1e-9);
+    }
+}

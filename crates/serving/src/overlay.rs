@@ -1,0 +1,306 @@
+//! Copy-on-write dynamic-graph overlay for the serving path.
+//!
+//! The offline store ([`AttributedHeterogeneousGraph`]) is immutable; online
+//! updates arrive as [`SnapshotDelta`] batches (paper §2: "GNNs need to be
+//! recalculated on the dynamically changed subgraphs in an incremental
+//! manner"). An [`OverlayGraph`] pins an `Arc` of the base snapshot and keeps
+//! only the *touched* adjacency rows as private copies, so applying a delta
+//! costs O(touched rows), not O(graph), and every in-flight batch keeps
+//! reading its own consistent version.
+//!
+//! [`affected_seeds`] computes which serving keys a delta can possibly
+//! change: every vertex whose k-hop sampled neighborhood reaches a modified
+//! adjacency row, found by a reverse (in-edge) BFS from the modified rows.
+
+use aligraph_graph::dynamic::SnapshotDelta;
+use aligraph_graph::{AttrId, AttributedHeterogeneousGraph, EdgeId, Neighbor, VertexId};
+use aligraph_sampling::NeighborAccess;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Attribute record id for overlay-added edges, which carry no attributes.
+/// Nothing on the serving path dereferences edge attributes.
+const SYNTH_ATTR: AttrId = AttrId(u32::MAX);
+/// Edge id for overlay-added edges (the base snapshot's id space is dense
+/// from 0, so the sentinel cannot collide).
+const SYNTH_EDGE: EdgeId = EdgeId(u64::MAX);
+
+/// An immutable base snapshot plus copy-on-write adjacency rows.
+///
+/// Cloning is cheap (`Arc` clones per touched row); [`OverlayGraph::apply`]
+/// produces the next version without disturbing readers of this one.
+#[derive(Clone)]
+pub struct OverlayGraph {
+    base: Arc<AttributedHeterogeneousGraph>,
+    /// Out-adjacency rows that differ from the base snapshot.
+    out_rows: HashMap<u32, Arc<Vec<Neighbor>>>,
+    /// In-adjacency rows that differ from the base snapshot (needed only for
+    /// the reverse BFS in [`affected_seeds`]).
+    in_rows: HashMap<u32, Arc<Vec<Neighbor>>>,
+    version: u64,
+}
+
+impl OverlayGraph {
+    /// Version 0: the bare base snapshot, no overlay rows.
+    pub fn new(base: Arc<AttributedHeterogeneousGraph>) -> Self {
+        OverlayGraph { base, out_rows: HashMap::new(), in_rows: HashMap::new(), version: 0 }
+    }
+
+    /// Monotonic version, bumped by every [`apply`](Self::apply).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The pinned base snapshot.
+    pub fn base(&self) -> &Arc<AttributedHeterogeneousGraph> {
+        &self.base
+    }
+
+    /// Number of vertices (fixed: deltas only add/remove edges).
+    pub fn num_vertices(&self) -> usize {
+        self.base.num_vertices()
+    }
+
+    /// Number of adjacency rows that differ from the base snapshot.
+    pub fn overlay_rows(&self) -> usize {
+        self.out_rows.len()
+    }
+
+    /// Out-neighbors of `v`: the overlay row if touched, else the base row.
+    pub fn out_neighbors(&self, v: VertexId) -> &[Neighbor] {
+        match self.out_rows.get(&v.0) {
+            Some(row) => row,
+            None => self.base.out_neighbors(v),
+        }
+    }
+
+    /// In-neighbors of `v`: the overlay row if touched, else the base row.
+    pub fn in_neighbors(&self, v: VertexId) -> &[Neighbor] {
+        match self.in_rows.get(&v.0) {
+            Some(row) => row,
+            None => self.base.in_neighbors(v),
+        }
+    }
+
+    /// Applies a delta, returning the next version. `self` is untouched —
+    /// batches already reading this version finish against it.
+    pub fn apply(&self, delta: &SnapshotDelta) -> OverlayGraph {
+        let mut next = self.clone();
+        next.version = self.version + 1;
+        for ev in &delta.removed {
+            edit_row(&mut next.out_rows, &next.base, ev.src, RowSide::Out, |row| {
+                if let Some(i) = row.iter().position(|n| n.vertex == ev.dst && n.etype == ev.etype)
+                {
+                    row.remove(i);
+                }
+            });
+            edit_row(&mut next.in_rows, &next.base, ev.dst, RowSide::In, |row| {
+                if let Some(i) = row.iter().position(|n| n.vertex == ev.src && n.etype == ev.etype)
+                {
+                    row.remove(i);
+                }
+            });
+        }
+        for ev in &delta.added {
+            let out_rec = Neighbor {
+                vertex: ev.dst,
+                etype: ev.etype,
+                weight: 1.0,
+                attr: SYNTH_ATTR,
+                edge: SYNTH_EDGE,
+            };
+            let in_rec = Neighbor { vertex: ev.src, ..out_rec };
+            edit_row(&mut next.out_rows, &next.base, ev.src, RowSide::Out, |row| {
+                row.push(out_rec);
+            });
+            edit_row(&mut next.in_rows, &next.base, ev.dst, RowSide::In, |row| {
+                row.push(in_rec);
+            });
+        }
+        next
+    }
+}
+
+#[derive(Clone, Copy)]
+enum RowSide {
+    Out,
+    In,
+}
+
+/// Materializes `v`'s row into the overlay map (copying from the base
+/// snapshot on first touch) and edits it in place.
+fn edit_row(
+    rows: &mut HashMap<u32, Arc<Vec<Neighbor>>>,
+    base: &AttributedHeterogeneousGraph,
+    v: VertexId,
+    side: RowSide,
+    edit: impl FnOnce(&mut Vec<Neighbor>),
+) {
+    let row = rows.entry(v.0).or_insert_with(|| {
+        let slice = match side {
+            RowSide::Out => base.out_neighbors(v),
+            RowSide::In => base.in_neighbors(v),
+        };
+        Arc::new(slice.to_vec())
+    });
+    edit(Arc::make_mut(row));
+}
+
+impl NeighborAccess for OverlayGraph {
+    #[inline]
+    fn neighbors(&self, v: VertexId, _hop: usize) -> &[Neighbor] {
+        self.out_neighbors(v)
+    }
+}
+
+/// Serving keys whose embedding a delta may change.
+///
+/// A k-hop encoder samples the out-row of every vertex it expands at depths
+/// `0..kmax-1` from the seed, and the delta only rewrites the out-rows of the
+/// events' *source* endpoints. So a seed `s` is affected iff some modified
+/// source `u` is reachable from `s` within `kmax - 1` out-hops — equivalently
+/// iff `s` is within `kmax - 1` *in*-hops of `u`. The BFS runs over both the
+/// pre- and post-delta views: an added edge creates new reach-paths that only
+/// exist *after* the delta, a removed edge's paths only existed *before*.
+pub fn affected_seeds(
+    pre: &OverlayGraph,
+    post: &OverlayGraph,
+    delta: &SnapshotDelta,
+    kmax: usize,
+) -> HashSet<VertexId> {
+    let sources: HashSet<VertexId> =
+        delta.added.iter().chain(&delta.removed).map(|ev| ev.src).collect();
+    let mut affected: HashSet<VertexId> = sources.clone();
+    if kmax == 0 {
+        // Degenerate: an encoder with no hops never reads adjacency.
+        return HashSet::new();
+    }
+    for view in [pre, post] {
+        let mut frontier: Vec<VertexId> = sources.iter().copied().collect();
+        let mut seen = sources.clone();
+        for _depth in 0..kmax - 1 {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for n in view.in_neighbors(v) {
+                    if seen.insert(n.vertex) {
+                        affected.insert(n.vertex);
+                        next.push(n.vertex);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+    }
+    affected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aligraph_graph::dynamic::{EdgeEvent, EvolutionKind};
+    use aligraph_graph::ids::well_known::*;
+    use aligraph_graph::{AttrVector, GraphBuilder};
+
+    fn chain() -> (Arc<AttributedHeterogeneousGraph>, Vec<VertexId>) {
+        // a -> b -> c -> d
+        let mut b = GraphBuilder::directed();
+        let vs: Vec<VertexId> = (0..4).map(|_| b.add_vertex(USER, AttrVector::empty())).collect();
+        for w in vs.windows(2) {
+            b.add_edge(w[0], w[1], CLICK, 1.0).unwrap();
+        }
+        (Arc::new(b.build()), vs)
+    }
+
+    fn add_event(src: VertexId, dst: VertexId) -> EdgeEvent {
+        EdgeEvent { src, dst, etype: CLICK, kind: EvolutionKind::Normal }
+    }
+
+    #[test]
+    fn apply_adds_and_removes_edges_without_touching_base() {
+        let (g, vs) = chain();
+        let v0 = OverlayGraph::new(Arc::clone(&g));
+        let delta = SnapshotDelta {
+            added: vec![add_event(vs[0], vs[2])],
+            removed: vec![add_event(vs[1], vs[2])],
+        };
+        let v1 = v0.apply(&delta);
+
+        assert_eq!(v1.version(), 1);
+        let out0: Vec<_> = v1.out_neighbors(vs[0]).iter().map(|n| n.vertex).collect();
+        assert_eq!(out0, vec![vs[1], vs[2]]);
+        assert!(v1.out_neighbors(vs[1]).is_empty());
+        let in2: Vec<_> = v1.in_neighbors(vs[2]).iter().map(|n| n.vertex).collect();
+        assert_eq!(in2, vec![vs[0]]);
+
+        // The previous version and the base snapshot are untouched.
+        assert_eq!(v0.out_neighbors(vs[0]).len(), 1);
+        assert_eq!(v0.out_neighbors(vs[1]).len(), 1);
+        assert_eq!(g.out_neighbors(vs[0]).len(), 1);
+        // Untouched rows still fall through to the base (no copies made).
+        assert_eq!(v1.overlay_rows(), 2);
+    }
+
+    #[test]
+    fn removal_only_drops_the_matching_edge_type() {
+        let mut b = GraphBuilder::directed();
+        let u = b.add_vertex(USER, AttrVector::empty());
+        let i = b.add_vertex(ITEM, AttrVector::empty());
+        b.add_edge(u, i, CLICK, 1.0).unwrap();
+        b.add_edge(u, i, BUY, 1.0).unwrap();
+        let g = Arc::new(b.build());
+
+        let v0 = OverlayGraph::new(g);
+        let delta = SnapshotDelta {
+            added: vec![],
+            removed: vec![EdgeEvent { src: u, dst: i, etype: CLICK, kind: EvolutionKind::Normal }],
+        };
+        let v1 = v0.apply(&delta);
+        let remaining: Vec<_> = v1.out_neighbors(u).iter().map(|n| n.etype).collect();
+        assert_eq!(remaining, vec![BUY]);
+    }
+
+    #[test]
+    fn affected_seeds_walks_in_edges_to_encoder_depth() {
+        let (g, vs) = chain();
+        let pre = OverlayGraph::new(g);
+        // Modify the out-row of c (= vs[2]).
+        let delta = SnapshotDelta { added: vec![add_event(vs[2], vs[0])], removed: vec![] };
+        let post = pre.apply(&delta);
+
+        // kmax = 1: only c itself samples its own out-row at depth 0.
+        let k1 = affected_seeds(&pre, &post, &delta, 1);
+        assert_eq!(k1, HashSet::from([vs[2]]));
+
+        // kmax = 2: b reaches c in one out-hop; a does not (two hops).
+        let k2 = affected_seeds(&pre, &post, &delta, 2);
+        assert_eq!(k2, HashSet::from([vs[1], vs[2]]));
+
+        // kmax = 3: a is now within reach.
+        let k3 = affected_seeds(&pre, &post, &delta, 3);
+        assert_eq!(k3, HashSet::from([vs[0], vs[1], vs[2]]));
+    }
+
+    #[test]
+    fn affected_seeds_sees_paths_created_by_the_delta_itself() {
+        // d -> c exists only after the delta; with kmax=2, d must still be
+        // invalidated when c's row changes in the same delta, because the
+        // post-view path d -> c makes d's embedding read c's new row.
+        let (g, vs) = chain();
+        let pre = OverlayGraph::new(g);
+        let delta = SnapshotDelta {
+            added: vec![add_event(vs[3], vs[2]), add_event(vs[2], vs[0])],
+            removed: vec![],
+        };
+        let post = pre.apply(&delta);
+        let k2 = affected_seeds(&pre, &post, &delta, 2);
+        assert!(k2.contains(&vs[3]), "post-delta in-edge d->c missed: {k2:?}");
+        // And removed-edge paths are found through the pre view.
+        let delta_rm = SnapshotDelta { added: vec![], removed: vec![add_event(vs[1], vs[2])] };
+        let post_rm = post.apply(&delta_rm);
+        let k2_rm = affected_seeds(&post, &post_rm, &delta_rm, 2);
+        assert!(k2_rm.contains(&vs[0]), "pre-delta in-edge a->b missed: {k2_rm:?}");
+    }
+}

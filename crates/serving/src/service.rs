@@ -1,0 +1,471 @@
+//! The online serving service: bounded admission, worker pinning, batched
+//! forward passes, versioned caching, and delta-driven invalidation.
+//!
+//! Request flow:
+//!
+//! 1. A client calls [`ServingService::embedding`] / [`score`]. The request
+//!    is routed to the worker that *owns* the vertex under the storage
+//!    partition (shard affinity: the seed's 1-hop row is a local read for
+//!    that worker). Admission is a `try_send` onto the worker's bounded
+//!    queue — a full queue rejects immediately with a retry hint instead of
+//!    buffering without bound ([`ServeError::Overloaded`]).
+//! 2. The worker drains an adaptive micro-batch (flush on size or deadline,
+//!    [`crate::batcher`]), snapshots the current [`OverlayGraph`] version,
+//!    and resolves the batch's *unique* vertices: embedding-cache hits are
+//!    reused, misses run the k-hop SAMPLE → AGGREGATE → COMBINE forward on
+//!    one shared memoizing [`EpisodeTape`], so overlapping neighborhoods
+//!    within the batch are computed once (§3.4 applied to inference).
+//! 3. [`ServingService::apply_delta`] moves the graph to the next version
+//!    copy-on-write and invalidates exactly the cache entries whose k-hop
+//!    neighborhood the delta touched ([`affected_seeds`]); version-tagged
+//!    inserts keep in-flight batches from publishing stale results.
+//!
+//! [`score`]: ServingService::score
+
+use crate::batcher::next_batch;
+use crate::cache::{CacheStats, EmbeddingCache};
+use crate::error::ServeError;
+use crate::metrics::{ServingMetrics, ServingReport};
+use crate::overlay::{affected_seeds, OverlayGraph};
+use aligraph::{EpisodeTape, GnnEncoder};
+use aligraph_graph::dynamic::SnapshotDelta;
+use aligraph_graph::features::{FeatureMatrix, Featurizer};
+use aligraph_graph::{AttributedHeterogeneousGraph, VertexId};
+use aligraph_partition::{EdgeCutHash, Partitioner, WorkerId};
+use aligraph_sampling::NeighborhoodSampler;
+use aligraph_storage::{AccessKind, AccessStats, CostModel};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a [`ServingService`].
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    /// Worker threads; vertices are pinned to workers by the storage
+    /// partitioner, so this is also the shard count.
+    pub workers: usize,
+    /// Per-worker admission queue depth; `try_send` beyond it rejects.
+    pub queue_capacity: usize,
+    /// Micro-batch size cap.
+    pub max_batch: usize,
+    /// Micro-batch latency budget: a batch is flushed at the latest this
+    /// long after its first request arrived.
+    pub max_batch_delay: Duration,
+    /// Input feature dimension (hashed from vertex attributes).
+    pub feature_dim: usize,
+    /// Per-hop output dimensions of the encoder.
+    pub dims: Vec<usize>,
+    /// Per-hop sampling fan-outs (`dims.len()` == `fanouts.len()`).
+    pub fanouts: Vec<usize>,
+    /// Embedding-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Seed for encoder weights and per-worker sampling RNG streams. All
+    /// workers build identical encoder replicas from this seed.
+    pub seed: u64,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            workers: 2,
+            queue_capacity: 256,
+            max_batch: 32,
+            max_batch_delay: Duration::from_millis(2),
+            feature_dim: 16,
+            dims: vec![32, 16],
+            fanouts: vec![8, 4],
+            cache_capacity: 4096,
+            seed: 7,
+        }
+    }
+}
+
+/// A served result.
+enum Reply {
+    Embedding(Arc<Vec<f32>>),
+    Score(f32),
+}
+
+enum JobKind {
+    Embed,
+    /// Cosine score against a second vertex (resolved in the same batch).
+    Score {
+        other: VertexId,
+    },
+}
+
+struct Job {
+    vertex: VertexId,
+    kind: JobKind,
+    reply: Sender<Reply>,
+    enqueued: Instant,
+}
+
+/// State shared by the front-end handle and all workers.
+struct Shared<S> {
+    overlay: RwLock<Arc<OverlayGraph>>,
+    features: FeatureMatrix,
+    cache: EmbeddingCache,
+    metrics: ServingMetrics,
+    stats: AccessStats,
+    cost: CostModel,
+    /// Vertex → owning worker, from the storage partitioner.
+    owners: Vec<WorkerId>,
+    config: ServingConfig,
+    sampler: S,
+}
+
+/// The online inference front-end. Cheap to share by reference; dropping it
+/// joins the workers.
+pub struct ServingService<S: NeighborhoodSampler + Clone + Send + Sync + 'static> {
+    shared: Arc<Shared<S>>,
+    senders: Vec<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<S: NeighborhoodSampler + Clone + Send + Sync + 'static> ServingService<S> {
+    /// Partitions `graph`, spawns the worker pool, and returns the serving
+    /// handle. Encoder weights are derived from `config.seed` (every worker
+    /// holds an identical replica, so routing never changes a result).
+    pub fn start(
+        graph: Arc<AttributedHeterogeneousGraph>,
+        sampler: S,
+        config: ServingConfig,
+    ) -> Self {
+        assert!(config.workers >= 1, "at least one worker");
+        assert!(
+            !config.fanouts.is_empty() && config.dims.len() == config.fanouts.len(),
+            "dims and fanouts must be non-empty and of equal length"
+        );
+        let features = Featurizer::new(config.feature_dim).matrix(&graph);
+        let owners = EdgeCutHash.partition(&graph, config.workers).vertex_owner;
+        let shared = Arc::new(Shared {
+            overlay: RwLock::new(Arc::new(OverlayGraph::new(graph))),
+            features,
+            cache: EmbeddingCache::new(config.cache_capacity),
+            metrics: ServingMetrics::default(),
+            stats: AccessStats::new(),
+            cost: CostModel::default(),
+            owners,
+            config,
+            sampler,
+        });
+        let mut senders = Vec::new();
+        let mut workers = Vec::new();
+        for w in 0..shared.config.workers {
+            let (tx, rx) = bounded::<Job>(shared.config.queue_capacity);
+            senders.push(tx);
+            let shared = Arc::clone(&shared);
+            workers.push(std::thread::spawn(move || worker_loop(shared, rx, w)));
+        }
+        ServingService { shared, senders, workers }
+    }
+
+    /// The current embedding of `v` (L2-normalized, `dims.last()` wide).
+    pub fn embedding(&self, v: VertexId) -> Result<Arc<Vec<f32>>, ServeError> {
+        match self.submit(v, JobKind::Embed)? {
+            Reply::Embedding(e) => Ok(e),
+            Reply::Score(_) => unreachable!("embed jobs get embedding replies"),
+        }
+    }
+
+    /// Cosine similarity of the current embeddings of `u` and `v` — the
+    /// recommendation-style "score this candidate" call.
+    pub fn score(&self, u: VertexId, v: VertexId) -> Result<f32, ServeError> {
+        if v.index() >= self.shared.owners.len() {
+            return Err(ServeError::UnknownVertex(v));
+        }
+        match self.submit(u, JobKind::Score { other: v })? {
+            Reply::Score(s) => Ok(s),
+            Reply::Embedding(_) => unreachable!("score jobs get score replies"),
+        }
+    }
+
+    fn submit(&self, v: VertexId, kind: JobKind) -> Result<Reply, ServeError> {
+        if v.index() >= self.shared.owners.len() {
+            return Err(ServeError::UnknownVertex(v));
+        }
+        let owner = self.shared.owners[v.index()].index();
+        let (tx, rx) = bounded(1);
+        let job = Job { vertex: v, kind, reply: tx, enqueued: Instant::now() };
+        match self.senders[owner].try_send(job) {
+            Ok(()) => self.shared.metrics.admitted(),
+            Err(TrySendError::Full(_)) => {
+                self.shared.metrics.rejected();
+                return Err(ServeError::Overloaded {
+                    queue_capacity: self.shared.config.queue_capacity,
+                    retry_after_ms: self.retry_hint_ms(),
+                });
+            }
+            Err(TrySendError::Disconnected(_)) => return Err(ServeError::ShuttingDown),
+        }
+        rx.recv().map_err(|_| ServeError::ShuttingDown)
+    }
+
+    /// Rough time for the rejected worker to drain one queue's worth of
+    /// requests, from the observed mean latency. Purely advisory.
+    fn retry_hint_ms(&self) -> u64 {
+        let mean_us = self.shared.metrics.mean_latency_us().max(100);
+        let per_batch = self.shared.config.max_batch.max(1) as u64;
+        let batches = (self.shared.config.queue_capacity as u64).div_ceil(per_batch);
+        (batches * mean_us / 1_000).clamp(1, 1_000)
+    }
+
+    /// Applies an online graph update: swaps in the next copy-on-write
+    /// overlay version and invalidates exactly the cached embeddings whose
+    /// k-hop neighborhood the delta can reach. Returns how many cache
+    /// entries were invalidated.
+    ///
+    /// The overlay write lock is held through the cache advance, so no batch
+    /// can snapshot the new version before the cache accepts it; in-flight
+    /// batches against the old version finish on their own snapshot and
+    /// their late inserts are version-checked away.
+    pub fn apply_delta(&self, delta: &SnapshotDelta) -> usize {
+        let kmax = self.shared.config.fanouts.len();
+        let mut guard = self.shared.overlay.write();
+        let pre = Arc::clone(&guard);
+        let post = Arc::new(pre.apply(delta));
+        let affected = affected_seeds(&pre, &post, delta, kmax);
+        *guard = Arc::clone(&post);
+        let dropped = self.shared.cache.advance(post.version(), affected.iter().map(|v| v.0));
+        drop(guard);
+        dropped
+    }
+
+    /// The graph version requests are currently served against.
+    pub fn graph_version(&self) -> u64 {
+        self.shared.overlay.read().version()
+    }
+
+    /// A read-only snapshot of the current overlay (for recompute checks).
+    pub fn overlay_snapshot(&self) -> Arc<OverlayGraph> {
+        Arc::clone(&self.shared.overlay.read())
+    }
+
+    /// Embedding-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Encoder forward passes run so far (dedup evidence: stays below the
+    /// number of completed requests whenever batching or caching helps).
+    pub fn forwards_so_far(&self) -> u64 {
+        self.shared.metrics.forwards_so_far()
+    }
+
+    /// The effective configuration.
+    pub fn config(&self) -> &ServingConfig {
+        &self.shared.config
+    }
+
+    /// Full latency/throughput report over `elapsed`.
+    pub fn report(&self, elapsed: Duration) -> ServingReport {
+        self.shared.metrics.report(elapsed, self.shared.cache.stats(), self.shared.stats.snapshot())
+    }
+
+    /// Stops admission and joins the workers (also done on drop).
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.senders.clear(); // disconnects queues; workers drain then exit
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<S: NeighborhoodSampler + Clone + Send + Sync + 'static> Drop for ServingService<S> {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop<S: NeighborhoodSampler + Clone + Send + Sync + 'static>(
+    shared: Arc<Shared<S>>,
+    rx: Receiver<Job>,
+    worker: usize,
+) {
+    let cfg = &shared.config;
+    // An encoder replica: same seed on every worker => identical weights.
+    let encoder = GnnEncoder::sage(cfg.feature_dim, &cfg.dims, &cfg.fanouts, 0.01, cfg.seed);
+    let sampler = shared.sampler.clone();
+    let mut rng =
+        StdRng::seed_from_u64(cfg.seed ^ ((worker as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+    let mut tape = EpisodeTape::new();
+
+    while let Some(batch) = next_batch(&rx, cfg.max_batch, cfg.max_batch_delay) {
+        // Snapshot the graph version once per batch; the whole batch is
+        // answered against this consistent view.
+        let overlay = Arc::clone(&shared.overlay.read());
+        let version = overlay.version();
+        tape.clear();
+        let (hits0, misses0) = tape.stats();
+
+        // Unique vertices the batch needs (dedup across requests).
+        let batch_len = batch.len();
+        let mut needed: Vec<VertexId> = Vec::new();
+        let mut resolved: HashMap<u32, Arc<Vec<f32>>> = HashMap::new();
+        for job in &batch {
+            needed.push(job.vertex);
+            if let JobKind::Score { other } = job.kind {
+                needed.push(other);
+            }
+        }
+        needed.sort_unstable_by_key(|v| v.0);
+        needed.dedup();
+
+        let mut forwards = 0usize;
+        for &v in &needed {
+            let owned = shared.owners[v.index()].index() == worker;
+            if let Some(e) = shared.cache.get(v.0) {
+                // Seed-level accounting: a cache hit spares the k-hop work;
+                // for a non-owned vertex that is the remote fetch the cache
+                // absorbed.
+                let kind = if owned { AccessKind::Local } else { AccessKind::CachedRemote };
+                shared.stats.record(kind, &shared.cost);
+                resolved.insert(v.0, e);
+                continue;
+            }
+            let kind = if owned { AccessKind::Local } else { AccessKind::Remote };
+            shared.stats.record(kind, &shared.cost);
+            let idx =
+                encoder.forward(&*overlay, &shared.features, &sampler, v, &mut tape, &mut rng);
+            forwards += 1;
+            let mut out = tape.output(idx).to_vec();
+            aligraph_tensor::l2_normalize(&mut out);
+            let out = Arc::new(out);
+            shared.cache.insert(v.0, version, Arc::clone(&out));
+            resolved.insert(v.0, out);
+        }
+
+        // Record batch counters before replying so a client that acts on its
+        // reply (e.g. asks for a report) sees its own request counted.
+        let (hits1, misses1) = tape.stats();
+        shared.metrics.batch(batch_len, forwards, hits1 - hits0, misses1 - misses0);
+
+        for job in batch {
+            let emb = Arc::clone(&resolved[&job.vertex.0]);
+            let reply = match job.kind {
+                JobKind::Embed => Reply::Embedding(emb),
+                JobKind::Score { other } => {
+                    let other = &resolved[&other.0];
+                    Reply::Score(emb.iter().zip(other.iter()).map(|(a, b)| a * b).sum())
+                }
+            };
+            shared.metrics.latency(job.enqueued.elapsed());
+            // A client that gave up (dropped the receiver) is not an error.
+            let _ = job.reply.send(reply);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aligraph_graph::dynamic::{EdgeEvent, EvolutionKind};
+    use aligraph_graph::generate::TaobaoConfig;
+    use aligraph_graph::ids::well_known::CLICK;
+    use aligraph_sampling::TopKNeighborhood;
+
+    fn small_service() -> (Arc<AttributedHeterogeneousGraph>, ServingService<TopKNeighborhood>) {
+        let graph = Arc::new(TaobaoConfig::tiny().generate().expect("valid config"));
+        let config =
+            ServingConfig { max_batch_delay: Duration::from_micros(200), ..Default::default() };
+        let service = ServingService::start(Arc::clone(&graph), TopKNeighborhood, config);
+        (graph, service)
+    }
+
+    #[test]
+    fn serves_normalized_deterministic_embeddings() {
+        let (_graph, service) = small_service();
+        let a = service.embedding(VertexId(0)).unwrap();
+        let b = service.embedding(VertexId(0)).unwrap();
+        assert_eq!(a, b, "TopK sampling + fixed weights must be deterministic");
+        assert_eq!(a.len(), service.config().dims.last().copied().unwrap());
+        let norm: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-4, "norm {norm}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn served_embedding_matches_offline_embed_batch() {
+        let (graph, service) = small_service();
+        let cfg = service.config().clone();
+        let encoder = GnnEncoder::sage(cfg.feature_dim, &cfg.dims, &cfg.fanouts, 0.01, cfg.seed);
+        let features = Featurizer::new(cfg.feature_dim).matrix(&graph);
+        let mut rng = StdRng::seed_from_u64(999); // irrelevant under TopK
+        for v in [0u32, 3, 17, 40] {
+            let served = service.embedding(VertexId(v)).unwrap();
+            let offline = encoder.embed_batch(
+                &*graph,
+                &features,
+                &TopKNeighborhood,
+                &[VertexId(v)],
+                &mut rng,
+            );
+            assert_eq!(served.as_slice(), offline.row(0), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn score_is_the_cosine_of_served_embeddings() {
+        let (_graph, service) = small_service();
+        let (u, v) = (VertexId(1), VertexId(2));
+        let s = service.score(u, v).unwrap();
+        let eu = service.embedding(u).unwrap();
+        let ev = service.embedding(v).unwrap();
+        let dot: f32 = eu.iter().zip(ev.iter()).map(|(a, b)| a * b).sum();
+        assert!((s - dot).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unknown_vertex_is_rejected_up_front() {
+        let (graph, service) = small_service();
+        let bad = VertexId(graph.num_vertices() as u32);
+        assert_eq!(service.embedding(bad), Err(ServeError::UnknownVertex(bad)));
+        assert_eq!(service.score(VertexId(0), bad), Err(ServeError::UnknownVertex(bad)));
+    }
+
+    #[test]
+    fn apply_delta_bumps_version_and_invalidates() {
+        let (graph, service) = small_service();
+        // Warm the cache over a spread of vertices.
+        for v in 0..graph.num_vertices() as u32 {
+            service.embedding(VertexId(v)).unwrap();
+        }
+        assert_eq!(service.graph_version(), 0);
+        let delta = SnapshotDelta {
+            added: vec![EdgeEvent {
+                src: VertexId(0),
+                dst: VertexId(1),
+                etype: CLICK,
+                kind: EvolutionKind::Normal,
+            }],
+            removed: vec![],
+        };
+        let dropped = service.apply_delta(&delta);
+        assert_eq!(service.graph_version(), 1);
+        assert!(dropped >= 1, "at least the touched vertex drops");
+        assert_eq!(service.cache_stats().invalidations as usize, dropped);
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_cache_not_the_encoder() {
+        let (_graph, service) = small_service();
+        for _ in 0..50 {
+            service.embedding(VertexId(5)).unwrap();
+        }
+        assert_eq!(service.forwards_so_far(), 1);
+        let report = service.report(Duration::from_secs(1));
+        assert_eq!(report.completed, 50);
+        assert!(report.forwards < report.completed);
+        assert!(report.cache.hits >= 49);
+    }
+}

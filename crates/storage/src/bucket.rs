@@ -5,28 +5,29 @@
 //! by vertex into request-flow buckets. Each bucket is a **lock-free queue**
 //! bound to one worker thread that owns that vertex group's data outright —
 //! operations within a group execute sequentially with no locking at all.
+//! The queue/thread/shutdown plumbing lives in [`crate::executor`], shared
+//! with the full [`crate::service::GraphRequestService`].
 //!
 //! [`MutexWeightService`] is the contended global-lock baseline used by the
 //! `ablation_bucket` bench.
 
+use crate::executor::{BucketExecutor, ExecutorStopped};
 use aligraph_graph::VertexId;
-use crossbeam::channel::{bounded, Sender};
-use crossbeam::queue::SegQueue;
+use crossbeam::channel::Sender;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// Shared interface over vertex-weight storage, so samplers and benches can
-/// swap the lock-free and mutex implementations.
+/// swap the lock-free and mutex implementations. Read and barrier paths
+/// report [`ExecutorStopped`] when the backing executors have shut down
+/// instead of panicking.
 pub trait WeightService: Send + Sync {
     /// Applies `delta` to the weight of `v` (a sampler backward update).
     fn update(&self, v: VertexId, delta: f32);
     /// Reads the current weight of `v`, observing all previously submitted
     /// updates to `v`'s group.
-    fn get(&self, v: VertexId) -> f32;
+    fn get(&self, v: VertexId) -> Result<f32, ExecutorStopped>;
     /// Blocks until every submitted operation has been applied.
-    fn flush(&self);
+    fn flush(&self) -> Result<(), ExecutorStopped>;
 }
 
 enum Op {
@@ -35,17 +36,32 @@ enum Op {
     Flush(Sender<()>),
 }
 
-struct Bucket {
-    queue: Arc<SegQueue<Op>>,
-    handle: Option<JoinHandle<()>>,
+/// Per-bucket state: the weights of the vertex group this executor owns.
+/// Global vertex `v` maps to shard-local slot `v / num_buckets` (the bucket
+/// itself is chosen by `v % num_buckets`).
+struct WeightShard {
+    weights: Vec<f32>,
+    num_buckets: usize,
+}
+
+impl WeightShard {
+    fn apply(&mut self, op: Op) {
+        match op {
+            Op::Update(v, delta) => self.weights[(v as usize) / self.num_buckets] += delta,
+            Op::Get(v, reply) => {
+                let _ = reply.send(self.weights[(v as usize) / self.num_buckets]);
+            }
+            Op::Flush(reply) => {
+                let _ = reply.send(());
+            }
+        }
+    }
 }
 
 /// The Figure 6 design: vertices sharded into buckets, one lock-free queue
 /// and one owning thread per bucket.
 pub struct LockFreeWeightService {
-    buckets: Vec<Bucket>,
-    stop: Arc<AtomicBool>,
-    num_buckets: usize,
+    exec: BucketExecutor<Op>,
 }
 
 impl LockFreeWeightService {
@@ -53,89 +69,25 @@ impl LockFreeWeightService {
     /// initialized to `initial`.
     pub fn new(n: usize, num_buckets: usize, initial: f32) -> Self {
         let num_buckets = num_buckets.max(1);
-        let stop = Arc::new(AtomicBool::new(false));
-        let buckets = (0..num_buckets)
-            .map(|b| {
-                let queue = Arc::new(SegQueue::new());
-                let q = Arc::clone(&queue);
-                let stop = Arc::clone(&stop);
-                // This thread exclusively owns the weights of its group
-                // (vertices with v % num_buckets == b): no lock needed.
-                let shard_len = n / num_buckets + 1;
-                let handle = std::thread::spawn(move || {
-                    // Global vertex v maps to shard-local slot v / num_buckets
-                    // (the bucket is chosen by v % num_buckets).
-                    let mut weights = vec![initial; shard_len];
-                    let mut idle_spins = 0u32;
-                    loop {
-                        match q.pop() {
-                            Some(Op::Update(v, delta)) => {
-                                weights[(v as usize) / num_buckets] += delta;
-                                idle_spins = 0;
-                            }
-                            Some(Op::Get(v, reply)) => {
-                                let _ = reply.send(weights[(v as usize) / num_buckets]);
-                                idle_spins = 0;
-                            }
-                            Some(Op::Flush(reply)) => {
-                                let _ = reply.send(());
-                                idle_spins = 0;
-                            }
-                            None => {
-                                if stop.load(Ordering::Acquire) {
-                                    break;
-                                }
-                                idle_spins += 1;
-                                if idle_spins < 64 {
-                                    std::hint::spin_loop();
-                                } else {
-                                    std::thread::yield_now();
-                                }
-                            }
-                        }
-                    }
-                });
-                let _ = b;
-                Bucket { queue, handle: Some(handle) }
-            })
+        let shard_len = n / num_buckets + 1;
+        let states = (0..num_buckets)
+            .map(|_| WeightShard { weights: vec![initial; shard_len], num_buckets })
             .collect();
-        LockFreeWeightService { buckets, stop, num_buckets }
-    }
-
-    #[inline]
-    fn bucket_of(&self, v: VertexId) -> &SegQueue<Op> {
-        &self.buckets[(v.0 as usize) % self.num_buckets].queue
+        LockFreeWeightService { exec: BucketExecutor::spawn(states, WeightShard::apply) }
     }
 }
 
 impl WeightService for LockFreeWeightService {
     fn update(&self, v: VertexId, delta: f32) {
-        self.bucket_of(v).push(Op::Update(v.0, delta));
+        self.exec.submit(v.0, Op::Update(v.0, delta));
     }
 
-    fn get(&self, v: VertexId) -> f32 {
-        let (tx, rx) = bounded(1);
-        self.bucket_of(v).push(Op::Get(v.0, tx));
-        rx.recv().expect("bucket executor alive")
+    fn get(&self, v: VertexId) -> Result<f32, ExecutorStopped> {
+        self.exec.round_trip(v.0, |tx| Op::Get(v.0, tx))
     }
 
-    fn flush(&self) {
-        for b in &self.buckets {
-            let (tx, rx) = bounded(1);
-            b.queue.push(Op::Flush(tx));
-            rx.recv().expect("bucket executor alive");
-        }
-    }
-}
-
-impl Drop for LockFreeWeightService {
-    fn drop(&mut self) {
-        self.stop.store(true, Ordering::Release);
-        for b in &mut self.buckets {
-            if let Some(h) = b.handle.take() {
-                let _ = h.join();
-            }
-        }
+    fn flush(&self) -> Result<(), ExecutorStopped> {
+        self.exec.barrier(Op::Flush)
     }
 }
 
@@ -156,25 +108,28 @@ impl WeightService for MutexWeightService {
         self.weights.lock()[v.index()] += delta;
     }
 
-    fn get(&self, v: VertexId) -> f32 {
-        self.weights.lock()[v.index()]
+    fn get(&self, v: VertexId) -> Result<f32, ExecutorStopped> {
+        Ok(self.weights.lock()[v.index()])
     }
 
-    fn flush(&self) {}
+    fn flush(&self) -> Result<(), ExecutorStopped> {
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn lock_free_update_then_get() {
         let svc = LockFreeWeightService::new(100, 4, 1.0);
         svc.update(VertexId(7), 0.5);
         svc.update(VertexId(7), 0.25);
-        svc.flush();
-        assert!((svc.get(VertexId(7)) - 1.75).abs() < 1e-6);
-        assert!((svc.get(VertexId(8)) - 1.0).abs() < 1e-6);
+        svc.flush().unwrap();
+        assert!((svc.get(VertexId(7)).unwrap() - 1.75).abs() < 1e-6);
+        assert!((svc.get(VertexId(8)).unwrap() - 1.0).abs() < 1e-6);
     }
 
     #[test]
@@ -193,8 +148,8 @@ mod tests {
         for t in threads {
             t.join().unwrap();
         }
-        svc.flush();
-        let total: f32 = (0..64).map(|v| svc.get(VertexId(v))).sum();
+        svc.flush().unwrap();
+        let total: f32 = (0..64).map(|v| svc.get(VertexId(v)).unwrap()).sum();
         assert!((total - 8_000.0).abs() < 1e-3, "total {total}");
     }
 
@@ -202,8 +157,8 @@ mod tests {
     fn mutex_service_equivalent_semantics() {
         let svc = MutexWeightService::new(10, 2.0);
         svc.update(VertexId(3), -1.0);
-        assert!((svc.get(VertexId(3)) - 1.0).abs() < 1e-6);
-        svc.flush();
+        assert!((svc.get(VertexId(3)).unwrap() - 1.0).abs() < 1e-6);
+        svc.flush().unwrap();
     }
 
     #[test]
@@ -214,7 +169,7 @@ mod tests {
             svc.update(VertexId(5), 1.0);
         }
         // A get submitted after the updates must observe all of them.
-        assert!((svc.get(VertexId(5)) - 100.0).abs() < 1e-6);
+        assert!((svc.get(VertexId(5)).unwrap() - 100.0).abs() < 1e-6);
     }
 
     #[test]
@@ -222,8 +177,8 @@ mod tests {
         let svc = LockFreeWeightService::new(8, 1, 0.0);
         svc.update(VertexId(0), 3.0);
         svc.update(VertexId(7), 4.0);
-        svc.flush();
-        assert_eq!(svc.get(VertexId(0)), 3.0);
-        assert_eq!(svc.get(VertexId(7)), 4.0);
+        svc.flush().unwrap();
+        assert_eq!(svc.get(VertexId(0)).unwrap(), 3.0);
+        assert_eq!(svc.get(VertexId(7)).unwrap(), 4.0);
     }
 }

@@ -98,8 +98,7 @@ impl Cluster {
         let importance_time = t1.elapsed();
 
         let t2 = Instant::now();
-        let (servers, shard_times) =
-            ingest_parallel(&graph, &partition, &importance, strategy, p);
+        let (servers, shard_times) = ingest_parallel(&graph, &partition, &importance, strategy, p);
         let ingest_time = t2.elapsed();
 
         let report = ClusterBuildReport {
@@ -109,10 +108,7 @@ impl Cluster {
             shard_times,
             num_workers: p,
         };
-        (
-            Cluster { graph, partition, servers, stats: Arc::new(AccessStats::new()), cost },
-            report,
-        )
+        (Cluster { graph, partition, servers, stats: Arc::new(AccessStats::new()), cost }, report)
     }
 
     /// The shared graph.
@@ -174,10 +170,7 @@ impl Cluster {
     /// Fraction of vertices statically cached per shard (identical across
     /// shards for the static strategies).
     pub fn cached_fraction(&self) -> f64 {
-        self.servers
-            .first()
-            .map(|s| s.neighbor_cache().cached_fraction())
-            .unwrap_or(0.0)
+        self.servers.first().map(|s| s.neighbor_cache().cached_fraction()).unwrap_or(0.0)
     }
 }
 
@@ -266,10 +259,7 @@ mod tests {
     #[test]
     fn importance_cache_reduces_remote_traffic() {
         let (none, _) = tiny_cluster(4, CacheStrategy::None);
-        let (cached, _) = tiny_cluster(
-            4,
-            CacheStrategy::ImportanceBudget { k: 2, fraction: 0.3 },
-        );
+        let (cached, _) = tiny_cluster(4, CacheStrategy::ImportanceBudget { k: 2, fraction: 0.3 });
         // Same access pattern against both clusters: every vertex read from
         // worker 0.
         for v in none.graph().vertices() {

@@ -158,10 +158,7 @@ mod tests {
         assert_eq!(snap.cached_remote, 1);
         assert_eq!(snap.replacements, 1);
         assert_eq!(snap.total(), 3);
-        assert_eq!(
-            snap.virtual_ns,
-            m.local_ns + m.remote_ns + m.cached_ns + m.cache_replace_ns
-        );
+        assert_eq!(snap.virtual_ns, m.local_ns + m.remote_ns + m.cached_ns + m.cache_replace_ns);
         assert!((snap.cache_hit_rate() - 0.5).abs() < 1e-9);
     }
 

@@ -18,7 +18,8 @@
 //!   owns the group's data outright, so no data lock is ever taken.
 //!   `service::GraphRequestService` is the full variant (neighbor reads,
 //!   weighted draws, dynamic-weight updates); `bucket` is the minimal
-//!   weight-only variant benchmarked against a global mutex;
+//!   weight-only variant benchmarked against a global mutex; both share the
+//!   queue/thread plumbing in [`executor`];
 //! * [`cost`] — simulated local/remote access costs and atomic statistics.
 //!
 //! The "network" is simulated: every shard can physically reach the whole
@@ -30,6 +31,7 @@
 pub mod bucket;
 pub mod cluster;
 pub mod cost;
+pub mod executor;
 pub mod lru;
 pub mod neighbor_cache;
 pub mod server;
@@ -38,6 +40,7 @@ pub mod service;
 pub use bucket::{LockFreeWeightService, MutexWeightService, WeightService};
 pub use cluster::{Cluster, ClusterBuildReport};
 pub use cost::{AccessKind, AccessStats, AccessStatsSnapshot, CostModel};
+pub use executor::{BucketExecutor, ExecutorStopped};
 pub use lru::LruCache;
 pub use neighbor_cache::{CacheStrategy, NeighborCache};
 pub use server::GraphServer;

@@ -12,7 +12,9 @@ const NIL: usize = usize::MAX;
 
 struct Entry<K, V> {
     key: K,
-    value: V,
+    /// `Some` while the entry is live; `None` only for recycled slots on
+    /// the free list (lets [`LruCache::remove`] move the value out).
+    value: Option<V>,
     prev: usize,
     next: usize,
 }
@@ -21,6 +23,7 @@ struct Entry<K, V> {
 pub struct LruCache<K, V> {
     map: HashMap<K, usize>,
     slab: Vec<Entry<K, V>>,
+    free: Vec<usize>,
     head: usize, // most recently used
     tail: usize, // least recently used
     capacity: usize,
@@ -35,6 +38,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         LruCache {
             map: HashMap::with_capacity(capacity),
             slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
             head: NIL,
             tail: NIL,
             capacity,
@@ -71,7 +75,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
                 self.hits += 1;
                 self.unlink(idx);
                 self.push_front(idx);
-                Some(&self.slab[idx].value)
+                self.slab[idx].value.as_ref()
             }
             None => {
                 self.misses += 1;
@@ -82,7 +86,16 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
 
     /// Checks membership without touching recency or stats.
     pub fn peek(&self, key: &K) -> Option<&V> {
-        self.map.get(key).map(|&i| &self.slab[i].value)
+        self.map.get(key).and_then(|&i| self.slab[i].value.as_ref())
+    }
+
+    /// Removes a key, returning its value. O(1); the slot is recycled for
+    /// later inserts. Does not count as an eviction.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = self.map.remove(key)?;
+        self.unlink(idx);
+        self.free.push(idx);
+        self.slab[idx].value.take()
     }
 
     /// Inserts (or refreshes) a key. Returns `true` if an older entry was
@@ -92,7 +105,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             return false;
         }
         if let Some(&idx) = self.map.get(&key) {
-            self.slab[idx].value = value;
+            self.slab[idx].value = Some(value);
             self.unlink(idx);
             self.push_front(idx);
             return false;
@@ -105,13 +118,18 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             self.unlink(idx);
             let old_key = std::mem::replace(&mut self.slab[idx].key, key.clone());
             self.map.remove(&old_key);
-            self.slab[idx].value = value;
+            self.slab[idx].value = Some(value);
             self.evictions += 1;
             evicted = true;
             idx
+        } else if let Some(idx) = self.free.pop() {
+            // Recycle a slot freed by `remove`.
+            self.slab[idx].key = key.clone();
+            self.slab[idx].value = Some(value);
+            idx
         } else {
             let idx = self.slab.len();
-            self.slab.push(Entry { key: key.clone(), value, prev: NIL, next: NIL });
+            self.slab.push(Entry { key: key.clone(), value: Some(value), prev: NIL, next: NIL });
             idx
         };
         self.map.insert(key, idx);
@@ -204,6 +222,26 @@ mod tests {
             assert_eq!(c.len(), 1);
         }
         assert_eq!(c.stats().2, 9);
+    }
+
+    #[test]
+    fn remove_frees_capacity_and_recycles_slots() {
+        let mut c = LruCache::new(2);
+        c.put(1, "a");
+        c.put(2, "b");
+        assert_eq!(c.remove(&1), Some("a"));
+        assert_eq!(c.remove(&1), None);
+        assert_eq!(c.len(), 1);
+        // The freed slot is reused without evicting 2.
+        assert!(!c.put(3, "c"));
+        assert_eq!(c.peek(&2), Some(&"b"));
+        assert_eq!(c.peek(&3), Some(&"c"));
+        // Removing the tail then the head keeps the list consistent.
+        assert_eq!(c.remove(&2), Some("b"));
+        assert_eq!(c.remove(&3), Some("c"));
+        assert!(c.is_empty());
+        c.put(4, "d");
+        assert_eq!(c.get(&4), Some(&"d"));
     }
 
     #[test]

@@ -95,9 +95,9 @@ impl NeighborCache {
                     if k > importance.imp.len() {
                         break;
                     }
-                    for v in 0..n {
-                        if importance.imp[ki][v] >= tau {
-                            cached_depth[v] = cached_depth[v].max(k as u8);
+                    for (depth, &imp) in cached_depth.iter_mut().zip(&importance.imp[ki]) {
+                        if imp >= tau {
+                            *depth = (*depth).max(k as u8);
                         }
                     }
                 }
@@ -129,7 +129,11 @@ impl NeighborCache {
 
     /// Convenience: computes degrees + importance, then builds. Prefer
     /// [`build`](Self::build) when the importance table is reused.
-    pub fn build_fresh(graph: &AttributedHeterogeneousGraph, strategy: &CacheStrategy, max_hop: usize) -> Self {
+    pub fn build_fresh(
+        graph: &AttributedHeterogeneousGraph,
+        strategy: &CacheStrategy,
+        max_hop: usize,
+    ) -> Self {
         let degrees = DegreeTable::compute(graph, max_hop.max(1));
         let imp = ImportanceTable::from_degrees(&degrees);
         Self::build(graph, &imp, strategy)
@@ -218,7 +222,11 @@ mod tests {
     #[test]
     fn budget_caches_exact_fraction() {
         let (g, imp) = setup();
-        let c = NeighborCache::build(&g, &imp, &CacheStrategy::ImportanceBudget { k: 2, fraction: 0.2 });
+        let c = NeighborCache::build(
+            &g,
+            &imp,
+            &CacheStrategy::ImportanceBudget { k: 2, fraction: 0.2 },
+        );
         assert_eq!(c.cached_count(), 100);
         // The cached set is the top of the importance ranking.
         let ranked = imp.ranked(2);
@@ -237,15 +245,16 @@ mod tests {
     #[test]
     fn lookup_hits_and_misses() {
         let (g, imp) = setup();
-        let c = NeighborCache::build(&g, &imp, &CacheStrategy::ImportanceBudget { k: 1, fraction: 0.1 });
+        let c = NeighborCache::build(
+            &g,
+            &imp,
+            &CacheStrategy::ImportanceBudget { k: 1, fraction: 0.1 },
+        );
         let stats = AccessStats::new();
         let model = CostModel::default();
         let ranked = imp.ranked(1);
         assert_eq!(c.lookup(ranked[0], 1, &stats, &model), CacheOutcome::Hit);
-        assert_eq!(
-            c.lookup(*ranked.last().unwrap(), 1, &stats, &model),
-            CacheOutcome::Miss
-        );
+        assert_eq!(c.lookup(*ranked.last().unwrap(), 1, &stats, &model), CacheOutcome::Miss);
         // Depth matters: cached at hop 1 does not serve hop 2.
         assert_eq!(c.lookup(ranked[0], 2, &stats, &model), CacheOutcome::Miss);
     }

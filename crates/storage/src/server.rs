@@ -4,9 +4,7 @@
 use crate::cost::{AccessKind, AccessStats, CostModel};
 use crate::lru::LruCache;
 use crate::neighbor_cache::{CacheOutcome, NeighborCache};
-use aligraph_graph::{
-    AttrId, AttrVector, AttributedHeterogeneousGraph, Neighbor, VertexId,
-};
+use aligraph_graph::{AttrId, AttrVector, AttributedHeterogeneousGraph, Neighbor, VertexId};
 use aligraph_partition::{Partition, WorkerId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -133,12 +131,7 @@ impl GraphServer {
 
     /// Vertex attributes through the LRU-fronted index. Returns a clone (the
     /// cache owns its copies); records a local access plus cache traffic.
-    pub fn vertex_attrs(
-        &self,
-        v: VertexId,
-        stats: &AccessStats,
-        model: &CostModel,
-    ) -> AttrVector {
+    pub fn vertex_attrs(&self, v: VertexId, stats: &AccessStats, model: &CostModel) -> AttrVector {
         let id = self.graph.vertex_attr_id(v);
         let mut cache = self.vertex_attr_cache.lock();
         if let Some(hit) = cache.get(&id) {
@@ -146,12 +139,8 @@ impl GraphServer {
             stats.record(AccessKind::Local, model);
             return out;
         }
-        let record = self
-            .graph
-            .vertex_attr_index()
-            .get(id)
-            .cloned()
-            .unwrap_or_else(AttrVector::empty);
+        let record =
+            self.graph.vertex_attr_index().get(id).cloned().unwrap_or_else(AttrVector::empty);
         if cache.put(id, record.clone()) {
             stats.record_replacement(model);
         }
@@ -167,12 +156,8 @@ impl GraphServer {
             stats.record(AccessKind::Local, model);
             return out;
         }
-        let record = self
-            .graph
-            .edge_attr_index()
-            .get(id)
-            .cloned()
-            .unwrap_or_else(AttrVector::empty);
+        let record =
+            self.graph.edge_attr_index().get(id).cloned().unwrap_or_else(AttrVector::empty);
         if cache.put(id, record.clone()) {
             stats.record_replacement(model);
         }
@@ -246,8 +231,7 @@ mod tests {
             let cache = NeighborCache::build_fresh(&g, &CacheStrategy::None, 1);
             let roster: Vec<VertexId> =
                 g.vertices().filter(|&v| part.owner_of(v) == WorkerId(w)).collect();
-            let s =
-                GraphServer::ingest(WorkerId(w), g.clone(), part.clone(), &roster, cache, 8);
+            let s = GraphServer::ingest(WorkerId(w), g.clone(), part.clone(), &roster, cache, 8);
             total += s.num_owned();
         }
         assert_eq!(total, g.num_vertices());

@@ -9,18 +9,16 @@
 //! executor *owns* its vertex group's adjacency and dynamic sampling
 //! weights outright, so reads, weighted neighbor draws, and weight updates
 //! execute with no locks at all; clients talk to buckets through lock-free
-//! `SegQueue`s and receive replies over bounded channels.
+//! queues and receive replies over bounded channels. The queue/thread/
+//! shutdown plumbing is the shared [`crate::executor::BucketExecutor`]
 //! ([`crate::bucket`] is the minimal weight-only variant used by the
-//! `ablation_bucket` bench.)
+//! `ablation_bucket` bench).
 
+use crate::executor::{BucketExecutor, ExecutorStopped};
 use aligraph_graph::{AttributedHeterogeneousGraph, VertexId};
-use crossbeam::channel::{bounded, Sender};
-use crossbeam::queue::SegQueue;
+use crossbeam::channel::Sender;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
 
 enum Request {
     /// Read the (ids of the) out-neighbors of a vertex.
@@ -93,17 +91,11 @@ impl BucketState {
     }
 }
 
-struct Bucket {
-    queue: Arc<SegQueue<Request>>,
-    handle: Option<JoinHandle<()>>,
-}
-
 /// The Figure 6 service: lock-free request buckets over a graph's vertex
-/// groups, one owning executor thread per bucket.
+/// groups, one owning executor thread per bucket. Round-trip reads report
+/// [`ExecutorStopped`] if the service is shutting down.
 pub struct GraphRequestService {
-    buckets: Vec<Bucket>,
-    stop: Arc<AtomicBool>,
-    num_buckets: usize,
+    exec: BucketExecutor<Request>,
 }
 
 impl GraphRequestService {
@@ -118,7 +110,6 @@ impl GraphRequestService {
     ) -> Self {
         let num_buckets = num_buckets.max(1);
         let n = graph.num_vertices();
-        let stop = Arc::new(AtomicBool::new(false));
 
         // Carve the adjacency into per-bucket owned state up front, so the
         // executor threads never touch shared graph memory.
@@ -132,104 +123,44 @@ impl GraphRequestService {
             .collect();
         for v in graph.vertices() {
             let b = v.index() % num_buckets;
-            let row: Box<[(VertexId, f32)]> = graph
-                .out_neighbors(v)
-                .iter()
-                .map(|nb| (nb.vertex, nb.weight))
-                .collect();
+            let row: Box<[(VertexId, f32)]> =
+                graph.out_neighbors(v).iter().map(|nb| (nb.vertex, nb.weight)).collect();
             states[b].adjacency.push(row);
             states[b].dyn_weights.push(initial_weight);
         }
 
-        let buckets = states
-            .into_iter()
-            .map(|mut state| {
-                let queue = Arc::new(SegQueue::new());
-                let q = Arc::clone(&queue);
-                let stop = Arc::clone(&stop);
-                let handle = std::thread::spawn(move || {
-                    let mut idle = 0u32;
-                    loop {
-                        match q.pop() {
-                            Some(req) => {
-                                state.handle(req);
-                                idle = 0;
-                            }
-                            None => {
-                                if stop.load(Ordering::Acquire) {
-                                    break;
-                                }
-                                idle += 1;
-                                if idle < 64 {
-                                    std::hint::spin_loop();
-                                } else {
-                                    std::thread::yield_now();
-                                }
-                            }
-                        }
-                    }
-                });
-                Bucket { queue, handle: Some(handle) }
-            })
-            .collect();
-        GraphRequestService { buckets, stop, num_buckets }
-    }
-
-    #[inline]
-    fn bucket_of(&self, v: VertexId) -> &SegQueue<Request> {
-        &self.buckets[v.index() % self.num_buckets].queue
+        GraphRequestService { exec: BucketExecutor::spawn(states, BucketState::handle) }
     }
 
     /// Out-neighbor ids of `v` (synchronous round-trip to the owning bucket).
-    pub fn neighbors(&self, v: VertexId) -> Vec<VertexId> {
-        let (tx, rx) = bounded(1);
-        self.bucket_of(v).push(Request::Neighbors(v.0, tx));
-        rx.recv().expect("bucket executor alive")
+    pub fn neighbors(&self, v: VertexId) -> Result<Vec<VertexId>, ExecutorStopped> {
+        self.exec.round_trip(v.0, |tx| Request::Neighbors(v.0, tx))
     }
 
     /// One weighted neighbor draw of `v` (dynamic weight applied).
-    pub fn sample_neighbor(&self, v: VertexId) -> Option<VertexId> {
-        let (tx, rx) = bounded(1);
-        self.bucket_of(v).push(Request::SampleNeighbor(v.0, tx));
-        rx.recv().expect("bucket executor alive")
+    pub fn sample_neighbor(&self, v: VertexId) -> Result<Option<VertexId>, ExecutorStopped> {
+        self.exec.round_trip(v.0, |tx| Request::SampleNeighbor(v.0, tx))
     }
 
     /// Enqueues a sampler backward update for `v`'s dynamic weight —
     /// asynchronous: returns immediately, applied when the bucket drains.
     pub fn update_weight(&self, v: VertexId, delta: f32) {
-        self.bucket_of(v).push(Request::UpdateWeight(v.0, delta));
+        self.exec.submit(v.0, Request::UpdateWeight(v.0, delta));
     }
 
     /// Current dynamic weight of `v` (observes prior updates to its group).
-    pub fn weight(&self, v: VertexId) -> f32 {
-        let (tx, rx) = bounded(1);
-        self.bucket_of(v).push(Request::ReadWeight(v.0, tx));
-        rx.recv().expect("bucket executor alive")
+    pub fn weight(&self, v: VertexId) -> Result<f32, ExecutorStopped> {
+        self.exec.round_trip(v.0, |tx| Request::ReadWeight(v.0, tx))
     }
 
     /// Blocks until every previously submitted request has executed.
-    pub fn flush(&self) {
-        for b in &self.buckets {
-            let (tx, rx) = bounded(1);
-            b.queue.push(Request::Flush(tx));
-            rx.recv().expect("bucket executor alive");
-        }
+    pub fn flush(&self) -> Result<(), ExecutorStopped> {
+        self.exec.barrier(Request::Flush)
     }
 
     /// Number of buckets.
     pub fn num_buckets(&self) -> usize {
-        self.num_buckets
-    }
-}
-
-impl Drop for GraphRequestService {
-    fn drop(&mut self) {
-        self.stop.store(true, Ordering::Release);
-        for b in &mut self.buckets {
-            if let Some(h) = b.handle.take() {
-                let _ = h.join();
-            }
-        }
+        self.exec.num_buckets()
     }
 }
 
@@ -238,6 +169,7 @@ mod tests {
     use super::*;
     use aligraph_graph::generate::TaobaoConfig;
     use aligraph_graph::{AttrVector, EdgeType, GraphBuilder, VertexType};
+    use std::sync::Arc;
 
     #[test]
     fn neighbor_reads_match_the_graph() {
@@ -245,7 +177,7 @@ mod tests {
         let svc = GraphRequestService::spawn(&g, 4, 1.0, 1);
         for v in g.vertices().take(50) {
             let expect: Vec<VertexId> = g.out_neighbors(v).iter().map(|n| n.vertex).collect();
-            assert_eq!(svc.neighbors(v), expect, "{v}");
+            assert_eq!(svc.neighbors(v).unwrap(), expect, "{v}");
         }
     }
 
@@ -265,12 +197,12 @@ mod tests {
         let svc = GraphRequestService::spawn(&g, 2, 1.0, 2);
         let mut hits = 0;
         for _ in 0..500 {
-            if svc.sample_neighbor(hub) == Some(x) {
+            if svc.sample_neighbor(hub).unwrap() == Some(x) {
                 hits += 1;
             }
         }
         assert!(hits > 380, "heavy edge drawn {hits}/500");
-        assert_eq!(svc.sample_neighbor(x), None, "leaf has no out-neighbors");
+        assert_eq!(svc.sample_neighbor(x).unwrap(), None, "leaf has no out-neighbors");
     }
 
     #[test]
@@ -281,10 +213,10 @@ mod tests {
         for _ in 0..10 {
             svc.update_weight(v, 0.5);
         }
-        svc.flush();
-        assert!((svc.weight(v) - 6.0).abs() < 1e-5);
+        svc.flush().unwrap();
+        assert!((svc.weight(v).unwrap() - 6.0).abs() < 1e-5);
         // Other vertices untouched.
-        assert!((svc.weight(VertexId(8)) - 1.0).abs() < 1e-5);
+        assert!((svc.weight(VertexId(8)).unwrap() - 1.0).abs() < 1e-5);
     }
 
     #[test]
@@ -304,8 +236,8 @@ mod tests {
         for t in threads {
             t.join().unwrap();
         }
-        svc.flush();
-        let total: f32 = (0..32).map(|v| svc.weight(VertexId(v))).sum();
+        svc.flush().unwrap();
+        let total: f32 = (0..32).map(|v| svc.weight(VertexId(v)).unwrap()).sum();
         assert!((total - 2_000.0).abs() < 1e-3, "total {total}");
     }
 }

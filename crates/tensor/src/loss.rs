@@ -41,13 +41,10 @@ pub fn sgns_update(
     let score = input.dot_with(c, output, pos);
     loss += logistic_loss(score, true);
     let g = logistic_grad(score, true);
-    for j in 0..dim {
-        input_grad[j] += g * output.row(pos)[j];
+    for (ig, &o) in input_grad.iter_mut().zip(output.row(pos)).take(dim) {
+        *ig += g * o;
     }
-    let mut out_grad = vec![0.0f32; dim];
-    for j in 0..dim {
-        out_grad[j] = g * input.row(c)[j];
-    }
+    let mut out_grad: Vec<f32> = input.row(c).iter().take(dim).map(|&x| g * x).collect();
     output.sgd_update(pos, &out_grad, lr);
 
     // Negatives.
@@ -55,9 +52,11 @@ pub fn sgns_update(
         let score = input.dot_with(c, output, neg);
         loss += logistic_loss(score, false);
         let g = logistic_grad(score, false);
+        let ctr = input.row(c);
+        let nbr = output.row(neg);
         for j in 0..dim {
-            input_grad[j] += g * output.row(neg)[j];
-            out_grad[j] = g * input.row(c)[j];
+            input_grad[j] += g * nbr[j];
+            out_grad[j] = g * ctr[j];
         }
         output.sgd_update(neg, &out_grad, lr);
     }

@@ -30,11 +30,7 @@ fn main() {
     let dynamic = config.generate().expect("valid config");
     for t in 0..dynamic.num_snapshots() {
         let snap = dynamic.snapshot(t).expect("in range");
-        let bursts = dynamic
-            .delta(t)
-            .expect("in range")
-            .added_of(EvolutionKind::Burst)
-            .count();
+        let bursts = dynamic.delta(t).expect("in range").added_of(EvolutionKind::Burst).count();
         println!("t={t}: {} edges ({} burst additions this step)", snap.num_edges(), bursts);
     }
 

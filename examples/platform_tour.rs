@@ -5,12 +5,12 @@
 
 use aligraph_suite::graph::generate::TaobaoConfig;
 use aligraph_suite::graph::{DegreeTable, ImportanceTable, VertexId};
+use aligraph_suite::partition::WorkerId;
 use aligraph_suite::partition::{
     EdgeCutHash, Grid2D, MetisLike, PartitionQuality, Partitioner, StreamingLdg, VertexCutGreedy,
 };
 use aligraph_suite::sampling::{DynamicWeights, WeightUpdateMode};
 use aligraph_suite::storage::{CacheStrategy, Cluster, CostModel, LockFreeWeightService};
-use aligraph_suite::partition::WorkerId;
 use std::sync::Arc;
 
 fn main() {
@@ -89,10 +89,10 @@ fn main() {
     for i in 0..1_000u32 {
         weights.backward(VertexId(i % 64), 1.0);
     }
-    weights.flush();
+    weights.flush().expect("service running");
     println!(
         "after 1000 async sampler updates: weight(v0) = {:.3} (mode {:?})",
-        weights.get(VertexId(0)),
+        weights.get(VertexId(0)).expect("service running"),
         WeightUpdateMode::Asynchronous,
     );
 }

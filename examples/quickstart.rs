@@ -26,9 +26,8 @@ use std::sync::Arc;
 fn main() {
     // 1. A small attributed heterogeneous graph: users, items, four
     //    behavior edge types, interned attributes.
-    let graph = Arc::new(
-        TaobaoConfig::tiny().scaled(4.0).generate().expect("valid generator config"),
-    );
+    let graph =
+        Arc::new(TaobaoConfig::tiny().scaled(4.0).generate().expect("valid generator config"));
     println!(
         "graph: {} vertices ({} types), {} edges ({} types), attr index {} records",
         graph.num_vertices(),

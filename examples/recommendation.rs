@@ -56,9 +56,8 @@ fn main() {
     for k in [10usize, 20, 50] {
         println!("Mixture GNN HR@{k}: {:.4}", hit_rate_at_k(&recs, &truth, k));
     }
-    println!("\n(sense posteriors let one user carry several intents: P(s|v) for {user} = {:?})",
-        mixture.posterior[user.index()]
-            .iter()
-            .map(|p| format!("{p:.2}"))
-            .collect::<Vec<_>>());
+    println!(
+        "\n(sense posteriors let one user carry several intents: P(s|v) for {user} = {:?})",
+        mixture.posterior[user.index()].iter().map(|p| format!("{p:.2}")).collect::<Vec<_>>()
+    );
 }

@@ -11,5 +11,6 @@ pub use aligraph_graph as graph;
 pub use aligraph_ops as ops;
 pub use aligraph_partition as partition;
 pub use aligraph_sampling as sampling;
+pub use aligraph_serving as serving;
 pub use aligraph_storage as storage;
 pub use aligraph_tensor as tensor;

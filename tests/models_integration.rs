@@ -2,6 +2,10 @@
 //! family trains on one shared heterogeneous graph and produces usable
 //! embeddings through the common [`EmbeddingModel`] interface.
 
+use aligraph_suite::baselines::{
+    train_deepwalk, train_line, train_mne, train_mve, train_node2vec, train_pmne, LineOrder,
+    PmneVariant, SkipGramParams,
+};
 use aligraph_suite::core::models::bayesian::{train_bayesian, BayesianConfig};
 use aligraph_suite::core::models::evolving::{train_evolving, EvolvingConfig};
 use aligraph_suite::core::models::gatne::{train_gatne, GatneConfig};
@@ -12,10 +16,6 @@ use aligraph_suite::core::models::hierarchical::{train_hierarchical, Hierarchica
 use aligraph_suite::core::models::mixture::{train_mixture, MixtureConfig};
 use aligraph_suite::core::trainer::evaluate_split;
 use aligraph_suite::core::EmbeddingModel;
-use aligraph_suite::baselines::{
-    train_deepwalk, train_line, train_mne, train_mve, train_node2vec, train_pmne, LineOrder,
-    PmneVariant, SkipGramParams,
-};
 use aligraph_suite::eval::link_prediction_split;
 use aligraph_suite::graph::generate::{DynamicConfig, TaobaoConfig};
 use aligraph_suite::graph::{Featurizer, VertexId};
@@ -83,7 +83,8 @@ fn baseline_family_trains_on_one_graph() {
 #[test]
 fn gatne_produces_type_conditional_rankings() {
     let g = graph();
-    let m = train_gatne(&g, &GatneConfig { epochs: 1, walks_per_vertex: 1, ..GatneConfig::quick() });
+    let m =
+        train_gatne(&g, &GatneConfig { epochs: 1, walks_per_vertex: 1, ..GatneConfig::quick() });
     use aligraph_suite::graph::ids::well_known::{BUY, CLICK, USER};
     let u = g.vertices_of_type(USER)[0];
     let v = g.vertices_of_type(aligraph_suite::graph::ids::well_known::ITEM)[0];

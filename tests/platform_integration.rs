@@ -87,18 +87,9 @@ fn cluster_serves_full_sampling_pipeline() {
 fn importance_cache_reduces_modeled_cost_end_to_end() {
     let graph = Arc::new(graph());
     let mut costs = Vec::new();
-    for strategy in [
-        CacheStrategy::None,
-        CacheStrategy::ImportanceBudget { k: 2, fraction: 0.3 },
-    ] {
-        let (cluster, _) = Cluster::build(
-            Arc::clone(&graph),
-            &EdgeCutHash,
-            4,
-            &strategy,
-            2,
-            CostModel::default(),
-        );
+    for strategy in [CacheStrategy::None, CacheStrategy::ImportanceBudget { k: 2, fraction: 0.3 }] {
+        let (cluster, _) =
+            Cluster::build(Arc::clone(&graph), &EdgeCutHash, 4, &strategy, 2, CostModel::default());
         for v in graph.vertices() {
             cluster.neighbors_from(WorkerId(0), v, 2);
         }

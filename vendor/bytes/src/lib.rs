@@ -1,0 +1,132 @@
+//! Offline stand-in for the subset of `bytes` 1.x this workspace uses:
+//! [`Bytes`], a cheaply cloneable immutable byte buffer. Backed by
+//! `Arc<[u8]>`; the `serde` feature is accepted for manifest compatibility
+//! and has no effect (nothing in the workspace serializes byte payloads).
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer. `clone` is O(1).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes { data: Arc::from(&[][..]) }
+    }
+
+    /// Wraps a static byte slice.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes { data: Arc::from(bytes) }
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: Arc::from(v.into_boxed_slice()) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes { data: Arc::from(v) }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(v: String) -> Self {
+        Bytes::from(v.into_bytes())
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    #[test]
+    fn construction_and_len() {
+        assert!(Bytes::new().is_empty());
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(b.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clone_is_shallow_and_equal() {
+        let a = Bytes::from(vec![9u8; 1024]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_ref().as_ptr(), b.as_ref().as_ptr()));
+    }
+
+    #[test]
+    fn hash_matches_equality() {
+        let h = |b: &Bytes| {
+            let mut s = DefaultHasher::new();
+            b.hash(&mut s);
+            s.finish()
+        };
+        let a = Bytes::from(vec![1u8, 2]);
+        let b = Bytes::from(vec![1u8, 2]);
+        assert_eq!(h(&a), h(&b));
+    }
+
+    #[test]
+    fn debug_escapes() {
+        let b = Bytes::from(vec![0u8, b'A']);
+        assert_eq!(format!("{b:?}"), "b\"\\x00A\"");
+    }
+}

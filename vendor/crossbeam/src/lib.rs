@@ -1,0 +1,9 @@
+//! Offline stand-in for the subset of `crossbeam` 0.8 this workspace uses:
+//! [`channel`] (bounded/unbounded MPMC channels) and [`queue::SegQueue`].
+//!
+//! The implementations are std-mutex/condvar based rather than lock-free:
+//! semantics (blocking, disconnection, FIFO order) match upstream, raw
+//! contention behaviour does not. See `vendor/README.md` for the rationale.
+
+pub mod channel;
+pub mod queue;

@@ -1,0 +1,83 @@
+//! An unbounded MPMC FIFO with the `crossbeam::queue::SegQueue` API.
+//! Backed by a mutexed `VecDeque` (see crate docs for the tradeoff).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Unbounded concurrent FIFO queue.
+#[derive(Debug, Default)]
+pub struct SegQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> SegQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        SegQueue { inner: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Appends at the back. Never blocks for capacity.
+    pub fn push(&self, value: T) {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).push_back(value);
+    }
+
+    /// Takes from the front, `None` when empty.
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).pop_front()
+    }
+
+    /// Number of queued elements.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let q = SegQueue::new();
+        for i in 0..10 {
+            q.push(i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers_nothing_lost() {
+        let q = Arc::new(SegQueue::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..1_000u32 {
+                        q.push(t * 1_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(q.len(), 4_000);
+        let mut all = Vec::new();
+        while let Some(v) = q.pop() {
+            all.push(v);
+        }
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 4_000);
+    }
+}

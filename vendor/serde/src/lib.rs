@@ -1,0 +1,43 @@
+//! Offline API-shape stand-in for `serde`: [`Serialize`] and
+//! [`Deserialize`] are empty marker traits, and the re-exported derives emit
+//! marker impls. The workspace only *derives* these traits (nothing
+//! serializes through them), so data-format machinery is deliberately
+//! absent; any future code that actually calls serializer methods will fail
+//! to compile against this shim rather than silently no-op.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+// The derives emit `::serde::...` paths; make them resolve when the
+// derive is exercised inside this crate's own tests.
+#[cfg(test)]
+extern crate self as serde;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize, Deserialize)]
+    struct Plain {
+        _x: u32,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Sum {
+        _A,
+        _B(String),
+    }
+
+    fn assert_impls<T: Serialize + for<'de> Deserialize<'de>>() {}
+
+    #[test]
+    fn derives_produce_marker_impls() {
+        assert_impls::<Plain>();
+        assert_impls::<Sum>();
+    }
+}

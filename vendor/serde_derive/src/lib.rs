@@ -1,0 +1,42 @@
+//! Offline stand-in for `serde_derive`: the derives emit *marker* impls for
+//! the vendored serde shim's empty `Serialize` / `Deserialize` traits. No
+//! serialization code is generated — the workspace derives these traits for
+//! API-shape compatibility only and never serializes through them.
+//!
+//! Supports plain (non-generic) structs and enums, which is all the
+//! workspace derives on. A generic type will fail to compile here, loudly,
+//! rather than silently misbehave.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum`/`union` keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_kw = false;
+    // Attribute contents, visibility groups, etc. are skipped implicitly.
+    for tt in input {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return s;
+            }
+            if s == "struct" || s == "enum" || s == "union" {
+                saw_kw = true;
+            }
+        }
+    }
+    panic!("serde_derive shim: could not find a type name in the derive input");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}").parse().expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
