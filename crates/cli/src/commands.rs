@@ -351,6 +351,104 @@ pub fn serve_bench(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `aligraph train-bench [--workers N] [--scale F] [--seed N] [--epochs N]
+/// [--batches N] [--batch N] [--negatives N] [--staleness N] [--dim N]
+/// [--sparse-lr F] [--checkpoint-dir DIR] [--checkpoint-every N]
+/// [--kill-worker N] [--kill-at-step N]` — runs the distributed training
+/// runtime on a synthetic Taobao graph with N shard-pinned workers, then
+/// repeats with 1 worker on the same graph and reports the modelled speedup,
+/// staleness histogram and parameter-server traffic by tier.
+pub fn train_bench(args: &Args) -> Result<String, CliError> {
+    use aligraph_graph::Featurizer;
+    use aligraph_runtime::{CheckpointConfig, DistTrainer, EncoderSpec, FaultPlan, RuntimeConfig};
+    use aligraph_storage::{CacheStrategy, Cluster, CostModel};
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    let workers: usize = args.num_or("workers", 4usize)?.max(1);
+    let scale: f64 = args.num_or("scale", 0.02)?;
+    let seed: u64 = args.num_or("seed", 42u64)?;
+    let dim: usize = args.num_or("dim", 32usize)?.max(1);
+
+    let mut run_cfg = RuntimeConfig {
+        workers,
+        epochs: args.num_or("epochs", 2usize)?.max(1),
+        batches_per_epoch: args.num_or("batches", 12usize)?.max(1),
+        batch_size: args.num_or("batch", 32usize)?.max(1),
+        negatives: args.num_or("negatives", 4usize)?,
+        staleness: args.num_or("staleness", 2u64)?,
+        seed,
+        sparse_lr: args.num_or("sparse-lr", 0.05f32)?,
+        ..RuntimeConfig::default()
+    };
+    let ckpt_dir = args.get_or("checkpoint-dir", "");
+    if !ckpt_dir.is_empty() {
+        run_cfg.checkpoint = Some(CheckpointConfig {
+            dir: PathBuf::from(ckpt_dir),
+            every_steps: args.num_or("checkpoint-every", 0u64)?,
+        });
+    }
+    if !args.get_or("kill-worker", "").is_empty() {
+        run_cfg.fault = Some(FaultPlan {
+            worker: args.num_or("kill-worker", 0u32)?,
+            at_step: args.num_or("kill-at-step", 1u64)?.max(1),
+        });
+    }
+
+    let mut gen = TaobaoConfig::small_sim().scaled(scale);
+    gen.seed = seed;
+    let graph = Arc::new(gen.generate()?);
+    let spec = EncoderSpec {
+        dim_in: dim,
+        dims: vec![dim, dim / 2 + dim % 2],
+        fanouts: vec![5, 3],
+        lr: 0.05,
+        seed: seed ^ 0x5eed,
+    };
+    let features = Featurizer::new(dim).matrix(&graph);
+
+    let rt = |e: aligraph_runtime::RuntimeError| CliError::Runtime(e.to_string());
+    let run = |p: usize, cfg: RuntimeConfig| {
+        let (cluster, _) = Cluster::build(
+            Arc::clone(&graph),
+            &EdgeCutHash,
+            p,
+            &CacheStrategy::None,
+            2,
+            CostModel::default(),
+        );
+        DistTrainer::new(&cluster, &features, spec.clone(), cfg).map_err(rt)?.train().map_err(rt)
+    };
+
+    let multi = run(workers, run_cfg.clone())?;
+    let baseline_cfg = RuntimeConfig { workers: 1, checkpoint: None, fault: None, ..run_cfg };
+    let baseline = run(1, baseline_cfg)?;
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "train-bench: {workers} workers over {} vertices / {} edges (scale {scale}, seed {seed})",
+        graph.num_vertices(),
+        graph.num_edges(),
+    )
+    .ok();
+    writeln!(out, "{}", multi.report).ok();
+    writeln!(
+        out,
+        "baseline (1 worker): {:.0} edges/s modeled over {} edges",
+        baseline.report.modeled_edges_per_sec(),
+        baseline.report.edges_total,
+    )
+    .ok();
+    writeln!(
+        out,
+        "modeled speedup vs 1 worker: {:.2}x",
+        multi.report.modeled_edges_per_sec() / baseline.report.modeled_edges_per_sec(),
+    )
+    .ok();
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -426,6 +524,32 @@ mod tests {
         assert!(out.contains("embedding cache: hit rate"), "{out}");
         assert!(out.contains("deltas applied"), "{out}");
         assert!(out.contains("0 failures"), "{out}");
+    }
+
+    #[test]
+    fn train_bench_reports_speedup_and_comm_tiers() {
+        let out = train_bench(&args(&[
+            "train-bench",
+            "--workers",
+            "2",
+            "--scale",
+            "0.005",
+            "--epochs",
+            "1",
+            "--batches",
+            "4",
+            "--batch",
+            "8",
+            "--staleness",
+            "1",
+            "--dim",
+            "8",
+        ]))
+        .unwrap();
+        assert!(out.contains("train-bench: 2 workers"), "{out}");
+        assert!(out.contains("staleness hist ["), "{out}");
+        assert!(out.contains("ps comm: local"), "{out}");
+        assert!(out.contains("modeled speedup vs 1 worker:"), "{out}");
     }
 
     #[test]

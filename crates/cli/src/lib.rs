@@ -32,6 +32,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "eval" => commands::eval(&args),
         "automl" => commands::automl(&args),
         "serve-bench" => commands::serve_bench(&args),
+        "train-bench" => commands::train_bench(&args),
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
         other => Err(CliError::Usage(format!("unknown command `{other}`\n\n{HELP}"))),
     }
@@ -48,9 +49,10 @@ COMMANDS:
     generate   synthesize a graph        --kind taobao|amazon|ba [--scale F] [--seed N] --out FILE
     stats      inspect a graph           --graph FILE
     partition  partition + quality       --graph FILE [--workers N] [--algo hash|metis|vertex-cut|2d|ldg]
-    train      train embeddings          --graph FILE [--model graphsage|deepwalk|node2vec|line|gatne|hep] [--dim N] --out FILE
+    train      train embeddings          --graph FILE [--model graphsage|deepwalk|node2vec|line|gatne|hep] [--dim N] [--seed N] --out FILE
     eval       link-prediction metrics   --graph FILE [--model ...] [--test-fraction F] [--seed N]
     automl     model-selection tournament --graph FILE
     serve-bench online-serving load test  [--requests N] [--clients N] [--workers N] [--scale F] [--seed N] [--delta-every-ms N] [--batch N] [--queue N] [--cache N]
+    train-bench distributed-training bench [--workers N] [--scale F] [--seed N] [--epochs N] [--batches N] [--batch N] [--negatives N] [--staleness N] [--dim N] [--sparse-lr F] [--checkpoint-dir DIR] [--checkpoint-every N] [--kill-worker N] [--kill-at-step N]
     help       this text
 ";

@@ -27,6 +27,6 @@ pub mod trainer;
 pub use automl::{select_model, Candidate, Leaderboard, SelectionResult};
 pub use framework::{Child, EpisodeTape, FullNeighborhood, GnnEncoder};
 pub use trainer::{
-    embed_all, evaluate_split, train_unsupervised, EmbeddingModel, MatrixEmbeddings, TrainConfig,
-    TrainReport,
+    contrastive_step, embed_all, evaluate_split, train_unsupervised, BatchOutcome, EmbeddingModel,
+    MatrixEmbeddings, TrainConfig, TrainReport,
 };

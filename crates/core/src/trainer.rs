@@ -4,14 +4,16 @@
 
 use crate::framework::{EpisodeTape, GnnEncoder};
 use aligraph_eval::{LinkMetrics, LinkSplit};
-use aligraph_graph::{AttributedHeterogeneousGraph, FeatureMatrix, VertexId};
+use aligraph_graph::{AttributedHeterogeneousGraph, EdgeId, FeatureMatrix, VertexId};
 use aligraph_sampling::{
-    NegativeSampler, NeighborhoodSampler, TraverseSampler, UniformNegative, UniformTraverse,
+    NegativeSampler, NeighborAccess, NeighborhoodSampler, TraverseSampler, UniformNegative,
+    UniformTraverse,
 };
 use aligraph_tensor::loss::{logistic_grad, logistic_loss};
 use aligraph_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 
 /// Anything that maps a vertex to an embedding and scores candidate edges.
 pub trait EmbeddingModel {
@@ -91,6 +93,74 @@ impl TrainReport {
     }
 }
 
+/// Result of one contrastive gradient step ([`contrastive_step`]).
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Sum of per-pair logistic losses over the batch.
+    pub loss_sum: f64,
+    /// Number of scored pairs (positives plus negatives).
+    pub pairs: usize,
+    /// Input-feature gradients accumulated by the tape, keyed by vertex id —
+    /// what a distributed worker pushes to the sparse parameter server. The
+    /// sequential trainer discards them (input features are frozen there).
+    pub feature_grads: HashMap<u32, Vec<f32>>,
+}
+
+/// One contrastive mini-batch over pre-sampled positive `edges`: forward,
+/// loss, backward, and dense-parameter step. Shared verbatim between
+/// [`train_unsupervised`] and the distributed runtime workers, so both
+/// produce bit-identical trajectories from the same RNG stream.
+///
+/// Neighborhoods are read through `access` (the graph itself, or a
+/// shard-local `ClusterView`); edge records and negatives come from `graph`.
+#[allow(clippy::too_many_arguments)]
+pub fn contrastive_step<A: NeighborAccess, S: NeighborhoodSampler, R: Rng>(
+    encoder: &mut GnnEncoder,
+    graph: &AttributedHeterogeneousGraph,
+    access: &A,
+    features: &FeatureMatrix,
+    sampler: &S,
+    edges: &[EdgeId],
+    negatives: usize,
+    rng: &mut R,
+) -> BatchOutcome {
+    let mut tape = EpisodeTape::new();
+    let mut loss_sum = 0.0f64;
+    let mut pairs = 0usize;
+    for &e in edges {
+        let rec = graph.edge(e);
+        let iu = encoder.forward(access, features, sampler, rec.src, &mut tape, rng);
+        let iv = encoder.forward(access, features, sampler, rec.dst, &mut tape, rng);
+        // Negatives share the positive destination's vertex type, so
+        // training contrasts match the link-prediction protocol.
+        let negative = UniformNegative { vtype: Some(graph.vertex_type(rec.dst)) };
+        let negs = negative.sample(graph, &[rec.src, rec.dst], negatives, rng);
+
+        // Positive pair.
+        let (zu, zv) = (tape.output(iu).to_vec(), tape.output(iv).to_vec());
+        let s = aligraph_tensor::dot(&zu, &zv);
+        loss_sum += logistic_loss(s, true) as f64;
+        let g = logistic_grad(s, true);
+        tape.add_grad(iu, &scaled(&zv, g));
+        tape.add_grad(iv, &scaled(&zu, g));
+
+        // Negatives.
+        for n in negs {
+            let ing = encoder.forward(access, features, sampler, n, &mut tape, rng);
+            let zn = tape.output(ing).to_vec();
+            let s = aligraph_tensor::dot(&zu, &zn);
+            loss_sum += logistic_loss(s, false) as f64;
+            let g = logistic_grad(s, false);
+            tape.add_grad(iu, &scaled(&zn, g));
+            tape.add_grad(ing, &scaled(&zu, g));
+        }
+        pairs += 1 + negatives;
+    }
+    encoder.backward(&mut tape, features);
+    encoder.step(edges.len());
+    BatchOutcome { loss_sum, pairs, feature_grads: std::mem::take(&mut tape.feature_grads) }
+}
+
 /// Unsupervised edge-contrastive training (the GraphSAGE objective): for a
 /// traversed edge `(u, v)` push `z_u · z_v` up and `z_u · z_neg` down,
 /// backpropagating through the whole Algorithm 1 recursion.
@@ -111,44 +181,24 @@ pub fn train_unsupervised<S: NeighborhoodSampler>(
         let mut epoch_loss = 0.0f64;
         let mut pairs = 0usize;
         for _ in 0..config.batches_per_epoch {
-            let mut tape = EpisodeTape::new();
             // One positive edge per element, any edge type.
             let etype = aligraph_graph::EdgeType(rng.gen_range(0..graph.num_edge_types().max(1)));
             let edges = UniformTraverse.sample_edges(graph, etype, config.batch_size, &mut rng);
             if edges.is_empty() {
                 continue;
             }
-            for e in edges {
-                let rec = graph.edge(e);
-                let iu = encoder.forward(graph, features, sampler, rec.src, &mut tape, &mut rng);
-                let iv = encoder.forward(graph, features, sampler, rec.dst, &mut tape, &mut rng);
-                // Negatives share the positive destination's vertex type, so
-                // training contrasts match the link-prediction protocol.
-                let negative = UniformNegative { vtype: Some(graph.vertex_type(rec.dst)) };
-                let negs = negative.sample(graph, &[rec.src, rec.dst], config.negatives, &mut rng);
-
-                // Positive pair.
-                let (zu, zv) = (tape.output(iu).to_vec(), tape.output(iv).to_vec());
-                let s = aligraph_tensor::dot(&zu, &zv);
-                epoch_loss += logistic_loss(s, true) as f64;
-                let g = logistic_grad(s, true);
-                tape.add_grad(iu, &scaled(&zv, g));
-                tape.add_grad(iv, &scaled(&zu, g));
-
-                // Negatives.
-                for n in negs {
-                    let ing = encoder.forward(graph, features, sampler, n, &mut tape, &mut rng);
-                    let zn = tape.output(ing).to_vec();
-                    let s = aligraph_tensor::dot(&zu, &zn);
-                    epoch_loss += logistic_loss(s, false) as f64;
-                    let g = logistic_grad(s, false);
-                    tape.add_grad(iu, &scaled(&zn, g));
-                    tape.add_grad(ing, &scaled(&zu, g));
-                }
-                pairs += 1 + config.negatives;
-            }
-            encoder.backward(&mut tape, features);
-            encoder.step(config.batch_size);
+            let out = contrastive_step(
+                encoder,
+                graph,
+                graph,
+                features,
+                sampler,
+                &edges,
+                config.negatives,
+                &mut rng,
+            );
+            epoch_loss += out.loss_sum;
+            pairs += out.pairs;
         }
         let mean = epoch_loss / pairs.max(1) as f64;
         epoch_losses.push(mean);

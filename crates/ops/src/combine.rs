@@ -29,6 +29,35 @@ pub trait Combiner: Send {
 
     /// Operator name for reports.
     fn name(&self) -> &'static str;
+
+    /// Trainable parameters flattened — what a distributed allreduce
+    /// averages. Parameter-free combiners return an empty vector.
+    fn param_vec(&self) -> Vec<f32> {
+        Vec::new()
+    }
+
+    /// Overwrites parameters from the [`param_vec`](Self::param_vec) layout.
+    fn load_param_vec(&mut self, params: &[f32]) -> Result<(), String> {
+        if params.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("combiner {} has no parameters", self.name()))
+        }
+    }
+
+    /// Parameters plus optimizer state, for checkpointing.
+    fn state_vec(&self) -> Vec<f32> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`state_vec`](Self::state_vec).
+    fn load_state_vec(&mut self, state: &[f32]) -> Result<(), String> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("combiner {} has no state", self.name()))
+        }
+    }
 }
 
 /// GraphSAGE combine: `h^(k) = act(W [h_self ; h_nbr] + b)`.
@@ -72,6 +101,22 @@ impl Combiner for ConcatCombiner {
 
     fn name(&self) -> &'static str {
         "concat"
+    }
+
+    fn param_vec(&self) -> Vec<f32> {
+        self.layer.param_vec()
+    }
+
+    fn load_param_vec(&mut self, params: &[f32]) -> Result<(), String> {
+        self.layer.load_param_vec(params)
+    }
+
+    fn state_vec(&self) -> Vec<f32> {
+        self.layer.state_vec()
+    }
+
+    fn load_state_vec(&mut self, state: &[f32]) -> Result<(), String> {
+        self.layer.load_state_vec(state)
     }
 }
 
@@ -121,6 +166,22 @@ impl Combiner for GcnCombiner {
     fn name(&self) -> &'static str {
         "gcn-sum"
     }
+
+    fn param_vec(&self) -> Vec<f32> {
+        self.layer.param_vec()
+    }
+
+    fn load_param_vec(&mut self, params: &[f32]) -> Result<(), String> {
+        self.layer.load_param_vec(params)
+    }
+
+    fn state_vec(&self) -> Vec<f32> {
+        self.layer.state_vec()
+    }
+
+    fn load_state_vec(&mut self, state: &[f32]) -> Result<(), String> {
+        self.layer.load_state_vec(state)
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +224,18 @@ mod tests {
         assert_eq!((ds.rows, ds.cols), (3, 4));
         assert_eq!((dn.rows, dn.cols), (3, 4));
         assert_ne!(ds.as_slice(), dn.as_slice());
+    }
+
+    #[test]
+    fn combiner_param_roundtrip_across_seeds() {
+        let a = ConcatCombiner::new(3, 2, Activation::Relu, 0.01, 8);
+        let mut b = ConcatCombiner::new(3, 2, Activation::Relu, 0.01, 9);
+        assert_ne!(a.param_vec(), b.param_vec());
+        b.load_param_vec(&a.param_vec()).unwrap();
+        assert_eq!(a.param_vec(), b.param_vec());
+        let mut g = GcnCombiner::new(3, 2, Activation::Relu, 0.01, 10);
+        g.load_state_vec(&g.state_vec()).unwrap();
+        assert!(g.load_param_vec(&[0.0]).is_err());
     }
 
     #[test]

@@ -108,6 +108,67 @@ impl DenseLayer {
     pub fn weights(&self) -> &Matrix {
         &self.w
     }
+
+    /// Trainable parameters flattened (`W` row-major, then `b`) — the unit
+    /// the distributed runtime averages in its epoch-boundary allreduce.
+    pub fn param_vec(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.w.as_slice().len() + self.b.len());
+        out.extend_from_slice(self.w.as_slice());
+        out.extend_from_slice(&self.b);
+        out
+    }
+
+    /// Overwrites parameters from the [`param_vec`](Self::param_vec) layout.
+    pub fn load_param_vec(&mut self, params: &[f32]) -> Result<(), String> {
+        let wn = self.w.as_slice().len();
+        if params.len() != wn + self.b.len() {
+            return Err(format!(
+                "dense param buffer {} != {} weights + {} biases",
+                params.len(),
+                wn,
+                self.b.len()
+            ));
+        }
+        self.w.as_mut_slice().copy_from_slice(&params[..wn]);
+        self.b.copy_from_slice(&params[wn..]);
+        Ok(())
+    }
+
+    /// Full state — parameters plus both Adam optimizers — for
+    /// checkpointing. Optimizer sections are length-prefixed (the length is
+    /// bit-stored in an `f32`) because the moments are lazily allocated.
+    pub fn state_vec(&self) -> Vec<f32> {
+        let mut out = self.param_vec();
+        for s in [self.opt_w.state_vec(), self.opt_b.state_vec()] {
+            out.push(f32::from_bits(s.len() as u32));
+            out.extend_from_slice(&s);
+        }
+        out
+    }
+
+    /// Restores state captured by [`state_vec`](Self::state_vec).
+    pub fn load_state_vec(&mut self, state: &[f32]) -> Result<(), String> {
+        let np = self.w.as_slice().len() + self.b.len();
+        if state.len() < np {
+            return Err(format!("dense state buffer {} shorter than {np} params", state.len()));
+        }
+        self.load_param_vec(&state[..np])?;
+        let mut rest = &state[np..];
+        for opt in [&mut self.opt_w, &mut self.opt_b] {
+            let (len, tail) =
+                rest.split_first().ok_or_else(|| "dense state missing optimizer".to_string())?;
+            let len = len.to_bits() as usize;
+            if tail.len() < len {
+                return Err(format!("optimizer section {} > remaining {}", len, tail.len()));
+            }
+            opt.load_state_vec(&tail[..len])?;
+            rest = &tail[len..];
+        }
+        if !rest.is_empty() {
+            return Err(format!("{} trailing values in dense state", rest.len()));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +231,40 @@ mod tests {
         }
         assert!(last < first.unwrap() * 0.05, "loss {last} from {}", first.unwrap());
         assert!((l.weights().get(0, 0) - 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn param_and_state_roundtrip() {
+        let mut a = DenseLayer::new(3, 2, Activation::Tanh, 0.05, 9);
+        let x = Matrix::from_vec(2, 3, vec![0.1, -0.4, 0.2, 0.7, 0.0, -0.3]);
+        for _ in 0..3 {
+            let y = a.forward(&x);
+            let g = Matrix::from_vec(2, 2, vec![1.0, -1.0, 0.5, 0.5]);
+            a.backward(&x, &y, &g);
+            a.step(2);
+        }
+        // param_vec/load_param_vec copy exactly.
+        let mut fresh = DenseLayer::new(3, 2, Activation::Tanh, 0.05, 10);
+        fresh.load_param_vec(&a.param_vec()).unwrap();
+        assert_eq!(fresh.weights().as_slice(), a.weights().as_slice());
+        // Full state restore makes the next optimizer step bit-identical.
+        let mut b = DenseLayer::new(3, 2, Activation::Tanh, 0.05, 11);
+        b.load_state_vec(&a.state_vec()).unwrap();
+        let (ya, yb) = (a.forward(&x), b.forward(&x));
+        let g = Matrix::from_vec(2, 2, vec![0.3, 0.3, -0.2, 0.1]);
+        a.backward(&x, &ya, &g);
+        b.backward(&x, &yb, &g);
+        a.step(2);
+        b.step(2);
+        for (pa, pb) in a.param_vec().iter().zip(b.param_vec()) {
+            assert_eq!(pa.to_bits(), pb.to_bits());
+        }
+        // Shape errors, no panics.
+        assert!(b.load_param_vec(&[0.0; 3]).is_err());
+        assert!(b.load_state_vec(&[0.0; 4]).is_err());
+        let mut truncated = a.state_vec();
+        truncated.pop();
+        assert!(b.load_state_vec(&truncated).is_err());
     }
 
     #[test]

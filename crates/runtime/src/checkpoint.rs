@@ -1,0 +1,431 @@
+//! Versioned on-disk checkpoints: everything needed to resume a distributed
+//! run mid-epoch — PS shards, per-worker dense model + optimizer state, RNG
+//! states, step counters, and the loss/early-stop bookkeeping.
+//!
+//! Binary layout (little-endian), version 1:
+//!
+//! ```text
+//! magic "ALGRCKP1" | u32 version | u64 config fingerprint | u64 global_step
+//! epoch_losses: u32 len, f64 × len | f64 best_loss | u64 stall
+//! avg_params:   u8 present, [u32 len, f32 × len]
+//! workers:      u32 count, per worker:
+//!               rng u64 × 4 | u64 last_drain | f64 loss_sum | u64 pairs
+//!               u64 edges | u64 busy_ns | u64 comm_ns
+//!               hist u32 len, u64 × len | dense state u32 len, f32 × len
+//! ps shards:    u32 count, per shard:
+//!               ids u32 len, u32 × len | weights u32 len, f32 × len
+//!               accum u8 present, [f32 × weights len]
+//! trailer:      u64 FNV-1a of all preceding bytes
+//! ```
+//!
+//! The fingerprint hashes the *structural* configuration (workers, batch
+//! shape, seeds, model dims — not epoch count or fault/checkpoint plumbing)
+//! so a checkpoint can extend a run with more epochs but never silently
+//! load into a differently shaped one. Corrupt or truncated files fail with
+//! a [`RuntimeError::Checkpoint`] naming the failing section — never a
+//! panic.
+
+use crate::error::RuntimeError;
+use crate::ps::PsShardState;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"ALGRCKP1";
+const VERSION: u32 = 1;
+
+/// FNV-1a, the integrity trailer and the fingerprint mixer.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One worker's resumable state.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkerCkpt {
+    /// Raw RNG state after the worker's last completed step.
+    pub rng: [u64; 4],
+    /// Step of the worker's last replica drain.
+    pub last_drain: u64,
+    /// Partial epoch loss sum (zero at epoch-boundary checkpoints).
+    pub loss_sum: f64,
+    /// Partial epoch pair count.
+    pub pairs: u64,
+    /// Lifetime positive edges consumed.
+    pub edges: u64,
+    /// Lifetime measured compute nanoseconds.
+    pub busy_ns: u64,
+    /// Lifetime modelled comm nanoseconds.
+    pub comm_ns: u64,
+    /// Staleness histogram.
+    pub hist: Vec<u64>,
+    /// Dense parameters + optimizer state (pre-allreduce at boundaries).
+    pub dense_state: Vec<f32>,
+}
+
+/// A complete training checkpoint.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Checkpoint {
+    /// Structural-config fingerprint; must match on restore.
+    pub fingerprint: u64,
+    /// Per-worker completed steps at the cut (identical across workers).
+    pub global_step: u64,
+    /// Completed-epoch mean losses.
+    pub epoch_losses: Vec<f64>,
+    /// Best epoch loss so far (early stopping).
+    pub best_loss: f64,
+    /// Consecutive non-improving epochs so far.
+    pub stall: u64,
+    /// Allreduced dense parameters — present only at epoch boundaries,
+    /// applied after per-worker state so restored workers start the next
+    /// epoch from the averaged model, exactly like uninterrupted ones.
+    pub avg_params: Option<Vec<f32>>,
+    /// Per-worker state.
+    pub workers: Vec<WorkerCkpt>,
+    /// Parameter-server shard contents.
+    pub shards: Vec<PsShardState>,
+}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32s(&mut self, vs: &[f32]) {
+        self.u32(vs.len() as u32);
+        for v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    fn u64s(&mut self, vs: &[u64]) {
+        self.u32(vs.len() as u32);
+        for &v in vs {
+            self.u64(v);
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    fn fail(&self, what: &str) -> RuntimeError {
+        RuntimeError::Checkpoint(format!(
+            "truncated or corrupt {} ({what} at byte {})",
+            self.section, self.pos
+        ))
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RuntimeError> {
+        if self.buf.len() - self.pos < n {
+            return Err(self.fail("unexpected end of data"));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+    fn u32(&mut self) -> Result<u32, RuntimeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, RuntimeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn f64(&mut self) -> Result<f64, RuntimeError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn f32s(&mut self) -> Result<Vec<f32>, RuntimeError> {
+        let n = self.u32()? as usize;
+        let raw = self.take(n * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+    fn u64s(&mut self) -> Result<Vec<u64>, RuntimeError> {
+        let n = self.u32()? as usize;
+        let raw = self.take(n * 8)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+    fn u32s(&mut self) -> Result<Vec<u32>, RuntimeError> {
+        let n = self.u32()? as usize;
+        let raw = self.take(n * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+}
+
+impl Checkpoint {
+    /// Serializes to bytes (with integrity trailer).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer { buf: Vec::new() };
+        w.buf.extend_from_slice(MAGIC);
+        w.u32(VERSION);
+        w.u64(self.fingerprint);
+        w.u64(self.global_step);
+        w.u32(self.epoch_losses.len() as u32);
+        for &l in &self.epoch_losses {
+            w.f64(l);
+        }
+        w.f64(self.best_loss);
+        w.u64(self.stall);
+        match &self.avg_params {
+            None => w.buf.push(0),
+            Some(p) => {
+                w.buf.push(1);
+                w.f32s(p);
+            }
+        }
+        w.u32(self.workers.len() as u32);
+        for wk in &self.workers {
+            for &s in &wk.rng {
+                w.u64(s);
+            }
+            w.u64(wk.last_drain);
+            w.f64(wk.loss_sum);
+            w.u64(wk.pairs);
+            w.u64(wk.edges);
+            w.u64(wk.busy_ns);
+            w.u64(wk.comm_ns);
+            w.u64s(&wk.hist);
+            w.f32s(&wk.dense_state);
+        }
+        w.u32(self.shards.len() as u32);
+        for s in &self.shards {
+            w.u32(s.ids.len() as u32);
+            for &id in &s.ids {
+                w.u32(id);
+            }
+            w.f32s(&s.weights);
+            match &s.accum {
+                None => w.buf.push(0),
+                Some(a) => {
+                    w.buf.push(1);
+                    w.f32s(a);
+                }
+            }
+        }
+        let sum = fnv1a(&w.buf);
+        w.u64(sum);
+        w.buf
+    }
+
+    /// Parses bytes written by [`to_bytes`](Self::to_bytes), verifying
+    /// magic, version, and checksum before touching any section.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, RuntimeError> {
+        if buf.len() < MAGIC.len() + 4 + 8 {
+            return Err(RuntimeError::Checkpoint(format!(
+                "file too short to be a checkpoint ({} bytes)",
+                buf.len()
+            )));
+        }
+        if &buf[..8] != MAGIC {
+            return Err(RuntimeError::Checkpoint("bad magic (not a checkpoint file)".into()));
+        }
+        let (body, trailer) = buf.split_at(buf.len() - 8);
+        let stored = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+        if fnv1a(body) != stored {
+            return Err(RuntimeError::Checkpoint(
+                "checksum mismatch (corrupted or truncated file)".into(),
+            ));
+        }
+        let mut r = Reader { buf: body, pos: 8, section: "header" };
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(RuntimeError::Checkpoint(format!(
+                "unsupported checkpoint version {version} (this build reads {VERSION})"
+            )));
+        }
+        let fingerprint = r.u64()?;
+        let global_step = r.u64()?;
+        let n_losses = r.u32()? as usize;
+        let mut epoch_losses = Vec::with_capacity(n_losses.min(1 << 16));
+        for _ in 0..n_losses {
+            epoch_losses.push(r.f64()?);
+        }
+        let best_loss = r.f64()?;
+        let stall = r.u64()?;
+        let avg_params = match r.take(1)?[0] {
+            0 => None,
+            _ => Some(r.f32s()?),
+        };
+        r.section = "worker state";
+        let n_workers = r.u32()? as usize;
+        let mut workers = Vec::with_capacity(n_workers.min(1 << 16));
+        for _ in 0..n_workers {
+            let mut rng = [0u64; 4];
+            for s in &mut rng {
+                *s = r.u64()?;
+            }
+            workers.push(WorkerCkpt {
+                rng,
+                last_drain: r.u64()?,
+                loss_sum: r.f64()?,
+                pairs: r.u64()?,
+                edges: r.u64()?,
+                busy_ns: r.u64()?,
+                comm_ns: r.u64()?,
+                hist: r.u64s()?,
+                dense_state: r.f32s()?,
+            });
+        }
+        r.section = "ps shards";
+        let n_shards = r.u32()? as usize;
+        let mut shards = Vec::with_capacity(n_shards.min(1 << 16));
+        for _ in 0..n_shards {
+            let ids = r.u32s()?;
+            let weights = r.f32s()?;
+            let accum = match r.take(1)?[0] {
+                0 => None,
+                _ => Some(r.f32s()?),
+            };
+            shards.push(PsShardState { ids, weights, accum });
+        }
+        if r.pos != body.len() {
+            return Err(RuntimeError::Checkpoint(format!(
+                "{} trailing bytes after ps shards",
+                body.len() - r.pos
+            )));
+        }
+        Ok(Checkpoint {
+            fingerprint,
+            global_step,
+            epoch_losses,
+            best_loss,
+            stall,
+            avg_params,
+            workers,
+            shards,
+        })
+    }
+
+    /// Writes atomically (temp file + rename) to `dir/ckpt-<step>.bin`.
+    pub fn write_to_dir(&self, dir: &Path) -> Result<PathBuf, RuntimeError> {
+        fs::create_dir_all(dir)?;
+        let name = format!("ckpt-{:010}.bin", self.global_step);
+        let tmp = dir.join(format!(".{name}.tmp"));
+        let target = dir.join(&name);
+        fs::write(&tmp, self.to_bytes())?;
+        fs::rename(&tmp, &target)?;
+        Ok(target)
+    }
+
+    /// Reads a checkpoint file.
+    pub fn read_from(path: &Path) -> Result<Self, RuntimeError> {
+        let bytes = fs::read(path)
+            .map_err(|e| RuntimeError::Checkpoint(format!("read {}: {e}", path.display())))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+/// The newest checkpoint in `dir` (by step number in the file name), if any.
+/// Used by fault recovery to pick its restore point.
+pub fn latest_checkpoint(dir: &Path) -> Result<Option<PathBuf>, RuntimeError> {
+    if !dir.exists() {
+        return Ok(None);
+    }
+    let mut best: Option<PathBuf> = None;
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with("ckpt-")
+            && name.ends_with(".bin")
+            && best.as_ref().is_none_or(|b| path > *b)
+        {
+            best = Some(path);
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            fingerprint: 0xdead_beef,
+            global_step: 17,
+            epoch_losses: vec![0.9, 0.7],
+            best_loss: 0.7,
+            stall: 1,
+            avg_params: Some(vec![1.0, -2.5, 3.25]),
+            workers: vec![WorkerCkpt {
+                rng: [1, 2, 3, 4],
+                last_drain: 16,
+                loss_sum: 2.5,
+                pairs: 10,
+                edges: 320,
+                busy_ns: 1_000,
+                comm_ns: 2_000,
+                hist: vec![5, 2],
+                dense_state: vec![0.5; 7],
+            }],
+            shards: vec![PsShardState {
+                ids: vec![0, 2, 5],
+                weights: vec![0.1; 9],
+                accum: Some(vec![0.01; 9]),
+            }],
+        }
+    }
+
+    #[test]
+    fn byte_roundtrip_is_exact() {
+        let c = sample();
+        assert_eq!(Checkpoint::from_bytes(&c.to_bytes()).unwrap(), c);
+    }
+
+    #[test]
+    fn corruption_and_truncation_fail_cleanly() {
+        let bytes = sample().to_bytes();
+        // Every prefix truncation is an error, never a panic.
+        for cut in [0, 5, 12, bytes.len() / 2, bytes.len() - 1] {
+            assert!(Checkpoint::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // A flipped byte anywhere trips the checksum.
+        for i in [9, 30, bytes.len() - 4] {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xff;
+            let err = Checkpoint::from_bytes(&bad).unwrap_err();
+            assert!(matches!(err, RuntimeError::Checkpoint(_)), "byte {i}: {err}");
+        }
+        // Wrong magic gets its own message.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(Checkpoint::from_bytes(&bad).unwrap_err().to_string().contains("magic"));
+    }
+
+    #[test]
+    fn dir_write_and_latest_selection() {
+        let dir = std::env::temp_dir().join(format!("algr-ckpt-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        assert_eq!(latest_checkpoint(&dir).unwrap(), None);
+        let mut a = sample();
+        a.global_step = 5;
+        let mut b = sample();
+        b.global_step = 40;
+        a.write_to_dir(&dir).unwrap();
+        let path_b = b.write_to_dir(&dir).unwrap();
+        assert_eq!(latest_checkpoint(&dir).unwrap(), Some(path_b.clone()));
+        assert_eq!(Checkpoint::read_from(&path_b).unwrap().global_step, 40);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,414 @@
+//! The sparse parameter server: input-feature embedding rows sharded by the
+//! graph partition, so each row lives next to the worker that owns its
+//! vertex (the paper's storage-aware placement).
+//!
+//! Workers *push* row-sparse AdaGrad deltas to the owning shard after every
+//! step, and *pull* by draining dirty rows into a local replica at most
+//! `staleness` steps later. Every push, pull, and read is metered through
+//! the storage [`CostModel`] so the comm accounting in the benches stays
+//! honest: reads of replica rows count as `Local` (own shard) or
+//! `CachedRemote` (remote-owned row served from the replica), while pushes
+//! and pulls that cross shards count as `Remote`. Pushes and pulls are
+//! batched into one message per shard per step — the request batching the
+//! paper's platform applies to all cross-worker traffic — so a message
+//! costs one model latency regardless of row count, while payload bytes
+//! accumulate per row.
+
+use crate::error::RuntimeError;
+use aligraph_graph::{FeatureMatrix, VertexId};
+use aligraph_partition::Partition;
+use aligraph_storage::{AccessKind, CostModel};
+use aligraph_tensor::EmbeddingTable;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One shard: the embedding rows of the vertices one worker owns.
+struct PsShard {
+    /// Owned vertex ids in ascending order.
+    ids: Vec<u32>,
+    /// Vertex id → row slot in `table`.
+    slot_of: HashMap<u32, u32>,
+    /// The shard's rows (AdaGrad accumulators live inside).
+    table: EmbeddingTable,
+}
+
+/// Serializable state of one PS shard (checkpoint payload).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PsShardState {
+    /// Owned vertex ids, ascending.
+    pub ids: Vec<u32>,
+    /// Row-major weights, one row per id.
+    pub weights: Vec<f32>,
+    /// AdaGrad accumulators, if any updates happened yet.
+    pub accum: Option<Vec<f32>>,
+}
+
+/// Comm counters of the parameter server, split by access tier.
+#[derive(Debug, Default)]
+pub struct PsStats {
+    ops: [AtomicU64; 3],
+    bytes: [AtomicU64; 3],
+    virtual_ns: AtomicU64,
+}
+
+fn tier(kind: AccessKind) -> usize {
+    match kind {
+        AccessKind::Local => 0,
+        AccessKind::CachedRemote => 1,
+        AccessKind::Remote => 2,
+    }
+}
+
+impl PsStats {
+    fn record(&self, kind: AccessKind, bytes: u64, cost: &CostModel) -> u64 {
+        let t = tier(kind);
+        self.ops[t].fetch_add(1, Ordering::Relaxed);
+        self.bytes[t].fetch_add(bytes, Ordering::Relaxed);
+        let ns = cost.cost_of(kind);
+        self.virtual_ns.fetch_add(ns, Ordering::Relaxed);
+        ns
+    }
+
+    /// Point-in-time copy for reporting.
+    pub fn snapshot(&self) -> PsStatsSnapshot {
+        let load = |a: &[AtomicU64; 3], i: usize| a[i].load(Ordering::Relaxed);
+        PsStatsSnapshot {
+            local_ops: load(&self.ops, 0),
+            cached_ops: load(&self.ops, 1),
+            remote_ops: load(&self.ops, 2),
+            local_bytes: load(&self.bytes, 0),
+            cached_bytes: load(&self.bytes, 1),
+            remote_bytes: load(&self.bytes, 2),
+            virtual_ns: self.virtual_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A copy of [`PsStats`] at one instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PsStatsSnapshot {
+    /// Row operations on the worker's own shard.
+    pub local_ops: u64,
+    /// Replica reads of remote-owned rows (served locally, like a cache).
+    pub cached_ops: u64,
+    /// Cross-shard pushes/pulls.
+    pub remote_ops: u64,
+    /// Bytes moved in local operations.
+    pub local_bytes: u64,
+    /// Bytes served from replicas.
+    pub cached_bytes: u64,
+    /// Bytes crossing shard boundaries.
+    pub remote_bytes: u64,
+    /// Total modelled time under the storage cost model.
+    pub virtual_ns: u64,
+}
+
+impl PsStatsSnapshot {
+    /// All row operations.
+    pub fn total_ops(&self) -> u64 {
+        self.local_ops + self.cached_ops + self.remote_ops
+    }
+}
+
+/// The sharded sparse parameter server.
+pub struct SparseParamServer {
+    dim: usize,
+    lr: f32,
+    cost: CostModel,
+    num_vertices: usize,
+    /// Vertex id → owning worker index.
+    owner: Vec<u32>,
+    shards: Vec<Mutex<PsShard>>,
+    /// Per-worker dirty sets: rows updated since that worker last drained.
+    dirty: Vec<Mutex<HashSet<u32>>>,
+    stats: PsStats,
+}
+
+impl SparseParamServer {
+    /// Shards `features` by `partition` across `workers` shards. `lr` is the
+    /// AdaGrad learning rate for pushed deltas (0 freezes the features,
+    /// which is what the sequential-parity mode uses).
+    pub fn new(partition: &Partition, features: &FeatureMatrix, lr: f32, cost: CostModel) -> Self {
+        let n = features.len();
+        let dim = features.dim;
+        let workers = partition.num_workers;
+        let mut owner = Vec::with_capacity(n);
+        let mut ids: Vec<Vec<u32>> = vec![Vec::new(); workers];
+        for v in 0..n as u32 {
+            let w = partition.owner_of(VertexId(v)).index();
+            owner.push(w as u32);
+            ids[w].push(v);
+        }
+        let shards = ids
+            .into_iter()
+            .map(|ids| {
+                let mut weights = Vec::with_capacity(ids.len() * dim);
+                for &v in &ids {
+                    weights.extend_from_slice(features.row(VertexId(v)));
+                }
+                let table = EmbeddingTable::from_flat(ids.len(), dim, weights)
+                    .expect("weights sized from ids");
+                let slot_of = ids.iter().enumerate().map(|(s, &v)| (v, s as u32)).collect();
+                Mutex::new(PsShard { ids, slot_of, table })
+            })
+            .collect();
+        let dirty = (0..workers).map(|_| Mutex::new(HashSet::new())).collect();
+        SparseParamServer {
+            dim,
+            lr,
+            cost,
+            num_vertices: n,
+            owner,
+            shards,
+            dirty,
+            stats: PsStats::default(),
+        }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Comm counters.
+    pub fn stats(&self) -> &PsStats {
+        &self.stats
+    }
+
+    /// Pushes one step's row-sparse feature gradients from worker `from` to
+    /// the owning shards and marks the rows dirty for every worker's next
+    /// drain. Rows are batched into **one message per destination shard**
+    /// (the paper's request batching): each involved shard costs one
+    /// [`CostModel`] latency, and every row adds its payload bytes to that
+    /// message's tier. Returns the modelled comm time in nanoseconds.
+    ///
+    /// Row updates commute (each touches one row under the shard lock), so
+    /// the non-deterministic `HashMap` iteration order cannot change the
+    /// resulting parameters.
+    pub fn push(&self, from: usize, grads: &HashMap<u32, Vec<f32>>) -> Result<u64, RuntimeError> {
+        let row_bytes = self.dim as u64 * 4;
+        let mut shard_rows = vec![0u64; self.shards.len()];
+        let mut ordered: Vec<(&u32, &Vec<f32>)> = grads.iter().collect();
+        ordered.sort_unstable_by_key(|(v, _)| **v);
+        for (&v, g) in ordered {
+            let w = self.owner[v as usize] as usize;
+            {
+                let mut shard =
+                    self.shards[w].lock().map_err(|_| RuntimeError::Poisoned("ps shard"))?;
+                let slot = shard.slot_of[&v] as usize;
+                shard.table.adagrad_update(slot, g, self.lr);
+            }
+            shard_rows[w] += 1;
+            for set in &self.dirty {
+                set.lock().map_err(|_| RuntimeError::Poisoned("ps dirty set"))?.insert(v);
+            }
+        }
+        let mut ns = 0u64;
+        for (w, &rows) in shard_rows.iter().enumerate() {
+            if rows > 0 {
+                let kind = if w == from { AccessKind::Local } else { AccessKind::Remote };
+                ns += self.stats.record(kind, rows * row_bytes, &self.cost);
+            }
+        }
+        Ok(ns)
+    }
+
+    /// Pull barrier for worker `who`: copies every row updated since its
+    /// last drain from the owning shard into `replica`. After this call the
+    /// replica is element-identical to the server (rows not drained were
+    /// never pushed to, by induction). Pulls batch like pushes: one metered
+    /// message per shard that contributed rows. Returns modelled comm
+    /// nanoseconds.
+    pub fn drain_into(&self, who: usize, replica: &mut FeatureMatrix) -> Result<u64, RuntimeError> {
+        let mut rows: Vec<u32> = {
+            let mut set =
+                self.dirty[who].lock().map_err(|_| RuntimeError::Poisoned("ps dirty set"))?;
+            set.drain().collect()
+        };
+        rows.sort_unstable();
+        let row_bytes = self.dim as u64 * 4;
+        let mut shard_rows = vec![0u64; self.shards.len()];
+        for v in rows {
+            let w = self.owner[v as usize] as usize;
+            {
+                let shard =
+                    self.shards[w].lock().map_err(|_| RuntimeError::Poisoned("ps shard"))?;
+                let slot = shard.slot_of[&v] as usize;
+                replica.row_mut(VertexId(v)).copy_from_slice(shard.table.row(slot));
+            }
+            shard_rows[w] += 1;
+        }
+        let mut ns = 0u64;
+        for (w, &n) in shard_rows.iter().enumerate() {
+            if n > 0 {
+                let kind = if w == who { AccessKind::Local } else { AccessKind::Remote };
+                ns += self.stats.record(kind, n * row_bytes, &self.cost);
+            }
+        }
+        Ok(ns)
+    }
+
+    /// Meters the embedding-row reads of one training step (the rows the
+    /// tape touched): own-shard rows are `Local`, remote-owned rows are
+    /// `CachedRemote` because the replica serves them without a round trip.
+    pub fn record_reads<'a, I: IntoIterator<Item = &'a u32>>(&self, who: usize, rows: I) -> u64 {
+        let row_bytes = self.dim as u64 * 4;
+        let mut ns = 0u64;
+        for &v in rows {
+            let kind = if self.owner[v as usize] as usize == who {
+                AccessKind::Local
+            } else {
+                AccessKind::CachedRemote
+            };
+            ns += self.stats.record(kind, row_bytes, &self.cost);
+        }
+        ns
+    }
+
+    /// A full dense copy of the server's current rows — the initial replica
+    /// of a (re)starting worker, and the final feature matrix of a run.
+    pub fn materialize(&self) -> Result<FeatureMatrix, RuntimeError> {
+        let mut out = FeatureMatrix::zeros(self.num_vertices, self.dim);
+        for shard in &self.shards {
+            let shard = shard.lock().map_err(|_| RuntimeError::Poisoned("ps shard"))?;
+            for (slot, &v) in shard.ids.iter().enumerate() {
+                out.row_mut(VertexId(v)).copy_from_slice(shard.table.row(slot));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Serializable shard states for checkpointing.
+    pub fn export(&self) -> Result<Vec<PsShardState>, RuntimeError> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let shard = shard.lock().map_err(|_| RuntimeError::Poisoned("ps shard"))?;
+                Ok(PsShardState {
+                    ids: shard.ids.clone(),
+                    weights: shard.table.as_slice().to_vec(),
+                    accum: shard.table.accum_slice().map(<[f32]>::to_vec),
+                })
+            })
+            .collect()
+    }
+
+    /// Restores shard contents from a checkpoint. The shard layout (ids per
+    /// shard) must match — it is a pure function of graph and partition,
+    /// which the checkpoint's config fingerprint pins.
+    pub fn load(&self, states: &[PsShardState]) -> Result<(), RuntimeError> {
+        if states.len() != self.shards.len() {
+            return Err(RuntimeError::Checkpoint(format!(
+                "checkpoint has {} PS shards, runtime has {}",
+                states.len(),
+                self.shards.len()
+            )));
+        }
+        for (i, (shard, state)) in self.shards.iter().zip(states).enumerate() {
+            let mut shard = shard.lock().map_err(|_| RuntimeError::Poisoned("ps shard"))?;
+            if shard.ids != state.ids {
+                return Err(RuntimeError::Checkpoint(format!(
+                    "PS shard {i} id roster mismatch (different partition?)"
+                )));
+            }
+            shard
+                .table
+                .load_state(&state.weights, state.accum.as_deref())
+                .map_err(|e| RuntimeError::Checkpoint(format!("PS shard {i}: {e}")))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aligraph_graph::generate::TaobaoConfig;
+    use aligraph_graph::Featurizer;
+    use aligraph_partition::{EdgeCutHash, Partitioner};
+
+    fn setup(workers: usize) -> (SparseParamServer, FeatureMatrix, Partition) {
+        let g = TaobaoConfig::tiny().generate().unwrap();
+        let f = Featurizer::new(8).matrix(&g);
+        let p = EdgeCutHash.partition(&g, workers);
+        (SparseParamServer::new(&p, &f, 0.1, CostModel::default()), f, p)
+    }
+
+    #[test]
+    fn materialize_roundtrips_initial_features() {
+        let (ps, f, _) = setup(4);
+        assert_eq!(ps.materialize().unwrap().as_slice(), f.as_slice());
+        assert_eq!(ps.num_shards(), 4);
+    }
+
+    #[test]
+    fn push_then_drain_syncs_replica_with_tier_accounting() {
+        let (ps, f, p) = setup(2);
+        let mut replica = f.clone();
+        // Find one vertex owned by worker 0 and one by worker 1.
+        let local = (0..f.len() as u32).find(|&v| p.owner_of(VertexId(v)).index() == 0).unwrap();
+        let remote = (0..f.len() as u32).find(|&v| p.owner_of(VertexId(v)).index() == 1).unwrap();
+        let mut grads = HashMap::new();
+        grads.insert(local, vec![1.0; 8]);
+        grads.insert(remote, vec![-1.0; 8]);
+        let ns = ps.push(0, &grads).unwrap();
+        assert!(ns > 0);
+        let snap = ps.stats().snapshot();
+        assert_eq!((snap.local_ops, snap.remote_ops), (1, 1));
+        assert_eq!(snap.remote_bytes, 8 * 4);
+
+        // Replica still stale, drain fixes it for both workers.
+        assert_ne!(replica.as_slice(), ps.materialize().unwrap().as_slice());
+        ps.drain_into(0, &mut replica).unwrap();
+        assert_eq!(replica.as_slice(), ps.materialize().unwrap().as_slice());
+        let mut replica1 = f.clone();
+        ps.drain_into(1, &mut replica1).unwrap();
+        assert_eq!(replica1.as_slice(), replica.as_slice());
+        // A second drain moves nothing (dirty set consumed).
+        let before = ps.stats().snapshot().total_ops();
+        ps.drain_into(0, &mut replica).unwrap();
+        assert_eq!(ps.stats().snapshot().total_ops(), before);
+    }
+
+    #[test]
+    fn read_metering_splits_local_and_cached() {
+        let (ps, f, p) = setup(2);
+        let local = (0..f.len() as u32).find(|&v| p.owner_of(VertexId(v)).index() == 0).unwrap();
+        let remote = (0..f.len() as u32).find(|&v| p.owner_of(VertexId(v)).index() == 1).unwrap();
+        ps.record_reads(0, [local, remote].iter());
+        let snap = ps.stats().snapshot();
+        assert_eq!((snap.local_ops, snap.cached_ops, snap.remote_ops), (1, 1, 0));
+    }
+
+    #[test]
+    fn export_load_roundtrip_and_mismatch_errors() {
+        let (ps, f, p) = setup(3);
+        let mut grads = HashMap::new();
+        grads.insert(0u32, vec![0.5; 8]);
+        ps.push(0, &grads).unwrap();
+        let state = ps.export().unwrap();
+        let fresh = SparseParamServer::new(&p, &f, 0.1, CostModel::default());
+        fresh.load(&state).unwrap();
+        assert_eq!(fresh.materialize().unwrap().as_slice(), ps.materialize().unwrap().as_slice());
+        // Wrong shard count is a checkpoint error, not a panic.
+        assert!(matches!(fresh.load(&state[..2]), Err(RuntimeError::Checkpoint(_))));
+    }
+
+    #[test]
+    fn zero_lr_push_freezes_weights() {
+        let g = TaobaoConfig::tiny().generate().unwrap();
+        let f = Featurizer::new(8).matrix(&g);
+        let p = EdgeCutHash.partition(&g, 2);
+        let ps = SparseParamServer::new(&p, &f, 0.0, CostModel::default());
+        let mut grads = HashMap::new();
+        grads.insert(0u32, vec![3.0; 8]);
+        ps.push(1, &grads).unwrap();
+        assert_eq!(ps.materialize().unwrap().as_slice(), f.as_slice());
+    }
+}

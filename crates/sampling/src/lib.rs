@@ -26,6 +26,7 @@ pub mod dynamic;
 pub mod negative;
 pub mod neighborhood;
 pub mod pipeline;
+pub mod seeding;
 pub mod traverse;
 pub mod walks;
 
@@ -37,4 +38,5 @@ pub use neighborhood::{
     WeightedNeighborhood,
 };
 pub use pipeline::{SampleBatch, SamplingPipeline};
-pub use traverse::{TraverseSampler, UniformTraverse, WeightedEdgeTraverse};
+pub use seeding::{worker_rng, worker_seed};
+pub use traverse::{ShardEdgePools, TraverseSampler, UniformTraverse, WeightedEdgeTraverse};

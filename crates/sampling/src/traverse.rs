@@ -4,6 +4,7 @@
 
 use crate::alias::AliasTable;
 use aligraph_graph::{AttributedHeterogeneousGraph, EdgeId, EdgeType, VertexId, VertexType};
+use aligraph_partition::{Partition, WorkerId};
 use rand::Rng;
 
 /// A pluggable TRAVERSE sampler.
@@ -132,6 +133,60 @@ impl TraverseSampler for WeightedEdgeTraverse {
     }
 }
 
+/// Per-shard TRAVERSE rosters: for one worker, the edges of each type whose
+/// source vertex the worker owns — the "local subgraph" a shard-pinned
+/// trainer samples from. Rosters preserve the global `edges_of_type` order,
+/// so with a single worker `sample` is draw-for-draw identical to
+/// [`UniformTraverse::sample_edges`] on the full graph.
+#[derive(Debug, Clone)]
+pub struct ShardEdgePools {
+    pools: Vec<Vec<EdgeId>>,
+    num_edges: usize,
+}
+
+impl ShardEdgePools {
+    /// Filters the graph's per-type edge rosters down to `worker`'s shard.
+    pub fn build(
+        graph: &AttributedHeterogeneousGraph,
+        partition: &Partition,
+        worker: WorkerId,
+    ) -> Self {
+        let pools: Vec<Vec<EdgeId>> = (0..graph.num_edge_types())
+            .map(|t| {
+                graph
+                    .edges_of_type(EdgeType(t))
+                    .iter()
+                    .copied()
+                    .filter(|&e| partition.owner_of_edge(e) == worker)
+                    .collect()
+            })
+            .collect();
+        let num_edges = pools.iter().map(Vec::len).sum();
+        ShardEdgePools { pools, num_edges }
+    }
+
+    /// Uniform batch of shard-local edges of one type. An empty pool yields
+    /// an empty batch without consuming any randomness (mirroring
+    /// [`UniformTraverse::sample_edges`], which parity tests rely on).
+    pub fn sample<R: Rng>(&self, etype: EdgeType, batch: usize, rng: &mut R) -> Vec<EdgeId> {
+        let pool = match self.pools.get(etype.index()) {
+            Some(p) if !p.is_empty() => p,
+            _ => return Vec::new(),
+        };
+        (0..batch).map(|_| pool[rng.gen_range(0..pool.len())]).collect()
+    }
+
+    /// Total shard-local edges across all types.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// True when this shard owns no edges at all.
+    pub fn is_empty(&self) -> bool {
+        self.num_edges == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +239,40 @@ mod tests {
         let draws = sampler.sample_edges(&g, CLICK, 5_000, &mut rng);
         let heavy = draws.iter().filter(|&&e| g.edge(e).dst == i1).count();
         assert!(heavy > 4_700, "heavy drawn {heavy}/5000");
+    }
+
+    #[test]
+    fn shard_pools_partition_edges_and_replay_global_order() {
+        use aligraph_partition::{EdgeCutHash, Partitioner};
+        let g = TaobaoConfig::tiny().generate().unwrap();
+        // One worker: pools must equal the global rosters, and sampling must
+        // replay UniformTraverse::sample_edges draw for draw.
+        let p1 = EdgeCutHash.partition(&g, 1);
+        let pool = ShardEdgePools::build(&g, &p1, aligraph_partition::WorkerId(0));
+        assert_eq!(pool.num_edges(), g.num_edge_records());
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        assert_eq!(pool.sample(BUY, 64, &mut a), UniformTraverse.sample_edges(&g, BUY, 64, &mut b));
+        // Absent type: empty result, no randomness consumed.
+        assert!(pool.sample(EdgeType(7), 8, &mut a).is_empty());
+        assert_eq!(a.gen_range(0..1_000u32), b.gen_range(0..1_000u32));
+
+        // Four workers: pools are disjoint, cover every edge, and each edge
+        // sits with its source's owner.
+        let p4 = EdgeCutHash.partition(&g, 4);
+        let pools: Vec<ShardEdgePools> = (0..4)
+            .map(|w| ShardEdgePools::build(&g, &p4, aligraph_partition::WorkerId(w)))
+            .collect();
+        assert_eq!(
+            pools.iter().map(ShardEdgePools::num_edges).sum::<usize>(),
+            g.num_edge_records()
+        );
+        for (w, pool) in pools.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(w as u64);
+            for e in pool.sample(BUY, 32, &mut rng) {
+                assert_eq!(p4.owner_of(g.edge(e).src).index(), w);
+            }
+        }
     }
 
     #[test]

@@ -115,6 +115,60 @@ impl EmbeddingTable {
     pub fn as_slice(&self) -> &[f32] {
         &self.weights
     }
+
+    /// Builds a table from an explicit row-major weight buffer — how a
+    /// parameter-server shard materializes just its owned rows.
+    pub fn from_flat(n: usize, dim: usize, weights: Vec<f32>) -> Result<Self, String> {
+        if weights.len() != n * dim {
+            return Err(format!("weight buffer {} != {n} x {dim}", weights.len()));
+        }
+        Ok(EmbeddingTable { dim, n, weights, accum: None })
+    }
+
+    /// Applies a batch of row-sparse gradient deltas through the per-row
+    /// AdaGrad rule — the sparse push operation of a parameter server.
+    pub fn apply_sparse<'a, I>(&mut self, deltas: I, lr: f32)
+    where
+        I: IntoIterator<Item = (usize, &'a [f32])>,
+    {
+        for (i, grad) in deltas {
+            self.adagrad_update(i, grad, lr);
+        }
+    }
+
+    /// AdaGrad accumulators, `None` until the first adaptive update.
+    pub fn accum_slice(&self) -> Option<&[f32]> {
+        self.accum.as_deref()
+    }
+
+    /// Restores weights (and optionally accumulators) captured from another
+    /// table of identical shape — the checkpoint-restore path.
+    pub fn load_state(&mut self, weights: &[f32], accum: Option<&[f32]>) -> Result<(), String> {
+        if weights.len() != self.n * self.dim {
+            return Err(format!(
+                "weight buffer {} != table {} x {}",
+                weights.len(),
+                self.n,
+                self.dim
+            ));
+        }
+        self.weights.copy_from_slice(weights);
+        match accum {
+            None => self.accum = None,
+            Some(a) => {
+                if a.len() != self.n * self.dim {
+                    return Err(format!(
+                        "accumulator buffer {} != table {} x {}",
+                        a.len(),
+                        self.n,
+                        self.dim
+                    ));
+                }
+                self.accum = Some(a.to_vec());
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -157,6 +211,34 @@ mod tests {
         t.adagrad_update(0, &[1.0], 1.0);
         let second = before - t.row(0)[0];
         assert!(second < first, "adagrad steps must shrink: {first} then {second}");
+    }
+
+    #[test]
+    fn apply_sparse_matches_adagrad_updates() {
+        let mut a = EmbeddingTable::new(4, 3, 7);
+        let mut b = a.clone();
+        a.adagrad_update(1, &[0.5, -0.5, 0.1], 0.1);
+        a.adagrad_update(3, &[1.0, 0.0, -1.0], 0.1);
+        b.apply_sparse([(1usize, &[0.5, -0.5, 0.1][..]), (3, &[1.0, 0.0, -1.0][..])], 0.1);
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_eq!(a.accum_slice(), b.accum_slice());
+    }
+
+    #[test]
+    fn state_roundtrip_and_shape_errors() {
+        let mut a = EmbeddingTable::new(3, 2, 1);
+        a.adagrad_update(0, &[1.0, 1.0], 0.5);
+        let weights = a.as_slice().to_vec();
+        let accum = a.accum_slice().map(<[f32]>::to_vec);
+        let mut b = EmbeddingTable::zeros(3, 2);
+        b.load_state(&weights, accum.as_deref()).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_eq!(a.accum_slice(), b.accum_slice());
+        assert!(b.load_state(&weights[..3], None).is_err());
+        assert!(b.load_state(&weights, Some(&weights[..3])).is_err());
+        assert!(EmbeddingTable::from_flat(2, 2, vec![0.0; 5]).is_err());
+        let t = EmbeddingTable::from_flat(2, 2, vec![1.0; 4]).unwrap();
+        assert_eq!(t.row(1), &[1.0, 1.0]);
     }
 
     #[test]

@@ -77,6 +77,30 @@ impl Adam {
     pub fn new(lr: f32) -> Self {
         Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
     }
+
+    /// Flat optimizer state for checkpointing: the step counter (bit-exact,
+    /// as two `f32`-encoded `u32` halves) followed by the first and second
+    /// moments. The moments are empty before the first `step`.
+    pub fn state_vec(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(2 + self.m.len() * 2);
+        out.push(f32::from_bits(self.t as u32));
+        out.push(f32::from_bits((self.t >> 32) as u32));
+        out.extend_from_slice(&self.m);
+        out.extend_from_slice(&self.v);
+        out
+    }
+
+    /// Restores state captured by [`state_vec`](Self::state_vec).
+    pub fn load_state_vec(&mut self, data: &[f32]) -> Result<(), String> {
+        if data.len() < 2 || !(data.len() - 2).is_multiple_of(2) {
+            return Err(format!("adam state length {} is not 2 + 2k", data.len()));
+        }
+        self.t = data[0].to_bits() as u64 | ((data[1].to_bits() as u64) << 32);
+        let k = (data.len() - 2) / 2;
+        self.m = data[2..2 + k].to_vec();
+        self.v = data[2 + k..].to_vec();
+        Ok(())
+    }
 }
 
 impl Optimizer for Adam {
@@ -181,6 +205,24 @@ mod tests {
     fn adagrad_converges() {
         let mut opt = AdaGrad::new(1.0);
         assert!((optimize(&mut opt, 300) - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_state_roundtrip_is_bit_exact() {
+        let mut a = Adam::new(0.05);
+        let mut x = [0.4f32, -1.2];
+        for _ in 0..7 {
+            a.step(&mut x, &[0.3, -0.1]);
+        }
+        let mut b = Adam::new(0.05);
+        b.load_state_vec(&a.state_vec()).unwrap();
+        let mut y = x;
+        a.step(&mut x, &[0.2, 0.2]);
+        b.step(&mut y, &[0.2, 0.2]);
+        assert_eq!(x[0].to_bits(), y[0].to_bits());
+        assert_eq!(x[1].to_bits(), y[1].to_bits());
+        assert!(Adam::new(0.1).load_state_vec(&[0.0]).is_err());
+        assert!(Adam::new(0.1).load_state_vec(&[0.0; 5]).is_err());
     }
 
     #[test]

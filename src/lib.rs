@@ -10,6 +10,7 @@ pub use aligraph_eval as eval;
 pub use aligraph_graph as graph;
 pub use aligraph_ops as ops;
 pub use aligraph_partition as partition;
+pub use aligraph_runtime as runtime;
 pub use aligraph_sampling as sampling;
 pub use aligraph_serving as serving;
 pub use aligraph_storage as storage;

@@ -1,0 +1,264 @@
+//! Integration tests for the distributed training runtime: sequential
+//! parity, checkpoint round-trips, corruption handling, fault recovery, and
+//! modelled scaling.
+
+use aligraph_suite::core::{train_unsupervised, GnnEncoder, TrainConfig};
+use aligraph_suite::graph::{
+    AttributedHeterogeneousGraph, FeatureMatrix, Featurizer, TaobaoConfig,
+};
+use aligraph_suite::partition::EdgeCutHash;
+use aligraph_suite::runtime::{
+    CheckpointConfig, DistTrainer, EncoderSpec, FaultPlan, RuntimeConfig, RuntimeError,
+};
+use aligraph_suite::sampling::UniformNeighborhood;
+use aligraph_suite::storage::{CacheStrategy, Cluster, CostModel};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const DIM: usize = 16;
+
+fn setup(workers: usize) -> (Cluster, FeatureMatrix) {
+    let graph = Arc::new(TaobaoConfig::tiny().generate().expect("valid config"));
+    let features = Featurizer::new(DIM).matrix(&graph);
+    let (cluster, _) =
+        Cluster::build(graph, &EdgeCutHash, workers, &CacheStrategy::None, 2, CostModel::default());
+    (cluster, features)
+}
+
+fn spec() -> EncoderSpec {
+    EncoderSpec { dim_in: DIM, dims: vec![16, 8], fanouts: vec![3, 2], lr: 0.05, seed: 7 }
+}
+
+fn base_cfg(workers: usize) -> RuntimeConfig {
+    RuntimeConfig {
+        workers,
+        epochs: 3,
+        batches_per_epoch: 8,
+        batch_size: 16,
+        negatives: 2,
+        staleness: 0,
+        seed: 11,
+        sparse_lr: 0.05,
+        ..RuntimeConfig::default()
+    }
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("algr-rt-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn fbits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Satellite 1 — convergence parity: one worker with staleness 0 and frozen
+/// features must reproduce the sequential trainer's loss trajectory
+/// bit-for-bit, and end with bit-identical dense parameters.
+#[test]
+fn single_worker_matches_sequential_trainer_bitwise() {
+    let (cluster, features) = setup(1);
+    let graph: &AttributedHeterogeneousGraph = cluster.graph();
+
+    let mut seq_encoder = GnnEncoder::sage(DIM, &[16, 8], &[3, 2], 0.05, 7);
+    let seq = train_unsupervised(
+        &mut seq_encoder,
+        graph,
+        &features,
+        &UniformNeighborhood,
+        &TrainConfig {
+            epochs: 3,
+            batches_per_epoch: 8,
+            batch_size: 16,
+            negatives: 2,
+            patience: None,
+            min_delta: 1e-4,
+            seed: 11,
+        },
+    );
+
+    let cfg = RuntimeConfig { sparse_lr: 0.0, ..base_cfg(1) };
+    let trainer = DistTrainer::new(&cluster, &features, spec(), cfg).unwrap();
+    let dist = trainer.train().unwrap();
+
+    assert_eq!(
+        bits(&dist.report.epoch_losses),
+        bits(&seq.epoch_losses),
+        "distributed {:?} vs sequential {:?}",
+        dist.report.epoch_losses,
+        seq.epoch_losses
+    );
+    assert_eq!(fbits(&dist.encoder.dense_param_vec()), fbits(&seq_encoder.dense_param_vec()));
+    // Frozen sparse features stay at their initial values.
+    assert_eq!(dist.features.as_slice(), features.as_slice());
+}
+
+/// Satellite 3 — checkpoint round-trip at an epoch boundary: train 1 epoch,
+/// checkpoint, restore, continue — bit-identical losses, dense parameters,
+/// and trained features versus the uninterrupted run.
+#[test]
+fn epoch_checkpoint_roundtrip_is_bit_exact() {
+    let (cluster, features) = setup(2);
+    let dir = tmp_dir("epoch");
+
+    let full = DistTrainer::new(&cluster, &features, spec(), base_cfg(2)).unwrap();
+    let full = full.train().unwrap();
+
+    let mut cfg_a = base_cfg(2);
+    cfg_a.epochs = 1;
+    cfg_a.checkpoint = Some(CheckpointConfig { dir: dir.clone(), every_steps: 0 });
+    let first = DistTrainer::new(&cluster, &features, spec(), cfg_a).unwrap();
+    let first = first.train().unwrap();
+    assert_eq!(first.report.checkpoints_written, 1);
+
+    let resumed = DistTrainer::new(&cluster, &features, spec(), base_cfg(2)).unwrap();
+    let resumed = resumed.train_from(&dir.join("ckpt-0000000008.bin")).unwrap();
+
+    assert_eq!(bits(&resumed.report.epoch_losses), bits(&full.report.epoch_losses));
+    assert_eq!(fbits(&resumed.encoder.dense_param_vec()), fbits(&full.encoder.dense_param_vec()));
+    assert_eq!(resumed.features.as_slice(), full.features.as_slice());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Satellite 3 — mid-epoch restore: a checkpoint cut between epoch
+/// boundaries resumes with the partial-epoch loss accumulators intact.
+#[test]
+fn mid_epoch_checkpoint_roundtrip_is_bit_exact() {
+    let (cluster, features) = setup(2);
+    let dir = tmp_dir("mid");
+
+    let full = DistTrainer::new(&cluster, &features, spec(), base_cfg(2)).unwrap();
+    let full = full.train().unwrap();
+
+    let mut cfg = base_cfg(2);
+    cfg.checkpoint = Some(CheckpointConfig { dir: dir.clone(), every_steps: 5 });
+    let interrupted = DistTrainer::new(&cluster, &features, spec(), cfg).unwrap();
+    let interrupted = interrupted.train().unwrap();
+    // Steps 5, 10, 15, 20 are mid-epoch cuts; 8, 16, 24 are epoch boundaries.
+    assert!(interrupted.report.checkpoints_written >= 6);
+
+    let resumed = DistTrainer::new(&cluster, &features, spec(), base_cfg(2)).unwrap();
+    let resumed = resumed.train_from(&dir.join("ckpt-0000000005.bin")).unwrap();
+
+    assert_eq!(bits(&resumed.report.epoch_losses), bits(&full.report.epoch_losses));
+    assert_eq!(fbits(&resumed.encoder.dense_param_vec()), fbits(&full.encoder.dense_param_vec()));
+    assert_eq!(resumed.features.as_slice(), full.features.as_slice());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Satellite 3 — corrupted or mismatched checkpoints are clean errors, never
+/// panics.
+#[test]
+fn corrupt_and_mismatched_checkpoints_error_cleanly() {
+    let (cluster, features) = setup(2);
+    let dir = tmp_dir("corrupt");
+
+    let mut cfg = base_cfg(2);
+    cfg.epochs = 1;
+    cfg.checkpoint = Some(CheckpointConfig { dir: dir.clone(), every_steps: 0 });
+    DistTrainer::new(&cluster, &features, spec(), cfg).unwrap().train().unwrap();
+    let path = dir.join("ckpt-0000000008.bin");
+    let bytes = std::fs::read(&path).unwrap();
+
+    let trainer = DistTrainer::new(&cluster, &features, spec(), base_cfg(2)).unwrap();
+
+    // Truncation.
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(matches!(trainer.train_from(&path), Err(RuntimeError::Checkpoint(_))));
+    // Bit flip.
+    let mut bad = bytes.clone();
+    bad[bytes.len() / 3] ^= 0xff;
+    std::fs::write(&path, &bad).unwrap();
+    assert!(matches!(trainer.train_from(&path), Err(RuntimeError::Checkpoint(_))));
+    // Structurally different run (other seed) must refuse the checkpoint.
+    std::fs::write(&path, &bytes).unwrap();
+    let other_cfg = RuntimeConfig { seed: 999, ..base_cfg(2) };
+    let other = DistTrainer::new(&cluster, &features, spec(), other_cfg).unwrap();
+    let err = match other.train_from(&path) {
+        Err(e) => e,
+        Ok(_) => panic!("fingerprint mismatch must be rejected"),
+    };
+    assert!(err.to_string().contains("fingerprint"), "{err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Tentpole acceptance — fault injection: killing a worker mid-run restores
+/// from the latest checkpoint and reaches the same final loss as the
+/// uninterrupted run (the ISSUE asks for 5%; the deterministic restore is in
+/// fact bit-exact).
+#[test]
+fn killed_worker_recovers_from_checkpoint() {
+    let (cluster, features) = setup(2);
+    let dir = tmp_dir("fault");
+
+    let clean = DistTrainer::new(&cluster, &features, spec(), base_cfg(2)).unwrap();
+    let clean = clean.train().unwrap();
+
+    let mut cfg = base_cfg(2);
+    cfg.checkpoint = Some(CheckpointConfig { dir: dir.clone(), every_steps: 0 });
+    // Kill worker 1 two steps into epoch 2 (last checkpoint is step 8).
+    cfg.fault = Some(FaultPlan { worker: 1, at_step: 10 });
+    let faulted = DistTrainer::new(&cluster, &features, spec(), cfg).unwrap();
+    let faulted = faulted.train().unwrap();
+
+    assert_eq!(faulted.report.recoveries, 1);
+    let rel = (faulted.report.final_loss() - clean.report.final_loss()).abs()
+        / clean.report.final_loss().abs();
+    assert!(rel < 0.05, "final loss off by {rel}");
+    assert_eq!(bits(&faulted.report.epoch_losses), bits(&clean.report.epoch_losses));
+    assert_eq!(faulted.features.as_slice(), clean.features.as_slice());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A fault with no checkpointing configured restarts from scratch and still
+/// finishes with the right answer.
+#[test]
+fn fault_without_checkpoints_restarts_from_scratch() {
+    let (cluster, features) = setup(2);
+    let clean = DistTrainer::new(&cluster, &features, spec(), base_cfg(2)).unwrap();
+    let clean = clean.train().unwrap();
+
+    let mut cfg = base_cfg(2);
+    cfg.fault = Some(FaultPlan { worker: 0, at_step: 3 });
+    let faulted = DistTrainer::new(&cluster, &features, spec(), cfg).unwrap();
+    let faulted = faulted.train().unwrap();
+    assert_eq!(faulted.report.recoveries, 1);
+    assert_eq!(bits(&faulted.report.epoch_losses), bits(&clean.report.epoch_losses));
+}
+
+/// Tentpole acceptance — weak-scaling throughput: 4 workers must show at
+/// least 2x the modelled edges/s of 1 worker (each worker trains its own
+/// shard; comm is metered through the cost model).
+#[test]
+fn four_workers_double_modeled_throughput() {
+    let (cluster1, features1) = setup(1);
+    let mut cfg = base_cfg(1);
+    cfg.epochs = 1;
+    let one = DistTrainer::new(&cluster1, &features1, spec(), cfg).unwrap().train().unwrap();
+
+    let (cluster4, features4) = setup(4);
+    let mut cfg = base_cfg(4);
+    cfg.epochs = 1;
+    cfg.staleness = 2;
+    let four = DistTrainer::new(&cluster4, &features4, spec(), cfg).unwrap().train().unwrap();
+
+    assert_eq!(four.report.edges_total, 4 * one.report.edges_total);
+    let speedup = four.report.modeled_edges_per_sec() / one.report.modeled_edges_per_sec();
+    assert!(
+        speedup >= 2.0,
+        "modeled speedup {speedup:.2} < 2.0\n1w: {}\n4w: {}",
+        one.report,
+        four.report
+    );
+    // The staleness histogram has entries beyond age 0 and remote traffic
+    // was actually metered.
+    assert_eq!(four.report.staleness_hist.len(), 3);
+    assert!(four.report.staleness_hist.iter().skip(1).sum::<u64>() > 0);
+    assert!(four.report.ps.remote_ops > 0);
+    assert!(four.report.ps.remote_bytes > 0);
+}

@@ -203,6 +203,22 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Raw xoshiro256++ state, for checkpointing a generator mid-stream.
+        /// (Upstream `rand` exposes this through serde; the shim exposes the
+        /// words directly.)
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by
+        /// [`state`](Self::state); the stream continues exactly where the
+        /// captured generator left off.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         #[inline]
         fn next_u32(&mut self) -> u32 {
@@ -284,6 +300,18 @@ mod tests {
         }
         let mut c = StdRng::seed_from_u64(43);
         assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_stream() {
+        let mut a = StdRng::seed_from_u64(9);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]
