@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Validate `aligraph <cmd> --metrics-json` output against the checked-in
+key-presence schema (ci/metrics-schema.json). Stdlib only.
+
+Usage:
+    check_metrics_json.py METRICS.json [--command NAME] [--expect-prefix P]...
+
+--command       assert the snapshot was produced by this subcommand
+--expect-prefix assert at least one series name starts with P (repeatable;
+                this is how CI pins "a train-bench run reports storage,
+                sampling, and runtime metrics in one snapshot")
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+SCHEMA = pathlib.Path(__file__).with_name("metrics-schema.json")
+
+
+def fail(msg: str) -> None:
+    sys.exit(f"check_metrics_json: FAIL: {msg}")
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("metrics", type=pathlib.Path)
+    ap.add_argument("--command")
+    ap.add_argument("--expect-prefix", action="append", default=[])
+    args = ap.parse_args()
+
+    schema = json.loads(SCHEMA.read_text())
+    try:
+        doc = json.loads(args.metrics.read_text())
+    except json.JSONDecodeError as e:
+        fail(f"{args.metrics}: not valid JSON: {e}")
+
+    for key in schema["required"]:
+        if key not in doc:
+            fail(f"missing top-level key `{key}`")
+    if doc["version"] != schema["version"]:
+        fail(f"schema version {doc['version']}, expected {schema['version']}")
+    if args.command and doc["command"] != args.command:
+        fail(f"command `{doc['command']}`, expected `{args.command}`")
+    if not isinstance(doc["metrics"], list):
+        fail("`metrics` is not an array")
+
+    names = []
+    for i, m in enumerate(doc["metrics"]):
+        where = f"metrics[{i}]"
+        for key in schema["metric_required"]:
+            if key not in m:
+                fail(f"{where}: missing `{key}`")
+        kind_keys = schema["kinds"].get(m["kind"])
+        if kind_keys is None:
+            fail(f"{where}: unknown kind `{m['kind']}`")
+        for key in kind_keys:
+            if key not in m:
+                fail(f"{where} ({m['name']}, {m['kind']}): missing `{key}`")
+        if not isinstance(m["labels"], dict):
+            fail(f"{where}: `labels` is not an object")
+        names.append(m["name"])
+
+    for prefix in args.expect_prefix:
+        if not any(n.startswith(prefix) for n in names):
+            fail(f"no series named `{prefix}*` (got {sorted(set(names))})")
+
+    print(
+        f"check_metrics_json: OK: {args.metrics} — {len(names)} series"
+        + (f", prefixes {args.expect_prefix}" if args.expect_prefix else "")
+    )
+
+
+if __name__ == "__main__":
+    main()

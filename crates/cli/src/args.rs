@@ -1,7 +1,12 @@
 //! Hand-rolled `--key value` argument parsing (the sanctioned dependency
 //! set has no CLI parser, and the surface is small enough not to need one).
+//!
+//! Flags shared by several subcommands (`--seed`, `--workers`, `--scale`,
+//! `--metrics-json`) normalize through [`CommonArgs`] so every command
+//! parses, defaults, and clamps them the same way.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 
 /// CLI errors, split so the binary can pick exit codes.
 #[derive(Debug)]
@@ -83,6 +88,51 @@ impl Args {
     }
 }
 
+/// Per-command defaults for the shared flags.
+#[derive(Debug, Clone, Copy)]
+pub struct CommonDefaults {
+    /// Default `--seed`.
+    pub seed: u64,
+    /// Default `--workers`.
+    pub workers: usize,
+    /// Default `--scale`.
+    pub scale: f64,
+}
+
+impl Default for CommonDefaults {
+    fn default() -> Self {
+        CommonDefaults { seed: 42, workers: 2, scale: 0.01 }
+    }
+}
+
+/// The flags every benchmark-style subcommand shares, parsed once:
+/// `--seed N`, `--workers N` (clamped to >= 1), `--scale F`, and
+/// `--metrics-json PATH` (where to dump the run's telemetry snapshot).
+#[derive(Debug, Clone)]
+pub struct CommonArgs {
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Worker/shard count (>= 1).
+    pub workers: usize,
+    /// Synthetic-graph scale factor.
+    pub scale: f64,
+    /// Where to write the metrics JSON (`None` = don't).
+    pub metrics_json: Option<PathBuf>,
+}
+
+impl CommonArgs {
+    /// Parses the shared flags out of `args`, falling back to `defaults`.
+    pub fn from_args(args: &Args, defaults: CommonDefaults) -> Result<CommonArgs, CliError> {
+        let path = args.get_or("metrics-json", "");
+        Ok(CommonArgs {
+            seed: args.num_or("seed", defaults.seed)?,
+            workers: args.num_or("workers", defaults.workers)?.max(1),
+            scale: args.num_or("scale", defaults.scale)?,
+            metrics_json: if path.is_empty() { None } else { Some(PathBuf::from(path)) },
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,5 +159,30 @@ mod tests {
         let a = Args::parse(&argv(&["train", "--dim", "abc"])).unwrap();
         assert!(matches!(a.num_or("dim", 8usize), Err(CliError::Usage(_))));
         assert!(matches!(a.required("graph"), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn common_args_normalize_shared_flags() {
+        let d = CommonDefaults { seed: 7, workers: 4, scale: 0.5 };
+        let a = Args::parse(&argv(&["bench"])).unwrap();
+        let c = CommonArgs::from_args(&a, d).unwrap();
+        assert_eq!((c.seed, c.workers, c.scale), (7, 4, 0.5));
+        assert!(c.metrics_json.is_none());
+
+        let a = Args::parse(&argv(&[
+            "bench",
+            "--seed",
+            "9",
+            "--workers",
+            "0",
+            "--scale",
+            "0.25",
+            "--metrics-json",
+            "/tmp/m.json",
+        ]))
+        .unwrap();
+        let c = CommonArgs::from_args(&a, d).unwrap();
+        assert_eq!((c.seed, c.workers, c.scale), (9, 1, 0.25), "workers clamp to 1");
+        assert_eq!(c.metrics_json.unwrap().to_string_lossy(), "/tmp/m.json");
     }
 }

@@ -1,7 +1,7 @@
 //! The subcommand implementations. Each returns its report as a `String`
 //! (printed by `main`, asserted on by the tests).
 
-use crate::args::{Args, CliError};
+use crate::args::{Args, CliError, CommonArgs, CommonDefaults};
 use aligraph::models::gatne::{train_gatne, GatneConfig};
 use aligraph::models::graphsage::{train_graphsage, GraphSageConfig};
 use aligraph::models::hep::{train_hep, HepConfig};
@@ -210,8 +210,12 @@ pub fn automl(args: &Args) -> Result<String, CliError> {
 /// [--scale F] [--seed N] [--delta-every-ms N] [--batch N] [--queue N]
 /// [--cache N]` — replays a synthetic Taobao-small request stream against
 /// the online serving layer while a writer thread interleaves dynamic graph
-/// updates, then prints the latency/throughput report.
-pub fn serve_bench(args: &Args) -> Result<String, CliError> {
+/// updates, then prints the latency/throughput report. Serving metrics
+/// publish into `registry` as `serving.*` series.
+pub fn serve_bench(
+    args: &Args,
+    registry: &std::sync::Arc<aligraph_telemetry::Registry>,
+) -> Result<String, CliError> {
     use aligraph_graph::dynamic::{EdgeEvent, EvolutionKind, SnapshotDelta};
     use aligraph_graph::ids::well_known::CLICK;
     use aligraph_graph::VertexId;
@@ -223,11 +227,12 @@ pub fn serve_bench(args: &Args) -> Result<String, CliError> {
     use std::sync::Arc;
     use std::time::{Duration, Instant};
 
+    let common = CommonArgs::from_args(args, CommonDefaults { seed: 42, workers: 2, scale: 0.1 })?;
     let requests: u64 = args.num_or("requests", 10_000u64)?;
     let clients: usize = args.num_or("clients", 4usize)?.max(1);
-    let workers: usize = args.num_or("workers", 2usize)?.max(1);
-    let scale: f64 = args.num_or("scale", 0.1)?;
-    let seed: u64 = args.num_or("seed", 42u64)?;
+    let workers = common.workers;
+    let scale = common.scale;
+    let seed = common.seed;
     let delta_every_ms: u64 = args.num_or("delta-every-ms", 2u64)?.max(1);
     let config = ServingConfig {
         workers,
@@ -242,7 +247,12 @@ pub fn serve_bench(args: &Args) -> Result<String, CliError> {
     cfg.seed = seed;
     let graph = Arc::new(cfg.generate()?);
     let n = graph.num_vertices() as u32;
-    let service = ServingService::start(Arc::clone(&graph), WeightedNeighborhood, config);
+    let service = ServingService::start_with_registry(
+        Arc::clone(&graph),
+        WeightedNeighborhood,
+        config,
+        registry,
+    );
 
     let done = AtomicBool::new(false);
     let start = Instant::now();
@@ -357,17 +367,24 @@ pub fn serve_bench(args: &Args) -> Result<String, CliError> {
 /// [--kill-worker N] [--kill-at-step N]` — runs the distributed training
 /// runtime on a synthetic Taobao graph with N shard-pinned workers, then
 /// repeats with 1 worker on the same graph and reports the modelled speedup,
-/// staleness histogram and parameter-server traffic by tier.
-pub fn train_bench(args: &Args) -> Result<String, CliError> {
+/// staleness histogram and parameter-server traffic by tier. The multi-worker
+/// run publishes into `registry` (`storage.*`, `sampling.*`, `runtime.*`);
+/// the baseline uses a detached registry so it cannot pollute the snapshot.
+pub fn train_bench(
+    args: &Args,
+    registry: &std::sync::Arc<aligraph_telemetry::Registry>,
+) -> Result<String, CliError> {
     use aligraph_graph::Featurizer;
     use aligraph_runtime::{CheckpointConfig, DistTrainer, EncoderSpec, FaultPlan, RuntimeConfig};
     use aligraph_storage::{CacheStrategy, Cluster, CostModel};
+    use aligraph_telemetry::Registry;
     use std::path::PathBuf;
     use std::sync::Arc;
 
-    let workers: usize = args.num_or("workers", 4usize)?.max(1);
-    let scale: f64 = args.num_or("scale", 0.02)?;
-    let seed: u64 = args.num_or("seed", 42u64)?;
+    let common = CommonArgs::from_args(args, CommonDefaults { seed: 42, workers: 4, scale: 0.02 })?;
+    let workers = common.workers;
+    let scale = common.scale;
+    let seed = common.seed;
     let dim: usize = args.num_or("dim", 32usize)?.max(1);
 
     let mut run_cfg = RuntimeConfig {
@@ -408,21 +425,26 @@ pub fn train_bench(args: &Args) -> Result<String, CliError> {
     let features = Featurizer::new(dim).matrix(&graph);
 
     let rt = |e: aligraph_runtime::RuntimeError| CliError::Runtime(e.to_string());
-    let run = |p: usize, cfg: RuntimeConfig| {
-        let (cluster, _) = Cluster::build(
+    let run = |p: usize, cfg: RuntimeConfig, registry: &Arc<Registry>| {
+        let (cluster, _) = Cluster::build_registered(
             Arc::clone(&graph),
             &EdgeCutHash,
             p,
             &CacheStrategy::None,
             2,
             CostModel::default(),
+            registry,
         );
-        DistTrainer::new(&cluster, &features, spec.clone(), cfg).map_err(rt)?.train().map_err(rt)
+        DistTrainer::new(&cluster, &features, spec.clone(), cfg)
+            .map_err(rt)?
+            .with_registry(Arc::clone(registry))
+            .train()
+            .map_err(rt)
     };
 
-    let multi = run(workers, run_cfg.clone())?;
+    let multi = run(workers, run_cfg.clone(), registry)?;
     let baseline_cfg = RuntimeConfig { workers: 1, checkpoint: None, fault: None, ..run_cfg };
-    let baseline = run(1, baseline_cfg)?;
+    let baseline = run(1, baseline_cfg, &Arc::new(Registry::disabled()))?;
 
     let mut out = String::new();
     writeln!(
@@ -446,6 +468,96 @@ pub fn train_bench(args: &Args) -> Result<String, CliError> {
         multi.report.modeled_edges_per_sec() / baseline.report.modeled_edges_per_sec(),
     )
     .ok();
+    Ok(out)
+}
+
+/// `aligraph metrics-demo [--workers N] [--scale F] [--seed N]` — exercises
+/// every instrumented layer against one registry (a short distributed
+/// training run for `storage.*` / `sampling.*` / `runtime.*`, then a burst
+/// of serving requests for `serving.*`) and prints the unified telemetry
+/// table. Combine with `--metrics-json PATH` for the machine-readable form.
+pub fn metrics_demo(
+    args: &Args,
+    registry: &std::sync::Arc<aligraph_telemetry::Registry>,
+) -> Result<String, CliError> {
+    use aligraph_graph::{Featurizer, VertexId};
+    use aligraph_runtime::{DistTrainer, EncoderSpec, RuntimeConfig};
+    use aligraph_sampling::WeightedNeighborhood;
+    use aligraph_serving::{ServingConfig, ServingService};
+    use aligraph_storage::{CacheStrategy, Cluster, CostModel};
+    use aligraph_telemetry::Report;
+    use std::sync::Arc;
+
+    let common =
+        CommonArgs::from_args(args, CommonDefaults { seed: 42, workers: 2, scale: 0.004 })?;
+    let mut gen = TaobaoConfig::small_sim().scaled(common.scale);
+    gen.seed = common.seed;
+    let graph = Arc::new(gen.generate()?);
+
+    // Storage + sampling + runtime: a short distributed-training run with an
+    // LRU neighbor cache so cache events show up too.
+    let dim = 8;
+    let (cluster, _) = Cluster::build_registered(
+        Arc::clone(&graph),
+        &EdgeCutHash,
+        common.workers,
+        &CacheStrategy::Lru { fraction: 0.1 },
+        2,
+        CostModel::default(),
+        registry,
+    );
+    let features = Featurizer::new(dim).matrix(&graph);
+    let spec = EncoderSpec {
+        dim_in: dim,
+        dims: vec![dim, dim / 2],
+        fanouts: vec![4, 2],
+        lr: 0.05,
+        seed: common.seed ^ 0x5eed,
+    };
+    let cfg = RuntimeConfig {
+        workers: common.workers,
+        epochs: 1,
+        batches_per_epoch: 4,
+        batch_size: 8,
+        negatives: 2,
+        staleness: 1,
+        seed: common.seed,
+        sparse_lr: 0.05,
+        ..RuntimeConfig::default()
+    };
+    let rt = |e: aligraph_runtime::RuntimeError| CliError::Runtime(e.to_string());
+    DistTrainer::new(&cluster, &features, spec, cfg)
+        .map_err(rt)?
+        .with_registry(Arc::clone(registry))
+        .train()
+        .map_err(rt)?;
+
+    // Serving: a burst of embedding requests against the same graph.
+    let service = ServingService::start_with_registry(
+        Arc::clone(&graph),
+        WeightedNeighborhood,
+        ServingConfig { workers: common.workers, seed: common.seed, ..Default::default() },
+        registry,
+    );
+    let n = graph.num_vertices() as u32;
+    for i in 0..32u32 {
+        service.embedding(VertexId(i % n)).map_err(|e| CliError::Runtime(e.to_string()))?;
+    }
+    service.shutdown();
+
+    let snapshot = registry.snapshot();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "metrics-demo: one registry across storage, sampling, runtime, and serving \
+         ({} series; workers {}, scale {}, seed {})",
+        snapshot.series.len(),
+        common.workers,
+        common.scale,
+        common.seed,
+    )
+    .ok();
+    writeln!(out, "{}", snapshot.render_text()).ok();
     Ok(out)
 }
 
@@ -502,21 +614,28 @@ mod tests {
         assert!(e.contains("ROC-AUC"), "{e}");
     }
 
+    fn registry() -> std::sync::Arc<aligraph_telemetry::Registry> {
+        std::sync::Arc::new(aligraph_telemetry::Registry::new())
+    }
+
     #[test]
     fn serve_bench_reports_latency_and_cache_evidence() {
-        let out = serve_bench(&args(&[
-            "serve-bench",
-            "--requests",
-            "400",
-            "--clients",
-            "2",
-            "--workers",
-            "2",
-            "--scale",
-            "0.003",
-            "--delta-every-ms",
-            "1",
-        ]))
+        let out = serve_bench(
+            &args(&[
+                "serve-bench",
+                "--requests",
+                "400",
+                "--clients",
+                "2",
+                "--workers",
+                "2",
+                "--scale",
+                "0.003",
+                "--delta-every-ms",
+                "1",
+            ]),
+            &registry(),
+        )
         .unwrap();
         assert!(out.contains("400 requests served"), "{out}");
         assert!(out.contains("p50"), "{out}");
@@ -528,28 +647,48 @@ mod tests {
 
     #[test]
     fn train_bench_reports_speedup_and_comm_tiers() {
-        let out = train_bench(&args(&[
-            "train-bench",
-            "--workers",
-            "2",
-            "--scale",
-            "0.005",
-            "--epochs",
-            "1",
-            "--batches",
-            "4",
-            "--batch",
-            "8",
-            "--staleness",
-            "1",
-            "--dim",
-            "8",
-        ]))
+        let reg = registry();
+        let out = train_bench(
+            &args(&[
+                "train-bench",
+                "--workers",
+                "2",
+                "--scale",
+                "0.005",
+                "--epochs",
+                "1",
+                "--batches",
+                "4",
+                "--batch",
+                "8",
+                "--staleness",
+                "1",
+                "--dim",
+                "8",
+            ]),
+            &reg,
+        )
         .unwrap();
         assert!(out.contains("train-bench: 2 workers"), "{out}");
         assert!(out.contains("staleness hist ["), "{out}");
         assert!(out.contains("ps comm: local"), "{out}");
         assert!(out.contains("modeled speedup vs 1 worker:"), "{out}");
+        // One registry carries storage, sampling, and runtime series at once.
+        let snap = reg.snapshot();
+        assert!(snap.has_prefix("storage."), "storage series missing");
+        assert!(snap.has_prefix("sampling."), "sampling series missing");
+        assert!(snap.has_prefix("runtime.ps."), "runtime series missing");
+        assert!(snap.histogram("runtime.staleness", &[]).count > 0);
+    }
+
+    #[test]
+    fn metrics_demo_prints_all_four_layers() {
+        let reg = registry();
+        let out = metrics_demo(&args(&["metrics-demo", "--workers", "2"]), &reg).unwrap();
+        for prefix in ["storage.access", "sampling.draws", "runtime.ps.ops", "serving.requests"] {
+            assert!(out.contains(prefix), "table missing {prefix}:\n{out}");
+        }
+        assert!(reg.snapshot().counter("serving.completed", &[]) >= 32);
     }
 
     #[test]

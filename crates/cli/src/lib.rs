@@ -13,29 +13,64 @@
 //! aligraph automl    --graph graph.tsv
 //! ```
 //!
+//! Every subcommand accepts `--metrics-json PATH`: the run's telemetry
+//! registry (one [`aligraph_telemetry::Registry`] per invocation, threaded
+//! through storage, sampling, serving and runtime) is snapshotted after the
+//! command succeeds and written as stable JSON
+//! (`{"version":1,"command":...,"metrics":[...]}`). Commands that register
+//! nothing produce an empty `metrics` array.
+//!
 //! The library half exposes the argument parser and command runners so the
 //! behaviour is unit-testable; `main.rs` is a two-line shim.
 
 pub mod args;
 pub mod commands;
 
-pub use args::{Args, CliError};
+pub use args::{Args, CliError, CommonArgs, CommonDefaults};
 
-/// Entry point shared by `main` and the tests: parses and dispatches.
+use aligraph_telemetry::{Json, Registry, Report};
+use std::sync::Arc;
+
+/// Entry point shared by `main` and the tests: parses, dispatches, and (on
+/// success) dumps the command's telemetry snapshot if `--metrics-json` was
+/// given.
 pub fn run(argv: &[String]) -> Result<String, CliError> {
     let args = Args::parse(argv)?;
-    match args.command.as_str() {
+    let registry = Arc::new(Registry::new());
+    let out = match args.command.as_str() {
         "generate" => commands::generate(&args),
         "stats" => commands::stats(&args),
         "partition" => commands::partition(&args),
         "train" => commands::train(&args),
         "eval" => commands::eval(&args),
         "automl" => commands::automl(&args),
-        "serve-bench" => commands::serve_bench(&args),
-        "train-bench" => commands::train_bench(&args),
+        "serve-bench" => commands::serve_bench(&args, &registry),
+        "train-bench" => commands::train_bench(&args, &registry),
+        "metrics-demo" => commands::metrics_demo(&args, &registry),
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
         other => Err(CliError::Usage(format!("unknown command `{other}`\n\n{HELP}"))),
+    }?;
+    let common = CommonArgs::from_args(&args, CommonDefaults::default())?;
+    if let Some(path) = &common.metrics_json {
+        let json = metrics_json(&args.command, &registry);
+        std::fs::write(path, format!("{json}\n")).map_err(|e| {
+            CliError::Runtime(format!("cannot write metrics to {}: {e}", path.display()))
+        })?;
     }
+    Ok(out)
+}
+
+/// The stable metrics-JSON wrapper: schema version, the command that ran,
+/// and the registry snapshot's `metrics` array.
+pub fn metrics_json(command: &str, registry: &Registry) -> Json {
+    let snapshot = registry.snapshot();
+    let metrics =
+        snapshot.to_json().get("metrics").cloned().unwrap_or_else(|| Json::Arr(Vec::new()));
+    Json::obj(vec![
+        ("version", Json::UInt(1)),
+        ("command", Json::str(command)),
+        ("metrics", metrics),
+    ])
 }
 
 /// Top-level usage text.
@@ -54,5 +89,63 @@ COMMANDS:
     automl     model-selection tournament --graph FILE
     serve-bench online-serving load test  [--requests N] [--clients N] [--workers N] [--scale F] [--seed N] [--delta-every-ms N] [--batch N] [--queue N] [--cache N]
     train-bench distributed-training bench [--workers N] [--scale F] [--seed N] [--epochs N] [--batches N] [--batch N] [--negatives N] [--staleness N] [--dim N] [--sparse-lr F] [--checkpoint-dir DIR] [--checkpoint-every N] [--kill-worker N] [--kill-at-step N]
+    metrics-demo exercise every layer and print the unified telemetry table [--workers N] [--scale F] [--seed N]
     help       this text
+
+SHARED FLAGS:
+    --metrics-json PATH   after the command succeeds, write its telemetry
+                          registry snapshot as stable JSON (all commands)
+    --seed N / --workers N / --scale F parse identically everywhere
 ";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("aligraph-cli-run-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn run_writes_metrics_json_for_any_command() {
+        let graph = tmp("run_graph.tsv");
+        let metrics = tmp("run_generate_metrics.json");
+        run(&argv(&[
+            "generate",
+            "--kind",
+            "ba",
+            "--scale",
+            "0.002",
+            "--out",
+            &graph,
+            "--metrics-json",
+            &metrics,
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        // `generate` registers nothing, so the wrapper carries an empty array.
+        assert_eq!(json.trim(), r#"{"version":1,"command":"generate","metrics":[]}"#);
+    }
+
+    #[test]
+    fn run_metrics_demo_dumps_all_layers_as_json() {
+        let metrics = tmp("run_demo_metrics.json");
+        let out =
+            run(&argv(&["metrics-demo", "--scale", "0.004", "--metrics-json", &metrics])).unwrap();
+        assert!(
+            out.contains("one registry across storage, sampling, runtime, and serving"),
+            "{out}"
+        );
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        assert!(json.starts_with(r#"{"version":1,"command":"metrics-demo","metrics":["#), "{json}");
+        for name in ["storage.access", "sampling.draws", "runtime.ps.ops", "serving.requests"] {
+            assert!(json.contains(name), "metrics JSON missing {name}");
+        }
+    }
+}

@@ -28,7 +28,9 @@ pub mod ssp;
 
 pub use checkpoint::{latest_checkpoint, Checkpoint, WorkerCkpt};
 pub use error::RuntimeError;
-pub use ps::{PsShardState, PsStats, PsStatsSnapshot, SparseParamServer};
+pub use ps::{PsShardState, SparseParamServer};
+#[allow(deprecated)]
+pub use ps::{PsStats, PsStatsSnapshot};
 pub use report::{DistReport, WorkerReport};
 pub use runtime::{
     CheckpointConfig, DistOutcome, DistTrainer, EncoderSpec, FaultPlan, RuntimeConfig,

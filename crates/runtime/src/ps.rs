@@ -17,10 +17,11 @@
 use crate::error::RuntimeError;
 use aligraph_graph::{FeatureMatrix, VertexId};
 use aligraph_partition::Partition;
-use aligraph_storage::{AccessKind, CostModel};
+use aligraph_storage::{AccessKind, CostModel, TierMeter, TierMeterSnapshot};
+use aligraph_telemetry::{Counter, Registry};
 use aligraph_tensor::EmbeddingTable;
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::sync::Mutex;
 
 /// One shard: the embedding rows of the vertices one worker owns.
@@ -44,72 +45,15 @@ pub struct PsShardState {
     pub accum: Option<Vec<f32>>,
 }
 
-/// Comm counters of the parameter server, split by access tier.
-#[derive(Debug, Default)]
-pub struct PsStats {
-    ops: [AtomicU64; 3],
-    bytes: [AtomicU64; 3],
-    virtual_ns: AtomicU64,
-}
+/// The parameter server's comm counters are the shared
+/// [`aligraph_storage::TierMeter`] now; this alias keeps old callers
+/// compiling.
+#[deprecated(note = "use aligraph_storage::TierMeter")]
+pub type PsStats = TierMeter;
 
-fn tier(kind: AccessKind) -> usize {
-    match kind {
-        AccessKind::Local => 0,
-        AccessKind::CachedRemote => 1,
-        AccessKind::Remote => 2,
-    }
-}
-
-impl PsStats {
-    fn record(&self, kind: AccessKind, bytes: u64, cost: &CostModel) -> u64 {
-        let t = tier(kind);
-        self.ops[t].fetch_add(1, Ordering::Relaxed);
-        self.bytes[t].fetch_add(bytes, Ordering::Relaxed);
-        let ns = cost.cost_of(kind);
-        self.virtual_ns.fetch_add(ns, Ordering::Relaxed);
-        ns
-    }
-
-    /// Point-in-time copy for reporting.
-    pub fn snapshot(&self) -> PsStatsSnapshot {
-        let load = |a: &[AtomicU64; 3], i: usize| a[i].load(Ordering::Relaxed);
-        PsStatsSnapshot {
-            local_ops: load(&self.ops, 0),
-            cached_ops: load(&self.ops, 1),
-            remote_ops: load(&self.ops, 2),
-            local_bytes: load(&self.bytes, 0),
-            cached_bytes: load(&self.bytes, 1),
-            remote_bytes: load(&self.bytes, 2),
-            virtual_ns: self.virtual_ns.load(Ordering::Relaxed),
-        }
-    }
-}
-
-/// A copy of [`PsStats`] at one instant.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct PsStatsSnapshot {
-    /// Row operations on the worker's own shard.
-    pub local_ops: u64,
-    /// Replica reads of remote-owned rows (served locally, like a cache).
-    pub cached_ops: u64,
-    /// Cross-shard pushes/pulls.
-    pub remote_ops: u64,
-    /// Bytes moved in local operations.
-    pub local_bytes: u64,
-    /// Bytes served from replicas.
-    pub cached_bytes: u64,
-    /// Bytes crossing shard boundaries.
-    pub remote_bytes: u64,
-    /// Total modelled time under the storage cost model.
-    pub virtual_ns: u64,
-}
-
-impl PsStatsSnapshot {
-    /// All row operations.
-    pub fn total_ops(&self) -> u64 {
-        self.local_ops + self.cached_ops + self.remote_ops
-    }
-}
+/// A copy of the PS comm counters at one instant.
+#[deprecated(note = "use aligraph_storage::TierMeterSnapshot")]
+pub type PsStatsSnapshot = TierMeterSnapshot;
 
 /// The sharded sparse parameter server.
 pub struct SparseParamServer {
@@ -122,14 +66,32 @@ pub struct SparseParamServer {
     shards: Vec<Mutex<PsShard>>,
     /// Per-worker dirty sets: rows updated since that worker last drained.
     dirty: Vec<Mutex<HashSet<u32>>>,
-    stats: PsStats,
+    stats: TierMeter,
+    /// Payload bytes landed on each destination shard (pushes + pulls),
+    /// published as `runtime.ps.bytes{shard=<w>}`.
+    shard_bytes: Vec<Arc<Counter>>,
 }
 
 impl SparseParamServer {
     /// Shards `features` by `partition` across `workers` shards. `lr` is the
     /// AdaGrad learning rate for pushed deltas (0 freezes the features,
-    /// which is what the sequential-parity mode uses).
+    /// which is what the sequential-parity mode uses). Counters stay
+    /// detached; see [`new_registered`](Self::new_registered).
     pub fn new(partition: &Partition, features: &FeatureMatrix, lr: f32, cost: CostModel) -> Self {
+        Self::new_registered(partition, features, lr, cost, &Registry::disabled())
+    }
+
+    /// Like [`new`](Self::new), publishing the comm meters in `registry`:
+    /// `runtime.ps.ops{tier=...}`, `runtime.ps.bytes{tier=...}`,
+    /// `runtime.ps.virtual_ns`, and per-destination-shard payload counters
+    /// `runtime.ps.bytes{shard=<w>}`.
+    pub fn new_registered(
+        partition: &Partition,
+        features: &FeatureMatrix,
+        lr: f32,
+        cost: CostModel,
+        registry: &Registry,
+    ) -> Self {
         let n = features.len();
         let dim = features.dim;
         let workers = partition.num_workers;
@@ -154,6 +116,9 @@ impl SparseParamServer {
             })
             .collect();
         let dirty = (0..workers).map(|_| Mutex::new(HashSet::new())).collect();
+        let shard_bytes = (0..workers)
+            .map(|w| registry.counter("runtime.ps.bytes", &[("shard", &w.to_string())]))
+            .collect();
         SparseParamServer {
             dim,
             lr,
@@ -162,7 +127,8 @@ impl SparseParamServer {
             owner,
             shards,
             dirty,
-            stats: PsStats::default(),
+            stats: TierMeter::registered(registry, "runtime.ps"),
+            shard_bytes,
         }
     }
 
@@ -177,8 +143,18 @@ impl SparseParamServer {
     }
 
     /// Comm counters.
-    pub fn stats(&self) -> &PsStats {
+    pub fn stats(&self) -> &TierMeter {
         &self.stats
+    }
+
+    /// Zeroes the comm meters (tier counters and per-shard bytes) — the
+    /// attempt loop calls this so a fault-recovery retry reports only its
+    /// own traffic, exactly like the pre-registry per-attempt counters.
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+        for c in &self.shard_bytes {
+            c.reset();
+        }
     }
 
     /// Pushes one step's row-sparse feature gradients from worker `from` to
@@ -214,6 +190,7 @@ impl SparseParamServer {
             if rows > 0 {
                 let kind = if w == from { AccessKind::Local } else { AccessKind::Remote };
                 ns += self.stats.record(kind, rows * row_bytes, &self.cost);
+                self.shard_bytes[w].add(rows * row_bytes);
             }
         }
         Ok(ns)
@@ -249,6 +226,7 @@ impl SparseParamServer {
             if n > 0 {
                 let kind = if w == who { AccessKind::Local } else { AccessKind::Remote };
                 ns += self.stats.record(kind, n * row_bytes, &self.cost);
+                self.shard_bytes[w].add(n * row_bytes);
             }
         }
         Ok(ns)
@@ -398,6 +376,30 @@ mod tests {
         assert_eq!(fresh.materialize().unwrap().as_slice(), ps.materialize().unwrap().as_slice());
         // Wrong shard count is a checkpoint error, not a panic.
         assert!(matches!(fresh.load(&state[..2]), Err(RuntimeError::Checkpoint(_))));
+    }
+
+    #[test]
+    fn registered_ps_publishes_tier_and_shard_series() {
+        let g = TaobaoConfig::tiny().generate().unwrap();
+        let f = Featurizer::new(8).matrix(&g);
+        let p = EdgeCutHash.partition(&g, 2);
+        let registry = Registry::new();
+        let ps = SparseParamServer::new_registered(&p, &f, 0.1, CostModel::default(), &registry);
+        let local = (0..f.len() as u32).find(|&v| p.owner_of(VertexId(v)).index() == 0).unwrap();
+        let remote = (0..f.len() as u32).find(|&v| p.owner_of(VertexId(v)).index() == 1).unwrap();
+        let mut grads = HashMap::new();
+        grads.insert(local, vec![1.0; 8]);
+        grads.insert(remote, vec![-1.0; 8]);
+        ps.push(0, &grads).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("runtime.ps.ops", &[("tier", "local")]), 1);
+        assert_eq!(snap.counter("runtime.ps.ops", &[("tier", "remote")]), 1);
+        // One 8-dim f32 row landed on each shard: 32 payload bytes apiece.
+        assert_eq!(snap.counter("runtime.ps.bytes", &[("shard", "0")]), 32);
+        assert_eq!(snap.counter("runtime.ps.bytes", &[("shard", "1")]), 32);
+        ps.reset_stats();
+        assert_eq!(ps.stats().snapshot(), TierMeterSnapshot::default());
+        assert_eq!(registry.snapshot().counter("runtime.ps.bytes", &[("shard", "0")]), 0);
     }
 
     #[test]

@@ -26,13 +26,14 @@ use aligraph::{contrastive_step, GnnEncoder};
 use aligraph_graph::{AttributedHeterogeneousGraph, EdgeType, FeatureMatrix};
 use aligraph_partition::WorkerId;
 use aligraph_sampling::neighborhood::ClusterView;
-use aligraph_sampling::{worker_rng, ShardEdgePools, UniformNeighborhood};
+use aligraph_sampling::{worker_rng, MeteredNeighborhood, ShardEdgePools, UniformNeighborhood};
 use aligraph_storage::Cluster;
+use aligraph_telemetry::{Registry, Span};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Where and how often to checkpoint.
@@ -167,6 +168,7 @@ pub struct DistTrainer<'a> {
     features: &'a FeatureMatrix,
     spec: EncoderSpec,
     cfg: RuntimeConfig,
+    registry: Arc<Registry>,
 }
 
 impl<'a> DistTrainer<'a> {
@@ -206,7 +208,19 @@ impl<'a> DistTrainer<'a> {
                 cluster.graph().num_vertices()
             ));
         }
-        Ok(DistTrainer { cluster, features, spec, cfg })
+        Ok(DistTrainer { cluster, features, spec, cfg, registry: Arc::new(Registry::disabled()) })
+    }
+
+    /// Publishes the run's metrics into `registry`: the parameter server's
+    /// `runtime.ps.*` meters, the `runtime.staleness` and
+    /// `runtime.allreduce_ns` histograms, and the samplers'
+    /// `sampling.draws{kind=...}` / `sampling.latency_ns{kind=...}` series.
+    /// Telemetry only observes — the training trajectory is bit-identical
+    /// with or without a live registry (the determinism regression pins
+    /// this).
+    pub fn with_registry(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = registry;
+        self
     }
 
     /// Hashes the structural configuration: everything a checkpoint must
@@ -346,12 +360,17 @@ impl<'a> DistTrainer<'a> {
         let t0 = resume.as_ref().map_or(0, |c| c.global_step);
         let fingerprint = self.fingerprint();
 
-        let ps = SparseParamServer::new(
+        let ps = SparseParamServer::new_registered(
             self.cluster.partition(),
             self.features,
             cfg.sparse_lr,
             *self.cluster.cost_model(),
+            &self.registry,
         );
+        // Registered counters are shared registry-wide, so a fault-recovery
+        // retry must zero them to report only its own traffic (matching the
+        // fresh-per-attempt counters the PS had before telemetry).
+        ps.reset_stats();
         if let Some(ck) = &resume {
             ps.load(&ck.shards)?;
         }
@@ -501,6 +520,9 @@ impl<'a> DistTrainer<'a> {
         }
         let pools = ShardEdgePools::build(graph, self.cluster.partition(), WorkerId(me as u32));
         let view = ClusterView { cluster: self.cluster, from: WorkerId(me as u32) };
+        let sampler = MeteredNeighborhood::new(UniformNeighborhood, &self.registry, "uniform");
+        let staleness_hist = self.registry.histogram("runtime.staleness", &[]);
+        let allreduce_ns = self.registry.histogram("runtime.allreduce_ns", &[]);
 
         let mut t = t0;
         while t < total_steps {
@@ -524,6 +546,7 @@ impl<'a> DistTrainer<'a> {
                 age = 0;
             }
             hist[age as usize] += 1;
+            staleness_hist.record(age);
 
             let start = Instant::now();
             // Same draw sequence as the sequential trainer: edge type, then
@@ -536,7 +559,7 @@ impl<'a> DistTrainer<'a> {
                     graph,
                     &view,
                     &replica,
-                    &UniformNeighborhood,
+                    &sampler,
                     &batch,
                     cfg.negatives,
                     &mut rng,
@@ -589,6 +612,9 @@ impl<'a> DistTrainer<'a> {
             // loss, decide early stop, checkpoint the averaged state.
             if t.is_multiple_of(batches) {
                 let out = co.rendezvous(me, deposit(true), |mut deps| {
+                    // Times the leader's allreduce + epoch bookkeeping into
+                    // `runtime.allreduce_ns` (recorded when the guard drops).
+                    let _allreduce = Span::enter(&allreduce_ns);
                     let mut sh =
                         shared.lock().map_err(|_| RuntimeError::Poisoned("shared train state"))?;
                     let loss: f64 = deps.iter().map(|d| d.loss_sum).sum();

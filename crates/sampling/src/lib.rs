@@ -19,7 +19,9 @@
 //! * [`dynamic`] — samplers that own **dynamic weights** with a registered
 //!   backward/update function, the "gradient of the sampler" mechanism of
 //!   §3.3, optionally routed through the lock-free request buckets;
-//! * [`pipeline`] — the `sampling(s1, s2, s3, batch_size)` stage of Figure 5.
+//! * [`pipeline`] — the `sampling(s1, s2, s3, batch_size)` stage of Figure 5;
+//! * [`telemetry`] — metered sampler wrappers publishing per-kind draw
+//!   counts and latencies without perturbing the wrapped RNG stream.
 
 pub mod alias;
 pub mod dynamic;
@@ -27,6 +29,7 @@ pub mod negative;
 pub mod neighborhood;
 pub mod pipeline;
 pub mod seeding;
+pub mod telemetry;
 pub mod traverse;
 pub mod walks;
 
@@ -39,4 +42,5 @@ pub use neighborhood::{
 };
 pub use pipeline::{SampleBatch, SamplingPipeline};
 pub use seeding::{worker_rng, worker_seed};
+pub use telemetry::MeteredNeighborhood;
 pub use traverse::{ShardEdgePools, TraverseSampler, UniformTraverse, WeightedEdgeTraverse};

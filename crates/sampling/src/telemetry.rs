@@ -1,0 +1,105 @@
+//! Sampler instrumentation: wrappers that publish per-sampler-kind draw
+//! counts and latencies into a telemetry [`Registry`] without perturbing the
+//! wrapped sampler's randomness.
+//!
+//! [`MeteredNeighborhood`] forwards every call to its inner sampler with the
+//! same RNG, so the draw stream — and therefore every trained parameter — is
+//! bit-identical whether or not the wrapper (or the registry) is present.
+//! Telemetry observes; it never branches on a metric value.
+
+use crate::neighborhood::NeighborhoodSampler;
+use aligraph_graph::{Neighbor, VertexId};
+use aligraph_telemetry::{Counter, Histogram, Registry};
+use rand::Rng;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A NEIGHBORHOOD sampler wrapper that counts draws and records per-call
+/// latency as `sampling.draws{kind=<kind>}` and
+/// `sampling.latency_ns{kind=<kind>}`.
+#[derive(Debug)]
+pub struct MeteredNeighborhood<S> {
+    inner: S,
+    draws: Arc<Counter>,
+    latency_ns: Arc<Histogram>,
+}
+
+impl<S> MeteredNeighborhood<S> {
+    /// Wraps `inner`, publishing its series under the `kind` label (e.g.
+    /// `"uniform"`, `"weighted"`, `"topk"`).
+    pub fn new(inner: S, registry: &Registry, kind: &str) -> Self {
+        MeteredNeighborhood {
+            inner,
+            draws: registry.counter("sampling.draws", &[("kind", kind)]),
+            latency_ns: registry.histogram("sampling.latency_ns", &[("kind", kind)]),
+        }
+    }
+
+    /// The wrapped sampler.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: NeighborhoodSampler> NeighborhoodSampler for MeteredNeighborhood<S> {
+    fn sample_one<R: Rng>(
+        &self,
+        target: VertexId,
+        nbrs: &[Neighbor],
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<VertexId> {
+        let start = Instant::now();
+        let out = self.inner.sample_one(target, nbrs, count, rng);
+        self.draws.inc();
+        self.latency_ns.record(start.elapsed().as_nanos() as u64);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neighborhood::UniformNeighborhood;
+    use aligraph_graph::{AttrId, EdgeId, EdgeType};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn nbrs(n: u32) -> Vec<Neighbor> {
+        (0..n)
+            .map(|v| Neighbor {
+                vertex: VertexId(v),
+                etype: EdgeType(0),
+                weight: 1.0,
+                attr: AttrId(0),
+                edge: EdgeId(v as u64),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn metered_sampler_draws_identically_to_inner() {
+        let registry = Registry::new();
+        let metered = MeteredNeighborhood::new(UniformNeighborhood, &registry, "uniform");
+        let adj = nbrs(16);
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let x = metered.sample_one(VertexId(0), &adj, 4, &mut a);
+            let y = UniformNeighborhood.sample_one(VertexId(0), &adj, 4, &mut b);
+            assert_eq!(x, y, "wrapper must not perturb the draw stream");
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("sampling.draws", &[("kind", "uniform")]), 10);
+        assert_eq!(snap.histogram("sampling.latency_ns", &[("kind", "uniform")]).count, 10);
+    }
+
+    #[test]
+    fn detached_registry_keeps_wrapper_inert() {
+        let metered = MeteredNeighborhood::new(UniformNeighborhood, &Registry::disabled(), "u");
+        let adj = nbrs(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(metered.sample_one(VertexId(0), &adj, 2, &mut rng).len(), 2);
+        assert_eq!(metered.inner().sample_one(VertexId(0), &adj, 2, &mut rng).len(), 2);
+    }
+}

@@ -5,6 +5,7 @@
 use crate::alias::AliasTable;
 use aligraph_graph::{AttributedHeterogeneousGraph, EdgeId, EdgeType, VertexId, VertexType};
 use aligraph_partition::{Partition, WorkerId};
+use aligraph_telemetry::Registry;
 use rand::Rng;
 
 /// A pluggable TRAVERSE sampler.
@@ -92,6 +93,14 @@ pub struct WeightedEdgeTraverse {
 impl WeightedEdgeTraverse {
     /// Precomputes one alias table per edge type.
     pub fn new(graph: &AttributedHeterogeneousGraph) -> Self {
+        Self::new_registered(graph, &Registry::disabled())
+    }
+
+    /// Like [`new`](Self::new), counting each alias-table (re)build as
+    /// `sampling.alias.rebuilds` in `registry` — the O(n) cost a dynamic
+    /// graph pays per delta when edge weights change.
+    pub fn new_registered(graph: &AttributedHeterogeneousGraph, registry: &Registry) -> Self {
+        let rebuilds = registry.counter("sampling.alias.rebuilds", &[]);
         let tables = (0..graph.num_edge_types())
             .map(|t| {
                 let roster = graph.edges_of_type(EdgeType(t));
@@ -99,6 +108,7 @@ impl WeightedEdgeTraverse {
                     return None;
                 }
                 let weights: Vec<f32> = roster.iter().map(|&e| graph.edge(e).weight).collect();
+                rebuilds.inc();
                 AliasTable::new(&weights)
             })
             .collect();
@@ -239,6 +249,22 @@ mod tests {
         let draws = sampler.sample_edges(&g, CLICK, 5_000, &mut rng);
         let heavy = draws.iter().filter(|&&e| g.edge(e).dst == i1).count();
         assert!(heavy > 4_700, "heavy drawn {heavy}/5000");
+    }
+
+    #[test]
+    fn registered_build_counts_alias_rebuilds() {
+        let g = TaobaoConfig::tiny().generate().unwrap();
+        let registry = Registry::new();
+        let s = WeightedEdgeTraverse::new_registered(&g, &registry);
+        let built = registry.snapshot().counter("sampling.alias.rebuilds", &[]);
+        let nonempty =
+            (0..g.num_edge_types()).filter(|&t| !g.edges_of_type(EdgeType(t)).is_empty()).count();
+        assert_eq!(built, nonempty as u64);
+        // The registered build draws identically to the plain one.
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let plain = WeightedEdgeTraverse::new(&g);
+        assert_eq!(s.sample_edges(&g, BUY, 32, &mut a), plain.sample_edges(&g, BUY, 32, &mut b));
     }
 
     #[test]

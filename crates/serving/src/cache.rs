@@ -8,14 +8,19 @@
 //! the invalidation sweep has already run, so it must not land). Targeted
 //! invalidation of [`affected_seeds`](crate::overlay::affected_seeds) keeps
 //! every *unaffected* entry warm across deltas.
+//!
+//! Cache events publish into a telemetry registry as
+//! `serving.cache{event=hit|miss|evict|invalidate|stale_reject}` plus a
+//! `serving.cache.len` occupancy gauge.
 
 use aligraph_storage::LruCache;
+use aligraph_telemetry::{Counter, Gauge, Registry, RegistrySnapshot};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Counter snapshot of the cache, for the serving report.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
@@ -41,6 +46,28 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Rebuilds the stats from a registry snapshot's `serving.cache` series.
+    pub fn from_snapshot(snap: &RegistrySnapshot) -> CacheStats {
+        CacheStats {
+            hits: snap.counter("serving.cache", &[("event", "hit")]),
+            misses: snap.counter("serving.cache", &[("event", "miss")]),
+            evictions: snap.counter("serving.cache", &[("event", "evict")]),
+            invalidations: snap.counter("serving.cache", &[("event", "invalidate")]),
+            stale_rejects: snap.counter("serving.cache", &[("event", "stale_reject")]),
+            len: snap.gauge("serving.cache.len", &[]).max(0) as usize,
+        }
+    }
+
+    /// Adds another run's counters (occupancy takes the latest level).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.invalidations += other.invalidations;
+        self.stale_rejects += other.stale_rejects;
+        self.len = other.len;
+    }
 }
 
 /// A shared, versioned LRU over per-vertex embeddings.
@@ -51,18 +78,33 @@ pub struct EmbeddingCache {
     inner: Mutex<LruCache<u32, Arc<Vec<f32>>>>,
     /// The graph version entries must match to be inserted or served.
     current_version: AtomicU64,
-    invalidations: AtomicU64,
-    stale_rejects: AtomicU64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    invalidations: Arc<Counter>,
+    stale_rejects: Arc<Counter>,
+    len: Arc<Gauge>,
 }
 
 impl EmbeddingCache {
-    /// A cache holding at most `capacity` embeddings, at version 0.
+    /// A cache holding at most `capacity` embeddings, at version 0, with
+    /// detached (unpublished) counters.
     pub fn new(capacity: usize) -> Self {
+        Self::registered(capacity, &Registry::disabled())
+    }
+
+    /// Like [`new`](Self::new), publishing `serving.cache{event=...}` and
+    /// the `serving.cache.len` gauge in `registry`.
+    pub fn registered(capacity: usize, registry: &Registry) -> Self {
         EmbeddingCache {
             inner: Mutex::new(LruCache::new(capacity)),
             current_version: AtomicU64::new(0),
-            invalidations: AtomicU64::new(0),
-            stale_rejects: AtomicU64::new(0),
+            hits: registry.counter("serving.cache", &[("event", "hit")]),
+            misses: registry.counter("serving.cache", &[("event", "miss")]),
+            evictions: registry.counter("serving.cache", &[("event", "evict")]),
+            invalidations: registry.counter("serving.cache", &[("event", "invalidate")]),
+            stale_rejects: registry.counter("serving.cache", &[("event", "stale_reject")]),
+            len: registry.gauge("serving.cache.len", &[]),
         }
     }
 
@@ -75,7 +117,12 @@ impl EmbeddingCache {
     /// current version (older ones are dropped at insert or invalidated), so
     /// a hit is always fresh.
     pub fn get(&self, v: u32) -> Option<Arc<Vec<f32>>> {
-        self.inner.lock().get(&v).map(Arc::clone)
+        let out = self.inner.lock().get(&v).map(Arc::clone);
+        match out {
+            Some(_) => self.hits.inc(),
+            None => self.misses.inc(),
+        }
+        out
     }
 
     /// Inserts `v`'s embedding computed against `version`; dropped (counted
@@ -85,10 +132,13 @@ impl EmbeddingCache {
         // Checked under the lock so an `advance` cannot interleave.
         if version != self.current_version.load(Ordering::Acquire) {
             drop(inner);
-            self.stale_rejects.fetch_add(1, Ordering::Relaxed);
+            self.stale_rejects.inc();
             return;
         }
-        inner.put(v, data);
+        if inner.put(v, data) {
+            self.evictions.inc();
+        }
+        self.len.set(inner.len() as i64);
     }
 
     /// Moves the cache to `version` and removes the affected entries.
@@ -102,22 +152,22 @@ impl EmbeddingCache {
                 dropped += 1;
             }
         }
+        self.len.set(inner.len() as i64);
         drop(inner);
-        self.invalidations.fetch_add(dropped as u64, Ordering::Relaxed);
+        self.invalidations.add(dropped as u64);
         dropped
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock();
-        let (hits, misses, evictions) = inner.stats();
+        let len = self.inner.lock().len();
         CacheStats {
-            hits,
-            misses,
-            evictions,
-            invalidations: self.invalidations.load(Ordering::Relaxed),
-            stale_rejects: self.stale_rejects.load(Ordering::Relaxed),
-            len: inner.len(),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            invalidations: self.invalidations.get(),
+            stale_rejects: self.stale_rejects.get(),
+            len,
         }
     }
 }
@@ -163,5 +213,22 @@ mod tests {
         // The same vertex recomputed at the current version is admitted.
         c.insert(7, 1, emb(7.5));
         assert_eq!(c.get(7).unwrap()[0], 7.5);
+    }
+
+    #[test]
+    fn registered_cache_publishes_events_and_occupancy() {
+        let registry = Registry::new();
+        let c = EmbeddingCache::registered(2, &registry);
+        c.insert(1, 0, emb(1.0));
+        c.insert(2, 0, emb(2.0));
+        c.insert(3, 0, emb(3.0)); // evicts
+        let _ = c.get(3);
+        let _ = c.get(99);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serving.cache", &[("event", "hit")]), 1);
+        assert_eq!(snap.counter("serving.cache", &[("event", "miss")]), 1);
+        assert_eq!(snap.counter("serving.cache", &[("event", "evict")]), 1);
+        assert_eq!(snap.gauge("serving.cache.len", &[]), 2);
+        assert_eq!(CacheStats::from_snapshot(&snap), c.stats());
     }
 }

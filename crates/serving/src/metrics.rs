@@ -1,78 +1,91 @@
 //! Latency/throughput accounting for the serving layer.
 //!
-//! Workers record per-request latencies (enqueue → reply) and batch-level
+//! Workers record per-request latencies (enqueue → reply) into a bounded
+//! telemetry [`Histogram`] — no per-sample buffer — plus batch-level
 //! counters; [`ServingMetrics::report`] folds them into a [`ServingReport`]
 //! with tail percentiles, QPS and the cache/dedup evidence the serve-bench
-//! prints.
+//! prints. Every series registers under `serving.*`, so a single
+//! [`Registry`] snapshot carries this layer next to storage and runtime.
 
 use crate::cache::CacheStats;
 use aligraph_storage::AccessStatsSnapshot;
-use parking_lot::Mutex;
+use aligraph_telemetry::{Counter, Histogram, Json, Registry, RegistrySnapshot, Report};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Keep at most this many latency samples (a serve-bench run is well under
-/// it; the bound just keeps a long-lived service from growing unboundedly).
-const MAX_SAMPLES: usize = 1 << 22;
-
-/// Shared counters + latency samples, updated lock-free except the sample
-/// push.
-#[derive(Default)]
+/// Shared serving counters and the end-to-end latency histogram. All
+/// recording is lock-free; the old unbounded `Mutex<Vec<u64>>` sample
+/// buffer is gone.
 pub struct ServingMetrics {
-    requests: AtomicU64,
-    completed: AtomicU64,
-    rejected: AtomicU64,
-    batches: AtomicU64,
-    forwards: AtomicU64,
-    tape_hits: AtomicU64,
-    tape_misses: AtomicU64,
-    latencies_ns: Mutex<Vec<u64>>,
+    admitted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    completed: Arc<Counter>,
+    batches: Arc<Counter>,
+    forwards: Arc<Counter>,
+    tape_hits: Arc<Counter>,
+    tape_misses: Arc<Counter>,
+    batch_size: Arc<Histogram>,
+    latency_ns: Arc<Histogram>,
+}
+
+impl Default for ServingMetrics {
+    fn default() -> Self {
+        Self::registered(&Registry::disabled())
+    }
 }
 
 impl ServingMetrics {
+    /// Metrics publishing under `serving.*` in `registry`.
+    pub fn registered(registry: &Registry) -> Self {
+        ServingMetrics {
+            admitted: registry.counter("serving.requests", &[("outcome", "admitted")]),
+            rejected: registry.counter("serving.requests", &[("outcome", "rejected")]),
+            completed: registry.counter("serving.completed", &[]),
+            batches: registry.counter("serving.batches", &[]),
+            forwards: registry.counter("serving.forwards", &[]),
+            tape_hits: registry.counter("serving.tape", &[("event", "hit")]),
+            tape_misses: registry.counter("serving.tape", &[("event", "miss")]),
+            batch_size: registry.histogram("serving.batch.size", &[]),
+            latency_ns: registry.histogram("serving.latency_ns", &[]),
+        }
+    }
+
     /// Counts an admitted request.
     pub fn admitted(&self) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.admitted.inc();
     }
 
     /// Counts a rejected (backpressured) request.
     pub fn rejected(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rejected.inc();
     }
 
     /// Records one drained batch: its size, how many encoder forward passes
     /// it actually ran, and the episode-tape memo counters.
     pub fn batch(&self, size: usize, forwards: usize, tape_hits: u64, tape_misses: u64) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.completed.fetch_add(size as u64, Ordering::Relaxed);
-        self.forwards.fetch_add(forwards as u64, Ordering::Relaxed);
-        self.tape_hits.fetch_add(tape_hits, Ordering::Relaxed);
-        self.tape_misses.fetch_add(tape_misses, Ordering::Relaxed);
+        self.batches.inc();
+        self.completed.add(size as u64);
+        self.forwards.add(forwards as u64);
+        self.tape_hits.add(tape_hits);
+        self.tape_misses.add(tape_misses);
+        self.batch_size.record(size as u64);
     }
 
     /// Records one request's enqueue-to-reply latency.
     pub fn latency(&self, d: Duration) {
-        let mut samples = self.latencies_ns.lock();
-        if samples.len() < MAX_SAMPLES {
-            samples.push(d.as_nanos() as u64);
-        }
+        self.latency_ns.record_duration(d);
     }
 
     /// Encoder forward passes run so far (the dedup denominator).
     pub fn forwards_so_far(&self) -> u64 {
-        self.forwards.load(Ordering::Relaxed)
+        self.forwards.get()
     }
 
     /// Mean request latency in microseconds (0 before any sample) — feeds
     /// the `retry_after_ms` hint on rejections.
     pub fn mean_latency_us(&self) -> u64 {
-        let samples = self.latencies_ns.lock();
-        if samples.is_empty() {
-            return 0;
-        }
-        let sum: u128 = samples.iter().map(|&ns| ns as u128).sum();
-        (sum / samples.len() as u128 / 1_000) as u64
+        (self.latency_ns.snapshot().mean() / 1_000.0) as u64
     }
 
     /// Folds everything into a report. `elapsed` is the measurement window
@@ -83,21 +96,20 @@ impl ServingMetrics {
         cache: CacheStats,
         access: AccessStatsSnapshot,
     ) -> ServingReport {
-        let mut samples = self.latencies_ns.lock().clone();
-        samples.sort_unstable();
-        let completed = self.completed.load(Ordering::Relaxed);
+        let latency = self.latency_ns.snapshot();
+        let completed = self.completed.get();
         let secs = elapsed.as_secs_f64();
         ServingReport {
-            requests: self.requests.load(Ordering::Relaxed),
+            requests: self.admitted.get(),
             completed,
-            rejected: self.rejected.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            forwards: self.forwards.load(Ordering::Relaxed),
-            tape_hits: self.tape_hits.load(Ordering::Relaxed),
-            tape_misses: self.tape_misses.load(Ordering::Relaxed),
-            p50_us: percentile_us(&samples, 50.0),
-            p95_us: percentile_us(&samples, 95.0),
-            p99_us: percentile_us(&samples, 99.0),
+            rejected: self.rejected.get(),
+            batches: self.batches.get(),
+            forwards: self.forwards.get(),
+            tape_hits: self.tape_hits.get(),
+            tape_misses: self.tape_misses.get(),
+            p50_us: latency.quantile(0.5) as f64 / 1_000.0,
+            p95_us: latency.quantile(0.95) as f64 / 1_000.0,
+            p99_us: latency.quantile(0.99) as f64 / 1_000.0,
             qps: if secs > 0.0 { completed as f64 / secs } else { 0.0 },
             cache,
             access,
@@ -105,17 +117,8 @@ impl ServingMetrics {
     }
 }
 
-/// Nearest-rank percentile over sorted nanosecond samples, in microseconds.
-fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
-    if sorted_ns.is_empty() {
-        return 0.0;
-    }
-    let rank = ((p / 100.0) * (sorted_ns.len() as f64 - 1.0)).round() as usize;
-    sorted_ns[rank.min(sorted_ns.len() - 1)] as f64 / 1_000.0
-}
-
 /// A point-in-time serving summary.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ServingReport {
     /// Requests admitted to a queue.
     pub requests: u64,
@@ -132,7 +135,7 @@ pub struct ServingReport {
     pub tape_hits: u64,
     /// Episode-tape memo misses across batches.
     pub tape_misses: u64,
-    /// Median enqueue-to-reply latency, microseconds.
+    /// Median enqueue-to-reply latency, microseconds (bucket midpoint).
     pub p50_us: f64,
     /// 95th-percentile latency, microseconds.
     pub p95_us: f64,
@@ -147,6 +150,35 @@ pub struct ServingReport {
 }
 
 impl ServingReport {
+    /// Rebuilds the report from a registry snapshot — the serve-bench path:
+    /// one snapshot, many views. `elapsed` is the measurement window.
+    pub fn from_snapshot(snap: &RegistrySnapshot, elapsed: Duration) -> ServingReport {
+        let latency = snap.histogram("serving.latency_ns", &[]);
+        let completed = snap.counter("serving.completed", &[]);
+        let secs = elapsed.as_secs_f64();
+        ServingReport {
+            requests: snap.counter("serving.requests", &[("outcome", "admitted")]),
+            completed,
+            rejected: snap.counter("serving.requests", &[("outcome", "rejected")]),
+            batches: snap.counter("serving.batches", &[]),
+            forwards: snap.counter("serving.forwards", &[]),
+            tape_hits: snap.counter("serving.tape", &[("event", "hit")]),
+            tape_misses: snap.counter("serving.tape", &[("event", "miss")]),
+            p50_us: latency.quantile(0.5) as f64 / 1_000.0,
+            p95_us: latency.quantile(0.95) as f64 / 1_000.0,
+            p99_us: latency.quantile(0.99) as f64 / 1_000.0,
+            qps: if secs > 0.0 { completed as f64 / secs } else { 0.0 },
+            cache: CacheStats::from_snapshot(snap),
+            access: AccessStatsSnapshot {
+                local: snap.counter("serving.access", &[("tier", "local")]),
+                cached_remote: snap.counter("serving.access", &[("tier", "cached_remote")]),
+                remote: snap.counter("serving.access", &[("tier", "remote")]),
+                replacements: snap.counter("serving.access.replacements", &[]),
+                virtual_ns: snap.counter("serving.access.virtual_ns", &[]),
+            },
+        }
+    }
+
     /// Mean requests per drained batch.
     pub fn mean_batch_size(&self) -> f64 {
         if self.batches == 0 {
@@ -203,6 +235,74 @@ impl fmt::Display for ServingReport {
     }
 }
 
+impl Report for ServingReport {
+    fn render_text(&self) -> String {
+        self.to_string()
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("requests", Json::UInt(self.requests)),
+            ("completed", Json::UInt(self.completed)),
+            ("rejected", Json::UInt(self.rejected)),
+            ("batches", Json::UInt(self.batches)),
+            ("forwards", Json::UInt(self.forwards)),
+            ("tape_hits", Json::UInt(self.tape_hits)),
+            ("tape_misses", Json::UInt(self.tape_misses)),
+            ("p50_us", Json::Float(self.p50_us)),
+            ("p95_us", Json::Float(self.p95_us)),
+            ("p99_us", Json::Float(self.p99_us)),
+            ("qps", Json::Float(self.qps)),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("hits", Json::UInt(self.cache.hits)),
+                    ("misses", Json::UInt(self.cache.misses)),
+                    ("evictions", Json::UInt(self.cache.evictions)),
+                    ("invalidations", Json::UInt(self.cache.invalidations)),
+                    ("stale_rejects", Json::UInt(self.cache.stale_rejects)),
+                    ("len", Json::UInt(self.cache.len as u64)),
+                    ("hit_rate", Json::Float(self.cache.hit_rate())),
+                ]),
+            ),
+            (
+                "access",
+                Json::obj(vec![
+                    ("local", Json::UInt(self.access.local)),
+                    ("cached_remote", Json::UInt(self.access.cached_remote)),
+                    ("remote", Json::UInt(self.access.remote)),
+                    ("replacements", Json::UInt(self.access.replacements)),
+                    ("virtual_ns", Json::UInt(self.access.virtual_ns)),
+                ]),
+            ),
+        ])
+    }
+
+    fn merge(&mut self, other: &Self) {
+        self.requests += other.requests;
+        self.completed += other.completed;
+        self.rejected += other.rejected;
+        self.batches += other.batches;
+        self.forwards += other.forwards;
+        self.tape_hits += other.tape_hits;
+        self.tape_misses += other.tape_misses;
+        // Percentiles of pooled runs are not recoverable from summaries;
+        // keep the max (conservative tail) and recompute QPS additively.
+        self.p50_us = self.p50_us.max(other.p50_us);
+        self.p95_us = self.p95_us.max(other.p95_us);
+        self.p99_us = self.p99_us.max(other.p99_us);
+        self.qps += other.qps;
+        self.cache.merge(&other.cache);
+        self.access = AccessStatsSnapshot {
+            local: self.access.local + other.access.local,
+            cached_remote: self.access.cached_remote + other.access.cached_remote,
+            remote: self.access.remote + other.access.remote,
+            replacements: self.access.replacements + other.access.replacements,
+            virtual_ns: self.access.virtual_ns + other.access.virtual_ns,
+        };
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,23 +317,65 @@ mod tests {
         for _ in 0..100 {
             m.admitted();
         }
-        let report = m.report(
-            Duration::from_secs(1),
-            CacheStats {
-                hits: 0,
-                misses: 0,
-                evictions: 0,
-                invalidations: 0,
-                stale_rejects: 0,
-                len: 0,
-            },
-            AccessStatsSnapshot::default(),
-        );
-        assert!((report.p50_us - 50.0).abs() <= 1.0, "p50 {}", report.p50_us);
-        assert!((report.p99_us - 99.0).abs() <= 1.0, "p99 {}", report.p99_us);
+        let report =
+            m.report(Duration::from_secs(1), CacheStats::default(), AccessStatsSnapshot::default());
+        // Bucketed histogram: within the documented 12.5% relative error.
+        assert!((report.p50_us - 50.0).abs() <= 50.0 * 0.125 + 1.0, "p50 {}", report.p50_us);
+        assert!((report.p99_us - 99.0).abs() <= 99.0 * 0.125 + 1.0, "p99 {}", report.p99_us);
         assert!((report.qps - 100.0).abs() < 1e-9);
         assert_eq!(report.forwards, 40);
         assert!(report.forwards < report.completed);
         assert!((report.mean_batch_size() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registered_metrics_round_trip_through_snapshot() {
+        let registry = Registry::new();
+        let m = ServingMetrics::registered(&registry);
+        m.admitted();
+        m.admitted();
+        m.rejected();
+        m.batch(2, 1, 3, 4);
+        m.latency(Duration::from_micros(10));
+        m.latency(Duration::from_micros(20));
+        let direct =
+            m.report(Duration::from_secs(1), CacheStats::default(), AccessStatsSnapshot::default());
+        let rebuilt = ServingReport::from_snapshot(&registry.snapshot(), Duration::from_secs(1));
+        assert_eq!(rebuilt.requests, direct.requests);
+        assert_eq!(rebuilt.completed, direct.completed);
+        assert_eq!(rebuilt.rejected, direct.rejected);
+        assert_eq!(rebuilt.forwards, direct.forwards);
+        assert_eq!(rebuilt.tape_hits, direct.tape_hits);
+        assert_eq!(rebuilt.p99_us, direct.p99_us);
+        assert_eq!(rebuilt.qps, direct.qps);
+    }
+
+    #[test]
+    fn report_trait_render_and_merge() {
+        let mut a = ServingReport {
+            requests: 10,
+            completed: 8,
+            batches: 2,
+            qps: 100.0,
+            p99_us: 5.0,
+            ..Default::default()
+        };
+        let b = ServingReport {
+            requests: 5,
+            completed: 5,
+            batches: 1,
+            qps: 50.0,
+            p99_us: 9.0,
+            ..Default::default()
+        };
+        assert!(a.render_text().contains("req/s"));
+        let json = a.to_json().to_string();
+        assert!(json.contains(r#""requests":10"#));
+        assert!(json.contains(r#""cache":{"#));
+        a.merge(&b);
+        assert_eq!(a.requests, 15);
+        assert_eq!(a.completed, 13);
+        assert!((a.qps - 150.0).abs() < 1e-9);
+        assert_eq!(a.p99_us, 9.0);
     }
 }

@@ -34,6 +34,7 @@ use aligraph_graph::{AttributedHeterogeneousGraph, VertexId};
 use aligraph_partition::{EdgeCutHash, Partitioner, WorkerId};
 use aligraph_sampling::NeighborhoodSampler;
 use aligraph_storage::{AccessKind, AccessStats, CostModel};
+use aligraph_telemetry::Registry;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::RwLock;
 use rand::rngs::StdRng;
@@ -132,10 +133,23 @@ impl<S: NeighborhoodSampler + Clone + Send + Sync + 'static> ServingService<S> {
     /// Partitions `graph`, spawns the worker pool, and returns the serving
     /// handle. Encoder weights are derived from `config.seed` (every worker
     /// holds an identical replica, so routing never changes a result).
+    /// Telemetry stays detached; use
+    /// [`start_with_registry`](Self::start_with_registry) to publish it.
     pub fn start(
         graph: Arc<AttributedHeterogeneousGraph>,
         sampler: S,
         config: ServingConfig,
+    ) -> Self {
+        Self::start_with_registry(graph, sampler, config, &Registry::disabled())
+    }
+
+    /// Like [`start`](Self::start), publishing the service's metrics, cache
+    /// events, and seed-level access tiers under `serving.*` in `registry`.
+    pub fn start_with_registry(
+        graph: Arc<AttributedHeterogeneousGraph>,
+        sampler: S,
+        config: ServingConfig,
+        registry: &Registry,
     ) -> Self {
         assert!(config.workers >= 1, "at least one worker");
         assert!(
@@ -147,9 +161,9 @@ impl<S: NeighborhoodSampler + Clone + Send + Sync + 'static> ServingService<S> {
         let shared = Arc::new(Shared {
             overlay: RwLock::new(Arc::new(OverlayGraph::new(graph))),
             features,
-            cache: EmbeddingCache::new(config.cache_capacity),
-            metrics: ServingMetrics::default(),
-            stats: AccessStats::new(),
+            cache: EmbeddingCache::registered(config.cache_capacity, registry),
+            metrics: ServingMetrics::registered(registry),
+            stats: AccessStats::registered(registry, "serving"),
             cost: CostModel::default(),
             owners,
             config,
@@ -454,6 +468,33 @@ mod tests {
         assert_eq!(service.graph_version(), 1);
         assert!(dropped >= 1, "at least the touched vertex drops");
         assert_eq!(service.cache_stats().invalidations as usize, dropped);
+    }
+
+    #[test]
+    fn start_with_registry_publishes_serving_series() {
+        let graph = Arc::new(TaobaoConfig::tiny().generate().expect("valid config"));
+        let registry = Registry::new();
+        let config =
+            ServingConfig { max_batch_delay: Duration::from_micros(200), ..Default::default() };
+        let service = ServingService::start_with_registry(
+            Arc::clone(&graph),
+            TopKNeighborhood,
+            config,
+            &registry,
+        );
+        for _ in 0..3 {
+            service.embedding(VertexId(1)).unwrap();
+        }
+        let direct = service.report(Duration::from_secs(1));
+        let snap = registry.snapshot();
+        let rebuilt = crate::metrics::ServingReport::from_snapshot(&snap, Duration::from_secs(1));
+        assert_eq!(rebuilt.completed, 3);
+        assert_eq!(rebuilt.completed, direct.completed);
+        assert_eq!(rebuilt.cache, direct.cache);
+        assert_eq!(rebuilt.access, direct.access);
+        assert_eq!(snap.counter("serving.requests", &[("outcome", "admitted")]), 3);
+        assert!(snap.histogram("serving.latency_ns", &[]).count >= 3);
+        service.shutdown();
     }
 
     #[test]

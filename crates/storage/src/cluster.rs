@@ -15,6 +15,7 @@ use aligraph_graph::{
     AttributedHeterogeneousGraph, DegreeTable, ImportanceTable, Neighbor, VertexId,
 };
 use aligraph_partition::{Partition, Partitioner, WorkerId};
+use aligraph_telemetry::Registry;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -65,7 +66,9 @@ pub struct Cluster {
 
 impl Cluster {
     /// Partitions `graph`, ingests all shards in parallel, and returns the
-    /// serving cluster plus the build timing report.
+    /// serving cluster plus the build timing report. Access accounting stays
+    /// detached from any telemetry registry; use
+    /// [`build_registered`](Self::build_registered) to publish it.
     ///
     /// `max_hop` bounds the neighbor-cache depth `h` (the paper uses 2).
     pub fn build(
@@ -75,6 +78,30 @@ impl Cluster {
         strategy: &CacheStrategy,
         max_hop: usize,
         cost: CostModel,
+    ) -> (Self, ClusterBuildReport) {
+        Self::build_registered(
+            graph,
+            partitioner,
+            num_workers,
+            strategy,
+            max_hop,
+            cost,
+            &Registry::disabled(),
+        )
+    }
+
+    /// Like [`build`](Self::build), but the cluster's access stats publish
+    /// into `registry` as `storage.access{tier=...}` (plus virtual time and
+    /// neighbor-cache hit/miss/evict events).
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_registered(
+        graph: Arc<AttributedHeterogeneousGraph>,
+        partitioner: &dyn Partitioner,
+        num_workers: usize,
+        strategy: &CacheStrategy,
+        max_hop: usize,
+        cost: CostModel,
+        registry: &Registry,
     ) -> (Self, ClusterBuildReport) {
         let p = num_workers.max(1);
 
@@ -108,7 +135,8 @@ impl Cluster {
             shard_times,
             num_workers: p,
         };
-        (Cluster { graph, partition, servers, stats: Arc::new(AccessStats::new()), cost }, report)
+        let stats = Arc::new(AccessStats::registered(registry, "storage"));
+        (Cluster { graph, partition, servers, stats, cost }, report)
     }
 
     /// The shared graph.
@@ -280,6 +308,31 @@ mod tests {
             assert_eq!(kind, AccessKind::Local);
         }
         assert_eq!(c.stats().snapshot().remote, 0);
+    }
+
+    #[test]
+    fn build_registered_publishes_access_series() {
+        let g = Arc::new(TaobaoConfig::tiny().generate().unwrap());
+        let registry = Registry::new();
+        let (c, _) = Cluster::build_registered(
+            g,
+            &EdgeCutHash,
+            2,
+            &CacheStrategy::ImportanceBudget { k: 2, fraction: 1.0 },
+            2,
+            CostModel::default(),
+            &registry,
+        );
+        let v = c.graph().vertices().next().unwrap();
+        let home = c.route(v);
+        c.neighbors_from(home, v, 1);
+        c.neighbors_from(WorkerId(1 - home.0), v, 1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("storage.access", &[("tier", "local")]), 1);
+        // Fully-budgeted cache serves the non-local read.
+        assert_eq!(snap.counter("storage.access", &[("tier", "cached_remote")]), 1);
+        assert_eq!(snap.counter("storage.neighbor_cache", &[("event", "hit")]), 1);
+        assert!(snap.counter("storage.access.virtual_ns", &[]) > 0);
     }
 
     #[test]

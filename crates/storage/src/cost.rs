@@ -1,12 +1,20 @@
-//! Simulated access-cost model and atomic access statistics.
+//! Simulated access-cost model and tier accounting.
 //!
 //! Real AliGraph pays network round-trips for remote neighbor reads; here a
 //! [`CostModel`] assigns a virtual latency to each access class and
 //! [`AccessStats`] accumulates counts so experiments can report both raw
 //! counts and modelled time. The default remote/local ratio (~100×) is in
 //! the range of datacenter RPC vs. DRAM access.
+//!
+//! [`AccessKind`] is the **single source of truth for comm tiers** across
+//! the workspace: the runtime's parameter-server metering and the serving
+//! layer's embedding accounting both classify traffic with this enum and
+//! meter it through [`TierMeter`] / [`AccessStats`], so every layer's
+//! numbers land in one telemetry registry under `{layer}.access{tier=...}`
+//! style series instead of three private counter structs.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use aligraph_telemetry::{Counter, Registry};
+use std::sync::Arc;
 
 /// Classification of one storage access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +25,31 @@ pub enum AccessKind {
     CachedRemote,
     /// A remote graph server had to be called.
     Remote,
+}
+
+impl AccessKind {
+    /// Every tier, in metering order.
+    pub const ALL: [AccessKind; 3] =
+        [AccessKind::Local, AccessKind::CachedRemote, AccessKind::Remote];
+
+    /// Dense index (array slot) of this tier.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            AccessKind::Local => 0,
+            AccessKind::CachedRemote => 1,
+            AccessKind::Remote => 2,
+        }
+    }
+
+    /// Telemetry label value of this tier (`tier=<label>`).
+    pub fn as_label(self) -> &'static str {
+        match self {
+            AccessKind::Local => "local",
+            AccessKind::CachedRemote => "cached_remote",
+            AccessKind::Remote => "remote",
+        }
+    }
 }
 
 /// Virtual latencies per access class, in nanoseconds.
@@ -52,60 +85,109 @@ impl CostModel {
     }
 }
 
+fn tier_counters(registry: &Registry, name: &str) -> [Arc<Counter>; 3] {
+    AccessKind::ALL.map(|k| registry.counter(name, &[("tier", k.as_label())]))
+}
+
 /// Lock-free access counters shared across worker threads.
-#[derive(Debug, Default)]
+///
+/// Backed by telemetry [`Counter`]s. [`AccessStats::new`] keeps them
+/// detached (not visible in any registry — the pre-telemetry behaviour);
+/// [`AccessStats::registered`] additionally publishes them under a layer
+/// prefix so one [`Registry`] snapshot carries every layer's traffic.
+#[derive(Debug)]
 pub struct AccessStats {
-    local: AtomicU64,
-    cached: AtomicU64,
-    remote: AtomicU64,
-    replacements: AtomicU64,
-    virtual_ns: AtomicU64,
+    tiers: [Arc<Counter>; 3],
+    replacements: Arc<Counter>,
+    virtual_ns: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+}
+
+impl Default for AccessStats {
+    fn default() -> Self {
+        Self::registered(&Registry::disabled(), "storage")
+    }
 }
 
 impl AccessStats {
-    /// Fresh zeroed stats.
+    /// Fresh zeroed stats, detached from any registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Stats whose counters are published in `registry` under `layer`:
+    /// `{layer}.access{tier=...}`, `{layer}.access.replacements`,
+    /// `{layer}.access.virtual_ns`, and the neighbor-cache events
+    /// `{layer}.neighbor_cache{event=hit|miss|evict}`.
+    pub fn registered(registry: &Registry, layer: &str) -> Self {
+        let access = format!("{layer}.access");
+        let cache = format!("{layer}.neighbor_cache");
+        AccessStats {
+            tiers: tier_counters(registry, &access),
+            replacements: registry.counter(&format!("{access}.replacements"), &[]),
+            virtual_ns: registry.counter(&format!("{access}.virtual_ns"), &[]),
+            cache_hits: registry.counter(&cache, &[("event", "hit")]),
+            cache_misses: registry.counter(&cache, &[("event", "miss")]),
+            cache_evictions: registry.counter(&cache, &[("event", "evict")]),
+        }
     }
 
     /// Records one access under `model`.
     #[inline]
     pub fn record(&self, kind: AccessKind, model: &CostModel) {
-        let counter = match kind {
-            AccessKind::Local => &self.local,
-            AccessKind::CachedRemote => &self.cached,
-            AccessKind::Remote => &self.remote,
-        };
-        counter.fetch_add(1, Ordering::Relaxed);
-        self.virtual_ns.fetch_add(model.cost_of(kind), Ordering::Relaxed);
+        self.tiers[kind.index()].inc();
+        self.virtual_ns.add(model.cost_of(kind));
     }
 
     /// Records a cache replacement (LRU churn).
     #[inline]
     pub fn record_replacement(&self, model: &CostModel) {
-        self.replacements.fetch_add(1, Ordering::Relaxed);
-        self.virtual_ns.fetch_add(model.cache_replace_ns, Ordering::Relaxed);
+        self.replacements.inc();
+        self.virtual_ns.add(model.cache_replace_ns);
+    }
+
+    /// Records a neighbor-cache hit (a remote vertex served locally).
+    #[inline]
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.inc();
+    }
+
+    /// Records a neighbor-cache miss (remote call required).
+    #[inline]
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.inc();
+    }
+
+    /// Records a neighbor-cache eviction (dynamic strategies only).
+    #[inline]
+    pub fn record_cache_eviction(&self) {
+        self.cache_evictions.inc();
     }
 
     /// Consistent-enough snapshot for reporting (relaxed loads; exactness is
     /// irrelevant once worker threads have been joined).
     pub fn snapshot(&self) -> AccessStatsSnapshot {
         AccessStatsSnapshot {
-            local: self.local.load(Ordering::Relaxed),
-            cached_remote: self.cached.load(Ordering::Relaxed),
-            remote: self.remote.load(Ordering::Relaxed),
-            replacements: self.replacements.load(Ordering::Relaxed),
-            virtual_ns: self.virtual_ns.load(Ordering::Relaxed),
+            local: self.tiers[0].get(),
+            cached_remote: self.tiers[1].get(),
+            remote: self.tiers[2].get(),
+            replacements: self.replacements.get(),
+            virtual_ns: self.virtual_ns.get(),
         }
     }
 
     /// Resets all counters.
     pub fn reset(&self) {
-        self.local.store(0, Ordering::Relaxed);
-        self.cached.store(0, Ordering::Relaxed);
-        self.remote.store(0, Ordering::Relaxed);
-        self.replacements.store(0, Ordering::Relaxed);
-        self.virtual_ns.store(0, Ordering::Relaxed);
+        for t in &self.tiers {
+            t.reset();
+        }
+        self.replacements.reset();
+        self.virtual_ns.reset();
+        self.cache_hits.reset();
+        self.cache_misses.reset();
+        self.cache_evictions.reset();
     }
 }
 
@@ -137,6 +219,99 @@ impl AccessStatsSnapshot {
             return 0.0;
         }
         self.cached_remote as f64 / nonlocal as f64
+    }
+}
+
+/// Message/byte metering split by [`AccessKind`] tier — the shared shape of
+/// the runtime parameter server's comm accounting (and any other component
+/// that moves payload bytes between workers). One metered message records
+/// its tier's op count, payload bytes, and the modelled latency.
+#[derive(Debug)]
+pub struct TierMeter {
+    ops: [Arc<Counter>; 3],
+    bytes: [Arc<Counter>; 3],
+    virtual_ns: Arc<Counter>,
+}
+
+impl Default for TierMeter {
+    fn default() -> Self {
+        Self::registered(&Registry::disabled(), "tier_meter")
+    }
+}
+
+impl TierMeter {
+    /// Fresh zeroed meter, detached from any registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A meter publishing `{name}.ops{tier=...}`, `{name}.bytes{tier=...}`,
+    /// and `{name}.virtual_ns` in `registry`.
+    pub fn registered(registry: &Registry, name: &str) -> Self {
+        TierMeter {
+            ops: tier_counters(registry, &format!("{name}.ops")),
+            bytes: tier_counters(registry, &format!("{name}.bytes")),
+            virtual_ns: registry.counter(&format!("{name}.virtual_ns"), &[]),
+        }
+    }
+
+    /// Records one message of `bytes` payload at `kind`'s tier, returning
+    /// the modelled latency in nanoseconds.
+    #[inline]
+    pub fn record(&self, kind: AccessKind, bytes: u64, cost: &CostModel) -> u64 {
+        let t = kind.index();
+        self.ops[t].inc();
+        self.bytes[t].add(bytes);
+        let ns = cost.cost_of(kind);
+        self.virtual_ns.add(ns);
+        ns
+    }
+
+    /// Point-in-time copy for reporting.
+    pub fn snapshot(&self) -> TierMeterSnapshot {
+        TierMeterSnapshot {
+            local_ops: self.ops[0].get(),
+            cached_ops: self.ops[1].get(),
+            remote_ops: self.ops[2].get(),
+            local_bytes: self.bytes[0].get(),
+            cached_bytes: self.bytes[1].get(),
+            remote_bytes: self.bytes[2].get(),
+            virtual_ns: self.virtual_ns.get(),
+        }
+    }
+
+    /// Resets all counters.
+    pub fn reset(&self) {
+        for c in self.ops.iter().chain(self.bytes.iter()) {
+            c.reset();
+        }
+        self.virtual_ns.reset();
+    }
+}
+
+/// A copy of [`TierMeter`] at one instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierMeterSnapshot {
+    /// Messages at the local tier (own shard).
+    pub local_ops: u64,
+    /// Messages served from a replica/cache tier.
+    pub cached_ops: u64,
+    /// Messages crossing shard boundaries.
+    pub remote_ops: u64,
+    /// Bytes moved in local operations.
+    pub local_bytes: u64,
+    /// Bytes served from replicas/caches.
+    pub cached_bytes: u64,
+    /// Bytes crossing shard boundaries.
+    pub remote_bytes: u64,
+    /// Total modelled time under the storage cost model.
+    pub virtual_ns: u64,
+}
+
+impl TierMeterSnapshot {
+    /// All metered messages.
+    pub fn total_ops(&self) -> u64 {
+        self.local_ops + self.cached_ops + self.remote_ops
     }
 }
 
@@ -205,5 +380,52 @@ mod tests {
         }
         assert_eq!(s.snapshot().local, 4000);
         let _ = m;
+    }
+
+    #[test]
+    fn registered_stats_publish_series() {
+        let registry = Registry::new();
+        let m = CostModel::default();
+        let s = AccessStats::registered(&registry, "storage");
+        s.record(AccessKind::Remote, &m);
+        s.record_cache_hit();
+        s.record_cache_miss();
+        s.record_cache_eviction();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("storage.access", &[("tier", "remote")]), 1);
+        assert_eq!(snap.counter("storage.access.virtual_ns", &[]), m.remote_ns);
+        assert_eq!(snap.counter("storage.neighbor_cache", &[("event", "hit")]), 1);
+        assert_eq!(snap.counter("storage.neighbor_cache", &[("event", "miss")]), 1);
+        assert_eq!(snap.counter("storage.neighbor_cache", &[("event", "evict")]), 1);
+        // The snapshot and the registry agree.
+        assert_eq!(s.snapshot().remote, 1);
+    }
+
+    #[test]
+    fn tier_meter_records_ops_bytes_and_cost() {
+        let registry = Registry::new();
+        let m = CostModel::default();
+        let t = TierMeter::registered(&registry, "runtime.ps");
+        let ns = t.record(AccessKind::Remote, 64, &m);
+        assert_eq!(ns, m.remote_ns);
+        t.record(AccessKind::Local, 32, &m);
+        let snap = t.snapshot();
+        assert_eq!((snap.local_ops, snap.cached_ops, snap.remote_ops), (1, 0, 1));
+        assert_eq!((snap.local_bytes, snap.remote_bytes), (32, 64));
+        assert_eq!(snap.virtual_ns, m.remote_ns + m.local_ns);
+        assert_eq!(snap.total_ops(), 2);
+        let rs = registry.snapshot();
+        assert_eq!(rs.counter("runtime.ps.bytes", &[("tier", "remote")]), 64);
+        assert_eq!(rs.counter("runtime.ps.ops", &[("tier", "local")]), 1);
+        t.reset();
+        assert_eq!(t.snapshot(), TierMeterSnapshot::default());
+    }
+
+    #[test]
+    fn access_kind_labels_and_indices() {
+        for (i, k) in AccessKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        assert_eq!(AccessKind::CachedRemote.as_label(), "cached_remote");
     }
 }

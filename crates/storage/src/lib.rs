@@ -39,7 +39,9 @@ pub mod service;
 
 pub use bucket::{LockFreeWeightService, MutexWeightService, WeightService};
 pub use cluster::{Cluster, ClusterBuildReport};
-pub use cost::{AccessKind, AccessStats, AccessStatsSnapshot, CostModel};
+pub use cost::{
+    AccessKind, AccessStats, AccessStatsSnapshot, CostModel, TierMeter, TierMeterSnapshot,
+};
 pub use executor::{BucketExecutor, ExecutorStopped};
 pub use lru::LruCache;
 pub use neighbor_cache::{CacheStrategy, NeighborCache};

@@ -149,6 +149,7 @@ impl NeighborCache {
         model: &CostModel,
     ) -> CacheOutcome {
         if self.cached_depth[v.index()] as usize >= hop {
+            stats.record_cache_hit();
             return CacheOutcome::Hit;
         }
         if let Some(lru) = &self.lru {
@@ -158,17 +159,21 @@ impl NeighborCache {
             // pre-materializes 1..k-hop neighborhoods (Algorithm 2), it can
             // never serve a deeper expansion locally.
             if hop <= 1 && lru.get(&v.0).is_some() {
+                stats.record_cache_hit();
                 return CacheOutcome::Hit;
             }
             // Fetch remotely and insert — LRU churn is the cost the paper
             // calls out ("frequently replaces cached vertices").
+            stats.record_cache_miss();
             let evicted = lru.put(v.0, ());
             if evicted {
+                stats.record_cache_eviction();
                 stats.record_replacement(model);
                 return CacheOutcome::MissEvicted;
             }
             return CacheOutcome::Miss;
         }
+        stats.record_cache_miss();
         CacheOutcome::Miss
     }
 

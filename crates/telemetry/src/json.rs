@@ -1,0 +1,150 @@
+//! A minimal JSON value with a stable serializer.
+//!
+//! The workspace deliberately carries no `serde_json`; telemetry's export
+//! needs are tiny (numbers, strings, nested objects), so a hand-rolled enum
+//! with a deterministic `Display` keeps the crate dependency-free. Object
+//! fields serialize in insertion order, so callers control key ordering and
+//! the output is byte-stable run to run.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An unsigned integer (covers counters, counts, nanoseconds).
+    UInt(u64),
+    /// A signed integer (gauges).
+    Int(i64),
+    /// A finite float; NaN/infinite values serialize as `null`.
+    Float(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; fields keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience: an object from key/value pairs.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Convenience: a string value.
+    pub fn str(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+
+    /// Looks up a field of an object (None for non-objects/missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+fn escape(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::UInt(n) => write!(f, "{n}"),
+            Json::Int(n) => write!(f, "{n}"),
+            Json::Float(x) if x.is_finite() => {
+                if *x == x.trunc() && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Json::Float(_) => f.write_str("null"),
+            Json::Str(s) => escape(s, f),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    escape(k, f)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_nesting() {
+        let j = Json::obj(vec![
+            ("name", Json::str("storage.access")),
+            ("count", Json::UInt(42)),
+            ("level", Json::Int(-3)),
+            ("rate", Json::Float(0.5)),
+            ("whole", Json::Float(2.0)),
+            ("flag", Json::Bool(true)),
+            ("none", Json::Null),
+            ("tags", Json::Arr(vec![Json::str("a"), Json::str("b")])),
+        ]);
+        assert_eq!(
+            j.to_string(),
+            r#"{"name":"storage.access","count":42,"level":-3,"rate":0.5,"whole":2.0,"flag":true,"none":null,"tags":["a","b"]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(Json::str("a\"b\\c\nd").to_string(), r#""a\"b\\c\nd""#);
+        assert_eq!(Json::Str("\u{1}".to_string()).to_string(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn nan_is_null() {
+        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn get_walks_objects() {
+        let j = Json::obj(vec![("a", Json::UInt(1))]);
+        assert_eq!(j.get("a"), Some(&Json::UInt(1)));
+        assert_eq!(j.get("b"), None);
+        assert_eq!(Json::Null.get("a"), None);
+    }
+}

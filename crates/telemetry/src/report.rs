@@ -1,0 +1,24 @@
+//! The one report trait every surface implements.
+//!
+//! `ServingReport`, `DistReport`, the bench summaries, and raw
+//! [`RegistrySnapshot`](crate::RegistrySnapshot)s all speak this interface,
+//! so the CLI can render any of them as a human table or stable JSON
+//! without knowing which layer produced it.
+
+use crate::json::Json;
+
+/// A renderable, serializable, mergeable report.
+pub trait Report {
+    /// Human-readable rendering (tables, one fact per line).
+    fn render_text(&self) -> String;
+
+    /// Stable JSON rendering. Field order is fixed by the implementation,
+    /// so output is byte-identical for identical inputs.
+    fn to_json(&self) -> Json;
+
+    /// Folds another report of the same shape into this one (counters add,
+    /// histograms pool, gauges take the other side's latest level).
+    fn merge(&mut self, other: &Self)
+    where
+        Self: Sized;
+}

@@ -1,0 +1,109 @@
+//! Lightweight span timing: a drop guard measures wall-clock nanoseconds
+//! into a histogram, and a per-thread scope caches name→handle lookups so
+//! shard-pinned workers never touch shared state on the hot path.
+
+use crate::histogram::Histogram;
+use crate::registry::Registry;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// An in-flight timed section. Created by [`Span::enter`]; records elapsed
+/// nanoseconds into its histogram when dropped (ends of early returns and
+/// `?` exits included — that's the point of a drop guard).
+pub struct Span {
+    hist: Arc<Histogram>,
+    start: Instant,
+}
+
+impl Span {
+    /// Starts timing into `hist`.
+    #[inline]
+    pub fn enter(hist: &Arc<Histogram>) -> Span {
+        Span { hist: hist.clone(), start: Instant::now() }
+    }
+
+    /// Elapsed time so far (mostly for tests).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Drop for Span {
+    #[inline]
+    fn drop(&mut self) {
+        self.hist.record_duration(self.start.elapsed());
+    }
+}
+
+/// A per-thread cache of span histograms, resolved once per (thread, name).
+///
+/// Worker threads construct one `SpanScope` from the run's registry at
+/// startup; `enter("sampling.neighborhood")` then costs a thread-local
+/// `HashMap` hit plus an `Instant::now()` — no registry lock, no sharing
+/// with sibling workers beyond the striped histogram itself.
+pub struct SpanScope {
+    registry: Arc<Registry>,
+    cache: RefCell<HashMap<&'static str, Arc<Histogram>>>,
+}
+
+impl SpanScope {
+    /// A scope over `registry`. One per thread; `SpanScope` is deliberately
+    /// `!Sync` (interior `RefCell`) so it cannot be shared.
+    pub fn new(registry: Arc<Registry>) -> SpanScope {
+        SpanScope { registry, cache: RefCell::new(HashMap::new()) }
+    }
+
+    /// The histogram behind `name` (cached after the first call).
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        self.cache
+            .borrow_mut()
+            .entry(name)
+            .or_insert_with(|| self.registry.histogram(name, &[]))
+            .clone()
+    }
+
+    /// Starts a span recording elapsed ns into `name`'s histogram.
+    #[inline]
+    pub fn enter(&self, name: &'static str) -> Span {
+        Span::enter(&self.histogram(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let h = Arc::new(Histogram::new());
+        {
+            let _s = Span::enter(&h);
+            std::thread::yield_now();
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+    }
+
+    #[test]
+    fn scope_caches_and_registers() {
+        let r = Arc::new(Registry::new());
+        let scope = SpanScope::new(r.clone());
+        drop(scope.enter("t.span"));
+        drop(scope.enter("t.span"));
+        assert_eq!(r.snapshot().histogram("t.span", &[]).count, 2);
+        // Cached handle is the registered one.
+        assert!(Arc::ptr_eq(&scope.histogram("t.span"), &r.histogram("t.span", &[])));
+    }
+
+    #[test]
+    fn scope_on_disabled_registry_is_inert() {
+        let r = Arc::new(Registry::disabled());
+        let scope = SpanScope::new(r.clone());
+        drop(scope.enter("x"));
+        // The cached handle works (count advances) but nothing registers.
+        assert_eq!(scope.histogram("x").snapshot().count, 1);
+        assert!(r.snapshot().series.is_empty());
+    }
+}
