@@ -50,6 +50,7 @@ impl SkipGramParams {
 
 /// Trained baseline embeddings (input + output tables summed, the standard
 /// word2vec readout).
+#[derive(Debug)]
 pub struct BaselineEmbeddings {
     /// `n x d` embedding matrix.
     pub matrix: Matrix,
@@ -125,6 +126,7 @@ pub fn train_skipgram_into(
 /// `[z_u ⊙ z_v ; z_v]` (affinity plus destination identity), fitted
 /// one-vs-rest on training edges. Used by the Table 11 experiment to give
 /// every competitor the same multi-class link-prediction head.
+#[derive(Debug)]
 pub struct EdgeTypeHead {
     /// Per-class weights over the pair features.
     pub weights: Vec<Vec<f32>>,

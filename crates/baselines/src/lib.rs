@@ -22,6 +22,9 @@
 //! cannot process attributes and/or multiple types of vertices, we simply
 //! ignore this information".
 
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
 pub mod anrl;
 pub mod common;
 pub mod deepwalk;

@@ -50,6 +50,8 @@ pub fn train_pmne(
                     Some(c) => c.concat(&layer),
                 });
             }
+            // invariant: the builder loop above adds every edge type's view,
+            // and graphs are non-empty by construction
             combined.expect("graphs have at least one edge type")
         }
         PmneVariant::C => {

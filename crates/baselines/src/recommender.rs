@@ -70,6 +70,7 @@ impl RecommenderConfig {
 }
 
 /// A trained recommender.
+#[derive(Debug)]
 pub struct TrainedRecommender {
     encoder: DenseLayer,
     decoder: DenseLayer,

@@ -10,6 +10,9 @@
 //!   sizes (default 1.0; the defaults are already ~1000× below production);
 //! * `ALIGRAPH_FAST=1` — shrink the algorithm experiments for smoke runs.
 
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
 use aligraph_graph::generate::{amazon_sim_scaled, DynamicConfig, TaobaoConfig};
 use aligraph_graph::{AttributedHeterogeneousGraph, DynamicGraph};
 

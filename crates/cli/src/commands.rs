@@ -267,6 +267,9 @@ pub fn serve_bench(
             let mut prev: Vec<EdgeEvent> = Vec::new();
             let mut applied = 0u64;
             let mut invalidated = 0u64;
+            // ordering: a lone shutdown flag with no payload published
+            // through it; the writer only needs to observe the store
+            // eventually, so Relaxed suffices.
             while !done.load(Ordering::Relaxed) {
                 let added: Vec<EdgeEvent> = (0..8)
                     .map(|_| EdgeEvent {
@@ -330,6 +333,8 @@ pub fn serve_bench(
             retries += r;
             failures += f;
         }
+        // ordering: matching Relaxed store for the writer's shutdown
+        // poll; the join below is the real synchronization point.
         done.store(true, Ordering::Relaxed);
         let (applied, invalidated) = writer.join().expect("delta writer");
         (ok, retries, failures, applied, invalidated)

@@ -1,5 +1,7 @@
 //! The `aligraph` binary: parse, dispatch, print, exit.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match aligraph_cli::run(&argv) {

@@ -19,6 +19,12 @@ pub struct Candidate<'a> {
     pub train: Box<dyn Fn(&AttributedHeterogeneousGraph) -> Box<dyn EmbeddingModel> + 'a>,
 }
 
+impl std::fmt::Debug for Candidate<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Candidate").field("name", &self.name).finish()
+    }
+}
+
 impl<'a> Candidate<'a> {
     /// Wraps a training closure.
     pub fn new<M, F>(name: &'a str, f: F) -> Self

@@ -122,6 +122,16 @@ pub struct GnnEncoder {
     dim_in: usize,
 }
 
+impl std::fmt::Debug for GnnEncoder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GnnEncoder")
+            .field("fanouts", &self.fanouts)
+            .field("dims", &self.dims)
+            .field("dim_in", &self.dim_in)
+            .finish()
+    }
+}
+
 impl GnnEncoder {
     /// A GraphSAGE-shaped encoder: mean aggregation + concat combine with
     /// `dims[k]` output units at hop `k+1`.
@@ -169,6 +179,7 @@ impl GnnEncoder {
 
     /// Output embedding dimension.
     pub fn out_dim(&self) -> usize {
+        // invariant: SageConfig validates dims is non-empty at construction
         *self.dims.last().expect("at least one hop")
     }
 

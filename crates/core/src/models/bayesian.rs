@@ -51,6 +51,7 @@ impl BayesianConfig {
 }
 
 /// A Bayesian-corrected embedding model.
+#[derive(Debug)]
 pub struct TrainedBayesian {
     /// Prior embeddings `h_v` (`n x d`).
     pub prior: Matrix,

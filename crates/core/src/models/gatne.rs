@@ -76,6 +76,7 @@ impl GatneConfig {
 }
 
 /// A trained GATNE model: per-edge-type embeddings plus their parts.
+#[derive(Debug)]
 pub struct TrainedGatne {
     config: GatneConfig,
     base: EmbeddingTable,

@@ -78,6 +78,7 @@ fn gcn_encoder(config: &GcnConfig) -> GnnEncoder {
 }
 
 /// A trained GCN-family model.
+#[derive(Debug)]
 pub struct TrainedGcn {
     /// Final vertex embeddings.
     pub embeddings: MatrixEmbeddings,
@@ -112,6 +113,8 @@ impl FastGcnSampler {
             .vertices()
             .map(|v| (graph.in_degree(v) + graph.out_degree(v)) as f32 + 1e-3)
             .collect();
+        // invariant: weights has one entry per vertex and every entry is >=
+        // 1e-3, so the table is non-empty with positive mass
         let table = aligraph_sampling::AliasTable::new(&weights).expect("non-empty graph");
         let mut candidate_set = HashSet::with_capacity(size);
         // Bounded attempts: the set saturates on small graphs.

@@ -55,6 +55,7 @@ impl GraphSageConfig {
 }
 
 /// A trained GraphSAGE model: embeddings plus the loss trace.
+#[derive(Debug)]
 pub struct TrainedGraphSage {
     /// Final (inference-pass) vertex embeddings.
     pub embeddings: MatrixEmbeddings,

@@ -19,11 +19,11 @@
 use crate::trainer::EmbeddingModel;
 use aligraph_graph::{AttributedHeterogeneousGraph, VertexId};
 use aligraph_sampling::{NegativeSampler, UniformNegative};
+use aligraph_telemetry::Stopwatch;
 use aligraph_tensor::loss::logistic_grad;
 use aligraph_tensor::EmbeddingTable;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::time::Instant;
 
 /// HEP/AHEP hyper-parameters.
 #[derive(Debug, Clone)]
@@ -81,6 +81,7 @@ pub struct HepCost {
 }
 
 /// A trained HEP/AHEP model.
+#[derive(Debug)]
 pub struct TrainedHep {
     /// Vertex embeddings.
     pub table: EmbeddingTable,
@@ -118,7 +119,7 @@ pub fn train_hep(graph: &AttributedHeterogeneousGraph, config: &HepConfig) -> Tr
         let mut epoch_loss = 0.0f64;
         let mut terms = 0usize;
         for _ in 0..config.batches_per_epoch {
-            let start = Instant::now();
+            let start = Stopwatch::start();
             let mut bytes = 0usize;
             for _ in 0..config.batch_size {
                 let v = VertexId(rng.gen_range(0..n as u32));

@@ -150,6 +150,7 @@ impl LevelGraph {
 
 /// A trained Hierarchical GNN: per-level cluster embeddings projected back
 /// to the base vertices.
+#[derive(Debug)]
 pub struct TrainedHierarchical {
     /// Multi-scale vertex embeddings, `n x (dim * levels)`.
     pub embeddings: Matrix,

@@ -61,6 +61,7 @@ impl MixtureConfig {
 }
 
 /// A trained Mixture GNN.
+#[derive(Debug)]
 pub struct TrainedMixture {
     /// One input table per sense.
     pub sense_tables: Vec<EmbeddingTable>,
@@ -137,6 +138,8 @@ pub fn train_mixture(
                                 sense_tables[b].dot_with(center.index(), &context, ctx.index());
                             sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
                         })
+                        // invariant: num_senses >= 1 is validated by
+                        // GatneConfig, so max_by over senses is non-empty
                         .expect("senses >= 1");
                     counts[center.index()][best] += 1.0;
                     // M-step: one SGNS update on the chosen sense.

@@ -27,6 +27,7 @@ pub trait EmbeddingModel {
 }
 
 /// A dense embedding table as a scoring model.
+#[derive(Debug)]
 pub struct MatrixEmbeddings {
     /// `n x d` embeddings, row per vertex.
     pub matrix: Matrix,

@@ -19,6 +19,7 @@ pub struct HeldOutEdge {
 
 /// A link-prediction split: a training graph with the held-out edges
 /// removed, plus balanced positive/negative test sets per edge type.
+#[derive(Debug)]
 pub struct LinkSplit {
     /// The training graph (test positives removed).
     pub train: AttributedHeterogeneousGraph,
@@ -86,6 +87,8 @@ pub fn link_prediction_split(
                         .cloned()
                         .unwrap_or_else(AttrVector::empty),
                 )
+                // invariant: edges are copied from an existing graph, so
+                // endpoints and types are in range
                 .expect("edges of an existing graph are valid");
             }
         }

@@ -451,6 +451,8 @@ fn build_snapshot(
     let mut b = GraphBuilder::directed().with_capacity(n, edges.len());
     b.add_vertices(VertexType(0), n);
     for &(src, dst, etype, w) in edges {
+        // invariant: the generator emitted src/dst below n and etype below the
+        // declared count
         b.add_edge(src, dst, etype, w).expect("generator edges are always in range");
     }
     b.build()
@@ -474,6 +476,8 @@ impl ZipfSampler {
     }
 
     fn sample(&self, rng: &mut StdRng) -> usize {
+        // invariant: cumulative is built with one entry per vertex and n > 0
+        // is asserted by the generator
         let total = *self.cumulative.last().expect("n > 0");
         let x = rng.gen::<f64>() * total;
         self.cumulative.partition_point(|&c| c < x).min(self.cumulative.len() - 1)
@@ -495,6 +499,8 @@ fn pick_weighted(rng: &mut StdRng, table: &[(EdgeType, f64)]) -> EdgeType {
         }
         x -= w;
     }
+    // invariant: callers pass a non-empty alias table built from at least one
+    // weight
     table.last().expect("non-empty table").0
 }
 

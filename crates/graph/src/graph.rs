@@ -148,6 +148,8 @@ impl AttributedHeterogeneousGraph {
     pub fn vertex_attrs(&self, v: VertexId) -> &AttrVector {
         self.vertex_attr_index
             .get(self.vattrs[v.index()])
+            // invariant: vattrs entries are produced by interning during
+            // build, so the id is always present
             .expect("vertex attr ids are always interned at build time")
     }
 

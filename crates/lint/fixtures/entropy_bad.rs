@@ -1,0 +1,7 @@
+// Fixture: unseeded RNG construction (three flagging lines).
+pub fn bad() {
+    let mut a = rand::thread_rng();
+    let b = SmallRng::from_entropy();
+    let c = OsRng;
+    let _ = (a.next_u64(), b, c);
+}

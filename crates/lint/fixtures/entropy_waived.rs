@@ -1,0 +1,7 @@
+// Fixture: seeded construction is clean; an entropy read can be waived.
+pub fn waived(seed: u64) {
+    let a = StdRng::seed_from_u64(seed);
+    // aligraph::allow(no-entropy): fixture — key generation, not a seeded path
+    let b = OsRng;
+    let _ = (a, b);
+}

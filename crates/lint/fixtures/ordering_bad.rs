@@ -1,0 +1,9 @@
+// Fixture: an unjustified atomic ordering flags; std::cmp::Ordering never
+// does (cmp_hit marker used by the self-test).
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bad(c: &AtomicU64, xs: &mut [f32]) {
+    c.fetch_add(1, Ordering::Relaxed);
+    // cmp_hit: comparator orderings are a different enum entirely.
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}

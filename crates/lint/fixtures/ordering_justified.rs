@@ -1,0 +1,10 @@
+// Fixture: justified sites are clean — same line or within the window.
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub fn justified(c: &AtomicU64, stop: &AtomicBool) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed); // ordering: stats counter, no ordering needed
+    // ordering: Release pairs with the Acquire load in the drain loop so
+    // queued work written before the store is visible after the load.
+    stop.store(true, Ordering::Release);
+    c.load(Ordering::Relaxed) // ordering: read after writers joined
+}

@@ -1,0 +1,10 @@
+// Fixture: branching on metric reads (both branches must flag).
+pub fn bad(registry: &Registry, hist: &Histogram) -> bool {
+    if registry.snapshot().len() > 10 {
+        return true;
+    }
+    while hist.percentile(0.99) > 1_000 {
+        back_off();
+    }
+    false
+}

@@ -1,0 +1,9 @@
+// Fixture: recording and snapshotting without branching is clean, and a
+// graph snapshot (non-metric receiver) may steer control flow.
+pub fn ok(registry: &Registry, dynamic: &DynamicGraph, c: &Counter) -> Snapshot {
+    c.inc();
+    if let Some(g) = dynamic.snapshot(3) {
+        drop(g);
+    }
+    registry.snapshot()
+}

@@ -1,0 +1,5 @@
+// Fixture: an unsafe block flags, and so does the missing crate-root
+// attribute (this fixture plays a `lib.rs`), for two violations total.
+pub fn bad(p: *const u32) -> u32 {
+    unsafe { *p }
+}

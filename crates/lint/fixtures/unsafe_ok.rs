@@ -1,0 +1,6 @@
+// Fixture: a clean crate root.
+#![forbid(unsafe_code)]
+
+pub fn ok(x: u32) -> u32 {
+    x + 1
+}

@@ -1,0 +1,9 @@
+// Fixture: the three panic paths in library code (three flagging lines).
+pub fn bad(x: Option<u32>, y: Result<u32, ()>) -> u32 {
+    let a = x.unwrap();
+    let b = y.expect("no invariant comment here");
+    if a + b > 100 {
+        panic!("overflow");
+    }
+    a + b
+}

@@ -1,0 +1,9 @@
+// Fixture: documented expects and waived panics are clean.
+pub fn waived(x: Option<u32>, y: Result<u32, ()>) -> u32 {
+    // invariant: caller checked is_some() above — fixture
+    let a = x.expect("checked");
+    let b = y.unwrap_or(0);
+    // aligraph::allow(no-unwrap-in-lib): fixture — unreachable by construction
+    let c = x.unwrap();
+    a + b + c
+}

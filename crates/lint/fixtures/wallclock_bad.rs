@@ -1,0 +1,8 @@
+// Fixture: wall-clock reads in library code (each line below must flag).
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+pub fn bad() -> u64 {
+    let t = Instant::now();
+    let s = SystemTime::now().duration_since(UNIX_EPOCH);
+    t.elapsed().as_nanos() as u64 + s.map(|d| d.as_secs()).unwrap_or(0)
+}

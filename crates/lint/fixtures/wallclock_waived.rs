@@ -1,0 +1,9 @@
+// Fixture: the same reads carrying inline waivers (none may flag).
+use std::time::Duration;
+
+pub fn waived() -> Duration {
+    // aligraph::allow(no-wallclock-in-seeded-paths): fixture — deadline code
+    let t = Instant::now();
+    let _ = SystemTime::now(); // aligraph::allow(no-wallclock-in-seeded-paths): fixture
+    t.elapsed()
+}

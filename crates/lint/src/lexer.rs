@@ -1,0 +1,350 @@
+//! A small hand-rolled Rust lexer — enough surface syntax for the lint
+//! rules, with none of the weight of a real parser (no `syn`, consistent
+//! with the offline `vendor/` policy).
+//!
+//! The scanner understands exactly the constructs that would otherwise
+//! cause false positives in a text-level grep:
+//!
+//! * line comments (`//`, incl. doc `///` and `//!`) and nested block
+//!   comments (`/* /* */ */`) — kept as [`TokenKind::Comment`] tokens
+//!   because waivers and `// ordering:` justifications live in them;
+//! * string literals (`"..."` with escapes), raw strings (`r"…"`,
+//!   `r#"…"#`, any hash depth), byte and byte-raw strings;
+//! * char literals (`'x'`, `'\n'`) disambiguated from lifetimes (`'a`);
+//! * identifiers/keywords, integer-ish number runs, and single-char
+//!   punctuation (with `::` fused, since rules match paths).
+//!
+//! Every token carries its 1-based line so diagnostics are clickable.
+
+/// What a token is. Rules mostly pattern-match on identifier text and the
+/// fused `::` separator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`Ordering`, `unwrap`, `if`, ...).
+    Ident,
+    /// A `//...` or `/*...*/` comment, text included (waivers live here).
+    Comment,
+    /// String/char/byte literal of any flavor, contents opaque.
+    Literal,
+    /// A number literal run.
+    Number,
+    /// The fused `::` path separator.
+    PathSep,
+    /// `#` — attribute introducer (rules pair it with the following `[`).
+    Pound,
+    /// `!` — macro bang / not (rules use it for `panic!`, `#![...]`).
+    Bang,
+    /// Any other single punctuation character.
+    Punct(char),
+}
+
+/// One lexed token: kind, source text, and 1-based line of its first byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Exact source text (comments keep their delimiters).
+    pub text: String,
+    /// 1-based line number where the token starts.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when the token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+}
+
+/// Lexes `src` into tokens. The lexer never fails: unrecognized bytes
+/// become `Punct` tokens, and unterminated strings/comments run to EOF —
+/// for a lint over code that `rustc` already accepted, that is enough.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(src.len() / 6);
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.push(tok(TokenKind::Comment, &src[start..i], line));
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.push(tok(TokenKind::Comment, &src[start..i], start_line));
+            }
+            b'"' => {
+                let (end, nl) = scan_string(b, i);
+                out.push(tok(TokenKind::Literal, &src[i..end], line));
+                line += nl;
+                i = end;
+            }
+            b'r' | b'b' if raw_string_start(b, i).is_some() => {
+                // `r"`, `r#"`, `br"`, `b"` — raw/byte string flavors.
+                let (end, nl) = raw_string_start(b, i).unwrap_or((i + 1, 0));
+                out.push(tok(TokenKind::Literal, &src[i..end], line));
+                line += nl;
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                if let Some(end) = scan_char_literal(b, i) {
+                    out.push(tok(TokenKind::Literal, &src[i..end], line));
+                    i = end;
+                } else {
+                    // Lifetime: quote + ident run.
+                    let start = i;
+                    i += 1;
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                    out.push(tok(TokenKind::Literal, &src[start..i], line));
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.push(tok(TokenKind::Ident, &src[start..i], line));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i] == b'.' || b[i].is_ascii_alphanumeric())
+                {
+                    // Stop a number's `.` run at `..` (range) so `0..n`
+                    // lexes as number, punct, punct, ident.
+                    if b[i] == b'.' && i + 1 < b.len() && b[i + 1] == b'.' {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.push(tok(TokenKind::Number, &src[start..i], line));
+            }
+            b':' if i + 1 < b.len() && b[i + 1] == b':' => {
+                out.push(tok(TokenKind::PathSep, "::", line));
+                i += 2;
+            }
+            b'#' => {
+                out.push(tok(TokenKind::Pound, "#", line));
+                i += 1;
+            }
+            b'!' => {
+                out.push(tok(TokenKind::Bang, "!", line));
+                i += 1;
+            }
+            c => {
+                out.push(tok(TokenKind::Punct(c as char), &src[i..i + 1], line));
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn tok(kind: TokenKind, text: &str, line: u32) -> Token {
+    Token { kind, text: text.to_string(), line }
+}
+
+/// Scans a `"..."` string starting at `i` (which must point at the quote).
+/// Returns (index past the closing quote, newlines crossed).
+fn scan_string(b: &[u8], mut i: usize) -> (usize, u32) {
+    let mut nl = 0u32;
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return (i + 1, nl),
+            b'\n' => {
+                nl += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i, nl)
+}
+
+/// If `i` starts a raw/byte string (`r"`, `r#"`, `br#"`, `b"`), scans it.
+/// Returns (index past the end, newlines crossed).
+fn raw_string_start(b: &[u8], i: usize) -> Option<(usize, u32)> {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    let raw = j < b.len() && b[j] == b'r';
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while raw && j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'"' {
+        return None;
+    }
+    if !raw && hashes == 0 && j == i {
+        // Plain `"` handled by scan_string at the main loop.
+        return None;
+    }
+    j += 1;
+    let mut nl = 0u32;
+    if !raw {
+        // b"...": escapes allowed.
+        let (end, n) = scan_string(b, j - 1);
+        return Some((end, n));
+    }
+    // Raw string: ends at `"` followed by `hashes` hashes, no escapes.
+    while j < b.len() {
+        if b[j] == b'\n' {
+            nl += 1;
+            j += 1;
+            continue;
+        }
+        if b[j] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && j + 1 + k < b.len() && b[j + 1 + k] == b'#' {
+                k += 1;
+            }
+            if k == hashes {
+                return Some((j + 1 + hashes, nl));
+            }
+        }
+        j += 1;
+    }
+    Some((j, nl))
+}
+
+/// If `i` (pointing at a `'`) starts a char literal, returns the index past
+/// its closing quote; `None` means it is a lifetime.
+fn scan_char_literal(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if j >= b.len() {
+        return None;
+    }
+    if b[j] == b'\\' {
+        // Escape: skip the backslash and the escape head, then scan to `'`.
+        j += 2;
+        while j < b.len() && b[j] != b'\'' && b[j] != b'\n' {
+            j += 1;
+        }
+        return if j < b.len() && b[j] == b'\'' { Some(j + 1) } else { None };
+    }
+    // `'X'` where X is any single non-quote char → char literal; `'a` with
+    // no closing quote → lifetime.
+    if b[j] != b'\'' {
+        // Possibly multi-byte UTF-8 char: advance one scalar value.
+        let step = utf8_len(b[j]);
+        j += step;
+    }
+    if j < b.len() && b[j] == b'\'' {
+        Some(j + 1)
+    } else {
+        None
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        b if b >= 0xC0 => 2,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).into_iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_code() {
+        let src = r#"
+            // Instant::now() in a comment
+            let s = "Instant::now()"; /* SystemTime too */
+            let real = Instant::now();
+        "#;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|s| *s == "Instant").count(), 1);
+        assert!(!ids.contains(&"SystemTime".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let src = r###"let s = r#"unwrap() inside"#; x.unwrap();"###;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|s| *s == "unwrap").count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        // A lifetime quote must not swallow the rest of the line as a char.
+        let src = "fn f<'a>(x: &'a str) { x.unwrap(); }";
+        let ids = idents(src);
+        assert!(ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn char_literals_with_escapes() {
+        let src = r"let c = '\n'; let d = 'x'; y.expect(msg);";
+        let ids = idents(src);
+        assert!(ids.contains(&"expect".to_string()));
+        assert!(!ids.contains(&"n".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner panic!() */ still comment */ real()";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::Comment);
+        assert!(toks[1].is_ident("real"));
+    }
+
+    #[test]
+    fn path_sep_is_fused_and_lines_tracked() {
+        let src = "a\nOrdering::Relaxed";
+        let toks = lex(src);
+        let sep = toks.iter().find(|t| t.kind == TokenKind::PathSep).unwrap();
+        assert_eq!(sep.line, 2);
+    }
+
+    #[test]
+    fn line_numbers_cross_multiline_strings() {
+        let src = "let s = \"a\nb\nc\";\nmarker";
+        let toks = lex(src);
+        let m = toks.iter().find(|t| t.is_ident("marker")).unwrap();
+        assert_eq!(m.line, 4);
+    }
+}

@@ -1,0 +1,38 @@
+//! # aligraph-lint
+//!
+//! In-repo correctness tooling for the AliGraph reproduction, in two
+//! halves (DESIGN.md §2.13):
+//!
+//! 1. **Static analysis** — [`lexer`] is a small hand-rolled Rust lexer
+//!    (string/comment/attribute aware, no `syn`, consistent with the
+//!    offline `vendor/` policy); [`rules`] enforces the repo invariants
+//!    the compiler cannot see as named, inline-waivable rules:
+//!    `no-wallclock-in-seeded-paths`, `no-entropy`, `no-unwrap-in-lib`,
+//!    `relaxed-needs-justification`, `forbid-unsafe`, and
+//!    `telemetry-never-branches`; [`walk`] finds the first-party sources.
+//!
+//! 2. **Concurrency checking** — [`loom`] is a mini-loom: a seeded
+//!    virtual-thread scheduler that drives the lock-free storage bucket
+//!    executor, the telemetry striped counter, and the sparse parameter
+//!    server through thousands of interleavings per seed, checking every
+//!    history against a sequential shadow model (linearizability of
+//!    totals, no lost updates, snapshot monotonicity, bit-exact replica
+//!    freshness).
+//!
+//! The `aligraph-lint` binary wires both into CI:
+//!
+//! ```text
+//! aligraph-lint --deny-all                 # static analysis gate
+//! aligraph-lint concurrency --seed 42 --interleavings 1000
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod lexer;
+pub mod loom;
+pub mod rules;
+pub mod walk;
+
+pub use rules::{all_rules, check_file, FileClass, FileCtx, Violation};

@@ -1,0 +1,64 @@
+//! Workspace traversal: finds every first-party `.rs` source under the
+//! repo root using only `std::fs`.
+//!
+//! Excluded subtrees:
+//! * `target/` — build output;
+//! * `vendor/` — offline shims mirroring third-party crates (lint policy:
+//!   first-party invariants are not imposed on mirrored code);
+//! * any `fixtures/` directory — lint fixtures contain deliberate
+//!   violations and are exercised by the self-tests instead;
+//! * dot-directories (`.git`, `.github` workflows are YAML anyway).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+const EXCLUDED_DIRS: &[&str] = &["target", "vendor", "fixtures"];
+
+/// Recursively collects `.rs` files under `root`, repo-relative, sorted for
+/// deterministic diagnostic order.
+pub fn rust_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    collect(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || EXCLUDED_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            collect(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_skips_vendor_target_and_fixtures() {
+        // The lint crate sits inside the workspace it walks: its own
+        // sources must appear, its fixtures must not.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = rust_sources(&root).unwrap();
+        let as_str: Vec<String> =
+            files.iter().map(|p| p.to_string_lossy().replace('\\', "/")).collect();
+        assert!(as_str.iter().any(|p| p == "crates/lint/src/walk.rs"));
+        assert!(as_str.iter().any(|p| p == "crates/storage/src/executor.rs"));
+        assert!(!as_str.iter().any(|p| p.starts_with("vendor/")));
+        assert!(!as_str.iter().any(|p| p.starts_with("target/")));
+        assert!(!as_str.iter().any(|p| p.contains("fixtures/")));
+    }
+}

@@ -20,6 +20,9 @@
 //!   shared among vertices, eliminating redundant recomputation. The cache
 //!   can be disabled to reproduce the "W/O our implementation" column.
 
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
 pub mod aggregate;
 pub mod cache;
 pub mod combine;

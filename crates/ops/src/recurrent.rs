@@ -25,6 +25,7 @@ use parking_lot::Mutex;
 /// already a strong sequence summarizer for aggregation — the trainable
 /// parameters of the GNN remain in COMBINE), matching the common
 /// reservoir-style simplification for sampled neighborhoods.
+#[derive(Debug)]
 pub struct LstmAggregator {
     /// `[W_i W_f W_o W_g]` stacked: each `(2d) x d` (input ++ hidden).
     w: Matrix,
@@ -105,6 +106,7 @@ impl Aggregator for LstmAggregator {
 
 /// The "max-pooling neural network": `max_u act(W h_u + b)` with a shared,
 /// trainable dense layer ahead of the pool.
+#[derive(Debug)]
 pub struct PoolNnAggregator {
     layer: Mutex<DenseLayer>,
     dim: usize,

@@ -161,6 +161,8 @@ impl Partitioner for VertexCutGreedy {
                     })
                     // All workers at capacity can only happen through slack
                     // rounding; fall back to the least loaded.
+                    // invariant: p >= 1 is validated at construction, so the
+                    // least-loaded fallback is non-empty
                     .unwrap_or_else(|| (0..p).min_by_key(|&w| loads[w]).expect("p >= 1"));
                 edge_owner[nbr.edge.index()] = WorkerId(best as u32);
                 loads[best] += 1;

@@ -72,6 +72,7 @@ fn imbalance(loads: &[usize]) -> f64 {
         return 1.0;
     }
     let mean = total as f64 / loads.len() as f64;
+    // invariant: the early return above guarantees loads is non-empty here
     *loads.iter().max().expect("non-empty") as f64 / mean
 }
 

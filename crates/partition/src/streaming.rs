@@ -56,6 +56,8 @@ impl Partitioner for StreamingLdg {
             sizes[best] += 1;
         }
 
+        // invariant: the loop above assigned an owner to every vertex exactly
+        // once
         let vertex_owner = owner.into_iter().map(|o| o.expect("all assigned")).collect();
         Partition::from_vertex_owners(graph, p, vertex_owner)
     }

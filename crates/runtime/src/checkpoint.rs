@@ -139,12 +139,15 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
     fn u32(&mut self) -> Result<u32, RuntimeError> {
+        // invariant: take(4) returned exactly 4 bytes or already errored
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
     }
     fn u64(&mut self) -> Result<u64, RuntimeError> {
+        // invariant: take(8) returned exactly 8 bytes or already errored
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
     fn f64(&mut self) -> Result<f64, RuntimeError> {
+        // invariant: take(8) returned exactly 8 bytes or already errored
         Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
     fn f32s(&mut self) -> Result<Vec<f32>, RuntimeError> {
@@ -152,6 +155,7 @@ impl<'a> Reader<'a> {
         let raw = self.take(n * 4)?;
         Ok(raw
             .chunks_exact(4)
+            // invariant: chunks_exact(4) yields exactly-4-byte slices
             .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
             .collect())
     }
@@ -160,6 +164,7 @@ impl<'a> Reader<'a> {
         let raw = self.take(n * 8)?;
         Ok(raw
             .chunks_exact(8)
+            // invariant: chunks_exact(8) yields exactly-8-byte slices
             .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
             .collect())
     }
@@ -168,6 +173,7 @@ impl<'a> Reader<'a> {
         let raw = self.take(n * 4)?;
         Ok(raw
             .chunks_exact(4)
+            // invariant: chunks_exact(4) yields exactly-4-byte slices
             .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
             .collect())
     }
@@ -241,6 +247,7 @@ impl Checkpoint {
             return Err(RuntimeError::Checkpoint("bad magic (not a checkpoint file)".into()));
         }
         let (body, trailer) = buf.split_at(buf.len() - 8);
+        // invariant: split_at(len - 8) yields an exactly-8-byte trailer
         let stored = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
         if fnv1a(body) != stored {
             return Err(RuntimeError::Checkpoint(

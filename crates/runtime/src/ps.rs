@@ -25,6 +25,7 @@ use std::sync::Arc;
 use std::sync::Mutex;
 
 /// One shard: the embedding rows of the vertices one worker owns.
+#[derive(Debug)]
 struct PsShard {
     /// Owned vertex ids in ascending order.
     ids: Vec<u32>,
@@ -56,6 +57,7 @@ pub type PsStats = TierMeter;
 pub type PsStatsSnapshot = TierMeterSnapshot;
 
 /// The sharded sparse parameter server.
+#[derive(Debug)]
 pub struct SparseParamServer {
     dim: usize,
     lr: f32,
@@ -110,6 +112,8 @@ impl SparseParamServer {
                     weights.extend_from_slice(features.row(VertexId(v)));
                 }
                 let table = EmbeddingTable::from_flat(ids.len(), dim, weights)
+                    // invariant: weights was built as ids.len() * dim entries
+                    // in the loop above
                     .expect("weights sized from ids");
                 let slot_of = ids.iter().enumerate().map(|(s, &v)| (v, s as u32)).collect();
                 Mutex::new(PsShard { ids, slot_of, table })

@@ -28,13 +28,12 @@ use aligraph_partition::WorkerId;
 use aligraph_sampling::neighborhood::ClusterView;
 use aligraph_sampling::{worker_rng, MeteredNeighborhood, ShardEdgePools, UniformNeighborhood};
 use aligraph_storage::Cluster;
-use aligraph_telemetry::{Registry, Span};
+use aligraph_telemetry::{Registry, Span, Stopwatch};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
 
 /// Where and how often to checkpoint.
 #[derive(Debug, Clone)]
@@ -133,6 +132,7 @@ impl EncoderSpec {
 }
 
 /// What a finished run hands back.
+#[derive(Debug)]
 pub struct DistOutcome {
     /// Metrics.
     pub report: DistReport,
@@ -169,6 +169,12 @@ pub struct DistTrainer<'a> {
     spec: EncoderSpec,
     cfg: RuntimeConfig,
     registry: Arc<Registry>,
+}
+
+impl std::fmt::Debug for DistTrainer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistTrainer").field("spec", &self.spec).field("cfg", &self.cfg).finish()
+    }
 }
 
 impl<'a> DistTrainer<'a> {
@@ -308,7 +314,7 @@ impl<'a> DistTrainer<'a> {
     /// The attempt loop: run, and on an injected fault restore from the
     /// latest checkpoint (or from scratch) and retry.
     fn run(&self, resume: Option<Checkpoint>) -> Result<DistOutcome, RuntimeError> {
-        let started = Instant::now();
+        let started = Stopwatch::start();
         self.cluster.stats().reset();
         // With no fault planned the flag starts "already fired".
         let fault_fired = AtomicBool::new(self.cfg.fault.is_none());
@@ -318,8 +324,10 @@ impl<'a> DistTrainer<'a> {
         loop {
             match self.run_attempt(resume.take(), &fault_fired, &checkpoints) {
                 Ok(mut outcome) => {
-                    outcome.report.wall_ns = started.elapsed().as_nanos() as u64;
+                    outcome.report.wall_ns = started.elapsed_ns();
                     outcome.report.recoveries = recoveries;
+                    // ordering: read after all worker threads joined inside
+                    // run_attempt; the join synchronizes, Relaxed suffices.
                     outcome.report.checkpoints_written = checkpoints.load(Ordering::Relaxed);
                     return Ok(outcome);
                 }
@@ -530,6 +538,10 @@ impl<'a> DistTrainer<'a> {
             if let Some(fp) = &cfg.fault {
                 if fp.worker as usize == me
                     && t == fp.at_step
+                    // ordering: SeqCst swap is the once-only latch for the
+                    // injected fault; every worker must agree on which one
+                    // crashed, and fault setup is cold-path, so the strongest
+                    // ordering is the cheapest correct choice.
                     && !fault_fired.swap(true, Ordering::SeqCst)
                 {
                     co.crash(Abort::Fault { worker: fp.worker })?;
@@ -548,7 +560,7 @@ impl<'a> DistTrainer<'a> {
             hist[age as usize] += 1;
             staleness_hist.record(age);
 
-            let start = Instant::now();
+            let start = Stopwatch::start();
             // Same draw sequence as the sequential trainer: edge type, then
             // the batch, then the step's internal sampling.
             let etype = EdgeType(rng.gen_range(0..graph.num_edge_types().max(1)));
@@ -564,14 +576,14 @@ impl<'a> DistTrainer<'a> {
                     cfg.negatives,
                     &mut rng,
                 );
-                busy_ns += start.elapsed().as_nanos() as u64;
+                busy_ns += start.elapsed_ns();
                 loss_sum += out.loss_sum;
                 pairs += out.pairs as u64;
                 edges += batch.len() as u64;
                 comm_ns += ps.record_reads(me, out.feature_grads.keys());
                 comm_ns += ps.push(me, &out.feature_grads)?;
             } else {
-                busy_ns += start.elapsed().as_nanos() as u64;
+                busy_ns += start.elapsed_ns();
             }
             co.complete(me)?;
             t += 1;
@@ -602,6 +614,8 @@ impl<'a> DistTrainer<'a> {
                             .lock()
                             .map_err(|_| RuntimeError::Poisoned("shared train state"))?;
                         write_checkpoint(fingerprint, t, &sh, None, &deps, ps, &ck.dir)?;
+                        // ordering: report-only tally read after worker
+                        // joins; the join synchronizes, Relaxed suffices.
                         checkpoints.fetch_add(1, Ordering::Relaxed);
                         Ok(Rendezvous::default())
                     })?;
@@ -655,6 +669,8 @@ impl<'a> DistTrainer<'a> {
                             d.pairs = 0;
                         }
                         write_checkpoint(fingerprint, t, &sh, Some(&avg), &deps, ps, &ck.dir)?;
+                        // ordering: report-only tally read after worker
+                        // joins; the join synchronizes, Relaxed suffices.
                         checkpoints.fetch_add(1, Ordering::Relaxed);
                     }
                     Ok(Rendezvous { avg_params: Some(avg), stop })

@@ -94,6 +94,12 @@ pub struct Coordinator {
     cv: Condvar,
 }
 
+impl std::fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coordinator").finish_non_exhaustive()
+    }
+}
+
 impl Coordinator {
     /// A coordinator for `workers` workers that have each already completed
     /// `start_step` steps (0 for a fresh run, the checkpoint step after a
@@ -125,6 +131,7 @@ impl Coordinator {
                 return Err(a.to_error());
             }
             let min =
+                // invariant: SspCoordinator::new requires at least one worker
                 (0..st.steps.len()).min_by_key(|&w| (st.steps[w], w)).expect("at least one worker");
             if min == me {
                 return Ok(());
@@ -163,6 +170,8 @@ impl Coordinator {
         st.arrived += 1;
         if st.arrived == st.steps.len() {
             let deposits: Vec<Deposit> =
+                // invariant: arrived == steps.len() means every deposit slot
+                // was filled this round
                 st.deposits.iter_mut().map(|d| d.take().expect("every worker deposited")).collect();
             st.arrived = 0;
             match leader(deposits) {

@@ -39,6 +39,15 @@ pub struct DynamicWeights {
     mode: WeightUpdateMode,
 }
 
+impl std::fmt::Debug for DynamicWeights {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynamicWeights")
+            .field("mode", &self.mode)
+            .field("backend", if self.local.is_some() { &"local" } else { &"service" })
+            .finish()
+    }
+}
+
 impl DynamicWeights {
     /// Synchronous table over `n` vertices initialized to `initial`.
     pub fn synchronous(n: usize, initial: f32) -> Self {
@@ -78,6 +87,8 @@ impl DynamicWeights {
         if let Some(local) = &self.local {
             return Ok(local.read()[v.index()]);
         }
+        // invariant: the constructor sets exactly one of local/service; local
+        // returned above
         self.service.as_ref().expect("one backend is set").get(v)
     }
 
@@ -88,6 +99,8 @@ impl DynamicWeights {
             local.write()[v.index()] += delta;
             return;
         }
+        // invariant: the constructor sets exactly one of local/service; local
+        // returned above
         self.service.as_ref().expect("one backend is set").update(v, delta);
     }
 
@@ -103,6 +116,7 @@ impl DynamicWeights {
 /// A NEIGHBORHOOD sampler whose per-vertex probabilities follow the dynamic
 /// weights: `P(u) ∝ edge_weight(u) * max(dyn_weight(u), ε)`. This is the
 /// adaptive machinery behind AHEP's importance sampling.
+#[derive(Debug)]
 pub struct DynamicNeighborhood {
     /// The shared dynamic weight table.
     pub weights: Arc<DynamicWeights>,

@@ -28,6 +28,7 @@ impl NeighborAccess for AttributedHeterogeneousGraph {
 }
 
 /// A cluster shard's view: reads are accounted as local / cached / remote.
+#[derive(Debug)]
 pub struct ClusterView<'a> {
     /// The cluster being read.
     pub cluster: &'a Cluster,

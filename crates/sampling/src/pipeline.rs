@@ -42,6 +42,15 @@ pub struct SamplingPipeline<T, N, G> {
     pub neg_num: usize,
 }
 
+impl<T, N, G> std::fmt::Debug for SamplingPipeline<T, N, G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SamplingPipeline")
+            .field("hop_nums", &self.hop_nums)
+            .field("neg_num", &self.neg_num)
+            .finish()
+    }
+}
+
 impl<T, N, G> SamplingPipeline<T, N, G>
 where
     T: TraverseSampler,

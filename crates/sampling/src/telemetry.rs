@@ -9,10 +9,9 @@
 
 use crate::neighborhood::NeighborhoodSampler;
 use aligraph_graph::{Neighbor, VertexId};
-use aligraph_telemetry::{Counter, Histogram, Registry};
+use aligraph_telemetry::{Counter, Histogram, Registry, Stopwatch};
 use rand::Rng;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// A NEIGHBORHOOD sampler wrapper that counts draws and records per-call
 /// latency as `sampling.draws{kind=<kind>}` and
@@ -49,10 +48,10 @@ impl<S: NeighborhoodSampler> NeighborhoodSampler for MeteredNeighborhood<S> {
         count: usize,
         rng: &mut R,
     ) -> Vec<VertexId> {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let out = self.inner.sample_one(target, nbrs, count, rng);
         self.draws.inc();
-        self.latency_ns.record(start.elapsed().as_nanos() as u64);
+        self.latency_ns.record(start.elapsed_ns());
         out
     }
 }

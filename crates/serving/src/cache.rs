@@ -71,6 +71,7 @@ impl CacheStats {
 }
 
 /// A shared, versioned LRU over per-vertex embeddings.
+#[derive(Debug)]
 pub struct EmbeddingCache {
     /// Invariant: every live entry was computed at `current_version` —
     /// inserts at other versions are rejected and [`advance`](Self::advance)
@@ -110,6 +111,9 @@ impl EmbeddingCache {
 
     /// The version inserts are currently admitted against.
     pub fn version(&self) -> u64 {
+        // ordering: Acquire pairs with advance()'s Release store so a
+        // reader that sees version V also sees the invalidations advance
+        // performed before publishing V.
         self.current_version.load(Ordering::Acquire)
     }
 
@@ -130,6 +134,8 @@ impl EmbeddingCache {
     pub fn insert(&self, v: u32, version: u64, data: Arc<Vec<f32>>) {
         let mut inner = self.inner.lock();
         // Checked under the lock so an `advance` cannot interleave.
+        // ordering: Acquire pairs with advance()'s Release store; observing
+        // the advanced version here implies its invalidations happened.
         if version != self.current_version.load(Ordering::Acquire) {
             drop(inner);
             self.stale_rejects.inc();
@@ -145,6 +151,9 @@ impl EmbeddingCache {
     /// Returns how many live entries were invalidated.
     pub fn advance(&self, version: u64, affected: impl IntoIterator<Item = u32>) -> usize {
         let mut inner = self.inner.lock();
+        // ordering: Release publishes the new version; paired Acquire loads
+        // in version()/insert() then observe the invalidations below only
+        // after seeing V (insert additionally holds the lock).
         self.current_version.store(version, Ordering::Release);
         let mut dropped = 0;
         for v in affected {

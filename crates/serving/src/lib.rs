@@ -31,6 +31,9 @@
 //!                          └── affected_seeds ──────────── invalidate ┘
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
 pub mod batcher;
 pub mod cache;
 pub mod error;

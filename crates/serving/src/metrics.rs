@@ -17,6 +17,7 @@ use std::time::Duration;
 /// Shared serving counters and the end-to-end latency histogram. All
 /// recording is lock-free; the old unbounded `Mutex<Vec<u64>>` sample
 /// buffer is gone.
+#[derive(Debug)]
 pub struct ServingMetrics {
     admitted: Arc<Counter>,
     rejected: Arc<Counter>,

@@ -29,7 +29,7 @@ const SYNTH_EDGE: EdgeId = EdgeId(u64::MAX);
 ///
 /// Cloning is cheap (`Arc` clones per touched row); [`OverlayGraph::apply`]
 /// produces the next version without disturbing readers of this one.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct OverlayGraph {
     base: Arc<AttributedHeterogeneousGraph>,
     /// Out-adjacency rows that differ from the base snapshot.

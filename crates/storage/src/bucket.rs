@@ -64,6 +64,14 @@ pub struct LockFreeWeightService {
     exec: BucketExecutor<Op>,
 }
 
+impl std::fmt::Debug for LockFreeWeightService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockFreeWeightService")
+            .field("num_buckets", &self.exec.num_buckets())
+            .finish()
+    }
+}
+
 impl LockFreeWeightService {
     /// Spawns `num_buckets` bucket executors over `n` vertex weights, all
     /// initialized to `initial`.
@@ -92,6 +100,7 @@ impl WeightService for LockFreeWeightService {
 }
 
 /// The baseline: one global mutex around the whole weight table.
+#[derive(Debug)]
 pub struct MutexWeightService {
     weights: Mutex<Vec<f32>>,
 }

@@ -15,9 +15,9 @@ use aligraph_graph::{
     AttributedHeterogeneousGraph, DegreeTable, ImportanceTable, Neighbor, VertexId,
 };
 use aligraph_partition::{Partition, Partitioner, WorkerId};
-use aligraph_telemetry::Registry;
+use aligraph_telemetry::{Registry, Stopwatch};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Timing breakdown of a cluster build (Figure 7's measurement).
 #[derive(Debug, Clone)]
@@ -56,6 +56,7 @@ impl ClusterBuildReport {
 }
 
 /// An in-process cluster of graph servers over one shared immutable graph.
+#[derive(Debug)]
 pub struct Cluster {
     graph: Arc<AttributedHeterogeneousGraph>,
     partition: Arc<Partition>,
@@ -105,14 +106,14 @@ impl Cluster {
     ) -> (Self, ClusterBuildReport) {
         let p = num_workers.max(1);
 
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let partition = Arc::new(partitioner.partition(&graph, p));
         let partition_time = t0.elapsed();
 
         // Importance is a pure function of the graph; computed once and
         // shared by every shard's cache construction. Static strategies that
         // do not consult importance skip the computation entirely.
-        let t1 = Instant::now();
+        let t1 = Stopwatch::start();
         let importance = match strategy {
             CacheStrategy::None | CacheStrategy::Random { .. } | CacheStrategy::Lru { .. } => {
                 ImportanceTable { imp: vec![vec![0.0; graph.num_vertices()]; max_hop.max(1)] }
@@ -124,7 +125,7 @@ impl Cluster {
         };
         let importance_time = t1.elapsed();
 
-        let t2 = Instant::now();
+        let t2 = Stopwatch::start();
         let (servers, shard_times) = ingest_parallel(&graph, &partition, &importance, strategy, p);
         let ingest_time = t2.elapsed();
 
@@ -226,7 +227,7 @@ fn ingest_parallel(
     let mut servers = Vec::with_capacity(p);
     let mut shard_times = Vec::with_capacity(p);
     for (w, roster) in rosters.iter().enumerate() {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let cache = NeighborCache::build(graph, importance, strategy);
         servers.push(GraphServer::ingest(
             WorkerId(w as u32),

@@ -48,6 +48,12 @@ pub struct BucketExecutor<Op: Send + 'static> {
     num_buckets: usize,
 }
 
+impl<Op: Send + 'static> std::fmt::Debug for BucketExecutor<Op> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BucketExecutor").field("num_buckets", &self.num_buckets).finish()
+    }
+}
+
 impl<Op: Send + 'static> BucketExecutor<Op> {
     /// Spawns one executor thread per entry of `states`; thread `b`
     /// exclusively owns `states[b]` and applies `handler` to every
@@ -76,6 +82,12 @@ impl<Op: Send + 'static> BucketExecutor<Op> {
                                 idle = 0;
                             }
                             None => {
+                                // ordering: Acquire pairs with the Release
+                                // store in drop(); checked *only* on empty
+                                // pop so no queued op is lost at shutdown —
+                                // the mini-loom bucket-executor target
+                                // replays the interleaving that breaks if
+                                // this check comes first.
                                 if stop.load(Ordering::Acquire) {
                                     break;
                                 }
@@ -144,6 +156,9 @@ impl<Op: Send + 'static> BucketExecutor<Op> {
 
 impl<Op: Send + 'static> Drop for BucketExecutor<Op> {
     fn drop(&mut self) {
+        // ordering: Release pairs with the drain loop's Acquire load so
+        // every queue push sequenced before this store is visible to the
+        // executor before it observes stop and exits.
         self.stop.store(true, Ordering::Release);
         for b in &mut self.buckets {
             if let Some(h) = b.handle.take() {

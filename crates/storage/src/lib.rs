@@ -28,6 +28,9 @@
 //! *relative* behaviour the paper measures — cache-policy effects, scaling
 //! with workers, sampling latencies — while running on one machine.
 
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
 pub mod bucket;
 pub mod cluster;
 pub mod cost;

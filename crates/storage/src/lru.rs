@@ -32,6 +32,18 @@ pub struct LruCache<K, V> {
     evictions: u64,
 }
 
+impl<K, V> std::fmt::Debug for LruCache<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LruCache")
+            .field("len", &self.map.len())
+            .field("capacity", &self.capacity)
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .field("evictions", &self.evictions)
+            .finish()
+    }
+}
+
 impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// A cache holding at most `capacity` entries (capacity 0 caches nothing).
     pub fn new(capacity: usize) -> Self {

@@ -66,6 +66,7 @@ pub enum CacheOutcome {
 }
 
 /// A per-server neighbor cache.
+#[derive(Debug)]
 pub struct NeighborCache {
     /// Static cached-depth per vertex (0 = not cached, k = cached to hop k).
     cached_depth: Vec<u8>,

@@ -15,6 +15,7 @@ use std::sync::Arc;
 /// The server materializes its own adjacency for owned vertices (this is the
 /// real work the parallel ingest of Figure 7 measures) and serves lookups
 /// with local / cached / remote accounting.
+#[derive(Debug)]
 pub struct GraphServer {
     worker: WorkerId,
     graph: Arc<AttributedHeterogeneousGraph>,

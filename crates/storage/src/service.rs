@@ -98,6 +98,14 @@ pub struct GraphRequestService {
     exec: BucketExecutor<Request>,
 }
 
+impl std::fmt::Debug for GraphRequestService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphRequestService")
+            .field("num_buckets", &self.exec.num_buckets())
+            .finish()
+    }
+}
+
 impl GraphRequestService {
     /// Spawns the service over `graph` with `num_buckets` vertex groups
     /// (`v` belongs to bucket `v % num_buckets`). Dynamic weights start at

@@ -88,6 +88,11 @@ impl Histogram {
     /// Records one value.
     #[inline]
     pub fn record(&self, v: u64) {
+        // ordering: the five fields are independently monotone statistics;
+        // no reader derives cross-field invariants stronger than "count
+        // within one record of buckets" (snapshot tolerates in-flight
+        // records), so Relaxed RMWs suffice — atomicity of each fetch_add
+        // alone prevents lost updates.
         self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
@@ -103,23 +108,33 @@ impl Histogram {
 
     /// Number of recorded values.
     pub fn count(&self) -> u64 {
+        // ordering: monotone scalar read; exact after writers join.
         self.count.load(Ordering::Relaxed)
     }
 
-    /// Point-in-time copy for reporting and merging.
+    /// Point-in-time copy for reporting and merging. Concurrent with
+    /// writers this is a torn-but-bounded read, like
+    /// [`Counter::get`](crate::Counter::get): each field lags reality by
+    /// at most the records in flight, and is exact once writers joined.
     pub fn snapshot(&self) -> HistogramSnapshot {
+        // ordering: every field is independently monotone (min decreases,
+        // the rest increase); Relaxed loads give per-field coherence,
+        // which is all reports claim. Exactness comes from reading after
+        // writer joins, not from load ordering.
         let count = self.count.load(Ordering::Relaxed);
         let buckets = self
             .buckets
             .iter()
             .enumerate()
             .filter_map(|(i, b)| {
+                // ordering: see snapshot() header — monotone bucket cells.
                 let n = b.load(Ordering::Relaxed);
                 (n > 0).then_some((i as u32, n))
             })
             .collect();
         HistogramSnapshot {
             count,
+            // ordering: see snapshot() header — independently monotone.
             sum: self.sum.load(Ordering::Relaxed),
             min: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
             max: self.max.load(Ordering::Relaxed),
@@ -127,11 +142,15 @@ impl Histogram {
         }
     }
 
-    /// Zeroes everything.
+    /// Zeroes everything. Like [`Counter::reset`](crate::Counter::reset),
+    /// not linearizable against concurrent `record`s — callers reset only
+    /// between measurement windows.
     pub fn reset(&self) {
         for b in self.buckets.iter() {
+            // ordering: reset runs between windows with writers quiet.
             b.store(0, Ordering::Relaxed);
         }
+        // ordering: reset runs between windows with writers quiet.
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
         self.min.store(u64::MAX, Ordering::Relaxed);

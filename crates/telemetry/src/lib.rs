@@ -22,6 +22,9 @@
 //! bit-identical (the regression test in the workspace `tests/` enforces
 //! this for training loss trajectories).
 
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
 mod histogram;
 mod json;
 mod metric;
@@ -34,4 +37,4 @@ pub use json::Json;
 pub use metric::{Counter, Gauge};
 pub use registry::{MetricValue, Registry, RegistrySnapshot, Series, SeriesKey};
 pub use report::Report;
-pub use span::{Span, SpanScope};
+pub use span::{Span, SpanScope, Stopwatch};

@@ -29,6 +29,8 @@ thread_local! {
     /// assignment (monotonic id modulo STRIPES) spreads threads evenly.
     static STRIPE: usize = {
         static NEXT: AtomicU64 = AtomicU64::new(0);
+        // ordering: a unique-ticket fetch_add; only atomicity matters for
+        // handing each thread a distinct id, so Relaxed suffices.
         (NEXT.fetch_add(1, Ordering::Relaxed) as usize) % STRIPES
     };
 }
@@ -42,8 +44,38 @@ impl Counter {
     /// Adds `n` to this thread's stripe.
     #[inline]
     pub fn add(&self, n: u64) {
-        let s = STRIPE.with(|s| *s);
-        self.cells[s].0.fetch_add(n, Ordering::Relaxed);
+        self.add_to_stripe(STRIPE.with(|s| *s), n);
+    }
+
+    /// Number of stripes. Exposed for the mini-loom concurrency checker
+    /// (`aligraph-lint`), which drives per-stripe operations directly.
+    #[doc(hidden)]
+    pub const fn num_stripes() -> usize {
+        STRIPES
+    }
+
+    /// Adds `n` to one specific stripe — the mini-loom hook that lets the
+    /// checker pin virtual writers to stripes the way the thread-local
+    /// round-robin pins real threads.
+    #[doc(hidden)]
+    #[inline]
+    pub fn add_to_stripe(&self, stripe: usize, n: u64) {
+        // ordering: counter increments are commutative and carry no
+        // payload another thread reads through them; the report-time sum
+        // happens after writer joins (which synchronize), so Relaxed
+        // suffices.
+        self.cells[stripe % STRIPES].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reads one stripe — the mini-loom hook that makes the 16-load
+    /// snapshot tear across interleavings instead of hiding inside one
+    /// library call.
+    #[doc(hidden)]
+    #[inline]
+    pub fn read_stripe(&self, stripe: usize) -> u64 {
+        // ordering: a lone monotone value; per-stripe coherence of Relaxed
+        // loads on the same atomic is all the snapshot bound needs.
+        self.cells[stripe % STRIPES].0.load(Ordering::Relaxed)
     }
 
     /// Increments by one.
@@ -54,13 +86,25 @@ impl Counter {
 
     /// Current total across all stripes (relaxed; exact once writer threads
     /// are joined, which is when reports are taken).
+    ///
+    /// Concurrent with writers, the sum is a *torn* read with a proven
+    /// bound (mini-loom `striped-counter` target): it lies between the
+    /// true total when the read started and the true total when it
+    /// finished, and successive reads by one thread never go backward.
     pub fn get(&self) -> u64 {
+        // ordering: each stripe is monotone and independently coherent;
+        // Relaxed loads give the torn-snapshot bound above, and exactness
+        // after joins comes from the join's synchronization, not ours.
         self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
     }
 
-    /// Zeroes every stripe.
+    /// Zeroes every stripe. Not linearizable against concurrent `add`s
+    /// (an increment may land before its stripe is cleared and be lost);
+    /// callers reset only between measurement windows, with writers quiet.
     pub fn reset(&self) {
         for c in &self.cells {
+            // ordering: reset happens between measurement windows with no
+            // concurrent writers; Relaxed stores are enough.
             c.0.store(0, Ordering::Relaxed);
         }
     }
@@ -87,17 +131,22 @@ impl Gauge {
     /// Sets the level.
     #[inline]
     pub fn set(&self, v: i64) {
+        // ordering: a standalone level with no cross-variable invariant;
+        // last-writer-wins is the intended semantics, Relaxed suffices.
         self.value.store(v, Ordering::Relaxed);
     }
 
     /// Adjusts the level by `delta`.
     #[inline]
     pub fn add(&self, delta: i64) {
+        // ordering: atomic RMW already prevents lost updates; no payload
+        // is published through this value, so Relaxed suffices.
         self.value.fetch_add(delta, Ordering::Relaxed);
     }
 
     /// Current level.
     pub fn get(&self) -> i64 {
+        // ordering: point-in-time report read; staleness is acceptable.
         self.value.load(Ordering::Relaxed)
     }
 }

@@ -112,9 +112,16 @@ impl Registry {
             return make();
         };
         let key = SeriesKey::new(name, labels);
+        // invariant: the only panic possible under this lock is the kind-
+        // collision below, which is a deliberate fail-fast on a programming
+        // error — a poisoned registry means the process is already going down.
         let mut map = series.lock().expect("telemetry registry poisoned");
         match map.get(&key) {
             Some(h) => unwrap(h).unwrap_or_else(|| {
+                // aligraph::allow(no-unwrap-in-lib): registering one series
+                // key as two different metric kinds is a documented
+                // fail-loudly API contract (DESIGN.md §2.12), not a
+                // recoverable condition.
                 panic!(
                     "telemetry series {} already registered as a {}, requested as a different kind",
                     key.render(),
@@ -178,6 +185,8 @@ impl Registry {
         let Some(series) = &self.series else {
             return RegistrySnapshot::default();
         };
+        // invariant: see lookup() — only the deliberate kind-collision
+        // panic can poison this lock.
         let map = series.lock().expect("telemetry registry poisoned");
         let series = map
             .iter()

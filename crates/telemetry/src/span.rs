@@ -12,6 +12,7 @@ use std::time::Instant;
 /// An in-flight timed section. Created by [`Span::enter`]; records elapsed
 /// nanoseconds into its histogram when dropped (ends of early returns and
 /// `?` exits included — that's the point of a drop guard).
+#[derive(Debug)]
 pub struct Span {
     hist: Arc<Histogram>,
     start: Instant,
@@ -37,12 +38,49 @@ impl Drop for Span {
     }
 }
 
+/// A started wall-clock measurement that is read, not branched on.
+///
+/// Telemetry owns the clock in this workspace: `aligraph-lint`'s
+/// `no-wallclock-in-seeded-paths` rule bans raw `Instant::now()` outside
+/// this crate and bench/CLI code, and every other layer that wants to
+/// *report* how long something took (cluster build phases, run wall time,
+/// per-epoch timings) goes through a `Stopwatch`. Like [`Span`], it
+/// records; unlike [`Span`], the caller chooses where the reading lands
+/// (a report struct, a histogram, a log line). Using a reading to steer
+/// control flow in a seeded path is still a bug — and still caught,
+/// because deadlines need arithmetic on `Instant`s, not elapsed readings.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts measuring.
+    #[inline]
+    pub fn start() -> Stopwatch {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Elapsed wall-clock time since `start`.
+    #[inline]
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed nanoseconds, saturating at `u64::MAX`.
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
 /// A per-thread cache of span histograms, resolved once per (thread, name).
 ///
 /// Worker threads construct one `SpanScope` from the run's registry at
 /// startup; `enter("sampling.neighborhood")` then costs a thread-local
 /// `HashMap` hit plus an `Instant::now()` — no registry lock, no sharing
 /// with sibling workers beyond the striped histogram itself.
+#[derive(Debug)]
 pub struct SpanScope {
     registry: Arc<Registry>,
     cache: RefCell<HashMap<&'static str, Arc<Histogram>>>,

@@ -71,6 +71,7 @@ impl EmbeddingTable {
         if self.accum.is_none() {
             self.accum = Some(vec![0.0; self.n * self.dim]);
         }
+        // invariant: accum was initialized to Some two lines above when None
         let accum = self.accum.as_mut().expect("just initialized");
         let base = i * self.dim;
         for (j, &g) in grad.iter().enumerate() {

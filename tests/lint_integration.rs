@@ -1,0 +1,77 @@
+//! Workspace-level gates for `aligraph-lint` (DESIGN.md §2.13).
+//!
+//! Two contracts are pinned here rather than inside the lint crate's unit
+//! tests, because both are statements about the *whole repository*:
+//!
+//! 1. The workspace is lint-clean: every rule passes over every first-party
+//!    source file, so `--deny-all` in CI can only fail when a change
+//!    introduces a new violation (not because of pre-existing debt).
+//! 2. The mini-loom targets hold over a seed sweep: the lock-free bucket
+//!    executor, the striped telemetry counter, and the sparse parameter
+//!    server each survive hundreds of adversarial interleavings against
+//!    their sequential shadow models — and the known-bad drain-loop variant
+//!    is still caught.
+
+use aligraph_lint::loom::bucket::BucketWorkload;
+use aligraph_lint::loom::counter::CounterWorkload;
+use aligraph_lint::loom::ps::PsWorkload;
+use aligraph_lint::loom::Explorer;
+use aligraph_lint::walk::rust_sources;
+use aligraph_lint::{check_file, FileCtx, Violation};
+use std::path::Path;
+
+/// Lints every first-party source file under the workspace root.
+fn lint_workspace() -> Vec<Violation> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = rust_sources(root).expect("walk workspace sources");
+    assert!(
+        files.len() > 100,
+        "expected the walker to find the whole workspace, got {} files",
+        files.len()
+    );
+    let mut violations = Vec::new();
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel)).expect("read source file");
+        let ctx = FileCtx::new(&rel.to_string_lossy().replace('\\', "/"), &src);
+        violations.extend(check_file(&ctx, None));
+    }
+    violations
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let violations = lint_workspace();
+    assert!(
+        violations.is_empty(),
+        "workspace has {} lint violation(s):\n{}",
+        violations.len(),
+        violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn bucket_executor_survives_interleavings() {
+    let w = BucketWorkload::default();
+    Explorer { seed: 7 }.explore(&w, 300).expect("no divergence");
+}
+
+#[test]
+fn buggy_bucket_executor_is_caught_from_suite() {
+    // The stop-before-pop drain loop loses queued updates under the right
+    // schedule; the explorer must find that schedule.
+    let w = BucketWorkload::buggy();
+    let div = Explorer { seed: 7 }.explore(&w, 300).expect_err("divergence expected");
+    assert!(div.message.contains("lost"), "unexpected divergence: {}", div.message);
+}
+
+#[test]
+fn striped_counter_survives_interleavings() {
+    let w = CounterWorkload::default();
+    Explorer { seed: 11 }.explore(&w, 300).expect("no divergence");
+}
+
+#[test]
+fn sparse_param_server_matches_shadow() {
+    let w = PsWorkload::new(3, 2).expect("workload setup");
+    Explorer { seed: 13 }.explore(&w, 150).expect("no divergence");
+}
