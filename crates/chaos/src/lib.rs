@@ -1,0 +1,69 @@
+//! The deterministic fault-injection plane (DESIGN.md §2.14).
+//!
+//! Every inter-shard channel in the simulated cluster — parameter-server
+//! pushes and pulls in the training runtime, shard fetches in the serving
+//! layer, bucket submissions in the storage executor — can be wrapped by a
+//! [`FaultPlane`]. Driven by a [`FaultPlan`] and a SplitMix64 hash of
+//! `(seed, channel, sequence, attempt)`, the plane decides per message
+//! whether it is delivered intact, dropped, delayed a bounded number of
+//! virtual ticks, delivered-but-unacknowledged, or corrupted in flight.
+//! Crash points and checkpoint bit-flips ride on the same plan.
+//!
+//! **Determinism contract.** A decision is a pure function of the plan and
+//! the `(channel, seq, attempt)` triple — never of wall-clock time, OS
+//! entropy, or scheduling. Two runs with the same seed see the identical
+//! fault sequence, so a failing chaos seed replays bit-for-bit from the
+//! command line. Delays are *virtual*: they add modelled ticks to the comm
+//! accounting, they never sleep.
+//!
+//! **Recovery machinery.** Faults are only half the plane; this crate also
+//! owns what the faults force into existence: [`RetryPolicy`] (capped
+//! exponential backoff with a retry deadline) and [`Sequencer`]
+//! (sequence-numbered, idempotent delivery — duplicates and reorderings
+//! collapse to exactly-once, in-order application). With both in place,
+//! the headline property holds: for any fault seed with `drop_rate < 1`,
+//! a training run converges to the bit-exact same final parameters as the
+//! fault-free run, because the same messages apply exactly once in the
+//! same order — faults only cost modelled time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
+mod plan;
+mod retry;
+mod seq;
+
+pub use plan::{CrashPoint, Delivery, FaultPlan, FaultPlane, FaultSnapshot};
+pub use retry::{RecoveryMode, RetryError, RetryPolicy, MAX_BACKOFF_TICKS, TICK_NS};
+pub use seq::Sequencer;
+
+/// One SplitMix64 scramble round: the core mixer behind every fault
+/// decision (and the same finalizer the mini-loom scheduler uses).
+pub(crate) fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes a word list into one 64-bit value by folding each word through a
+/// SplitMix64 round. Order-sensitive, collision-scattered, allocation-free.
+pub(crate) fn mix(words: &[u64]) -> u64 {
+    let mut h = 0x51_7C_C1_B7_27_22_0A_95u64;
+    for &w in words {
+        h = splitmix(h ^ w);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_and_order_sensitive() {
+        assert_eq!(mix(&[1, 2, 3]), mix(&[1, 2, 3]));
+        assert_ne!(mix(&[1, 2, 3]), mix(&[3, 2, 1]));
+        assert_ne!(mix(&[0]), mix(&[0, 0]));
+    }
+}

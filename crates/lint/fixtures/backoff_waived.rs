@@ -1,0 +1,33 @@
+// Fixture: bounded or explicitly waived retry loops — none may flag
+// `backoff-needs-cap`.
+
+pub fn resend_with_deadline(ch: &Channel, msg: Msg, policy: &RetryPolicy) -> Result<(), Gone> {
+    let mut attempt = 0u32;
+    loop {
+        if attempt > 0 && policy.exhausted(attempt) {
+            return Err(Gone);
+        }
+        if ch.send(&msg).is_ok() {
+            return Ok(());
+        }
+        attempt += 1;
+        spin_for(policy.backoff_ticks(attempt));
+    }
+}
+
+pub fn resend_with_clamp(ch: &Channel, msg: Msg) {
+    let mut backoff = 1u64;
+    while ch.send(&msg).is_err() {
+        backoff = (backoff * 2).min(MAX_BACKOFF_TICKS);
+        spin_for(backoff);
+    }
+}
+
+pub fn drain_forever(ch: &Channel) -> Msg {
+    // aligraph::allow(backoff-needs-cap): fixture — the caller owns the
+    // deadline; this helper is documented to block.
+    while ch.is_empty() {
+        sleep_ticks(1);
+    }
+    ch.pop()
+}

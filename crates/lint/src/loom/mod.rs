@@ -19,6 +19,7 @@
 
 pub mod bucket;
 pub mod counter;
+pub mod overlay;
 pub mod ps;
 
 /// SplitMix64 — tiny, seedable, and good enough to scatter schedules.

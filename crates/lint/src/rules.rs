@@ -346,6 +346,12 @@ pub fn all_rules() -> Vec<Rule> {
             description: "no control flow on registry/metric reads outside crates/telemetry",
             check: check_telemetry_branch,
         },
+        Rule {
+            name: "backoff-needs-cap",
+            description: "retry/backoff loops must reference a cap, deadline, or \
+                          exhaustion check — no unbounded retry",
+            check: check_backoff_cap,
+        },
     ]
 }
 
@@ -633,6 +639,107 @@ fn has_metric_receiver(code: &[Token], call_idx: usize) -> bool {
         .any(|t| t.kind == TokenKind::Ident && METRIC_RECEIVERS.contains(&t.text.as_str()))
 }
 
+// --------------------------------------------------------- backoff-needs-cap
+
+/// Identifier substrings marking a loop as a retry/backoff loop.
+const BACKOFF_TRIGGERS: &[&str] = &["backoff", "retry", "retries", "sleep"];
+/// Identifier substrings that count as bounding the loop: an attempt cap, a
+/// deadline, or an explicit exhaustion check.
+const BACKOFF_CAPS: &[&str] = &["cap", "max", "deadline", "exhausted", "attempts", "budget"];
+
+fn ident_has_any(text: &str, needles: &[&str]) -> bool {
+    let lower = text.to_ascii_lowercase();
+    needles.iter().any(|n| lower.contains(n))
+}
+
+/// `loop { … }` / `while … { … }` bodies that mention retrying or backing
+/// off must also reference something that bounds them (`MAX_*`, `*_cap`,
+/// `deadline`, `exhausted(…)`, `attempts`); an unbounded retry loop spins
+/// forever the moment the chaos plane makes a channel lossy enough.
+fn check_backoff_cap(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    // Library code only: bench/CLI top-level retry loops answer to a human.
+    if ctx.class.is_bin_like || ctx.class.is_test_tree {
+        return;
+    }
+    let code = &ctx.code;
+    let mut i = 0usize;
+    while i < code.len() {
+        let t = &code[i];
+        let is_loop = t.kind == TokenKind::Ident
+            && matches!(t.text.as_str(), "loop" | "while")
+            && !ctx.is_test_line(t.line);
+        if !is_loop {
+            i += 1;
+            continue;
+        }
+        // Walk past the condition (if any) to the body's `{`, then
+        // brace-match the body. The condition region counts toward the
+        // scan: `while attempt < max_attempts { retry() }` is bounded.
+        let mut j = i + 1;
+        let mut paren = 0i32;
+        while j < code.len() {
+            match code[j].kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') => paren += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') => paren -= 1,
+                TokenKind::Punct('{') if paren == 0 => break,
+                TokenKind::Punct(';') if paren == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= code.len() || code[j].kind != TokenKind::Punct('{') {
+            i = j + 1;
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut end = j;
+        while end < code.len() {
+            match code[end].kind {
+                TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        let mut trigger: Option<&Token> = None;
+        let mut capped = false;
+        for c in &code[i + 1..end.min(code.len())] {
+            if c.kind != TokenKind::Ident {
+                continue;
+            }
+            if trigger.is_none() && ident_has_any(&c.text, BACKOFF_TRIGGERS) {
+                trigger = Some(c);
+            }
+            if ident_has_any(&c.text, BACKOFF_CAPS) {
+                capped = true;
+            }
+        }
+        if let Some(tr) = trigger {
+            if !capped {
+                push(
+                    out,
+                    ctx,
+                    t.line,
+                    "backoff-needs-cap",
+                    format!(
+                        "retry/backoff loop (`{}` at line {}) without a visible cap, \
+                         deadline, or exhaustion check — bound it (e.g. \
+                         `policy.exhausted(attempt)` or a MAX_* clamp) or waive",
+                        tr.text, tr.line
+                    ),
+                );
+            }
+        }
+        // Continue scanning *inside* the loop too (nested loops).
+        i += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -726,6 +833,20 @@ mod tests {
         let ok = include_str!("../fixtures/telemetry_branch_ok.rs");
         let v = run("crates/serving/src/fixture.rs", ok);
         assert!(!rules_hit(&v).contains(&"telemetry-never-branches"), "{v:?}");
+    }
+
+    #[test]
+    fn fixture_backoff() {
+        let bad = include_str!("../fixtures/backoff_bad.rs");
+        let v = run("crates/chaos/src/fixture.rs", bad);
+        let hits = rules_hit(&v).iter().filter(|r| **r == "backoff-needs-cap").count();
+        assert_eq!(hits, 2, "uncapped resend loop + bare sleep poll: {v:?}");
+        let waived = include_str!("../fixtures/backoff_waived.rs");
+        let v = run("crates/chaos/src/fixture.rs", waived);
+        assert!(!rules_hit(&v).contains(&"backoff-needs-cap"), "{v:?}");
+        // Bench/CLI retry loops answer to a human; test code polls freely.
+        assert!(run("crates/cli/src/fixture.rs", bad).is_empty());
+        assert!(run("tests/fixture.rs", bad).is_empty());
     }
 
     #[test]

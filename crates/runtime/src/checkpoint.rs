@@ -363,6 +363,31 @@ pub fn latest_checkpoint(dir: &Path) -> Result<Option<PathBuf>, RuntimeError> {
     Ok(best)
 }
 
+/// The newest checkpoint in `dir` that parses and passes its checksum,
+/// scanning newest-first so a corrupted or truncated latest file falls back
+/// to the previous valid one instead of aborting recovery. Returns `None`
+/// when no file survives (recovery then restarts from scratch).
+pub fn latest_valid_checkpoint(dir: &Path) -> Result<Option<(PathBuf, Checkpoint)>, RuntimeError> {
+    if !dir.exists() {
+        return Ok(None);
+    }
+    let mut candidates: Vec<PathBuf> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with("ckpt-") && name.ends_with(".bin") {
+            candidates.push(path);
+        }
+    }
+    candidates.sort();
+    for path in candidates.into_iter().rev() {
+        if let Ok(ckpt) = Checkpoint::read_from(&path) {
+            return Ok(Some((path, ckpt)));
+        }
+    }
+    Ok(None)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,6 +458,63 @@ mod tests {
         let path_b = b.write_to_dir(&dir).unwrap();
         assert_eq!(latest_checkpoint(&dir).unwrap(), Some(path_b.clone()));
         assert_eq!(Checkpoint::read_from(&path_b).unwrap().global_step, 40);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_trailer_falls_back_to_previous_checkpoint() {
+        let dir = std::env::temp_dir().join(format!("algr-ckpt-corrupt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut old = sample();
+        old.global_step = 10;
+        let old_path = old.write_to_dir(&dir).unwrap();
+        let mut newest = sample();
+        newest.global_step = 20;
+        let newest_path = newest.write_to_dir(&dir).unwrap();
+
+        // Healthy dir: the newest wins.
+        let (path, ckpt) = latest_valid_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!((path, ckpt.global_step), (newest_path.clone(), 20));
+
+        // Flip one byte in the newest file's trailer: restore must fall
+        // back to the older valid checkpoint, not error out.
+        let mut bytes = fs::read(&newest_path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&newest_path, &bytes).unwrap();
+        assert!(Checkpoint::read_from(&newest_path).is_err());
+        let (path, ckpt) = latest_valid_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!((path, ckpt.global_step), (old_path.clone(), 10));
+
+        // Corrupt the older one too: nothing valid remains.
+        let mut bytes = fs::read(&old_path).unwrap();
+        bytes[12] ^= 0xff;
+        fs::write(&old_path, &bytes).unwrap();
+        assert_eq!(latest_valid_checkpoint(&dir).unwrap(), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_falls_back_to_previous_checkpoint() {
+        let dir = std::env::temp_dir().join(format!("algr-ckpt-trunc-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut old = sample();
+        old.global_step = 3;
+        old.write_to_dir(&dir).unwrap();
+        let mut newest = sample();
+        newest.global_step = 9;
+        let newest_path = newest.write_to_dir(&dir).unwrap();
+
+        // Chop the newest file mid-body (a crash during a non-atomic copy).
+        let bytes = fs::read(&newest_path).unwrap();
+        fs::write(&newest_path, &bytes[..bytes.len() / 2]).unwrap();
+        let (_, ckpt) = latest_valid_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(ckpt.global_step, 3);
+
+        // An empty stray file is skipped the same way.
+        fs::write(dir.join("ckpt-9999999999.bin"), []).unwrap();
+        let (_, ckpt) = latest_valid_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(ckpt.global_step, 3);
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -29,12 +29,12 @@ pub mod report;
 pub mod runtime;
 pub mod ssp;
 
-pub use checkpoint::{latest_checkpoint, Checkpoint, WorkerCkpt};
+pub use checkpoint::{latest_checkpoint, latest_valid_checkpoint, Checkpoint, WorkerCkpt};
 pub use error::RuntimeError;
-pub use ps::{PsShardState, SparseParamServer};
+pub use ps::{ChannelSeqs, PsShardState, SparseParamServer};
 #[allow(deprecated)]
 pub use ps::{PsStats, PsStatsSnapshot};
 pub use report::{DistReport, WorkerReport};
 pub use runtime::{
-    CheckpointConfig, DistOutcome, DistTrainer, EncoderSpec, FaultPlan, RuntimeConfig,
+    ChaosConfig, CheckpointConfig, DistOutcome, DistTrainer, EncoderSpec, FaultPlan, RuntimeConfig,
 };

@@ -15,6 +15,7 @@
 //! accumulate per row.
 
 use crate::error::RuntimeError;
+use aligraph_chaos::{Delivery, FaultPlane, RecoveryMode, RetryPolicy, TICK_NS};
 use aligraph_graph::{FeatureMatrix, VertexId};
 use aligraph_partition::Partition;
 use aligraph_storage::{AccessKind, CostModel, TierMeter, TierMeterSnapshot};
@@ -56,6 +57,35 @@ pub type PsStats = TierMeter;
 #[deprecated(note = "use aligraph_storage::TierMeterSnapshot")]
 pub type PsStatsSnapshot = TierMeterSnapshot;
 
+/// Sender-held sequence counters for one worker's fault-plane channels:
+/// one push stream and one pull-response stream per destination shard.
+/// Fresh counters per run attempt pair with the server's fresh
+/// `applied_seq` table, so a recovery restart replays cleanly.
+#[derive(Debug, Clone)]
+pub struct ChannelSeqs {
+    push: Vec<u64>,
+    pull: Vec<u64>,
+}
+
+impl ChannelSeqs {
+    /// Zeroed counters for `shards` destination shards.
+    pub fn new(shards: usize) -> Self {
+        ChannelSeqs { push: vec![0; shards], pull: vec![0; shards] }
+    }
+
+    fn next_push(&mut self, shard: usize) -> u64 {
+        let s = self.push[shard];
+        self.push[shard] += 1;
+        s
+    }
+
+    fn next_pull(&mut self, shard: usize) -> u64 {
+        let s = self.pull[shard];
+        self.pull[shard] += 1;
+        s
+    }
+}
+
 /// The sharded sparse parameter server.
 #[derive(Debug)]
 pub struct SparseParamServer {
@@ -68,6 +98,11 @@ pub struct SparseParamServer {
     shards: Vec<Mutex<PsShard>>,
     /// Per-worker dirty sets: rows updated since that worker last drained.
     dirty: Vec<Mutex<HashSet<u32>>>,
+    /// `applied_seq[shard][sender]`: next delta sequence number expected on
+    /// the `sender → shard` push channel. Retried deltas whose sequence
+    /// number is below this were already applied and are discarded — the
+    /// idempotence that makes lost acks invisible to the math.
+    applied_seq: Vec<Mutex<Vec<u64>>>,
     stats: TierMeter,
     /// Payload bytes landed on each destination shard (pushes + pulls),
     /// published as `runtime.ps.bytes{shard=<w>}`.
@@ -120,6 +155,7 @@ impl SparseParamServer {
             })
             .collect();
         let dirty = (0..workers).map(|_| Mutex::new(HashSet::new())).collect();
+        let applied_seq = (0..workers).map(|_| Mutex::new(vec![0u64; workers])).collect();
         let shard_bytes = (0..workers)
             .map(|w| registry.counter("runtime.ps.bytes", &[("shard", &w.to_string())]))
             .collect();
@@ -131,6 +167,7 @@ impl SparseParamServer {
             owner,
             shards,
             dirty,
+            applied_seq,
             stats: TierMeter::registered(registry, "runtime.ps"),
             shard_bytes,
         }
@@ -232,6 +269,197 @@ impl SparseParamServer {
                 ns += self.stats.record(kind, n * row_bytes, &self.cost);
                 self.shard_bytes[w].add(n * row_bytes);
             }
+        }
+        Ok(ns)
+    }
+
+    /// [`push`](Self::push) through a [`FaultPlane`]: each per-shard message
+    /// is sequence-numbered on its `from → shard` channel and subject to the
+    /// plane's drop/delay/lost-ack/corruption decisions. Drops and
+    /// corruptions are retried with `policy`'s capped backoff (each backoff
+    /// tick adds [`TICK_NS`] of modelled comm time); lost acks apply the
+    /// delta and retry it, relying on the shard's sequence dedup to discard
+    /// the duplicate; the reorder fault re-delivers late duplicates the same
+    /// dedup must absorb. With [`RecoveryMode::Full`] the surviving update
+    /// stream is byte-identical to the fault-free one — only the modelled
+    /// time differs. The broken modes exist for the chaos suite's
+    /// divergence-detection tests.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_faulted(
+        &self,
+        from: usize,
+        grads: &HashMap<u32, Vec<f32>>,
+        plane: &FaultPlane,
+        policy: &RetryPolicy,
+        mode: RecoveryMode,
+        seqs: &mut ChannelSeqs,
+    ) -> Result<u64, RuntimeError> {
+        let row_bytes = self.dim as u64 * 4;
+        let mut by_shard: Vec<Vec<(u32, &[f32])>> = vec![Vec::new(); self.shards.len()];
+        let mut ordered: Vec<(&u32, &Vec<f32>)> = grads.iter().collect();
+        ordered.sort_unstable_by_key(|(v, _)| **v);
+        for (&v, g) in ordered {
+            by_shard[self.owner[v as usize] as usize].push((v, g.as_slice()));
+        }
+        let mut ns = 0u64;
+        for (w, rows) in by_shard.iter().enumerate() {
+            if rows.is_empty() {
+                continue;
+            }
+            let seq = seqs.next_push(w);
+            let channel = FaultPlane::channel(from as u64, w as u64);
+            let mut attempt = 0u32;
+            let delivered = loop {
+                if attempt > 0 {
+                    if mode == RecoveryMode::NoRetry {
+                        break false; // deliberately broken: the message is lost
+                    }
+                    if policy.exhausted(attempt) {
+                        return Err(RuntimeError::Unrecoverable(format!(
+                            "ps push {from}->{w} seq {seq}: retry deadline exhausted \
+                             after {attempt} attempts"
+                        )));
+                    }
+                    plane.note_retry();
+                    ns += policy.backoff_ticks(attempt) * TICK_NS;
+                }
+                match plane.decide(channel, seq, attempt) {
+                    Delivery::Deliver => {
+                        self.apply_push_message(w, from, seq, rows, mode)?;
+                        break true;
+                    }
+                    Delivery::Delay(d) => {
+                        ns += d * TICK_NS;
+                        self.apply_push_message(w, from, seq, rows, mode)?;
+                        break true;
+                    }
+                    Delivery::AckLost => {
+                        // Applied on the shard, but the sender never learns:
+                        // the resend is a duplicate the dedup discards.
+                        self.apply_push_message(w, from, seq, rows, mode)?;
+                        attempt += 1;
+                    }
+                    Delivery::Drop | Delivery::Corrupt => attempt += 1,
+                }
+            };
+            if delivered {
+                let kind = if w == from { AccessKind::Local } else { AccessKind::Remote };
+                ns += self.stats.record(kind, rows.len() as u64 * row_bytes, &self.cost);
+                self.shard_bytes[w].add(rows.len() as u64 * row_bytes);
+                if plane.replays_duplicate(channel, seq) {
+                    // The reorder fault: a stale duplicate shows up after
+                    // delivery; sequence dedup must make it a no-op.
+                    self.apply_push_message(w, from, seq, rows, mode)?;
+                }
+            }
+        }
+        Ok(ns)
+    }
+
+    /// Applies (or dedup-discards) one sequenced push message on shard `w`.
+    fn apply_push_message(
+        &self,
+        w: usize,
+        from: usize,
+        seq: u64,
+        rows: &[(u32, &[f32])],
+        mode: RecoveryMode,
+    ) -> Result<(), RuntimeError> {
+        if mode != RecoveryMode::NoDedup {
+            let mut expected =
+                self.applied_seq[w].lock().map_err(|_| RuntimeError::Poisoned("ps seq table"))?;
+            if seq < expected[from] {
+                return Ok(()); // duplicate of an already-applied delta
+            }
+            expected[from] = seq + 1;
+        }
+        for &(v, g) in rows {
+            {
+                let mut shard =
+                    self.shards[w].lock().map_err(|_| RuntimeError::Poisoned("ps shard"))?;
+                let slot = shard.slot_of[&v] as usize;
+                shard.table.adagrad_update(slot, g, self.lr);
+            }
+            for set in &self.dirty {
+                set.lock().map_err(|_| RuntimeError::Poisoned("ps dirty set"))?.insert(v);
+            }
+        }
+        Ok(())
+    }
+
+    /// [`drain_into`](Self::drain_into) through a [`FaultPlane`]: each
+    /// per-shard pull response is sequence-numbered on its `shard → who`
+    /// channel and retried on drops/corruptions like pushes. Pull responses
+    /// are idempotent reads, so no dedup is needed — but under
+    /// [`RecoveryMode::NoRetry`] a dropped response permanently loses its
+    /// rows (they were already drained from the dirty set), leaving the
+    /// replica stale forever: exactly the silent divergence the chaos suite
+    /// must catch.
+    pub fn drain_into_faulted(
+        &self,
+        who: usize,
+        replica: &mut FeatureMatrix,
+        plane: &FaultPlane,
+        policy: &RetryPolicy,
+        mode: RecoveryMode,
+        seqs: &mut ChannelSeqs,
+    ) -> Result<u64, RuntimeError> {
+        let mut rows: Vec<u32> = {
+            let mut set =
+                self.dirty[who].lock().map_err(|_| RuntimeError::Poisoned("ps dirty set"))?;
+            set.drain().collect()
+        };
+        rows.sort_unstable();
+        let row_bytes = self.dim as u64 * 4;
+        let mut by_shard: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()];
+        for v in rows {
+            by_shard[self.owner[v as usize] as usize].push(v);
+        }
+        let mut ns = 0u64;
+        for (w, rows) in by_shard.iter().enumerate() {
+            if rows.is_empty() {
+                continue;
+            }
+            let seq = seqs.next_pull(w);
+            let channel = FaultPlane::channel_with(1, w as u64, who as u64);
+            let mut attempt = 0u32;
+            let delivered = loop {
+                if attempt > 0 {
+                    if mode == RecoveryMode::NoRetry {
+                        break false; // deliberately broken: rows stay stale
+                    }
+                    if policy.exhausted(attempt) {
+                        return Err(RuntimeError::Unrecoverable(format!(
+                            "ps pull {w}->{who} seq {seq}: retry deadline exhausted \
+                             after {attempt} attempts"
+                        )));
+                    }
+                    plane.note_retry();
+                    ns += policy.backoff_ticks(attempt) * TICK_NS;
+                }
+                match plane.decide(channel, seq, attempt) {
+                    Delivery::Deliver => break true,
+                    Delivery::Delay(d) => {
+                        ns += d * TICK_NS;
+                        break true;
+                    }
+                    // A pull with a lost ack or corrupt payload is a retry
+                    // from the reader's side; re-reading is idempotent.
+                    Delivery::AckLost | Delivery::Drop | Delivery::Corrupt => attempt += 1,
+                }
+            };
+            if !delivered {
+                continue;
+            }
+            for &v in rows {
+                let shard =
+                    self.shards[w].lock().map_err(|_| RuntimeError::Poisoned("ps shard"))?;
+                let slot = shard.slot_of[&v] as usize;
+                replica.row_mut(VertexId(v)).copy_from_slice(shard.table.row(slot));
+            }
+            let kind = if w == who { AccessKind::Local } else { AccessKind::Remote };
+            ns += self.stats.record(kind, rows.len() as u64 * row_bytes, &self.cost);
+            self.shard_bytes[w].add(rows.len() as u64 * row_bytes);
         }
         Ok(ns)
     }
@@ -404,6 +632,67 @@ mod tests {
         ps.reset_stats();
         assert_eq!(ps.stats().snapshot(), TierMeterSnapshot::default());
         assert_eq!(registry.snapshot().counter("runtime.ps.bytes", &[("shard", "0")]), 0);
+    }
+
+    /// Runs a fixed 12-step push/drain workload on 2 workers through a
+    /// fault plane, returning final server params ++ worker-0 replica and
+    /// the plane's fault counters. `drop = 0` with `Full` is the clean
+    /// baseline (the plane delivers everything).
+    fn run_workload(
+        mode: RecoveryMode,
+        drop: f64,
+        seed: u64,
+    ) -> (Vec<f32>, aligraph_chaos::FaultSnapshot) {
+        use aligraph_chaos::FaultPlan;
+        let (ps, f, _) = setup(2);
+        let plane = FaultPlane::new(FaultPlan::with_seed(seed, drop));
+        let policy = RetryPolicy::default();
+        let mut seqs = [ChannelSeqs::new(2), ChannelSeqs::new(2)];
+        let mut replicas = [f.clone(), f.clone()];
+        for step in 0..12u32 {
+            for (w, seq) in seqs.iter_mut().enumerate() {
+                let mut grads = HashMap::new();
+                for k in 0..4u32 {
+                    let v = (step * 7 + k * 3 + w as u32) % f.len() as u32;
+                    grads.insert(v, vec![0.1 * (k as f32 + 1.0); 8]);
+                }
+                ps.push_faulted(w, &grads, &plane, &policy, mode, seq).unwrap();
+            }
+            for (w, (replica, seq)) in replicas.iter_mut().zip(seqs.iter_mut()).enumerate() {
+                ps.drain_into_faulted(w, replica, &plane, &policy, mode, seq).unwrap();
+            }
+        }
+        let mut out = ps.materialize().unwrap().as_slice().to_vec();
+        out.extend_from_slice(replicas[0].as_slice());
+        (out, plane.snapshot())
+    }
+
+    #[test]
+    fn faulted_push_pull_is_bit_exact_with_full_recovery() {
+        let (clean, quiet) = run_workload(RecoveryMode::Full, 0.0, 0);
+        assert_eq!(quiet.faults_injected, 0);
+        for seed in [1u64, 7, 42] {
+            let (faulted, snap) = run_workload(RecoveryMode::Full, 0.3, seed);
+            assert!(snap.faults_injected > 0, "seed {seed}: no faults fired");
+            assert!(snap.retries > 0, "seed {seed}: no retries performed");
+            assert_eq!(
+                clean.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                faulted.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "seed {seed}: faulted run diverged from clean run"
+            );
+        }
+    }
+
+    #[test]
+    fn broken_recovery_modes_are_caught_by_divergence() {
+        let (clean, _) = run_workload(RecoveryMode::Full, 0.0, 0);
+        // Teeth check: with recovery deliberately broken, some fault seed
+        // must produce bit-different parameters — otherwise the parity
+        // assertion above proves nothing.
+        let diverges =
+            |mode: RecoveryMode| (0..8u64).any(|seed| run_workload(mode, 0.3, seed).0 != clean);
+        assert!(diverges(RecoveryMode::NoRetry), "silent message loss went undetected");
+        assert!(diverges(RecoveryMode::NoDedup), "double-applied deltas went undetected");
     }
 
     #[test]

@@ -50,6 +50,11 @@ pub struct DistReport {
     pub checkpoints_written: u64,
     /// Fault recoveries performed (checkpoint restores mid-run).
     pub recoveries: u64,
+    /// Faults the chaos plane injected (drops, delays, lost acks,
+    /// corruptions, replayed duplicates, crashes, checkpoint flips).
+    pub faults_injected: u64,
+    /// Message retries the recovery machinery performed.
+    pub retries: u64,
 }
 
 impl DistReport {
@@ -128,7 +133,11 @@ impl fmt::Display for DistReport {
             self.adjacency.remote,
             self.adjacency.virtual_ns as f64 / 1e6
         )?;
-        write!(f, "checkpoints {}  recoveries {}", self.checkpoints_written, self.recoveries)
+        write!(
+            f,
+            "checkpoints {}  recoveries {}  faults {}  retries {}",
+            self.checkpoints_written, self.recoveries, self.faults_injected, self.retries
+        )
     }
 }
 
@@ -196,6 +205,8 @@ impl Report for DistReport {
             ),
             ("checkpoints_written", Json::UInt(self.checkpoints_written)),
             ("recoveries", Json::UInt(self.recoveries)),
+            ("faults_injected", Json::UInt(self.faults_injected)),
+            ("retries", Json::UInt(self.retries)),
         ])
     }
 
@@ -231,6 +242,8 @@ impl Report for DistReport {
         self.adjacency.virtual_ns += other.adjacency.virtual_ns;
         self.checkpoints_written += other.checkpoints_written;
         self.recoveries += other.recoveries;
+        self.faults_injected += other.faults_injected;
+        self.retries += other.retries;
     }
 }
 

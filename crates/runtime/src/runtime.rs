@@ -17,12 +17,13 @@
 //! degenerates to exactly [`aligraph::train_unsupervised`] — the
 //! convergence-parity test pins the loss trajectories bit-for-bit.
 
-use crate::checkpoint::{latest_checkpoint, Checkpoint, WorkerCkpt};
+use crate::checkpoint::{latest_valid_checkpoint, Checkpoint, WorkerCkpt};
 use crate::error::RuntimeError;
-use crate::ps::SparseParamServer;
+use crate::ps::{ChannelSeqs, SparseParamServer};
 use crate::report::{DistReport, WorkerReport};
 use crate::ssp::{Abort, Coordinator, Deposit, Rendezvous};
 use aligraph::{contrastive_step, GnnEncoder};
+use aligraph_chaos::{FaultPlane, RecoveryMode, RetryPolicy};
 use aligraph_graph::{AttributedHeterogeneousGraph, EdgeType, FeatureMatrix};
 use aligraph_partition::WorkerId;
 use aligraph_sampling::neighborhood::ClusterView;
@@ -53,6 +54,43 @@ pub struct FaultPlan {
     pub worker: u32,
     /// Global step at which it dies (before computing that step).
     pub at_step: u64,
+}
+
+/// Chaos-plane configuration: a seeded [`aligraph_chaos::FaultPlan`] over
+/// every PS push/pull channel plus the recovery machinery's parameters.
+/// Excluded from the config fingerprint like the legacy [`FaultPlan`], so a
+/// chaos run's checkpoints interchange with fault-free ones — which is what
+/// lets the chaos suite assert bit-exact convergence against the fault-free
+/// baseline.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// The seeded fault plan (what to inject, where, how often).
+    pub plan: aligraph_chaos::FaultPlan,
+    /// Capped-backoff retry policy for faulted sends.
+    pub policy: RetryPolicy,
+    /// Recovery machinery selection. [`RecoveryMode::Full`] is the real
+    /// system; the broken variants exist for divergence-detection tests.
+    pub mode: RecoveryMode,
+}
+
+impl ChaosConfig {
+    /// The common CLI shape: fault seed + drop rate, defaults elsewhere.
+    pub fn with_seed(seed: u64, drop_rate: f64) -> Self {
+        ChaosConfig {
+            plan: aligraph_chaos::FaultPlan::with_seed(seed, drop_rate),
+            policy: RetryPolicy::default(),
+            mode: RecoveryMode::Full,
+        }
+    }
+}
+
+/// Per-attempt chaos runtime handles threaded through the worker loop.
+struct ChaosRt<'p> {
+    plane: &'p FaultPlane,
+    policy: RetryPolicy,
+    mode: RecoveryMode,
+    /// Once-only latches, one per `crash_schedule` entry.
+    crash_fired: &'p [AtomicBool],
 }
 
 /// Configuration of a distributed training run.
@@ -87,6 +125,8 @@ pub struct RuntimeConfig {
     pub checkpoint: Option<CheckpointConfig>,
     /// Fault injection (`None` disables).
     pub fault: Option<FaultPlan>,
+    /// Chaos plane over every PS channel (`None` disables).
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for RuntimeConfig {
@@ -104,6 +144,7 @@ impl Default for RuntimeConfig {
             min_delta: 1e-4,
             checkpoint: None,
             fault: None,
+            chaos: None,
         }
     }
 }
@@ -319,29 +360,50 @@ impl<'a> DistTrainer<'a> {
         // With no fault planned the flag starts "already fired".
         let fault_fired = AtomicBool::new(self.cfg.fault.is_none());
         let checkpoints = AtomicU64::new(0);
+        // The plane and its crash latches outlive the attempt loop: fault
+        // counters accumulate across recoveries, and each scheduled crash
+        // fires exactly once per run (not once per attempt).
+        let chaos_state = self.cfg.chaos.as_ref().map(|c| {
+            let fired: Vec<AtomicBool> =
+                c.plan.crash_schedule.iter().map(|_| AtomicBool::new(false)).collect();
+            (FaultPlane::registered(c.plan.clone(), &self.registry), fired)
+        });
+        let max_recoveries =
+            8 + self.cfg.chaos.as_ref().map_or(0, |c| c.plan.crash_schedule.len() as u64);
         let mut resume = resume;
         let mut recoveries = 0u64;
         loop {
-            match self.run_attempt(resume.take(), &fault_fired, &checkpoints) {
+            let chaos =
+                self.cfg.chaos.as_ref().zip(chaos_state.as_ref()).map(|(c, (plane, fired))| {
+                    ChaosRt { plane, policy: c.policy, mode: c.mode, crash_fired: fired }
+                });
+            match self.run_attempt(resume.take(), &fault_fired, &checkpoints, chaos.as_ref()) {
                 Ok(mut outcome) => {
                     outcome.report.wall_ns = started.elapsed_ns();
                     outcome.report.recoveries = recoveries;
                     // ordering: read after all worker threads joined inside
                     // run_attempt; the join synchronizes, Relaxed suffices.
                     outcome.report.checkpoints_written = checkpoints.load(Ordering::Relaxed);
+                    if let Some((plane, _)) = &chaos_state {
+                        let snap = plane.snapshot();
+                        outcome.report.faults_injected = snap.faults_injected;
+                        outcome.report.retries = snap.retries;
+                    }
                     return Ok(outcome);
                 }
                 Err(RuntimeError::Fault { .. }) => {
                     recoveries += 1;
-                    if recoveries > 8 {
-                        return Err(RuntimeError::Unrecoverable(
-                            "fault recovery looped more than 8 times".into(),
-                        ));
+                    if recoveries > max_recoveries {
+                        return Err(RuntimeError::Unrecoverable(format!(
+                            "fault recovery looped more than {max_recoveries} times"
+                        )));
                     }
                     resume = match &self.cfg.checkpoint {
-                        Some(ck) => match latest_checkpoint(&ck.dir)? {
-                            Some(path) => {
-                                let ckpt = Checkpoint::read_from(&path)?;
+                        // Newest-first scan past corrupted/truncated files:
+                        // a chaos-flipped checkpoint falls back to the
+                        // previous valid one (or a scratch restart).
+                        Some(ck) => match latest_valid_checkpoint(&ck.dir)? {
+                            Some((_, ckpt)) => {
                                 self.validate_checkpoint(&ckpt)?;
                                 Some(ckpt)
                             }
@@ -360,6 +422,7 @@ impl<'a> DistTrainer<'a> {
         resume: Option<Checkpoint>,
         fault_fired: &AtomicBool,
         checkpoints: &AtomicU64,
+        chaos: Option<&ChaosRt<'_>>,
     ) -> Result<DistOutcome, RuntimeError> {
         let cfg = &self.cfg;
         let p = cfg.workers;
@@ -419,6 +482,7 @@ impl<'a> DistTrainer<'a> {
                             shared,
                             fault_fired,
                             checkpoints,
+                            chaos,
                         )
                     })
                 })
@@ -478,6 +542,8 @@ impl<'a> DistTrainer<'a> {
             adjacency: self.cluster.stats().snapshot(),
             checkpoints_written: 0,
             recoveries: 0,
+            faults_injected: 0,
+            retries: 0,
         };
         Ok(DistOutcome { report, encoder, features })
     }
@@ -497,6 +563,7 @@ impl<'a> DistTrainer<'a> {
         shared: &Mutex<SharedTrain>,
         fault_fired: &AtomicBool,
         checkpoints: &AtomicU64,
+        chaos: Option<&ChaosRt<'_>>,
     ) -> Result<WorkerDone, RuntimeError> {
         let cfg = &self.cfg;
         let graph: &AttributedHeterogeneousGraph = self.cluster.graph();
@@ -526,6 +593,9 @@ impl<'a> DistTrainer<'a> {
             comm_ns = wk.comm_ns;
             hist.copy_from_slice(&wk.hist);
         }
+        // Fresh per attempt, pairing with the PS's fresh `applied_seq`
+        // table: a recovery restart replays its channels from sequence 0.
+        let mut seqs = ChannelSeqs::new(cfg.workers);
         let pools = ShardEdgePools::build(graph, self.cluster.partition(), WorkerId(me as u32));
         let view = ClusterView { cluster: self.cluster, from: WorkerId(me as u32) };
         let sampler = MeteredNeighborhood::new(UniformNeighborhood, &self.registry, "uniform");
@@ -548,12 +618,34 @@ impl<'a> DistTrainer<'a> {
                     return Err(RuntimeError::Fault { worker: fp.worker });
                 }
             }
+            if let Some(cx) = chaos {
+                if let Some(i) = cx.plane.crash_scheduled(me as u32, t) {
+                    // ordering: SeqCst swap is the once-only latch for this
+                    // schedule entry, same rationale as the legacy fault
+                    // latch above: cold path, every thread must agree.
+                    if !cx.crash_fired[i].swap(true, Ordering::SeqCst) {
+                        cx.plane.note_crash();
+                        co.crash(Abort::Fault { worker: me as u32 })?;
+                        return Err(RuntimeError::Fault { worker: me as u32 });
+                    }
+                }
+            }
 
             // Bounded staleness: drain the PS once the replica is more than
             // `s` steps old, then record the age this step computed at.
             let mut age = t - last_drain;
             if age > cfg.staleness {
-                comm_ns += ps.drain_into(me, &mut replica)?;
+                comm_ns += match chaos {
+                    Some(cx) => ps.drain_into_faulted(
+                        me,
+                        &mut replica,
+                        cx.plane,
+                        &cx.policy,
+                        cx.mode,
+                        &mut seqs,
+                    )?,
+                    None => ps.drain_into(me, &mut replica)?,
+                };
                 last_drain = t;
                 age = 0;
             }
@@ -581,7 +673,17 @@ impl<'a> DistTrainer<'a> {
                 pairs += out.pairs as u64;
                 edges += batch.len() as u64;
                 comm_ns += ps.record_reads(me, out.feature_grads.keys());
-                comm_ns += ps.push(me, &out.feature_grads)?;
+                comm_ns += match chaos {
+                    Some(cx) => ps.push_faulted(
+                        me,
+                        &out.feature_grads,
+                        cx.plane,
+                        &cx.policy,
+                        cx.mode,
+                        &mut seqs,
+                    )?,
+                    None => ps.push(me, &out.feature_grads)?,
+                };
             } else {
                 busy_ns += start.elapsed_ns();
             }
@@ -613,7 +715,7 @@ impl<'a> DistTrainer<'a> {
                         let sh = shared
                             .lock()
                             .map_err(|_| RuntimeError::Poisoned("shared train state"))?;
-                        write_checkpoint(fingerprint, t, &sh, None, &deps, ps, &ck.dir)?;
+                        write_checkpoint(fingerprint, t, &sh, None, &deps, ps, &ck.dir, chaos)?;
                         // ordering: report-only tally read after worker
                         // joins; the join synchronizes, Relaxed suffices.
                         checkpoints.fetch_add(1, Ordering::Relaxed);
@@ -668,7 +770,16 @@ impl<'a> DistTrainer<'a> {
                             d.loss_sum = 0.0;
                             d.pairs = 0;
                         }
-                        write_checkpoint(fingerprint, t, &sh, Some(&avg), &deps, ps, &ck.dir)?;
+                        write_checkpoint(
+                            fingerprint,
+                            t,
+                            &sh,
+                            Some(&avg),
+                            &deps,
+                            ps,
+                            &ck.dir,
+                            chaos,
+                        )?;
                         // ordering: report-only tally read after worker
                         // joins; the join synchronizes, Relaxed suffices.
                         checkpoints.fetch_add(1, Ordering::Relaxed);
@@ -689,7 +800,11 @@ impl<'a> DistTrainer<'a> {
 }
 
 /// Assembles and atomically writes one checkpoint from the rendezvous
-/// deposits (leader-only; runs under the coordinator lock).
+/// deposits (leader-only; runs under the coordinator lock). When the chaos
+/// plan corrupts checkpoints, the plane picks a seeded subset of steps and
+/// flips one byte in the written file — recovery must detect the bad
+/// checksum and fall back to the previous valid checkpoint.
+#[allow(clippy::too_many_arguments)]
 fn write_checkpoint(
     fingerprint: u64,
     global_step: u64,
@@ -698,6 +813,7 @@ fn write_checkpoint(
     deps: &[Deposit],
     ps: &SparseParamServer,
     dir: &Path,
+    chaos: Option<&ChaosRt<'_>>,
 ) -> Result<(), RuntimeError> {
     let ckpt = Checkpoint {
         fingerprint,
@@ -722,6 +838,14 @@ fn write_checkpoint(
             .collect(),
         shards: ps.export()?,
     };
-    ckpt.write_to_dir(dir)?;
+    let path = ckpt.write_to_dir(dir)?;
+    if let Some(cx) = chaos {
+        if let Some(offset) = cx.plane.corrupts_checkpoint(global_step) {
+            let mut bytes = std::fs::read(&path)?;
+            let i = (offset % bytes.len() as u64) as usize;
+            bytes[i] ^= 0xff;
+            std::fs::write(&path, &bytes)?;
+        }
+    }
     Ok(())
 }

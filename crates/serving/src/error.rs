@@ -23,6 +23,18 @@ pub enum ServeError {
     UnknownVertex(VertexId),
     /// A storage-layer bucket executor stopped underneath the service.
     Storage(ExecutorStopped),
+    /// The shard fetch for the vertex exhausted its retry deadline and the
+    /// fallback embedding is stale beyond the configured version bound, so
+    /// degraded mode refuses to serve it.
+    Unavailable {
+        /// The vertex that could not be resolved.
+        vertex: VertexId,
+        /// How many graph versions old the fallback entry was (`u64::MAX`
+        /// when no fallback entry existed at all).
+        stale_by: u64,
+        /// The configured staleness bound the entry exceeded.
+        bound: u64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -35,6 +47,12 @@ impl fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "serving service is shutting down"),
             ServeError::UnknownVertex(v) => write!(f, "vertex {} is not in the served graph", v.0),
             ServeError::Storage(e) => write!(f, "storage layer stopped: {e}"),
+            ServeError::Unavailable { vertex, stale_by, bound } => write!(
+                f,
+                "vertex {} unavailable: shard fetch exhausted retries and the \
+                 fallback is {stale_by} versions stale (bound {bound})",
+                vertex.0
+            ),
         }
     }
 }

@@ -45,4 +45,4 @@ pub use cache::{CacheStats, EmbeddingCache};
 pub use error::ServeError;
 pub use metrics::{ServingMetrics, ServingReport};
 pub use overlay::{affected_seeds, OverlayGraph};
-pub use service::{ServingConfig, ServingService};
+pub use service::{ServedEmbedding, ServingConfig, ServingFaultConfig, ServingService};

@@ -26,6 +26,7 @@ pub struct ServingMetrics {
     forwards: Arc<Counter>,
     tape_hits: Arc<Counter>,
     tape_misses: Arc<Counter>,
+    degraded: Arc<Counter>,
     batch_size: Arc<Histogram>,
     latency_ns: Arc<Histogram>,
 }
@@ -47,6 +48,7 @@ impl ServingMetrics {
             forwards: registry.counter("serving.forwards", &[]),
             tape_hits: registry.counter("serving.tape", &[("event", "hit")]),
             tape_misses: registry.counter("serving.tape", &[("event", "miss")]),
+            degraded: registry.counter("serving.degraded", &[]),
             batch_size: registry.histogram("serving.batch.size", &[]),
             latency_ns: registry.histogram("serving.latency_ns", &[]),
         }
@@ -76,6 +78,12 @@ impl ServingMetrics {
     /// Records one request's enqueue-to-reply latency.
     pub fn latency(&self, d: Duration) {
         self.latency_ns.record_duration(d);
+    }
+
+    /// Counts one embedding served from the stale-but-bounded fallback
+    /// store because the shard fetch exhausted its retries.
+    pub fn degraded(&self) {
+        self.degraded.inc();
     }
 
     /// Encoder forward passes run so far (the dedup denominator).
@@ -108,6 +116,7 @@ impl ServingMetrics {
             forwards: self.forwards.get(),
             tape_hits: self.tape_hits.get(),
             tape_misses: self.tape_misses.get(),
+            degraded: self.degraded.get(),
             p50_us: latency.quantile(0.5) as f64 / 1_000.0,
             p95_us: latency.quantile(0.95) as f64 / 1_000.0,
             p99_us: latency.quantile(0.99) as f64 / 1_000.0,
@@ -136,6 +145,9 @@ pub struct ServingReport {
     pub tape_hits: u64,
     /// Episode-tape memo misses across batches.
     pub tape_misses: u64,
+    /// Requests answered from the stale-but-bounded fallback store while
+    /// the chaos plane was failing shard fetches (tagged `degraded=true`).
+    pub degraded: u64,
     /// Median enqueue-to-reply latency, microseconds (bucket midpoint).
     pub p50_us: f64,
     /// 95th-percentile latency, microseconds.
@@ -165,6 +177,7 @@ impl ServingReport {
             forwards: snap.counter("serving.forwards", &[]),
             tape_hits: snap.counter("serving.tape", &[("event", "hit")]),
             tape_misses: snap.counter("serving.tape", &[("event", "miss")]),
+            degraded: snap.counter("serving.degraded", &[]),
             p50_us: latency.quantile(0.5) as f64 / 1_000.0,
             p95_us: latency.quantile(0.95) as f64 / 1_000.0,
             p99_us: latency.quantile(0.99) as f64 / 1_000.0,
@@ -225,6 +238,13 @@ impl fmt::Display for ServingReport {
             "tape memo: {} hits / {} misses across batches",
             self.tape_hits, self.tape_misses
         )?;
+        if self.degraded > 0 {
+            writeln!(
+                f,
+                "degraded: {} requests served from the stale-bounded fallback",
+                self.degraded
+            )?;
+        }
         write!(
             f,
             "shard access: {} local, {} cache-served, {} remote (hit rate {:.1}%)",
@@ -250,6 +270,7 @@ impl Report for ServingReport {
             ("forwards", Json::UInt(self.forwards)),
             ("tape_hits", Json::UInt(self.tape_hits)),
             ("tape_misses", Json::UInt(self.tape_misses)),
+            ("degraded", Json::UInt(self.degraded)),
             ("p50_us", Json::Float(self.p50_us)),
             ("p95_us", Json::Float(self.p95_us)),
             ("p99_us", Json::Float(self.p99_us)),
@@ -287,6 +308,7 @@ impl Report for ServingReport {
         self.forwards += other.forwards;
         self.tape_hits += other.tape_hits;
         self.tape_misses += other.tape_misses;
+        self.degraded += other.degraded;
         // Percentiles of pooled runs are not recoverable from summaries;
         // keep the max (conservative tail) and recompute QPS additively.
         self.p50_us = self.p50_us.max(other.p50_us);

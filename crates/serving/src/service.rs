@@ -28,6 +28,7 @@ use crate::error::ServeError;
 use crate::metrics::{ServingMetrics, ServingReport};
 use crate::overlay::{affected_seeds, OverlayGraph};
 use aligraph::{EpisodeTape, GnnEncoder};
+use aligraph_chaos::{Delivery, FaultPlan, FaultPlane, RetryPolicy};
 use aligraph_graph::dynamic::SnapshotDelta;
 use aligraph_graph::features::{FeatureMatrix, Featurizer};
 use aligraph_graph::{AttributedHeterogeneousGraph, VertexId};
@@ -36,7 +37,7 @@ use aligraph_sampling::NeighborhoodSampler;
 use aligraph_storage::{AccessKind, AccessStats, CostModel};
 use aligraph_telemetry::Registry;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -68,6 +69,11 @@ pub struct ServingConfig {
     /// Seed for encoder weights and per-worker sampling RNG streams. All
     /// workers build identical encoder replicas from this seed.
     pub seed: u64,
+    /// Optional chaos-plane attachment: when set, every cache-missing
+    /// forward's k-hop gather becomes a fault-plane channel hop that can
+    /// fail past its retry deadline, at which point the worker degrades to
+    /// the version-tagged fallback store (see [`ServingFaultConfig`]).
+    pub fault: Option<ServingFaultConfig>,
 }
 
 impl Default for ServingConfig {
@@ -82,14 +88,48 @@ impl Default for ServingConfig {
             fanouts: vec![8, 4],
             cache_capacity: 4096,
             seed: 7,
+            fault: None,
         }
     }
 }
 
-/// A served result.
+/// Chaos-plane attachment for a [`ServingService`].
+///
+/// The plane wraps the inter-shard k-hop gather a cache miss implies on a
+/// partitioned store (channel tag 3, keyed by the seed's owner shard). A
+/// fetch whose retries exhaust falls back
+/// to the last successfully computed embedding for that vertex *if* it is at
+/// most `max_stale_versions` graph versions old — served with
+/// `degraded = true` and counted under `serving.degraded`. Entries staler
+/// than the bound are never served; the request fails with
+/// [`ServeError::Unavailable`] instead.
+#[derive(Debug, Clone)]
+pub struct ServingFaultConfig {
+    /// The seeded fault plan (drop rate, delays, reordering).
+    pub plan: FaultPlan,
+    /// Retry/backoff policy for faulted fetches.
+    pub policy: RetryPolicy,
+    /// How many graph versions old a fallback embedding may be and still be
+    /// served (degraded) when the live fetch fails.
+    pub max_stale_versions: u64,
+}
+
+/// An embedding plus the explicit degraded-mode tag: `degraded` is `true`
+/// when the live shard fetch failed and the result came from the bounded
+/// fallback store (at most `max_stale_versions` versions old).
+#[derive(Debug, Clone)]
+pub struct ServedEmbedding {
+    /// The (L2-normalized) embedding vector.
+    pub embedding: Arc<Vec<f32>>,
+    /// Whether this result was served from the stale-but-bounded fallback.
+    pub degraded: bool,
+}
+
+/// A served result (or a per-request failure raised inside the batch).
 enum Reply {
-    Embedding(Arc<Vec<f32>>),
+    Embedding(ServedEmbedding),
     Score(f32),
+    Failed(ServeError),
 }
 
 enum JobKind {
@@ -107,6 +147,10 @@ struct Job {
     enqueued: Instant,
 }
 
+/// Version-tagged fallback entries: vertex → (overlay version at capture,
+/// embedding).
+type FallbackStore = HashMap<u32, (u64, Arc<Vec<f32>>)>;
+
 /// State shared by the front-end handle and all workers.
 struct Shared<S> {
     overlay: RwLock<Arc<OverlayGraph>>,
@@ -119,6 +163,12 @@ struct Shared<S> {
     owners: Vec<WorkerId>,
     config: ServingConfig,
     sampler: S,
+    /// The chaos plane, when `config.fault` is set.
+    plane: Option<FaultPlane>,
+    /// Version-tagged fallback embeddings for degraded mode. Deliberately
+    /// *not* invalidated by deltas — surviving invalidation is its purpose;
+    /// the version tag is what bounds how stale a served entry can be.
+    fallback: Mutex<FallbackStore>,
 }
 
 /// The online inference front-end. Cheap to share by reference; dropping it
@@ -164,6 +214,8 @@ impl<S: NeighborhoodSampler + Clone + Send + Sync + 'static> ServingService<S> {
         );
         let features = Featurizer::new(config.feature_dim).matrix(&graph);
         let owners = EdgeCutHash.partition(&graph, config.workers).vertex_owner;
+        let plane =
+            config.fault.as_ref().map(|fc| FaultPlane::registered(fc.plan.clone(), registry));
         let shared = Arc::new(Shared {
             overlay: RwLock::new(Arc::new(OverlayGraph::new(graph))),
             features,
@@ -174,6 +226,8 @@ impl<S: NeighborhoodSampler + Clone + Send + Sync + 'static> ServingService<S> {
             owners,
             config,
             sampler,
+            plane,
+            fallback: Mutex::new(HashMap::new()),
         });
         let mut senders = Vec::new();
         let mut workers = Vec::new();
@@ -188,9 +242,17 @@ impl<S: NeighborhoodSampler + Clone + Send + Sync + 'static> ServingService<S> {
 
     /// The current embedding of `v` (L2-normalized, `dims.last()` wide).
     pub fn embedding(&self, v: VertexId) -> Result<Arc<Vec<f32>>, ServeError> {
+        Ok(self.embedding_tagged(v)?.embedding)
+    }
+
+    /// Like [`embedding`](Self::embedding), keeping the degraded-mode tag:
+    /// `degraded = true` means the live shard fetch failed under the chaos
+    /// plane and the result came from the bounded fallback store.
+    pub fn embedding_tagged(&self, v: VertexId) -> Result<ServedEmbedding, ServeError> {
         match self.submit(v, JobKind::Embed)? {
             Reply::Embedding(e) => Ok(e),
             Reply::Score(_) => unreachable!("embed jobs get embedding replies"),
+            Reply::Failed(_) => unreachable!("submit surfaces failures as Err"),
         }
     }
 
@@ -203,6 +265,7 @@ impl<S: NeighborhoodSampler + Clone + Send + Sync + 'static> ServingService<S> {
         match self.submit(u, JobKind::Score { other: v })? {
             Reply::Score(s) => Ok(s),
             Reply::Embedding(_) => unreachable!("score jobs get score replies"),
+            Reply::Failed(_) => unreachable!("submit surfaces failures as Err"),
         }
     }
 
@@ -226,7 +289,11 @@ impl<S: NeighborhoodSampler + Clone + Send + Sync + 'static> ServingService<S> {
             }
             Err(TrySendError::Disconnected(_)) => return Err(ServeError::ShuttingDown),
         }
-        rx.recv().map_err(|_| ServeError::ShuttingDown)
+        match rx.recv() {
+            Ok(Reply::Failed(e)) => Err(e),
+            Ok(reply) => Ok(reply),
+            Err(_) => Err(ServeError::ShuttingDown),
+        }
     }
 
     /// Rough time for the rejected worker to drain one queue's worth of
@@ -285,6 +352,12 @@ impl<S: NeighborhoodSampler + Clone + Send + Sync + 'static> ServingService<S> {
         &self.shared.config
     }
 
+    /// The attached chaos plane, when the service was started with a
+    /// [`ServingFaultConfig`]. Tests arm/disarm it to bracket fault phases.
+    pub fn fault_plane(&self) -> Option<&FaultPlane> {
+        self.shared.plane.as_ref()
+    }
+
     /// Full latency/throughput report over `elapsed`.
     pub fn report(&self, elapsed: Duration) -> ServingReport {
         self.shared.metrics.report(elapsed, self.shared.cache.stats(), self.shared.stats.snapshot())
@@ -309,6 +382,26 @@ impl<S: NeighborhoodSampler + Clone + Send + Sync + 'static> Drop for ServingSer
     }
 }
 
+/// Drives one remote fetch through the fault plane: retried under `policy`'s
+/// capped backoff until delivery or the retry deadline. Fetches are
+/// idempotent reads, so a lost ack is just a successful delivery, and an
+/// injected delay only costs (virtual) time, never correctness.
+fn fetch_survives(plane: &FaultPlane, policy: &RetryPolicy, channel: u64, seq: u64) -> bool {
+    let mut attempt = 0u32;
+    loop {
+        if attempt > 0 {
+            if policy.exhausted(attempt) {
+                return false;
+            }
+            plane.note_retry();
+        }
+        match plane.decide(channel, seq, attempt) {
+            Delivery::Deliver | Delivery::Delay(_) | Delivery::AckLost => return true,
+            Delivery::Drop | Delivery::Corrupt => attempt += 1,
+        }
+    }
+}
+
 fn worker_loop<S: NeighborhoodSampler + Clone + Send + Sync + 'static>(
     shared: Arc<Shared<S>>,
     rx: Receiver<Job>,
@@ -321,6 +414,9 @@ fn worker_loop<S: NeighborhoodSampler + Clone + Send + Sync + 'static>(
     let mut rng =
         StdRng::seed_from_u64(cfg.seed ^ ((worker as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)));
     let mut tape = EpisodeTape::new();
+    // Message counter for this worker's faulted remote fetches; channel tag 3
+    // keys the owner shard, so (channel, seq) identifies each fetch.
+    let mut remote_seq = 0u64;
 
     while let Some(batch) = next_batch(&rx, cfg.max_batch, cfg.max_batch_delay) {
         // Snapshot the graph version once per batch; the whole batch is
@@ -333,7 +429,8 @@ fn worker_loop<S: NeighborhoodSampler + Clone + Send + Sync + 'static>(
         // Unique vertices the batch needs (dedup across requests).
         let batch_len = batch.len();
         let mut needed: Vec<VertexId> = Vec::new();
-        let mut resolved: HashMap<u32, Arc<Vec<f32>>> = HashMap::new();
+        let mut resolved: HashMap<u32, ServedEmbedding> = HashMap::new();
+        let mut failed: HashMap<u32, ServeError> = HashMap::new();
         for job in &batch {
             needed.push(job.vertex);
             if let JobKind::Score { other } = job.kind {
@@ -352,11 +449,47 @@ fn worker_loop<S: NeighborhoodSampler + Clone + Send + Sync + 'static>(
                 // absorbed.
                 let kind = if owned { AccessKind::Local } else { AccessKind::CachedRemote };
                 shared.stats.record(kind, &shared.cost);
-                resolved.insert(v.0, e);
+                resolved.insert(v.0, ServedEmbedding { embedding: e, degraded: false });
                 continue;
             }
             let kind = if owned { AccessKind::Local } else { AccessKind::Remote };
             shared.stats.record(kind, &shared.cost);
+            // A cache miss forces a k-hop gather whose deeper hops cross
+            // into remote shards on a partitioned store; with a chaos plane
+            // attached that gather can fail past the retry deadline, at
+            // which point the worker serves the bounded fallback (degraded)
+            // or, beyond the staleness bound, fails the request.
+            if let (Some(plane), Some(fc)) = (&shared.plane, &cfg.fault) {
+                let owner = shared.owners[v.index()].index() as u64;
+                let channel = FaultPlane::channel_with(3, worker as u64, owner);
+                let seq = remote_seq;
+                remote_seq += 1;
+                if !fetch_survives(plane, &fc.policy, channel, seq) {
+                    let entry = shared.fallback.lock().get(&v.0).cloned();
+                    match entry {
+                        Some((ver, emb))
+                            if version.saturating_sub(ver) <= fc.max_stale_versions =>
+                        {
+                            shared.metrics.degraded();
+                            resolved
+                                .insert(v.0, ServedEmbedding { embedding: emb, degraded: true });
+                        }
+                        entry => {
+                            let stale_by =
+                                entry.map_or(u64::MAX, |(ver, _)| version.saturating_sub(ver));
+                            failed.insert(
+                                v.0,
+                                ServeError::Unavailable {
+                                    vertex: v,
+                                    stale_by,
+                                    bound: fc.max_stale_versions,
+                                },
+                            );
+                        }
+                    }
+                    continue;
+                }
+            }
             let idx =
                 encoder.forward(&*overlay, &shared.features, &sampler, v, &mut tape, &mut rng);
             forwards += 1;
@@ -364,7 +497,12 @@ fn worker_loop<S: NeighborhoodSampler + Clone + Send + Sync + 'static>(
             aligraph_tensor::l2_normalize(&mut out);
             let out = Arc::new(out);
             shared.cache.insert(v.0, version, Arc::clone(&out));
-            resolved.insert(v.0, out);
+            if shared.plane.is_some() {
+                // Refresh the fallback on every successful forward so
+                // degraded mode serves the freshest surviving result.
+                shared.fallback.lock().insert(v.0, (version, Arc::clone(&out)));
+            }
+            resolved.insert(v.0, ServedEmbedding { embedding: out, degraded: false });
         }
 
         // Record batch counters before replying so a client that acts on its
@@ -373,12 +511,28 @@ fn worker_loop<S: NeighborhoodSampler + Clone + Send + Sync + 'static>(
         shared.metrics.batch(batch_len, forwards, hits1 - hits0, misses1 - misses0);
 
         for job in batch {
-            let emb = Arc::clone(&resolved[&job.vertex.0]);
             let reply = match job.kind {
-                JobKind::Embed => Reply::Embedding(emb),
+                JobKind::Embed => match resolved.get(&job.vertex.0) {
+                    Some(e) => Reply::Embedding(e.clone()),
+                    // invariant: a vertex missing from `resolved` always has
+                    // a `failed` entry — the resolution loop inserts into
+                    // exactly one of the two maps for every needed vertex.
+                    None => Reply::Failed(
+                        failed.get(&job.vertex.0).expect("unresolved vertex has failure").clone(),
+                    ),
+                },
                 JobKind::Score { other } => {
-                    let other = &resolved[&other.0];
-                    Reply::Score(emb.iter().zip(other.iter()).map(|(a, b)| a * b).sum())
+                    match (resolved.get(&job.vertex.0), resolved.get(&other.0)) {
+                        (Some(a), Some(b)) => Reply::Score(
+                            a.embedding.iter().zip(b.embedding.iter()).map(|(x, y)| x * y).sum(),
+                        ),
+                        _ => {
+                            let e = failed.get(&job.vertex.0).or_else(|| failed.get(&other.0));
+                            // invariant: at least one side is unresolved here
+                            // and every unresolved vertex has a failure entry.
+                            Reply::Failed(e.expect("unresolved vertex has failure").clone())
+                        }
+                    }
                 }
             };
             shared.metrics.latency(job.enqueued.elapsed());
@@ -502,6 +656,89 @@ mod tests {
         assert_eq!(rebuilt.access, direct.access);
         assert_eq!(snap.counter("serving.requests", &[("outcome", "admitted")]), 3);
         assert!(snap.histogram("serving.latency_ns", &[]).count >= 3);
+        service.shutdown();
+    }
+
+    fn click_delta(i: u32) -> SnapshotDelta {
+        SnapshotDelta {
+            added: vec![EdgeEvent {
+                src: VertexId(i % 4),
+                dst: VertexId(i % 4 + 1),
+                etype: CLICK,
+                kind: EvolutionKind::Normal,
+            }],
+            removed: vec![],
+        }
+    }
+
+    #[test]
+    fn degraded_serves_within_staleness_bound_then_errors_beyond() {
+        let graph = Arc::new(TaobaoConfig::tiny().generate().expect("valid config"));
+        let n = graph.num_vertices() as u32;
+        let registry = Registry::new();
+        let config = ServingConfig {
+            // Capacity 1 forces a cache miss (and hence a faulted fetch for
+            // non-owned vertices) on essentially every request.
+            cache_capacity: 1,
+            max_batch_delay: Duration::from_micros(200),
+            fault: Some(ServingFaultConfig {
+                plan: FaultPlan::with_seed(21, 0.95),
+                policy: RetryPolicy { base_ticks: 1, max_attempts: 2 },
+                max_stale_versions: 3,
+            }),
+            ..Default::default()
+        };
+        let service = ServingService::start_with_registry(
+            Arc::clone(&graph),
+            TopKNeighborhood,
+            config,
+            &registry,
+        );
+        let plane = service.fault_plane().expect("fault plane configured");
+
+        // Phase 1 (plane disarmed): warm the fallback store fault-free at
+        // version 0; every vertex gets a fresh forward.
+        plane.disarm();
+        for v in 0..n {
+            service.embedding(VertexId(v)).expect("fault-free warmup");
+        }
+
+        // Phase 2: two deltas move the graph to version 2 — fallback entries
+        // from version 0 are 2 versions stale, inside the bound of 3.
+        for i in 0..2 {
+            service.apply_delta(&click_delta(i));
+        }
+        plane.arm();
+        let mut degraded = 0usize;
+        for v in 0..n {
+            let e = service.embedding_tagged(VertexId(v)).expect("within bound: always served");
+            if e.degraded {
+                degraded += 1;
+            }
+        }
+        assert!(degraded > 0, "a 95% drop rate must degrade some non-owned serves");
+        let report = service.report(Duration::from_secs(1));
+        assert_eq!(report.degraded as usize, degraded);
+        assert!(registry.snapshot().counter("serving.degraded", &[]) > 0);
+
+        // Phase 3: two more deltas (version 4). Vertices whose fallback was
+        // last refreshed at version 0 are now beyond the bound — a failed
+        // fetch must error, never serve the over-stale entry.
+        for i in 2..4 {
+            service.apply_delta(&click_delta(i));
+        }
+        let mut unavailable = 0usize;
+        for v in 0..n {
+            match service.embedding_tagged(VertexId(v)) {
+                Ok(_) => {}
+                Err(ServeError::Unavailable { stale_by, bound, .. }) => {
+                    assert!(stale_by > bound, "stale_by {stale_by} must exceed bound {bound}");
+                    unavailable += 1;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(unavailable > 0, "stale-beyond-bound fetch failures must surface as errors");
         service.shutdown();
     }
 

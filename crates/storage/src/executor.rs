@@ -13,6 +13,7 @@
 //! [`ExecutorStopped`] instead of a panic, so callers can propagate the
 //! condition (e.g. a serving worker draining during shutdown).
 
+use aligraph_chaos::{Delivery, FaultPlane, RetryError, RetryPolicy};
 use crossbeam::channel::{bounded, Sender};
 use crossbeam::queue::SegQueue;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -124,6 +125,49 @@ impl<Op: Send + 'static> BucketExecutor<Op> {
         self.buckets[self.bucket_of(v)].queue.push(op);
     }
 
+    /// [`submit`](Self::submit) through a [`FaultPlane`]: the client→bucket
+    /// hop becomes a fault-plane channel (tag 2, keyed by bucket), with
+    /// `seq` the caller's per-channel message counter. Drops and
+    /// corruptions are retried under `policy`'s capped backoff; injected
+    /// delays add their virtual ticks to the returned total. Fire-and-forget
+    /// submissions carry no acknowledgement, so the ack-loss fault
+    /// degenerates to a successful delivery. Returns the virtual ticks the
+    /// faults cost, or [`RetryError`] if the retry deadline exhausts.
+    pub fn submit_faulted(
+        &self,
+        v: u32,
+        seq: u64,
+        op: Op,
+        plane: &FaultPlane,
+        policy: &RetryPolicy,
+    ) -> Result<u64, RetryError> {
+        let bucket = self.bucket_of(v);
+        let channel = FaultPlane::channel_with(2, 0, bucket as u64);
+        let mut ticks = 0u64;
+        let mut attempt = 0u32;
+        loop {
+            if attempt > 0 {
+                if policy.exhausted(attempt) {
+                    return Err(RetryError { attempts: attempt, backoff_ticks: ticks });
+                }
+                plane.note_retry();
+                ticks += policy.backoff_ticks(attempt);
+            }
+            match plane.decide(channel, seq, attempt) {
+                Delivery::Deliver | Delivery::AckLost => {
+                    self.buckets[bucket].queue.push(op);
+                    return Ok(ticks);
+                }
+                Delivery::Delay(d) => {
+                    ticks += d;
+                    self.buckets[bucket].queue.push(op);
+                    return Ok(ticks);
+                }
+                Delivery::Drop | Delivery::Corrupt => attempt += 1,
+            }
+        }
+    }
+
     /// Synchronous round-trip to the bucket owning `v`: `make` wraps the
     /// reply sender into an operation, and the executor's answer is awaited.
     pub fn round_trip<R>(
@@ -211,6 +255,27 @@ mod tests {
         exec.barrier(TestOp::Flush).unwrap();
         let total: u64 = (0..3).map(|b| exec.round_trip_to(b, TestOp::Read).unwrap()).sum();
         assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn faulted_submission_applies_every_op_exactly_once() {
+        use aligraph_chaos::FaultPlan;
+        let exec = spawn_counters(3);
+        let plane = FaultPlane::new(FaultPlan::with_seed(9, 0.2));
+        let policy = RetryPolicy::default();
+        let mut seqs = [0u64; 3];
+        let mut ticks = 0u64;
+        for v in 0..600u32 {
+            let b = exec.bucket_of(v);
+            let seq = seqs[b];
+            seqs[b] += 1;
+            ticks += exec.submit_faulted(v, seq, TestOp::Add(1), &plane, &policy).unwrap();
+        }
+        exec.barrier(TestOp::Flush).unwrap();
+        let total: u64 = (0..3).map(|b| exec.round_trip_to(b, TestOp::Read).unwrap()).sum();
+        assert_eq!(total, 600, "a 20% fault rate must not lose or duplicate ops");
+        assert!(ticks > 0, "injected delays/backoffs must cost virtual time");
+        assert!(plane.snapshot().faults_injected > 0);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 pub use aligraph as core;
 pub use aligraph_baselines as baselines;
+pub use aligraph_chaos as chaos;
 pub use aligraph_eval as eval;
 pub use aligraph_graph as graph;
 pub use aligraph_ops as ops;

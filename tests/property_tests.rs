@@ -1,5 +1,6 @@
 //! Property-based tests (proptest) on the platform's core invariants.
 
+use aligraph_suite::chaos::{RetryPolicy, Sequencer, MAX_BACKOFF_TICKS};
 use aligraph_suite::eval::{best_f1, macro_f1, micro_f1, pr_auc, roc_auc};
 use aligraph_suite::graph::generate::{erdos_renyi, TaobaoConfig};
 use aligraph_suite::graph::{AttrValue, AttrVector, EdgeType, GraphBuilder, VertexId, VertexType};
@@ -148,6 +149,71 @@ proptest! {
                 .iter()
                 .any(|n| n.vertex == neg.dst);
             prop_assert!(!is_edge);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Chaos recovery invariant: the retry backoff schedule is monotone
+    /// non-decreasing and capped at [`MAX_BACKOFF_TICKS`] for arbitrary
+    /// bases and attempt counts, and the deadline always admits the first
+    /// send.
+    #[test]
+    fn backoff_schedule_is_monotone_and_capped(
+        base in 0u64..1_000_000_000_000,
+        max_attempts in 0u32..300,
+        probe in 1u32..400,
+    ) {
+        let p = RetryPolicy { base_ticks: base, max_attempts };
+        prop_assert_eq!(p.backoff_ticks(0), 0);
+        let mut prev = 0u64;
+        for attempt in 1..probe {
+            let t = p.backoff_ticks(attempt);
+            prop_assert!(t >= prev, "attempt {}: backoff {} < previous {}", attempt, t, prev);
+            prop_assert!(t <= MAX_BACKOFF_TICKS, "attempt {}: backoff {} over cap", attempt, t);
+            prev = t;
+        }
+        // Attempt 0 (the first send) is always inside the deadline; the
+        // deadline itself is never.
+        prop_assert!(!p.exhausted(0));
+        prop_assert!(p.exhausted(max_attempts.max(1)));
+    }
+
+    /// Chaos recovery invariant: sequence-numbered delivery is idempotent
+    /// and in-order under arbitrary duplication and reordering — every
+    /// payload comes out exactly once, sorted, and replaying the entire
+    /// arrival storm afterwards delivers nothing.
+    #[test]
+    fn sequencer_is_idempotent_under_dup_and_reorder(
+        n in 1usize..32,
+        swaps in prop::collection::vec((0usize..64, 0usize..64), 0..64),
+        dups in prop::collection::vec(0usize..64, 0..32),
+    ) {
+        // An arbitrary permutation of seqs 0..n, then arbitrary duplicates
+        // spliced in at arbitrary positions (a dup may even arrive before
+        // its original — the lost-ack resend beating the first copy).
+        let mut arrivals: Vec<u64> = (0..n as u64).collect();
+        for &(i, j) in &swaps {
+            arrivals.swap(i % n, j % n);
+        }
+        for &d in &dups {
+            let dup = (d % n) as u64;
+            let at = d % (arrivals.len() + 1);
+            arrivals.insert(at, dup);
+        }
+
+        let mut s = Sequencer::new();
+        let mut out = Vec::new();
+        for &seq in &arrivals {
+            out.extend(s.offer(seq, seq));
+        }
+        prop_assert_eq!(out, (0..n as u64).collect::<Vec<_>>());
+        prop_assert_eq!(s.delivered(), n as u64);
+        prop_assert_eq!(s.pending(), 0);
+        for &seq in &arrivals {
+            prop_assert!(s.offer(seq, seq).is_empty(), "replayed seq {} re-delivered", seq);
         }
     }
 }
