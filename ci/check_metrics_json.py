@@ -60,6 +60,13 @@ def main() -> None:
                 fail(f"{where} ({m['name']}, {m['kind']}): missing `{key}`")
         if not isinstance(m["labels"], dict):
             fail(f"{where}: `labels` is not an object")
+        layer = m["name"].split(".", 1)[0]
+        if layer not in schema["known_prefixes"]:
+            fail(
+                f"{where}: series `{m['name']}` has unknown layer prefix "
+                f"`{layer}` (allowed: {schema['known_prefixes']}; extend the "
+                "schema when adding a layer)"
+            )
         names.append(m["name"])
 
     for prefix in args.expect_prefix:

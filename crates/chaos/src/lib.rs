@@ -2,8 +2,11 @@
 //!
 //! Every inter-shard channel in the simulated cluster — parameter-server
 //! pushes and pulls in the training runtime, shard fetches in the serving
-//! layer, bucket submissions in the storage executor — can be wrapped by a
-//! [`FaultPlane`]. Driven by a [`FaultPlan`] and a SplitMix64 hash of
+//! layer, bucket submissions in the storage executor, and update-ingest
+//! batches in the streaming service — can be wrapped by a [`FaultPlane`].
+//! Channel tags in use: 0 PS pushes, 1 PS pull responses, 2 storage bucket
+//! submissions, 3 serving shard fetches, 4 streaming update ingest.
+//! Driven by a [`FaultPlan`] and a SplitMix64 hash of
 //! `(seed, channel, sequence, attempt)`, the plane decides per message
 //! whether it is delivered intact, dropped, delayed a bounded number of
 //! virtual ticks, delivered-but-unacknowledged, or corrupted in flight.

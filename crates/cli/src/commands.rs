@@ -381,6 +381,172 @@ pub fn serve_bench(
     Ok(out)
 }
 
+/// `aligraph serve-under-update [--requests N] [--clients N] [--workers N]
+/// [--scale F] [--seed N] [--update-every-ms N] [--update-adds N]
+/// [--update-attrs N] [--dim N] [--cache N] [--slo-p99-ms F]
+/// [--fault-seed N] [--drop-rate F]` — drives the streaming dynamic-graph
+/// service with seeded mixed read/update traffic: an updater thread feeds
+/// power-law-skewed edge/feature batches through the ingest pipeline while
+/// client threads gather through epoch-pinned sessions. Verifies session
+/// consistency (every gather of a session reports its pinned epoch), runs
+/// the bit-exact incremental-vs-rebuild oracle at the end, and fails the
+/// run when serve p99 exceeds the `--slo-p99-ms` SLO.
+pub fn serve_under_update(
+    args: &Args,
+    registry: &std::sync::Arc<aligraph_telemetry::Registry>,
+) -> Result<String, CliError> {
+    use aligraph_graph::{Featurizer, VertexId};
+    use aligraph_streaming::{
+        IngestFaultConfig, StreamingConfig, StreamingReport, StreamingService, UpdateWorkload,
+    };
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let common = CommonArgs::from_args(args, CommonDefaults { seed: 42, workers: 2, scale: 0.05 })?;
+    let requests: u64 = args.num_or("requests", 6_000u64)?;
+    let clients: usize = args.num_or("clients", 4usize)?.max(1);
+    let seed = common.seed;
+    let update_every_ms: u64 = args.num_or("update-every-ms", 2u64)?.max(1);
+    let adds: usize = args.num_or("update-adds", 8usize)?;
+    let attrs: usize = args.num_or("update-attrs", 2usize)?;
+    let dim: usize = args.num_or("dim", 16usize)?.max(1);
+    let slo_p99_ms: f64 = args.num_or("slo-p99-ms", 20.0f64)?;
+    let fault = common.fault_seed.map(|fault_seed| IngestFaultConfig {
+        plan: aligraph_chaos::FaultPlan::with_seed(fault_seed, common.drop_rate),
+        policy: aligraph_chaos::RetryPolicy::default(),
+    });
+    let config = StreamingConfig {
+        shards: common.workers.max(1),
+        cache_capacity: args.num_or("cache", 4_096usize)?,
+        seed,
+        fault,
+        ..Default::default()
+    };
+
+    let mut gen = TaobaoConfig::small_sim().scaled(common.scale);
+    gen.seed = seed;
+    let graph = Arc::new(gen.generate()?);
+    let feats = Arc::new(Featurizer::new(dim).matrix(&graph));
+    let n = graph.num_vertices() as u32;
+    let service =
+        StreamingService::start_with_registry(Arc::clone(&graph), feats, config, registry);
+
+    let done = AtomicBool::new(false);
+    let start = Instant::now();
+    // (served, pinned-epoch violations) across clients; (batches, failures)
+    // from the updater.
+    let (served, violations, update_failures) = std::thread::scope(|scope| {
+        let updater = scope.spawn(|| {
+            // The same churn shape the serving bench drives deltas with:
+            // each round retracts the previous round's additions, plus a
+            // few feature rewrites, all skewed toward the hot vertices.
+            let mut workload = UpdateWorkload::new(seed ^ 0xd17a, n, dim);
+            let mut failures = 0u64;
+            // ordering: a lone shutdown flag with no payload published
+            // through it; Relaxed suffices.
+            while !done.load(Ordering::Relaxed) {
+                if service.ingest(&workload.next_batch(adds, attrs)).is_err() {
+                    failures += 1;
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(update_every_ms));
+            }
+            failures
+        });
+
+        let client_handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let todo =
+                    requests / clients as u64 + if c == 0 { requests % clients as u64 } else { 0 };
+                let service = &service;
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed ^ (c as u64).wrapping_mul(7919) ^ 1);
+                    let (mut ok, mut violations) = (0u64, 0u64);
+                    while ok < todo {
+                        // Zipf-ish popularity: cubing the uniform draw skews
+                        // traffic heavily toward low vertex ids.
+                        let r: f64 = rng.gen();
+                        let u = VertexId(((n as f64 * r * r * r) as u32).min(n - 1));
+                        let session = service.session();
+                        let pinned = session.epoch();
+                        if session.gather(u).epoch != pinned {
+                            violations += 1;
+                        }
+                        if rng.gen_bool(0.3) {
+                            let r2: f64 = rng.gen();
+                            let v = VertexId(((n as f64 * r2 * r2 * r2) as u32).min(n - 1));
+                            let g = session.gather(v);
+                            if g.epoch != pinned {
+                                violations += 1;
+                            }
+                            let _ = session.score(u, v);
+                        }
+                        ok += 1;
+                    }
+                    (ok, violations)
+                })
+            })
+            .collect();
+
+        let (mut ok, mut violations) = (0u64, 0u64);
+        for h in client_handles {
+            let (o, v) = h.join().expect("client thread");
+            ok += o;
+            violations += v;
+        }
+        // ordering: matching Relaxed store for the updater's shutdown
+        // poll; the join below is the real synchronization point.
+        done.store(true, Ordering::Relaxed);
+        let failures = updater.join().expect("updater thread");
+        (ok, violations, failures)
+    });
+
+    let elapsed = start.elapsed();
+    let report = StreamingReport::from_snapshot(&registry.snapshot(), elapsed);
+    let oracle = service.oracle_check();
+    service.shutdown();
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "serve-under-update: {served} requests over {} vertices / {} edges in {elapsed:.2?} \
+         ({clients} clients, {} ingest shards)",
+        graph.num_vertices(),
+        graph.num_edges(),
+        common.workers.max(1),
+    )
+    .ok();
+    writeln!(out, "{report}").ok();
+    match &oracle {
+        Ok(()) => {
+            writeln!(out, "oracle: incremental alias/cache state bit-exact vs full rebuild").ok()
+        }
+        Err(e) => writeln!(out, "oracle: FAILED — {e}").ok(),
+    };
+    if update_failures > 0 {
+        return Err(CliError::Runtime(format!("{update_failures} ingest batches failed\n\n{out}")));
+    }
+    if violations > 0 {
+        return Err(CliError::Runtime(format!(
+            "{violations} gathers broke session consistency (epoch != pinned)\n\n{out}"
+        )));
+    }
+    if let Err(e) = oracle {
+        return Err(CliError::Runtime(format!("equivalence oracle failed: {e}\n\n{out}")));
+    }
+    if report.p99_ms > slo_p99_ms {
+        return Err(CliError::Runtime(format!(
+            "SLO breach: serve p99 {:.3} ms > {slo_p99_ms:.3} ms\n\n{out}",
+            report.p99_ms
+        )));
+    }
+    writeln!(out, "SLO: serve p99 {:.3} ms within {slo_p99_ms:.3} ms", report.p99_ms).ok();
+    Ok(out)
+}
+
 /// `aligraph train-bench [--workers N] [--scale F] [--seed N] [--epochs N]
 /// [--batches N] [--batch N] [--negatives N] [--staleness N] [--dim N]
 /// [--sparse-lr F] [--checkpoint-dir DIR] [--checkpoint-every N]
@@ -670,6 +836,33 @@ mod tests {
         assert!(out.contains("embedding cache: hit rate"), "{out}");
         assert!(out.contains("deltas applied"), "{out}");
         assert!(out.contains("0 failures"), "{out}");
+    }
+
+    #[test]
+    fn serve_under_update_holds_the_slo_and_oracle() {
+        let out = serve_under_update(
+            &args(&[
+                "serve-under-update",
+                "--requests",
+                "300",
+                "--clients",
+                "2",
+                "--workers",
+                "2",
+                "--scale",
+                "0.003",
+                "--update-every-ms",
+                "1",
+                "--slo-p99-ms",
+                "2000",
+            ]),
+            &registry(),
+        )
+        .unwrap();
+        assert!(out.contains("serve-under-update: 300 requests"), "{out}");
+        assert!(out.contains("epoch"), "{out}");
+        assert!(out.contains("bit-exact vs full rebuild"), "{out}");
+        assert!(out.contains("SLO: serve p99"), "{out}");
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "eval" => commands::eval(&args),
         "automl" => commands::automl(&args),
         "serve-bench" => commands::serve_bench(&args, &registry),
+        "serve-under-update" => commands::serve_under_update(&args, &registry),
         "train-bench" => commands::train_bench(&args, &registry),
         "metrics-demo" => commands::metrics_demo(&args, &registry),
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
@@ -91,6 +92,7 @@ COMMANDS:
     eval       link-prediction metrics   --graph FILE [--model ...] [--test-fraction F] [--seed N]
     automl     model-selection tournament --graph FILE
     serve-bench online-serving load test  [--requests N] [--clients N] [--workers N] [--scale F] [--seed N] [--delta-every-ms N] [--batch N] [--queue N] [--cache N] [--fault-seed N] [--drop-rate F] [--max-stale N]
+    serve-under-update streaming-update load test [--requests N] [--clients N] [--workers N] [--scale F] [--seed N] [--update-every-ms N] [--update-adds N] [--update-attrs N] [--dim N] [--cache N] [--slo-p99-ms F] [--fault-seed N] [--drop-rate F]
     train-bench distributed-training bench [--workers N] [--scale F] [--seed N] [--epochs N] [--batches N] [--batch N] [--negatives N] [--staleness N] [--dim N] [--sparse-lr F] [--checkpoint-dir DIR] [--checkpoint-every N] [--kill-worker N] [--kill-at-step N] [--fault-seed N] [--drop-rate F]
     metrics-demo exercise every layer and print the unified telemetry table [--workers N] [--scale F] [--seed N]
     help       this text
@@ -100,8 +102,9 @@ SHARED FLAGS:
                           registry snapshot as stable JSON (all commands)
     --seed N / --workers N / --scale F parse identically everywhere
     --fault-seed N        attach the deterministic chaos plane, seeded with N
-                          (train-bench / serve-bench); faults and retries are
-                          counted in the report and metrics JSON
+                          (train-bench / serve-bench / serve-under-update);
+                          faults and retries are counted in the report and
+                          metrics JSON
     --drop-rate F         per-message fault probability for the chaos plane
                           (default 0.1, clamped to [0, 0.999])
 ";

@@ -36,12 +36,12 @@ pub mod telemetry;
 pub mod traverse;
 pub mod walks;
 
-pub use alias::AliasTable;
+pub use alias::{AliasTable, IncrementalAlias};
 pub use dynamic::{DynamicNeighborhood, DynamicWeights, WeightUpdateMode};
 pub use negative::{NegativeSampler, UniformNegative, UnigramNegative};
 pub use neighborhood::{
-    ContextTree, Layer, NeighborAccess, NeighborhoodSampler, TopKNeighborhood, UniformNeighborhood,
-    WeightedNeighborhood,
+    reverse_reach, ContextTree, InNeighborAccess, Layer, NeighborAccess, NeighborhoodSampler,
+    TopKNeighborhood, UniformNeighborhood, WeightedNeighborhood,
 };
 pub use pipeline::{SampleBatch, SamplingPipeline};
 pub use seeding::{worker_rng, worker_seed};

@@ -27,6 +27,58 @@ impl NeighborAccess for AttributedHeterogeneousGraph {
     }
 }
 
+/// Read access to *in*-neighborhoods of one graph view, for reverse
+/// reachability: "who can sample their way to this vertex?".
+pub trait InNeighborAccess {
+    /// In-neighbor records of `v` in this view.
+    fn in_neighbors_of(&self, v: VertexId) -> &[Neighbor];
+}
+
+impl InNeighborAccess for AttributedHeterogeneousGraph {
+    #[inline]
+    fn in_neighbors_of(&self, v: VertexId) -> &[Neighbor] {
+        self.in_neighbors(v)
+    }
+}
+
+/// The vertices within `depth` in-hops of `sources` over the union of the
+/// given `views`, including the sources themselves.
+///
+/// This is the invalidation core shared by the serving overlay and the
+/// streaming update plane: a k-hop encoder's output for seed `s` can only
+/// change when `s` reaches a modified vertex within its sampling horizon,
+/// i.e. when `s` is in the reverse reach of the touched set. Passing both
+/// the pre- and post-delta views catches paths that only exist on one side
+/// (an added edge creates reach-paths that exist only *after* the delta, a
+/// removed edge's paths existed only *before*).
+pub fn reverse_reach<V: InNeighborAccess + ?Sized>(
+    views: &[&V],
+    sources: &std::collections::HashSet<VertexId>,
+    depth: usize,
+) -> std::collections::HashSet<VertexId> {
+    let mut reached = sources.clone();
+    for view in views {
+        let mut frontier: Vec<VertexId> = sources.iter().copied().collect();
+        let mut seen = sources.clone();
+        for _ in 0..depth {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for n in view.in_neighbors_of(v) {
+                    if seen.insert(n.vertex) {
+                        reached.insert(n.vertex);
+                        next.push(n.vertex);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+    }
+    reached
+}
+
 /// A cluster shard's view: reads are accounted as local / cached / remote.
 #[derive(Debug)]
 pub struct ClusterView<'a> {

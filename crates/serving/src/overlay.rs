@@ -14,7 +14,7 @@
 
 use aligraph_graph::dynamic::SnapshotDelta;
 use aligraph_graph::{AttrId, AttributedHeterogeneousGraph, EdgeId, Neighbor, VertexId};
-use aligraph_sampling::NeighborAccess;
+use aligraph_sampling::{reverse_reach, InNeighborAccess, NeighborAccess};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -153,6 +153,13 @@ impl NeighborAccess for OverlayGraph {
     }
 }
 
+impl InNeighborAccess for OverlayGraph {
+    #[inline]
+    fn in_neighbors_of(&self, v: VertexId) -> &[Neighbor] {
+        self.in_neighbors(v)
+    }
+}
+
 /// Serving keys whose embedding a delta may change.
 ///
 /// A k-hop encoder samples the out-row of every vertex it expands at depths
@@ -168,33 +175,13 @@ pub fn affected_seeds(
     delta: &SnapshotDelta,
     kmax: usize,
 ) -> HashSet<VertexId> {
-    let sources: HashSet<VertexId> =
-        delta.added.iter().chain(&delta.removed).map(|ev| ev.src).collect();
-    let mut affected: HashSet<VertexId> = sources.clone();
     if kmax == 0 {
         // Degenerate: an encoder with no hops never reads adjacency.
         return HashSet::new();
     }
-    for view in [pre, post] {
-        let mut frontier: Vec<VertexId> = sources.iter().copied().collect();
-        let mut seen = sources.clone();
-        for _depth in 0..kmax - 1 {
-            let mut next = Vec::new();
-            for &v in &frontier {
-                for n in view.in_neighbors(v) {
-                    if seen.insert(n.vertex) {
-                        affected.insert(n.vertex);
-                        next.push(n.vertex);
-                    }
-                }
-            }
-            if next.is_empty() {
-                break;
-            }
-            frontier = next;
-        }
-    }
-    affected
+    let sources: HashSet<VertexId> =
+        delta.added.iter().chain(&delta.removed).map(|ev| ev.src).collect();
+    reverse_reach(&[pre, post], &sources, kmax - 1)
 }
 
 #[cfg(test)]

@@ -149,6 +149,22 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         evicted
     }
 
+    /// Iterates live entries from most- to least-recently used, without
+    /// touching recency or stats.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        let mut idx = self.head;
+        std::iter::from_fn(move || {
+            if idx == NIL {
+                return None;
+            }
+            let entry = &self.slab[idx];
+            idx = entry.next;
+            // invariant: only live entries are linked into the recency
+            // list; recycled slots (value None) sit on the free list.
+            Some((&entry.key, entry.value.as_ref().expect("linked entry is live")))
+        })
+    }
+
     fn unlink(&mut self, idx: usize) {
         let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
         if prev != NIL {
@@ -254,6 +270,19 @@ mod tests {
         assert!(c.is_empty());
         c.put(4, "d");
         assert_eq!(c.get(&4), Some(&"d"));
+    }
+
+    #[test]
+    fn iter_walks_mru_to_lru_without_stat_noise() {
+        let mut c = LruCache::new(3);
+        c.put(1, "a");
+        c.put(2, "b");
+        c.put(3, "c");
+        c.get(&1); // 1 becomes MRU
+        let order: Vec<i32> = c.iter().map(|(&k, _)| k).collect();
+        assert_eq!(order, vec![1, 3, 2]);
+        let (h, m, _) = c.stats();
+        assert_eq!((h, m), (1, 0), "iter must not count as lookups");
     }
 
     #[test]

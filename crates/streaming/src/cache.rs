@@ -1,0 +1,230 @@
+//! Epoch-tagged sample cache with fine-grained invalidation.
+//!
+//! The streaming analogue of the serving layer's versioned embedding cache:
+//! every cached gather is tagged with the epoch it was computed at, inserts
+//! at any other epoch are stale-rejected, and an epoch publish invalidates
+//! **only** the entries whose k-hop frontier intersects the batch's touched
+//! set (computed by reverse k-hop reachability) — an update to one vertex
+//! never cools an unrelated vertex's entry.
+//!
+//! Because a gather is a pure function of `(service seed, vertex, pinned
+//! view's k-hop region)`, an entry that survives the targeted sweep is
+//! bit-identical to what the new epoch would compute — serving it is not a
+//! staleness compromise, it is the same answer without the work.
+//!
+//! Cache events publish as
+//! `streaming.cache{event=hit|miss|evict|invalidate|stale_reject}` plus a
+//! `streaming.cache.len` occupancy gauge.
+
+use aligraph_storage::LruCache;
+use aligraph_telemetry::{Counter, Gauge, Registry, RegistrySnapshot};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counter snapshot of the sample cache, for the streaming report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SampleCacheStats {
+    /// Gathers answered from the cache.
+    pub hits: u64,
+    /// Gathers that fell through to a k-hop walk.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries removed by targeted epoch invalidation.
+    pub invalidations: u64,
+    /// Inserts dropped because an epoch landed mid-gather.
+    pub stale_rejects: u64,
+    /// Live entries.
+    pub len: usize,
+}
+
+impl SampleCacheStats {
+    /// Hit fraction over all lookups (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Rebuilds the stats from a snapshot's `streaming.cache` series.
+    pub fn from_snapshot(snap: &RegistrySnapshot) -> SampleCacheStats {
+        SampleCacheStats {
+            hits: snap.counter("streaming.cache", &[("event", "hit")]),
+            misses: snap.counter("streaming.cache", &[("event", "miss")]),
+            evictions: snap.counter("streaming.cache", &[("event", "evict")]),
+            invalidations: snap.counter("streaming.cache", &[("event", "invalidate")]),
+            stale_rejects: snap.counter("streaming.cache", &[("event", "stale_reject")]),
+            len: snap.gauge("streaming.cache.len", &[]).max(0) as usize,
+        }
+    }
+}
+
+/// A shared LRU over per-vertex gathered vectors, versioned by epoch.
+#[derive(Debug)]
+pub struct SampleCache {
+    /// Invariant: every live entry was computed at `current_epoch` —
+    /// inserts at other epochs are rejected and [`advance`](Self::advance)
+    /// removes everything an epoch change could have altered.
+    inner: Mutex<LruCache<u32, Arc<Vec<f32>>>>,
+    /// The epoch entries must match to be inserted.
+    current_epoch: AtomicU64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    invalidations: Arc<Counter>,
+    stale_rejects: Arc<Counter>,
+    len: Arc<Gauge>,
+}
+
+impl SampleCache {
+    /// A cache holding at most `capacity` gathers, at epoch 0, with
+    /// detached (unpublished) counters.
+    pub fn new(capacity: usize) -> Self {
+        Self::registered(capacity, &Registry::disabled())
+    }
+
+    /// Like [`new`](Self::new), publishing `streaming.cache{event=...}` and
+    /// the `streaming.cache.len` gauge in `registry`.
+    pub fn registered(capacity: usize, registry: &Registry) -> Self {
+        SampleCache {
+            inner: Mutex::new(LruCache::new(capacity)),
+            current_epoch: AtomicU64::new(0),
+            hits: registry.counter("streaming.cache", &[("event", "hit")]),
+            misses: registry.counter("streaming.cache", &[("event", "miss")]),
+            evictions: registry.counter("streaming.cache", &[("event", "evict")]),
+            invalidations: registry.counter("streaming.cache", &[("event", "invalidate")]),
+            stale_rejects: registry.counter("streaming.cache", &[("event", "stale_reject")]),
+            len: registry.gauge("streaming.cache.len", &[]),
+        }
+    }
+
+    /// The epoch inserts are currently admitted against.
+    pub fn epoch(&self) -> u64 {
+        // ordering: Acquire pairs with advance()'s Release store so a
+        // reader that sees epoch E also sees the targeted invalidations
+        // performed before E was published.
+        self.current_epoch.load(Ordering::Acquire)
+    }
+
+    /// Looks up `v`, promoting it on a hit.
+    pub fn get(&self, v: u32) -> Option<Arc<Vec<f32>>> {
+        let out = self.inner.lock().get(&v).map(Arc::clone);
+        match out {
+            Some(_) => self.hits.inc(),
+            None => self.misses.inc(),
+        }
+        out
+    }
+
+    /// Inserts `v`'s gather computed at `epoch`; dropped (counted as a
+    /// stale reject) if a publish has advanced the cache past `epoch`.
+    pub fn insert(&self, v: u32, epoch: u64, data: Arc<Vec<f32>>) {
+        let mut inner = self.inner.lock();
+        // Checked under the lock so an `advance` cannot interleave.
+        // ordering: Acquire pairs with advance()'s Release store; observing
+        // the advanced epoch here implies its invalidations happened.
+        if epoch != self.current_epoch.load(Ordering::Acquire) {
+            drop(inner);
+            self.stale_rejects.inc();
+            return;
+        }
+        if inner.put(v, data) {
+            self.evictions.inc();
+        }
+        self.len.set(inner.len() as i64);
+    }
+
+    /// Moves the cache to `epoch` and removes exactly the affected entries.
+    /// Returns how many live entries were invalidated.
+    pub fn advance(&self, epoch: u64, affected: impl IntoIterator<Item = u32>) -> usize {
+        let mut inner = self.inner.lock();
+        // ordering: Release publishes the new epoch; paired Acquire loads
+        // in epoch()/insert() then observe the invalidations below only
+        // after seeing E (insert additionally holds the lock).
+        self.current_epoch.store(epoch, Ordering::Release);
+        let mut dropped = 0;
+        for v in affected {
+            if inner.remove(&v).is_some() {
+                dropped += 1;
+            }
+        }
+        self.len.set(inner.len() as i64);
+        drop(inner);
+        self.invalidations.add(dropped as u64);
+        dropped
+    }
+
+    /// True when `v` is currently cached (no hit/miss accounting, no LRU
+    /// promotion) — for the invalidation-precision tests.
+    pub fn contains(&self, v: u32) -> bool {
+        self.inner.lock().peek(&v).is_some()
+    }
+
+    /// The live entries, sorted by vertex (for the equivalence oracle).
+    pub fn entries(&self) -> Vec<(u32, Arc<Vec<f32>>)> {
+        let inner = self.inner.lock();
+        let mut out: Vec<(u32, Arc<Vec<f32>>)> =
+            inner.iter().map(|(&v, d)| (v, Arc::clone(d))).collect();
+        out.sort_unstable_by_key(|(v, _)| *v);
+        out
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> SampleCacheStats {
+        let len = self.inner.lock().len();
+        SampleCacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            invalidations: self.invalidations.get(),
+            stale_rejects: self.stale_rejects.get(),
+            len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec4(x: f32) -> Arc<Vec<f32>> {
+        Arc::new(vec![x; 4])
+    }
+
+    #[test]
+    fn advance_is_targeted_and_inserts_are_epoch_checked() {
+        let c = SampleCache::new(8);
+        c.insert(1, 0, vec4(1.0));
+        c.insert(2, 0, vec4(2.0));
+        assert_eq!(c.advance(1, [2, 77]), 1, "77 was never cached");
+        assert!(c.contains(1), "untouched entry survives the epoch");
+        assert!(!c.contains(2));
+        c.insert(3, 0, vec4(3.0)); // computed against the old epoch: rejected
+        assert!(!c.contains(3));
+        c.insert(3, 1, vec4(3.5));
+        assert_eq!(c.get(3).unwrap()[0], 3.5);
+        let s = c.stats();
+        assert_eq!((s.invalidations, s.stale_rejects, s.len), (1, 1, 2));
+    }
+
+    #[test]
+    fn registered_cache_publishes_streaming_series() {
+        let registry = Registry::new();
+        let c = SampleCache::registered(2, &registry);
+        c.insert(1, 0, vec4(1.0));
+        c.insert(2, 0, vec4(2.0));
+        c.insert(3, 0, vec4(3.0)); // evicts
+        let _ = c.get(3);
+        let _ = c.get(99);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("streaming.cache", &[("event", "hit")]), 1);
+        assert_eq!(snap.counter("streaming.cache", &[("event", "evict")]), 1);
+        assert_eq!(snap.gauge("streaming.cache.len", &[]), 2);
+        assert_eq!(SampleCacheStats::from_snapshot(&snap), c.stats());
+        assert_eq!(c.entries().iter().map(|(v, _)| *v).collect::<Vec<_>>(), vec![2, 3]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Monotonic graph epochs and session pinning.
+//!
+//! Every applied update batch publishes a new [`EpochView`] — an immutable,
+//! O(1)-cloneable composite of the base snapshot plus each shard's overlay
+//! — under the next epoch number. Readers [`pin`](EpochManager::pin) the
+//! current epoch and keep the whole view alive for the length of a request,
+//! so **every gather in one session sees exactly one graph version**
+//! (session consistency), no matter how many batches land meanwhile.
+//!
+//! Monotonicity contract: published epochs are strictly increasing, a pin's
+//! view never changes under it, and [`EpochManager::current_epoch`] never
+//! runs backwards — so no reader ever observes a version older than its
+//! pinned epoch.
+
+use crate::store::ShardView;
+use aligraph_graph::{AttributedHeterogeneousGraph, FeatureMatrix, Neighbor, VertexId};
+use aligraph_sampling::{AliasTable, InNeighborAccess};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One immutable graph version: base snapshot + per-shard overlays.
+#[derive(Debug, Clone)]
+pub struct EpochView {
+    epoch: u64,
+    base: Arc<AttributedHeterogeneousGraph>,
+    base_feats: Arc<FeatureMatrix>,
+    /// Alias tables of the base rows, built once at startup; vertices enter
+    /// the per-shard incremental plane on first touch.
+    base_alias: Arc<Vec<Option<Arc<AliasTable>>>>,
+    owners: Arc<Vec<u32>>,
+    shards: Vec<ShardView>,
+}
+
+impl EpochView {
+    /// Epoch 0: the bare base snapshot with empty shard overlays.
+    pub fn initial(
+        base: Arc<AttributedHeterogeneousGraph>,
+        base_feats: Arc<FeatureMatrix>,
+        base_alias: Arc<Vec<Option<Arc<AliasTable>>>>,
+        owners: Arc<Vec<u32>>,
+        shards: usize,
+    ) -> Self {
+        EpochView {
+            epoch: 0,
+            base,
+            base_feats,
+            base_alias,
+            owners,
+            shards: vec![ShardView::default(); shards.max(1)],
+        }
+    }
+
+    /// The next version: same base, new shard overlays, epoch `epoch`.
+    pub fn with_shards(&self, shards: Vec<ShardView>, epoch: u64) -> EpochView {
+        debug_assert_eq!(shards.len(), self.shards.len());
+        EpochView { epoch, shards, ..self.clone() }
+    }
+
+    /// This view's epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of vertices (fixed: updates only rewire edges and features).
+    pub fn num_vertices(&self) -> usize {
+        self.base.num_vertices()
+    }
+
+    /// The pinned base snapshot.
+    pub fn base(&self) -> &Arc<AttributedHeterogeneousGraph> {
+        &self.base
+    }
+
+    /// The per-shard overlays (for the rebuild oracle).
+    pub fn shards(&self) -> &[ShardView] {
+        &self.shards
+    }
+
+    fn shard_of(&self, v: VertexId) -> &ShardView {
+        &self.shards[self.owners[v.0 as usize] as usize]
+    }
+
+    /// Out-neighbors of `v` at this epoch.
+    pub fn out_neighbors(&self, v: VertexId) -> &[Neighbor] {
+        match self.shard_of(v).out_row(v) {
+            Some(row) => row,
+            None => self.base.out_neighbors(v),
+        }
+    }
+
+    /// In-neighbors of `v` at this epoch.
+    pub fn in_neighbors(&self, v: VertexId) -> &[Neighbor] {
+        match self.shard_of(v).in_row(v) {
+            Some(row) => row,
+            None => self.base.in_neighbors(v),
+        }
+    }
+
+    /// Dense features of `v` at this epoch.
+    pub fn features(&self, v: VertexId) -> &[f32] {
+        match self.shard_of(v).features(v) {
+            Some(f) => f,
+            None => self.base_feats.row(v),
+        }
+    }
+
+    /// The weighted-sampling alias table of `v`'s out-row at this epoch
+    /// (`None` when the row is empty or degenerate).
+    pub fn alias(&self, v: VertexId) -> Option<&AliasTable> {
+        match self.shard_of(v).alias(v) {
+            Some(inc) => inc.table(),
+            None => self.base_alias.get(v.0 as usize)?.as_deref(),
+        }
+    }
+}
+
+impl InNeighborAccess for EpochView {
+    #[inline]
+    fn in_neighbors_of(&self, v: VertexId) -> &[Neighbor] {
+        self.in_neighbors(v)
+    }
+}
+
+/// A reader's hold on one epoch: keeps the whole [`EpochView`] alive so
+/// every read through the pin is against the same graph version.
+#[derive(Debug, Clone)]
+pub struct EpochPin {
+    view: Arc<EpochView>,
+}
+
+impl EpochPin {
+    /// The pinned epoch number (never changes under the pin).
+    pub fn epoch(&self) -> u64 {
+        self.view.epoch()
+    }
+
+    /// The pinned view.
+    pub fn view(&self) -> &Arc<EpochView> {
+        &self.view
+    }
+}
+
+/// Publishes monotonic epochs and hands out pins.
+#[derive(Debug)]
+pub struct EpochManager {
+    current: RwLock<Arc<EpochView>>,
+    epoch: AtomicU64,
+}
+
+impl EpochManager {
+    /// A manager starting at `view`'s epoch.
+    pub fn new(view: EpochView) -> Self {
+        let epoch = view.epoch();
+        EpochManager { current: RwLock::new(Arc::new(view)), epoch: AtomicU64::new(epoch) }
+    }
+
+    /// The latest published epoch. Monotonic: two reads by one thread never
+    /// go backwards.
+    pub fn current_epoch(&self) -> u64 {
+        // ordering: Acquire pairs with publish_with()'s Release store, so a
+        // reader that sees epoch E also sees every write that built E's
+        // view (the shard snapshots travel through the lock as well).
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Pins the current epoch for a session.
+    pub fn pin(&self) -> EpochPin {
+        EpochPin { view: Arc::clone(&self.current.read()) }
+    }
+
+    /// Publishes `next` as the new current epoch. `sweep` runs under the
+    /// write lock *after* the version number moves — the same discipline
+    /// the serving layer uses — so no reader can race between the epoch
+    /// advancing and the cache invalidation sweep: a pin taken before the
+    /// lock sees the old epoch and the old cache version; a pin taken after
+    /// sees both new.
+    pub fn publish_with<F: FnOnce(&Arc<EpochView>)>(&self, next: Arc<EpochView>, sweep: F) {
+        let mut cur = self.current.write();
+        debug_assert!(next.epoch() > cur.epoch(), "epochs must be strictly increasing");
+        // ordering: Release pairs with current_epoch()'s Acquire; pins
+        // additionally synchronize through the RwLock.
+        self.epoch.store(next.epoch(), Ordering::Release);
+        *cur = Arc::clone(&next);
+        sweep(&next);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aligraph_graph::ids::well_known::*;
+    use aligraph_graph::{AttrVector, Featurizer, GraphBuilder};
+
+    fn tiny() -> EpochView {
+        let mut b = GraphBuilder::directed();
+        let u = b.add_vertex(USER, AttrVector::empty());
+        let i = b.add_vertex(ITEM, AttrVector::empty());
+        b.add_edge(u, i, CLICK, 1.0).unwrap();
+        let g = Arc::new(b.build());
+        let feats = Arc::new(Featurizer::new(4).matrix(&g));
+        let alias: Vec<Option<Arc<AliasTable>>> = (0..g.num_vertices())
+            .map(|v| {
+                let w: Vec<f32> =
+                    g.out_neighbors(VertexId(v as u32)).iter().map(|n| n.weight).collect();
+                AliasTable::new(&w).map(Arc::new)
+            })
+            .collect();
+        EpochView::initial(g, feats, Arc::new(alias), Arc::new(vec![0, 0]), 1)
+    }
+
+    #[test]
+    fn initial_view_falls_through_to_base() {
+        let view = tiny();
+        let u = VertexId(0);
+        assert_eq!(view.epoch(), 0);
+        assert_eq!(view.out_neighbors(u).len(), 1);
+        assert_eq!(view.features(u).len(), 4);
+        assert!(view.alias(u).is_some());
+        assert!(view.alias(VertexId(1)).is_none(), "empty row has no table");
+    }
+
+    #[test]
+    fn pins_keep_their_epoch_across_publishes() {
+        let mgr = EpochManager::new(tiny());
+        let pin0 = mgr.pin();
+        let next = pin0.view().with_shards(vec![ShardView::default()], 1);
+        let mut swept_at = None;
+        mgr.publish_with(Arc::new(next), |v| swept_at = Some(v.epoch()));
+        assert_eq!(swept_at, Some(1));
+        assert_eq!(mgr.current_epoch(), 1);
+        // The old pin still reads version 0; a new pin sees version 1.
+        assert_eq!(pin0.epoch(), 0);
+        assert_eq!(mgr.pin().epoch(), 1);
+        assert!(mgr.current_epoch() >= pin0.epoch());
+    }
+}

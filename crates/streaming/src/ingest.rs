@@ -1,0 +1,329 @@
+//! The update-ingest pipeline: a coordinator fanning sequence-numbered
+//! batches out to per-shard workers over chaos-wrapped channels.
+//!
+//! Each batch send to shard `w` travels the fault-plane channel
+//! `channel_with(UPDATE_INGEST_TAG, 0, w)` (tag 4 — see the chaos crate's
+//! channel inventory). The plane may drop, delay, corrupt, or
+//! ack-lose the send; the coordinator retries under a capped-backoff
+//! [`RetryPolicy`] and the worker's [`Sequencer`] collapses the resulting
+//! duplicates to exactly-once, in-order application. Faults therefore cost
+//! only *modelled ticks* (accumulated into the batch's update lag), never
+//! epochs, ordering, or graph state — the property the chaos suite pins.
+
+use crate::event::UpdateEvent;
+use crate::store::{Applied, ShardStore, Touched};
+use aligraph_chaos::{Delivery, FaultPlane, RetryPolicy, Sequencer};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Fault-plane channel tag of the update-ingest plane (tags 0–3 are taken
+/// by PS pushes, PS pull responses, bucket submissions, and serving k-hop
+/// gathers).
+pub const UPDATE_INGEST_TAG: u64 = 4;
+
+/// Chaos configuration of the ingest channel.
+#[derive(Debug, Clone)]
+pub struct IngestFaultConfig {
+    /// The seeded fault plan for the ingest channels.
+    pub plan: aligraph_chaos::FaultPlan,
+    /// Retry/backoff budget for faulted batch sends.
+    pub policy: RetryPolicy,
+}
+
+/// Why an ingest failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// The retry budget ran out sending a batch to one shard.
+    RetriesExhausted {
+        /// The shard the send was addressed to.
+        shard: usize,
+        /// The batch's sequence number.
+        seq: u64,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// The worker pool has shut down.
+    Disconnected,
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::RetriesExhausted { shard, seq, attempts } => write!(
+                f,
+                "ingest retries exhausted: batch {seq} to shard {shard} after {attempts} attempts"
+            ),
+            IngestError::Disconnected => write!(f, "ingest worker pool has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+struct ShardMsg {
+    seq: u64,
+    events: Arc<Vec<UpdateEvent>>,
+}
+
+#[derive(Clone)]
+struct ShardAck {
+    shard: usize,
+    seq: u64,
+    applied: Applied,
+}
+
+/// What one coordinated submit produced, aggregated over all shards.
+#[derive(Debug)]
+pub(crate) struct SubmitOutcome {
+    /// Per-shard snapshots after the batch, indexed by shard.
+    pub views: Vec<crate::store::ShardView>,
+    /// Union of per-shard touched sets (sorted, deduped).
+    pub touched: Touched,
+    /// Virtual ticks of update lag this batch accumulated: injected delays
+    /// plus retry backoff.
+    pub lag_ticks: u64,
+    /// In-place alias repairs across shards.
+    pub repairs: u64,
+    /// Alias slots rewritten across shards.
+    pub repaired_slots: u64,
+}
+
+/// The coordinator half of the pipeline: owns the shard senders and the
+/// next sequence number. One batch is in flight at a time (the service
+/// serializes submits), which is what makes an update *log*: batch `n+1`
+/// is only sent once every shard acked batch `n`.
+pub(crate) struct IngestPipeline {
+    senders: Vec<Sender<ShardMsg>>,
+    acks: Receiver<ShardAck>,
+    handles: Vec<JoinHandle<()>>,
+    plane: Arc<FaultPlane>,
+    policy: RetryPolicy,
+    next_seq: u64,
+}
+
+impl std::fmt::Debug for IngestPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IngestPipeline")
+            .field("shards", &self.senders.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+impl IngestPipeline {
+    /// Spawns one ingest worker per shard store.
+    pub fn spawn(stores: Vec<ShardStore>, plane: Arc<FaultPlane>, policy: RetryPolicy) -> Self {
+        let (ack_tx, acks) = unbounded::<ShardAck>();
+        let mut senders = Vec::with_capacity(stores.len());
+        let mut handles = Vec::with_capacity(stores.len());
+        for (shard, store) in stores.into_iter().enumerate() {
+            let (tx, rx) = unbounded::<ShardMsg>();
+            let ack_tx = ack_tx.clone();
+            senders.push(tx);
+            handles.push(std::thread::spawn(move || worker_loop(store, rx, ack_tx, shard)));
+        }
+        IngestPipeline { senders, acks, handles, plane, policy, next_seq: 0 }
+    }
+
+    /// Sends one batch to every shard through the fault plane and waits for
+    /// all acks. Returns the aggregated outcome.
+    pub fn submit(&mut self, events: Arc<Vec<UpdateEvent>>) -> Result<SubmitOutcome, IngestError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let shards = self.senders.len();
+        let mut lag_ticks = 0u64;
+        for (shard, tx) in self.senders.iter().enumerate() {
+            let channel = FaultPlane::channel_with(UPDATE_INGEST_TAG, 0, shard as u64);
+            let mut attempt = 0u32;
+            loop {
+                if attempt > 0 {
+                    if self.policy.exhausted(attempt) {
+                        return Err(IngestError::RetriesExhausted {
+                            shard,
+                            seq,
+                            attempts: attempt,
+                        });
+                    }
+                    self.plane.note_retry();
+                    lag_ticks += self.policy.backoff_ticks(attempt);
+                }
+                match self.plane.decide(channel, seq, attempt) {
+                    Delivery::Deliver => {
+                        send(tx, seq, &events)?;
+                        break;
+                    }
+                    Delivery::Delay(d) => {
+                        send(tx, seq, &events)?;
+                        lag_ticks += d;
+                        break;
+                    }
+                    Delivery::AckLost => {
+                        // The batch lands and is applied, but our ack is
+                        // "lost": resend, and let the worker's sequencer
+                        // discard the duplicate.
+                        send(tx, seq, &events)?;
+                        attempt += 1;
+                    }
+                    Delivery::Drop | Delivery::Corrupt => {
+                        attempt += 1;
+                    }
+                }
+            }
+            // The reorder fault: a late duplicate of a delivered batch.
+            if self.plane.replays_duplicate(channel, seq) {
+                send(tx, seq, &events)?;
+            }
+        }
+        // Collect exactly one ack per shard for this seq; duplicate acks
+        // (lost-ack resends) and stragglers from older batches are skipped.
+        let mut applied: Vec<Option<Applied>> = vec![None; shards];
+        let mut got = 0usize;
+        while got < shards {
+            let ack = self.acks.recv().map_err(|_| IngestError::Disconnected)?;
+            if ack.seq != seq {
+                continue;
+            }
+            if applied[ack.shard].is_none() {
+                applied[ack.shard] = Some(ack.applied);
+                got += 1;
+            }
+        }
+        let mut views = Vec::with_capacity(shards);
+        let mut touched = Touched::default();
+        let (mut repairs, mut repaired_slots) = (0u64, 0u64);
+        for a in applied.into_iter() {
+            // invariant: the collection loop above filled every slot.
+            let a = a.expect("one ack per shard collected");
+            views.push(a.view);
+            touched.rows.extend(&a.touched.rows);
+            touched.feats.extend(&a.touched.feats);
+            repairs += a.repairs;
+            repaired_slots += a.repaired_slots;
+        }
+        touched.rows.sort_unstable();
+        touched.rows.dedup();
+        touched.feats.sort_unstable();
+        touched.feats.dedup();
+        Ok(SubmitOutcome { views, touched, lag_ticks, repairs, repaired_slots })
+    }
+
+    /// Drops the senders and joins the workers.
+    pub fn shutdown(self) {
+        drop(self.senders);
+        drop(self.acks);
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn send(
+    tx: &Sender<ShardMsg>,
+    seq: u64,
+    events: &Arc<Vec<UpdateEvent>>,
+) -> Result<(), IngestError> {
+    tx.send(ShardMsg { seq, events: Arc::clone(events) }).map_err(|_| IngestError::Disconnected)
+}
+
+/// One shard's ingest worker: dedups arrivals through a [`Sequencer`],
+/// applies deliverable batches in sequence order, and acks each applied
+/// sequence number. A duplicate of the *last applied* batch (a lost-ack
+/// resend) is re-acked from the stored result instead of re-applied —
+/// exactly-once application is the sequencer's contract.
+fn worker_loop(
+    mut store: ShardStore,
+    rx: Receiver<ShardMsg>,
+    acks: Sender<ShardAck>,
+    shard: usize,
+) {
+    let mut sequencer: Sequencer<Arc<Vec<UpdateEvent>>> = Sequencer::new();
+    let mut last: Option<ShardAck> = None;
+    while let Ok(msg) = rx.recv() {
+        let seq = msg.seq;
+        let ready = sequencer.offer(seq, msg.events);
+        if ready.is_empty() {
+            // Duplicate (already applied or buffered): re-ack if it is the
+            // batch we just applied, otherwise drop it silently.
+            if let Some(prev) = &last {
+                if prev.seq == seq && acks.send(prev.clone()).is_err() {
+                    return;
+                }
+            }
+            continue;
+        }
+        let base = sequencer.delivered() - ready.len() as u64;
+        for (i, events) in ready.into_iter().enumerate() {
+            let applied = store.apply(&events);
+            let ack = ShardAck { shard, seq: base + i as u64, applied };
+            last = Some(ack.clone());
+            if acks.send(ack).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::UpdateEvent;
+    use aligraph_chaos::FaultPlan;
+    use aligraph_graph::ids::well_known::*;
+    use aligraph_graph::{AttrVector, GraphBuilder, VertexId};
+
+    fn stores(shards: u32) -> Vec<ShardStore> {
+        let mut b = GraphBuilder::directed();
+        let vs: Vec<VertexId> = (0..6).map(|_| b.add_vertex(USER, AttrVector::empty())).collect();
+        for w in vs.windows(2) {
+            b.add_edge(w[0], w[1], CLICK, 1.0).unwrap();
+        }
+        let g = Arc::new(b.build());
+        let owners = Arc::new((0..6u32).map(|v| v % shards).collect::<Vec<_>>());
+        (0..shards).map(|m| ShardStore::new(Arc::clone(&g), Arc::clone(&owners), m)).collect()
+    }
+
+    fn add(src: u32, dst: u32) -> UpdateEvent {
+        UpdateEvent::AddEdge { src: VertexId(src), dst: VertexId(dst), etype: CLICK, weight: 1.0 }
+    }
+
+    #[test]
+    fn fault_free_submit_applies_on_the_owning_shard() {
+        let plane = Arc::new(FaultPlane::new(FaultPlan::default()));
+        let mut pipe = IngestPipeline::spawn(stores(2), plane, RetryPolicy::default());
+        let out = pipe.submit(Arc::new(vec![add(0, 1), add(2, 3)])).unwrap();
+        assert_eq!(out.views.len(), 2);
+        assert_eq!(out.touched.rows, vec![0, 2]);
+        assert_eq!(out.lag_ticks, 0);
+        assert_eq!(out.repairs, 2);
+        pipe.shutdown();
+    }
+
+    #[test]
+    fn faulted_submits_match_fault_free_state_exactly() {
+        // The headline chaos property at the unit level: same batches in,
+        // same per-shard rows out, faults only cost modelled ticks.
+        let clean_plane = Arc::new(FaultPlane::new(FaultPlan::default()));
+        let mut clean = IngestPipeline::spawn(stores(2), clean_plane, RetryPolicy::default());
+        let chaotic_plane = Arc::new(FaultPlane::new(FaultPlan::with_seed(9, 0.2)));
+        let mut chaotic = IngestPipeline::spawn(stores(2), chaotic_plane, RetryPolicy::default());
+        let mut lag = 0u64;
+        for round in 0..20u32 {
+            let batch = Arc::new(vec![add(round % 6, (round + 1) % 6), add(0, round % 6)]);
+            let a = clean.submit(Arc::clone(&batch)).unwrap();
+            let b = chaotic.submit(batch).unwrap();
+            assert_eq!(a.touched, b.touched, "round {round}");
+            lag += b.lag_ticks;
+            for (va, vb) in a.views.iter().zip(&b.views) {
+                for v in 0..6u32 {
+                    let ra = va.out_row(VertexId(v)).map(|r| r.as_slice());
+                    let rb = vb.out_row(VertexId(v)).map(|r| r.as_slice());
+                    assert_eq!(ra, rb, "round {round} vertex {v}");
+                }
+            }
+        }
+        assert!(lag > 0, "a 20% fault rate must cost some modelled lag");
+        clean.shutdown();
+        chaotic.shutdown();
+    }
+}

@@ -1,0 +1,75 @@
+//! # aligraph-streaming
+//!
+//! The streaming dynamic-graph service (DESIGN.md §2.15): live update
+//! ingest under serving load. AliGraph's platform assumes the graph keeps
+//! evolving in production; this crate is the continuous plane that applies
+//! edge/vertex/attribute events *while* the serving layer takes traffic,
+//! the way Graph-Learn's Dynamic Graph Service does real-time sampling on
+//! a streaming graph under a P99 latency guarantee.
+//!
+//! Pieces:
+//!
+//! * [`event`] — the versioned update log: [`event::UpdateEvent`] batches
+//!   plus the seeded power-law workload generator the bench and the tests
+//!   share;
+//! * [`store`] — per-shard copy-on-write state: adjacency rows, feature
+//!   overrides, and **incrementally repaired** per-vertex alias tables
+//!   ([`aligraph_sampling::IncrementalAlias`]) — a touched vertex gets an
+//!   in-place repair, never a store-wide rebuild;
+//! * [`epoch`] — the epoch manager: every applied batch publishes a new
+//!   monotonic graph epoch; readers **pin** an epoch so every gather in one
+//!   request sees one graph version (session consistency);
+//! * [`ingest`] — the coordinator + per-shard ingest workers. Batches
+//!   travel over a chaos-wrapped channel (fault tag 4) with sequence
+//!   numbers; a [`aligraph_chaos::Sequencer`] dedups retried duplicates so
+//!   drop/delay/reorder faults cost only modelled ticks, never correctness;
+//! * [`serve`] — [`serve::StreamingService`]: epoch-pinned sessions,
+//!   deterministic per-vertex k-hop gathers, an epoch-tagged sample cache
+//!   with targeted reverse k-hop invalidation, and the bit-exact
+//!   rebuild-from-scratch oracle;
+//! * [`report`] — the `streaming.*` telemetry rollup.
+//!
+//! ```text
+//! updates ──submit(seq)──> [chaos tag 4] ──> shard workers (Sequencer dedup)
+//!                                              │ apply + alias repair
+//!                                              ▼
+//!                        epoch N+1 ── reverse k-hop invalidate ──> SampleCache
+//!                                              │
+//! clients ──session.pin(N)──> gather/score ────┘   (session sees epoch N only)
+//! ```
+//!
+//! **Determinism contract.** A gather is a pure function of `(service
+//! seed, vertex, pinned epoch's k-hop view)`: per-gather RNGs are seeded
+//! from `(seed, vertex)`, ingest fault decisions are pure in `(plan,
+//! channel, seq, attempt)`, and update lag is counted in virtual ticks.
+//! Two runs with the same seeds produce bit-identical epochs, gathers,
+//! and alias tables — including under an armed fault plane.
+
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod epoch;
+pub mod event;
+pub mod ingest;
+pub mod report;
+pub mod serve;
+pub mod store;
+
+pub use cache::{SampleCache, SampleCacheStats};
+pub use epoch::{EpochManager, EpochPin, EpochView};
+pub use event::{UpdateBatch, UpdateEvent, UpdateWorkload};
+pub use ingest::{IngestError, IngestFaultConfig, UPDATE_INGEST_TAG};
+pub use report::StreamingReport;
+pub use serve::{Gathered, IngestReceipt, Session, StreamingConfig, StreamingService};
+pub use store::{ShardStore, ShardView, Touched};
+
+/// SplitMix64-style fold of two words into one seed: how per-gather RNG
+/// streams are derived from `(service seed, vertex)` so a gather is a pure
+/// function of its inputs and never perturbs any other gather's stream.
+pub(crate) fn mix2(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}

@@ -1,0 +1,488 @@
+//! The streaming service: epoch-pinned sessions gathering k-hop samples
+//! while update batches flow through the ingest pipeline.
+//!
+//! Consistency model:
+//!
+//! * **Session consistency** — a [`Session`] pins one epoch at creation and
+//!   every gather it performs reads that one graph version, no matter how
+//!   many batches publish meanwhile.
+//! * **Pure gathers** — a gather is a deterministic function of `(service
+//!   seed, vertex, pinned view's k-hop region)`: its RNG is seeded from
+//!   `(seed, vertex)` only. Two gathers of the same vertex at epochs whose
+//!   k-hop regions are identical produce bit-identical vectors — which is
+//!   exactly why a cache entry that survives the targeted reverse-k-hop
+//!   invalidation sweep is still *correct*, not merely tolerably stale.
+//! * **Monotonic epochs** — the ingest lock is held across publish, so
+//!   epochs advance in submit order, strictly increasing.
+
+use crate::cache::{SampleCache, SampleCacheStats};
+use crate::epoch::{EpochManager, EpochPin, EpochView};
+use crate::event::UpdateBatch;
+use crate::ingest::{IngestError, IngestFaultConfig, IngestPipeline};
+use crate::mix2;
+use crate::store::ShardStore;
+use aligraph_chaos::{FaultPlan, FaultPlane, RetryPolicy};
+use aligraph_graph::{AttributedHeterogeneousGraph, FeatureMatrix, VertexId};
+use aligraph_partition::{EdgeCutHash, Partitioner};
+use aligraph_sampling::{reverse_reach, AliasTable};
+use aligraph_telemetry::{Counter, Gauge, Histogram, Registry, Span};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Tunables of a [`StreamingService`].
+#[derive(Debug, Clone)]
+pub struct StreamingConfig {
+    /// Ingest shards (one worker thread each).
+    pub shards: usize,
+    /// Per-hop sampling fanouts; `len()` is the gather depth `kmax`.
+    pub fanouts: Vec<usize>,
+    /// Capacity of the epoch-tagged sample cache.
+    pub cache_capacity: usize,
+    /// Service seed: the only entropy source of the gather plane.
+    pub seed: u64,
+    /// Optional chaos configuration of the ingest channel (tag 4).
+    pub fault: Option<IngestFaultConfig>,
+}
+
+impl Default for StreamingConfig {
+    fn default() -> Self {
+        StreamingConfig {
+            shards: 2,
+            fanouts: vec![4, 2],
+            cache_capacity: 4096,
+            seed: 42,
+            fault: None,
+        }
+    }
+}
+
+/// What one applied batch did to the published state.
+#[derive(Debug, Clone)]
+pub struct IngestReceipt {
+    /// The epoch this batch published.
+    pub epoch: u64,
+    /// Sources whose out-row / alias table changed (sorted).
+    pub touched_rows: Vec<u32>,
+    /// Vertices whose features changed (sorted).
+    pub touched_feats: Vec<u32>,
+    /// Cache entries removed by the targeted invalidation sweep.
+    pub invalidated: usize,
+    /// Vertices whose cached gather the sweep considered affected.
+    pub affected: usize,
+    /// Virtual ticks of update lag (injected delays + retry backoff).
+    pub lag_ticks: u64,
+    /// In-place alias repairs this batch performed.
+    pub repairs: u64,
+    /// Alias slots rewritten by those repairs.
+    pub repaired_slots: u64,
+}
+
+/// One epoch-pinned gather result.
+#[derive(Debug, Clone)]
+pub struct Gathered {
+    /// The epoch the vector was computed (or cached) at.
+    pub epoch: u64,
+    /// The aggregated k-hop feature vector.
+    pub vector: Arc<Vec<f32>>,
+}
+
+#[derive(Debug)]
+struct Metrics {
+    batches: Arc<Counter>,
+    ev_add: Arc<Counter>,
+    ev_remove: Arc<Counter>,
+    ev_attr: Arc<Counter>,
+    lag: Arc<Histogram>,
+    epoch: Arc<Gauge>,
+    pin_age: Arc<Histogram>,
+    latency: Arc<Histogram>,
+    gathers: Arc<Counter>,
+    repairs: Arc<Counter>,
+    repaired_slots: Arc<Counter>,
+}
+
+impl Metrics {
+    fn registered(registry: &Registry) -> Self {
+        Metrics {
+            batches: registry.counter("streaming.ingest.batches", &[]),
+            ev_add: registry.counter("streaming.ingest.events", &[("kind", "add")]),
+            ev_remove: registry.counter("streaming.ingest.events", &[("kind", "remove")]),
+            ev_attr: registry.counter("streaming.ingest.events", &[("kind", "attr")]),
+            lag: registry.histogram("streaming.ingest.lag_ticks", &[]),
+            epoch: registry.gauge("streaming.epoch", &[]),
+            pin_age: registry.histogram("streaming.epoch.pin_age", &[]),
+            latency: registry.histogram("streaming.serve.latency_ns", &[]),
+            gathers: registry.counter("streaming.serve.gathers", &[]),
+            repairs: registry.counter("streaming.alias.repairs", &[]),
+            repaired_slots: registry.counter("streaming.alias.repaired_slots", &[]),
+        }
+    }
+}
+
+/// The live service: shared by the updater and any number of reader
+/// threads (`&self` everywhere except [`shutdown`](Self::shutdown)).
+#[derive(Debug)]
+pub struct StreamingService {
+    epochs: EpochManager,
+    cache: SampleCache,
+    pipeline: Mutex<IngestPipeline>,
+    fanouts: Vec<usize>,
+    seed: u64,
+    metrics: Metrics,
+}
+
+impl StreamingService {
+    /// Starts the service with detached (unpublished) telemetry.
+    pub fn start(
+        base: Arc<AttributedHeterogeneousGraph>,
+        feats: Arc<FeatureMatrix>,
+        config: StreamingConfig,
+    ) -> Self {
+        Self::start_with_registry(base, feats, config, &Registry::disabled())
+    }
+
+    /// Starts the service: hash-partitions vertex ownership across the
+    /// shards, builds the base alias tables once, spawns one ingest worker
+    /// per shard, and publishes epoch 0. All `streaming.*` (and, when a
+    /// fault plan is armed, `chaos.*`) series land in `registry`.
+    pub fn start_with_registry(
+        base: Arc<AttributedHeterogeneousGraph>,
+        feats: Arc<FeatureMatrix>,
+        config: StreamingConfig,
+        registry: &Registry,
+    ) -> Self {
+        let shards = config.shards.max(1);
+        let part = EdgeCutHash.partition(&base, shards);
+        let owners: Arc<Vec<u32>> =
+            Arc::new(part.vertex_owner.iter().map(|w| w.index() as u32).collect());
+        let base_alias: Arc<Vec<Option<Arc<AliasTable>>>> = Arc::new(
+            (0..base.num_vertices())
+                .map(|v| {
+                    let w: Vec<f32> =
+                        base.out_neighbors(VertexId(v as u32)).iter().map(|n| n.weight).collect();
+                    AliasTable::new(&w).map(Arc::new)
+                })
+                .collect(),
+        );
+        let stores: Vec<ShardStore> = (0..shards)
+            .map(|m| ShardStore::new(Arc::clone(&base), Arc::clone(&owners), m as u32))
+            .collect();
+        let (plan, policy) = match &config.fault {
+            Some(f) => (f.plan.clone(), f.policy),
+            None => (FaultPlan::default(), RetryPolicy::default()),
+        };
+        let plane = Arc::new(FaultPlane::registered(plan, registry));
+        let pipeline = Mutex::new(IngestPipeline::spawn(stores, plane, policy));
+        let view = EpochView::initial(base, feats, base_alias, owners, shards);
+        StreamingService {
+            epochs: EpochManager::new(view),
+            cache: SampleCache::registered(config.cache_capacity, registry),
+            pipeline,
+            fanouts: config.fanouts,
+            seed: config.seed,
+            metrics: Metrics::registered(registry),
+        }
+    }
+
+    /// Applies one batch: fans it out to the shards through the (possibly
+    /// faulted) ingest channel, computes the affected reverse-k-hop set
+    /// over both the pre and post views, and publishes the next epoch with
+    /// a targeted cache sweep. The pipeline lock is held through publish so
+    /// concurrent callers publish strictly increasing epochs in submit
+    /// order.
+    pub fn ingest(&self, batch: &UpdateBatch) -> Result<IngestReceipt, IngestError> {
+        let mut pipeline = self.pipeline.lock();
+        let outcome = pipeline.submit(Arc::new(batch.events.clone()))?;
+        let pre = self.epochs.pin();
+        let next_epoch = pre.epoch() + 1;
+        let next = Arc::new(pre.view().with_shards(outcome.views, next_epoch));
+        let kmax = self.fanouts.len();
+        let row_sources: HashSet<VertexId> =
+            outcome.touched.rows.iter().map(|&v| VertexId(v)).collect();
+        let feat_sources: HashSet<VertexId> =
+            outcome.touched.feats.iter().map(|&v| VertexId(v)).collect();
+        let views: [&EpochView; 2] = [pre.view().as_ref(), next.as_ref()];
+        // Rows are sampled at hops 0..kmax-1, features are read at every
+        // hop including the last frontier — hence the depth split.
+        let mut affected =
+            if kmax == 0 { HashSet::new() } else { reverse_reach(&views, &row_sources, kmax - 1) };
+        affected.extend(reverse_reach(&views, &feat_sources, kmax));
+        let mut affected: Vec<u32> = affected.into_iter().map(|v| v.0).collect();
+        affected.sort_unstable();
+        for ev in &batch.events {
+            match ev.kind() {
+                "add" => self.metrics.ev_add.inc(),
+                "remove" => self.metrics.ev_remove.inc(),
+                _ => self.metrics.ev_attr.inc(),
+            }
+        }
+        self.metrics.batches.inc();
+        self.metrics.lag.record(outcome.lag_ticks);
+        self.metrics.repairs.add(outcome.repairs);
+        self.metrics.repaired_slots.add(outcome.repaired_slots);
+        self.metrics.epoch.set(next_epoch as i64);
+        let mut invalidated = 0;
+        self.epochs.publish_with(next, |_| {
+            invalidated = self.cache.advance(next_epoch, affected.iter().copied());
+        });
+        drop(pipeline);
+        Ok(IngestReceipt {
+            epoch: next_epoch,
+            touched_rows: outcome.touched.rows,
+            touched_feats: outcome.touched.feats,
+            invalidated,
+            affected: affected.len(),
+            lag_ticks: outcome.lag_ticks,
+            repairs: outcome.repairs,
+            repaired_slots: outcome.repaired_slots,
+        })
+    }
+
+    /// Opens a session pinned to the current epoch.
+    pub fn session(&self) -> Session<'_> {
+        Session { svc: self, pin: self.epochs.pin() }
+    }
+
+    /// The latest published epoch.
+    pub fn current_epoch(&self) -> u64 {
+        self.epochs.current_epoch()
+    }
+
+    /// Counter snapshot of the sample cache.
+    pub fn cache_stats(&self) -> SampleCacheStats {
+        self.cache.stats()
+    }
+
+    /// The bit-exact equivalence oracle: every incrementally maintained
+    /// alias table must equal a from-scratch rebuild of its live row (same
+    /// bits), its stored weights must mirror the row weights, and every
+    /// live cache entry must equal a fresh recompute at the current epoch.
+    /// `Err` carries the first divergence found.
+    pub fn oracle_check(&self) -> Result<(), String> {
+        let pin = self.epochs.pin();
+        let view = pin.view();
+        for (shard_id, shard) in view.shards().iter().enumerate() {
+            for (v, inc) in shard.alias_entries() {
+                if !inc.bit_eq_rebuild() {
+                    return Err(format!(
+                        "shard {shard_id}: vertex {v} incremental alias != full rebuild"
+                    ));
+                }
+                let row_w: Vec<f32> =
+                    view.out_neighbors(VertexId(v)).iter().map(|n| n.weight).collect();
+                if inc.weights().len() != row_w.len()
+                    || inc.weights().iter().zip(&row_w).any(|(a, b)| a.to_bits() != b.to_bits())
+                {
+                    return Err(format!(
+                        "shard {shard_id}: vertex {v} alias weights diverge from its row"
+                    ));
+                }
+            }
+        }
+        if self.cache.epoch() == pin.epoch() {
+            for (v, data) in self.cache.entries() {
+                let fresh = compute_gather(view, VertexId(v), self.seed, &self.fanouts);
+                if fresh.len() != data.len()
+                    || fresh.iter().zip(data.iter()).any(|(a, b)| a.to_bits() != b.to_bits())
+                {
+                    return Err(format!("cache entry {v} != recompute at epoch {}", pin.epoch()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Stops the ingest workers and drops the service.
+    pub fn shutdown(self) {
+        self.pipeline.into_inner().shutdown();
+    }
+}
+
+/// A reader's handle: one pinned epoch for its whole lifetime.
+#[derive(Debug)]
+pub struct Session<'a> {
+    svc: &'a StreamingService,
+    pin: EpochPin,
+}
+
+impl Session<'_> {
+    /// The epoch every gather of this session reads.
+    pub fn epoch(&self) -> u64 {
+        self.pin.epoch()
+    }
+
+    /// Gathers `v`'s k-hop feature vector at the pinned epoch. Serves from
+    /// the sample cache only when the cache is still at this session's
+    /// epoch — and a hit is then bit-correct by construction: entries that
+    /// survived every targeted sweep since insertion have unchanged k-hop
+    /// regions, so a recompute would produce the same bits.
+    pub fn gather(&self, v: VertexId) -> Gathered {
+        let _span = Span::enter(&self.svc.metrics.latency);
+        self.svc.metrics.gathers.inc();
+        let age = self.svc.epochs.current_epoch().saturating_sub(self.pin.epoch());
+        self.svc.metrics.pin_age.record(age);
+        if self.pin.epoch() == self.svc.cache.epoch() {
+            if let Some(hit) = self.svc.cache.get(v.0) {
+                return Gathered { epoch: self.pin.epoch(), vector: hit };
+            }
+        }
+        let vector = Arc::new(compute_gather(self.pin.view(), v, self.svc.seed, &self.svc.fanouts));
+        self.svc.cache.insert(v.0, self.pin.epoch(), Arc::clone(&vector));
+        Gathered { epoch: self.pin.epoch(), vector }
+    }
+
+    /// Cosine similarity of two gathers at the pinned epoch (the serving
+    /// bench's request shape: user x item).
+    pub fn score(&self, u: VertexId, i: VertexId) -> f32 {
+        cosine(&self.gather(u).vector, &self.gather(i).vector)
+    }
+}
+
+/// The pure gather: alias-weighted k-hop sampling + hop-decayed feature
+/// aggregation, seeded from `(service seed, vertex)` only.
+fn compute_gather(view: &EpochView, v: VertexId, seed: u64, fanouts: &[usize]) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(mix2(seed, v.0 as u64));
+    let mut acc: Vec<f32> = view.features(v).to_vec();
+    let mut frontier = vec![v];
+    for (hop, &fanout) in fanouts.iter().enumerate() {
+        let scale = 1.0 / (hop + 2) as f32;
+        let mut next = Vec::with_capacity(frontier.len() * fanout);
+        for &u in &frontier {
+            let row = view.out_neighbors(u);
+            if row.is_empty() {
+                continue;
+            }
+            for _ in 0..fanout {
+                let pick = match view.alias(u) {
+                    Some(t) => t.sample(&mut rng),
+                    // Degenerate weights (e.g. all zero): uniform fallback.
+                    None => rng.gen_range(0..row.len()),
+                };
+                next.push(row[pick].vertex);
+            }
+        }
+        for &u in &next {
+            for (a, f) in acc.iter_mut().zip(view.features(u)) {
+                *a += scale * f;
+            }
+        }
+        frontier = next;
+    }
+    acc
+}
+
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let (mut dot, mut na, mut nb) = (0.0f32, 0.0f32, 0.0f32);
+    for (x, y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::UpdateEvent;
+    use aligraph_graph::ids::well_known::*;
+    use aligraph_graph::{AttrVector, Featurizer, GraphBuilder};
+
+    /// a chain 0 -> 1 -> 2 -> 3 -> 4 plus an isolated far vertex 5.
+    fn service(config: StreamingConfig) -> StreamingService {
+        let mut b = GraphBuilder::directed();
+        let vs: Vec<VertexId> = (0..6).map(|_| b.add_vertex(USER, AttrVector::empty())).collect();
+        for w in vs[..5].windows(2) {
+            b.add_edge(w[0], w[1], CLICK, 1.0).unwrap();
+        }
+        let g = Arc::new(b.build());
+        let feats = Arc::new(Featurizer::new(8).matrix(&g));
+        StreamingService::start(g, feats, config)
+    }
+
+    fn add(src: u32, dst: u32) -> UpdateEvent {
+        UpdateEvent::AddEdge { src: VertexId(src), dst: VertexId(dst), etype: CLICK, weight: 2.0 }
+    }
+
+    #[test]
+    fn gathers_are_deterministic_and_cached() {
+        let svc = service(StreamingConfig::default());
+        let s = svc.session();
+        let a = s.gather(VertexId(0));
+        let b = s.gather(VertexId(0));
+        assert_eq!(a.vector, b.vector);
+        assert_eq!(svc.cache_stats().hits, 1);
+        // A fresh service with the same seed produces the same bits.
+        let svc2 = service(StreamingConfig::default());
+        let c = svc2.session().gather(VertexId(0));
+        assert_eq!(a.vector, c.vector);
+        svc.shutdown();
+        svc2.shutdown();
+    }
+
+    #[test]
+    fn sessions_keep_their_epoch_and_updates_change_later_gathers() {
+        let svc = service(StreamingConfig::default());
+        let old = svc.session();
+        let before = old.gather(VertexId(0));
+        let receipt = svc.ingest(&UpdateBatch { events: vec![add(1, 4)] }).unwrap();
+        assert_eq!(receipt.epoch, 1);
+        assert_eq!(receipt.touched_rows, vec![1]);
+        assert_eq!(receipt.repairs, 1);
+        // Vertex 0 reaches the touched row 1 within kmax-1 hops: affected.
+        assert!(receipt.affected >= 2, "row 1 and its reverse reach");
+        // The old session still reads epoch 0 bits (session consistency).
+        let again = old.gather(VertexId(0));
+        assert_eq!(again.epoch, 0);
+        assert_eq!(before.vector, again.vector);
+        // A new session sees the new epoch and (with 1->4 in play) can
+        // sample a different neighborhood for vertex 0.
+        let new = svc.session();
+        assert_eq!(new.epoch(), 1);
+        svc.oracle_check().unwrap();
+        svc.shutdown();
+    }
+
+    #[test]
+    fn unrelated_updates_leave_cache_entries_warm() {
+        let svc = service(StreamingConfig::default());
+        let s = svc.session();
+        let _ = s.gather(VertexId(5)); // isolated vertex, cached
+        let receipt = svc.ingest(&UpdateBatch { events: vec![add(0, 2)] }).unwrap();
+        assert_eq!(receipt.invalidated, 0, "vertex 5 is outside the affected set");
+        // New session at the new epoch hits the surviving entry.
+        let hit = svc.session().gather(VertexId(5));
+        assert_eq!(hit.epoch, 1);
+        assert_eq!(svc.cache_stats().hits, 1);
+        svc.oracle_check().unwrap();
+        svc.shutdown();
+    }
+
+    #[test]
+    fn feature_updates_invalidate_the_touched_vertex_itself() {
+        let svc = service(StreamingConfig::default());
+        let s = svc.session();
+        let before = s.gather(VertexId(5));
+        let receipt = svc
+            .ingest(&UpdateBatch {
+                events: vec![UpdateEvent::SetFeatures {
+                    vertex: VertexId(5),
+                    features: vec![9.0; 8],
+                }],
+            })
+            .unwrap();
+        assert_eq!(receipt.invalidated, 1);
+        let after = svc.session().gather(VertexId(5));
+        assert_ne!(before.vector, after.vector);
+        assert_eq!(after.vector[0], 9.0);
+        svc.oracle_check().unwrap();
+        svc.shutdown();
+    }
+}

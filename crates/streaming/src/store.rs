@@ -1,0 +1,371 @@
+//! Per-shard copy-on-write state of the streaming store.
+//!
+//! Each ingest worker owns one [`ShardStore`]: the adjacency rows, feature
+//! overrides, and per-vertex [`IncrementalAlias`] tables of the vertices it
+//! owns, layered over the immutable base snapshot. Applying a batch edits
+//! only the touched rows and **repairs the touched alias tables in place**
+//! (never a store-wide rebuild — the whole point of the incremental plane),
+//! then snapshots the shard into an immutable [`ShardView`] for the next
+//! epoch.
+
+use crate::event::UpdateEvent;
+use aligraph_graph::{AttrId, AttributedHeterogeneousGraph, EdgeId, Neighbor, VertexId};
+use aligraph_sampling::IncrementalAlias;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Attribute record id for stream-added edges, which carry no attributes
+/// (nothing on the gather path dereferences edge attributes).
+const SYNTH_ATTR: AttrId = AttrId(u32::MAX);
+/// Edge id for stream-added edges (the base snapshot's id space is dense
+/// from 0, so the sentinel cannot collide).
+const SYNTH_EDGE: EdgeId = EdgeId(u64::MAX);
+
+/// The vertices a batch touched on one shard, split by what changed:
+/// `rows` are sources whose out-row (and alias table) changed, `feats` are
+/// vertices whose feature vector changed. Sorted for determinism.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Touched {
+    /// Sources whose out-adjacency row / alias table changed.
+    pub rows: Vec<u32>,
+    /// Vertices whose dense features changed.
+    pub feats: Vec<u32>,
+}
+
+/// What one [`ShardStore::apply`] produced: the immutable snapshot, the
+/// touched set, and the incremental-maintenance accounting.
+#[derive(Debug, Clone)]
+pub struct Applied {
+    /// Snapshot of the shard after the batch.
+    pub view: ShardView,
+    /// What the batch touched on this shard.
+    pub touched: Touched,
+    /// In-place alias repairs performed (one per touched row).
+    pub repairs: u64,
+    /// Total alias slots rewritten by those repairs (Σ row degrees) — the
+    /// actual hot-path work, versus a full rebuild's Σ over *all* rows.
+    pub repaired_slots: u64,
+}
+
+/// An immutable snapshot of one shard's overlay state. Cloning is O(1)
+/// (four `Arc` bumps); lookups fall through to the base snapshot for
+/// untouched vertices.
+#[derive(Debug, Clone, Default)]
+pub struct ShardView {
+    out_rows: Arc<HashMap<u32, Arc<Vec<Neighbor>>>>,
+    in_rows: Arc<HashMap<u32, Arc<Vec<Neighbor>>>>,
+    alias: Arc<HashMap<u32, Arc<IncrementalAlias>>>,
+    feats: Arc<HashMap<u32, Arc<Vec<f32>>>>,
+}
+
+impl ShardView {
+    /// The overlaid out-row of `v`, when this shard has touched it.
+    pub fn out_row(&self, v: VertexId) -> Option<&Arc<Vec<Neighbor>>> {
+        self.out_rows.get(&v.0)
+    }
+
+    /// The overlaid in-row of `v`, when this shard has touched it.
+    pub fn in_row(&self, v: VertexId) -> Option<&Arc<Vec<Neighbor>>> {
+        self.in_rows.get(&v.0)
+    }
+
+    /// The incrementally maintained alias table of `v`, when touched.
+    pub fn alias(&self, v: VertexId) -> Option<&Arc<IncrementalAlias>> {
+        self.alias.get(&v.0)
+    }
+
+    /// The overlaid feature vector of `v`, when touched.
+    pub fn features(&self, v: VertexId) -> Option<&Arc<Vec<f32>>> {
+        self.feats.get(&v.0)
+    }
+
+    /// All incrementally maintained alias tables (for the rebuild oracle).
+    pub fn alias_entries(&self) -> impl Iterator<Item = (u32, &Arc<IncrementalAlias>)> {
+        self.alias.iter().map(|(&v, a)| (v, a))
+    }
+
+    /// Number of adjacency rows this shard has overlaid.
+    pub fn overlay_rows(&self) -> usize {
+        self.out_rows.len()
+    }
+}
+
+/// The mutable per-shard state an ingest worker owns.
+#[derive(Debug)]
+pub struct ShardStore {
+    base: Arc<AttributedHeterogeneousGraph>,
+    /// Vertex → owning shard, shared with every other shard.
+    owners: Arc<Vec<u32>>,
+    /// This shard's id in `owners`.
+    me: u32,
+    out_rows: HashMap<u32, Arc<Vec<Neighbor>>>,
+    in_rows: HashMap<u32, Arc<Vec<Neighbor>>>,
+    alias: HashMap<u32, Arc<IncrementalAlias>>,
+    feats: HashMap<u32, Arc<Vec<f32>>>,
+}
+
+impl ShardStore {
+    /// An empty overlay for shard `me` over the base snapshot.
+    pub fn new(base: Arc<AttributedHeterogeneousGraph>, owners: Arc<Vec<u32>>, me: u32) -> Self {
+        ShardStore {
+            base,
+            owners,
+            me,
+            out_rows: HashMap::new(),
+            in_rows: HashMap::new(),
+            alias: HashMap::new(),
+            feats: HashMap::new(),
+        }
+    }
+
+    fn owns(&self, v: VertexId) -> bool {
+        self.owners.get(v.0 as usize).copied() == Some(self.me)
+    }
+
+    fn current_out_row(&self, v: VertexId) -> &[Neighbor] {
+        match self.out_rows.get(&v.0) {
+            Some(row) => row,
+            None => self.base.out_neighbors(v),
+        }
+    }
+
+    /// Materializes `v`'s alias table into the incremental plane on first
+    /// touch (the one-time per-vertex migration), from the *current* row
+    /// weights so the `alias.weights == row weights` invariant holds before
+    /// the edit that is about to happen.
+    fn ensure_alias(&mut self, v: VertexId) {
+        if !self.alias.contains_key(&v.0) {
+            let weights: Vec<f32> = self.current_out_row(v).iter().map(|n| n.weight).collect();
+            self.alias.insert(v.0, Arc::new(IncrementalAlias::new(weights)));
+        }
+    }
+
+    fn alias_mut(&mut self, v: VertexId) -> &mut IncrementalAlias {
+        // invariant: ensure_alias(v) ran just before every alias_mut(v)
+        // call, so the entry exists.
+        Arc::make_mut(self.alias.get_mut(&v.0).expect("alias entry materialized"))
+    }
+
+    /// Applies one batch of events (ownership-filtered: this shard edits
+    /// only the rows/features of vertices it owns), repairs every touched
+    /// alias table in place, and snapshots the result.
+    pub fn apply(&mut self, events: &[UpdateEvent]) -> Applied {
+        let mut rows: BTreeSet<u32> = BTreeSet::new();
+        let mut feats: BTreeSet<u32> = BTreeSet::new();
+        for ev in events {
+            match ev {
+                UpdateEvent::AddEdge { src, dst, etype, weight } => {
+                    if self.owns(*src) {
+                        let rec = Neighbor {
+                            vertex: *dst,
+                            etype: *etype,
+                            weight: *weight,
+                            attr: SYNTH_ATTR,
+                            edge: SYNTH_EDGE,
+                        };
+                        self.ensure_alias(*src);
+                        edit_row(&mut self.out_rows, &self.base, *src, Side::Out, |row| {
+                            row.push(rec)
+                        });
+                        self.alias_mut(*src).push(*weight);
+                        rows.insert(src.0);
+                    }
+                    if self.owns(*dst) {
+                        let rec = Neighbor {
+                            vertex: *src,
+                            etype: *etype,
+                            weight: *weight,
+                            attr: SYNTH_ATTR,
+                            edge: SYNTH_EDGE,
+                        };
+                        edit_row(&mut self.in_rows, &self.base, *dst, Side::In, |row| {
+                            row.push(rec)
+                        });
+                    }
+                }
+                UpdateEvent::RemoveEdge { src, dst, etype } => {
+                    if self.owns(*src) {
+                        let pos = self
+                            .current_out_row(*src)
+                            .iter()
+                            .position(|n| n.vertex == *dst && n.etype == *etype);
+                        if let Some(i) = pos {
+                            self.ensure_alias(*src);
+                            edit_row(&mut self.out_rows, &self.base, *src, Side::Out, |row| {
+                                row.remove(i);
+                            });
+                            // Order-preserving removal keeps alias indices
+                            // aligned with row indices.
+                            self.alias_mut(*src).remove(i);
+                            rows.insert(src.0);
+                        }
+                    }
+                    if self.owns(*dst) {
+                        let present = match self.in_rows.get(&dst.0) {
+                            Some(row) => row.iter().any(|n| n.vertex == *src && n.etype == *etype),
+                            None => self
+                                .base
+                                .in_neighbors(*dst)
+                                .iter()
+                                .any(|n| n.vertex == *src && n.etype == *etype),
+                        };
+                        if present {
+                            edit_row(&mut self.in_rows, &self.base, *dst, Side::In, |row| {
+                                if let Some(i) =
+                                    row.iter().position(|n| n.vertex == *src && n.etype == *etype)
+                                {
+                                    row.remove(i);
+                                }
+                            });
+                        }
+                    }
+                }
+                UpdateEvent::SetFeatures { vertex, features } => {
+                    if self.owns(*vertex) {
+                        self.feats.insert(vertex.0, Arc::new(features.clone()));
+                        feats.insert(vertex.0);
+                    }
+                }
+            }
+        }
+        // The incremental-maintenance hot path: one in-place repair per
+        // touched row, buffer-reusing, O(Σ touched degrees) — never a
+        // rebuild of untouched tables.
+        let (mut repairs, mut repaired_slots) = (0u64, 0u64);
+        for &v in &rows {
+            if let Some(a) = self.alias.get_mut(&v) {
+                let a = Arc::make_mut(a);
+                if a.is_dirty() {
+                    a.repair();
+                    repairs += 1;
+                    repaired_slots += a.len() as u64;
+                }
+            }
+        }
+        Applied {
+            view: self.snapshot(),
+            touched: Touched {
+                rows: rows.into_iter().collect(),
+                feats: feats.into_iter().collect(),
+            },
+            repairs,
+            repaired_slots,
+        }
+    }
+
+    /// An immutable snapshot of the current overlay state.
+    pub fn snapshot(&self) -> ShardView {
+        ShardView {
+            out_rows: Arc::new(self.out_rows.clone()),
+            in_rows: Arc::new(self.in_rows.clone()),
+            alias: Arc::new(self.alias.clone()),
+            feats: Arc::new(self.feats.clone()),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Side {
+    Out,
+    In,
+}
+
+/// Materializes `v`'s row into the overlay map (copying from the base
+/// snapshot on first touch) and edits it in place.
+fn edit_row(
+    rows: &mut HashMap<u32, Arc<Vec<Neighbor>>>,
+    base: &AttributedHeterogeneousGraph,
+    v: VertexId,
+    side: Side,
+    edit: impl FnOnce(&mut Vec<Neighbor>),
+) {
+    let row = rows.entry(v.0).or_insert_with(|| {
+        let slice = match side {
+            Side::Out => base.out_neighbors(v),
+            Side::In => base.in_neighbors(v),
+        };
+        Arc::new(slice.to_vec())
+    });
+    edit(Arc::make_mut(row));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aligraph_graph::ids::well_known::*;
+    use aligraph_graph::{AttrVector, EdgeType, GraphBuilder};
+    use aligraph_sampling::AliasTable;
+
+    fn chain() -> (Arc<AttributedHeterogeneousGraph>, Vec<VertexId>) {
+        // a -> b -> c -> d
+        let mut b = GraphBuilder::directed();
+        let vs: Vec<VertexId> = (0..4).map(|_| b.add_vertex(USER, AttrVector::empty())).collect();
+        for w in vs.windows(2) {
+            b.add_edge(w[0], w[1], CLICK, 1.0).unwrap();
+        }
+        (Arc::new(b.build()), vs)
+    }
+
+    fn one_shard(base: &Arc<AttributedHeterogeneousGraph>) -> ShardStore {
+        let owners = Arc::new(vec![0u32; base.num_vertices()]);
+        ShardStore::new(Arc::clone(base), owners, 0)
+    }
+
+    #[test]
+    fn apply_edits_rows_and_repairs_alias_in_place() {
+        let (g, vs) = chain();
+        let mut store = one_shard(&g);
+        let applied = store.apply(&[
+            UpdateEvent::AddEdge { src: vs[0], dst: vs[2], etype: CLICK, weight: 2.0 },
+            UpdateEvent::RemoveEdge { src: vs[1], dst: vs[2], etype: CLICK },
+            UpdateEvent::SetFeatures { vertex: vs[3], features: vec![1.0, 2.0] },
+        ]);
+        assert_eq!(applied.touched.rows, vec![vs[0].0, vs[1].0]);
+        assert_eq!(applied.touched.feats, vec![vs[3].0]);
+        assert_eq!(applied.repairs, 2);
+        let row0 = applied.view.out_row(vs[0]).unwrap();
+        assert_eq!(row0.len(), 2);
+        assert!(applied.view.out_row(vs[1]).unwrap().is_empty());
+        // Each touched alias is bit-exact against a from-scratch rebuild of
+        // its current row weights.
+        for (v, inc) in applied.view.alias_entries() {
+            assert!(inc.bit_eq_rebuild(), "vertex {v} alias diverged from rebuild");
+        }
+        let a0 = applied.view.alias(vs[0]).unwrap();
+        let fresh = AliasTable::new(&row0.iter().map(|n| n.weight).collect::<Vec<_>>()).unwrap();
+        assert_eq!(a0.table().unwrap().probs(), fresh.probs());
+        // Empty row => degenerate table, exactly like a rebuild would say.
+        assert!(applied.view.alias(vs[1]).unwrap().table().is_none());
+        // The base snapshot is untouched.
+        assert_eq!(g.out_neighbors(vs[0]).len(), 1);
+    }
+
+    #[test]
+    fn ownership_filters_edits() {
+        let (g, vs) = chain();
+        let owners = Arc::new(vec![0u32, 1, 0, 1]);
+        let mut s0 = ShardStore::new(Arc::clone(&g), Arc::clone(&owners), 0);
+        let mut s1 = ShardStore::new(Arc::clone(&g), owners, 1);
+        let events = [UpdateEvent::AddEdge { src: vs[0], dst: vs[1], etype: CLICK, weight: 1.0 }];
+        let a0 = s0.apply(&events);
+        let a1 = s1.apply(&events);
+        // Shard 0 owns the source: out-row + alias. Shard 1 owns the
+        // destination: in-row only.
+        assert_eq!(a0.touched.rows, vec![vs[0].0]);
+        assert!(a0.view.in_row(vs[1]).is_none());
+        assert!(a1.touched.rows.is_empty());
+        assert_eq!(a1.view.in_row(vs[1]).unwrap().len(), 2);
+        assert_eq!(a1.repairs, 0);
+    }
+
+    #[test]
+    fn removing_a_missing_edge_is_a_clean_noop() {
+        let (g, vs) = chain();
+        let mut store = one_shard(&g);
+        let applied =
+            store.apply(&[UpdateEvent::RemoveEdge { src: vs[0], dst: vs[3], etype: EdgeType(9) }]);
+        assert!(applied.touched.rows.is_empty());
+        assert_eq!(applied.repairs, 0);
+        assert_eq!(applied.view.overlay_rows(), 0);
+    }
+}

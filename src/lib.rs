@@ -18,4 +18,5 @@ pub use aligraph_runtime as runtime;
 pub use aligraph_sampling as sampling;
 pub use aligraph_serving as serving;
 pub use aligraph_storage as storage;
+pub use aligraph_streaming as streaming;
 pub use aligraph_tensor as tensor;

@@ -50,6 +50,17 @@ fn workspace_is_lint_clean() {
 }
 
 #[test]
+fn lint_sweep_covers_the_streaming_crate() {
+    // New crates join the walk automatically; this pins that the streaming
+    // crate (seeded-path code that must never read wall-clock) is in the
+    // sweep from day one rather than silently skipped.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = rust_sources(root).expect("walk workspace sources");
+    let streaming: Vec<_> = files.iter().filter(|p| p.starts_with("crates/streaming")).collect();
+    assert!(streaming.len() >= 8, "streaming crate missing from the lint sweep: {streaming:?}");
+}
+
+#[test]
 fn bucket_executor_survives_interleavings() {
     let w = BucketWorkload::default();
     Explorer { seed: 7 }.explore(&w, 300).expect("no divergence");

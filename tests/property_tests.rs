@@ -3,12 +3,15 @@
 use aligraph_suite::chaos::{RetryPolicy, Sequencer, MAX_BACKOFF_TICKS};
 use aligraph_suite::eval::{best_f1, macro_f1, micro_f1, pr_auc, roc_auc};
 use aligraph_suite::graph::generate::{erdos_renyi, TaobaoConfig};
+use aligraph_suite::graph::Featurizer;
 use aligraph_suite::graph::{AttrValue, AttrVector, EdgeType, GraphBuilder, VertexId, VertexType};
 use aligraph_suite::partition::{EdgeCutHash, Partitioner, StreamingLdg, VertexCutGreedy};
-use aligraph_suite::sampling::AliasTable;
+use aligraph_suite::sampling::{AliasTable, IncrementalAlias};
 use aligraph_suite::storage::LruCache;
+use aligraph_suite::streaming::{EpochManager, EpochView, ShardView};
 use aligraph_suite::tensor::Matrix;
 use proptest::prelude::*;
+use std::sync::Arc;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -214,6 +217,69 @@ proptest! {
         prop_assert_eq!(s.pending(), 0);
         for &seq in &arrivals {
             prop_assert!(s.offer(seq, seq).is_empty(), "replayed seq {} re-delivered", seq);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Streaming invariant (ISSUE 6): an incrementally repaired alias table
+    /// is bit-identical to a from-scratch rebuild of its current weights,
+    /// for any initial row and any set/push/remove edit script — including
+    /// degenerate transitions through empty and all-zero rows.
+    #[test]
+    fn incremental_alias_repair_matches_full_rebuild(
+        init in prop::collection::vec(0.0f32..10.0, 0..24),
+        edits in prop::collection::vec((0u8..3, 0usize..64, 0.0f32..10.0), 0..40),
+    ) {
+        let mut inc = IncrementalAlias::new(init.clone());
+        prop_assert!(inc.bit_eq_rebuild(), "fresh table diverged");
+        for &(op, i, w) in &edits {
+            match op {
+                0 => inc.push(w),
+                1 if !inc.is_empty() => inc.set(i % inc.len(), w),
+                2 if !inc.is_empty() => inc.remove(i % inc.len()),
+                _ => {}
+            }
+            inc.repair();
+            prop_assert!(inc.bit_eq_rebuild(), "diverged after ({}, {}, {})", op, i, w);
+        }
+    }
+
+    /// Streaming invariant (ISSUE 6): published epochs are strictly
+    /// increasing, the head never runs backwards, and no pinned session
+    /// ever observes the manager below its pin — nor its pinned view
+    /// changing underneath it.
+    #[test]
+    fn epochs_are_monotonic_under_arbitrary_pins(
+        script in prop::collection::vec(prop::bool::ANY, 1..60),
+    ) {
+        let mut b = GraphBuilder::directed();
+        let u = b.add_vertex(VertexType(0), AttrVector::empty());
+        let w = b.add_vertex(VertexType(0), AttrVector::empty());
+        b.add_edge(u, w, EdgeType(0), 1.0).unwrap();
+        let g = Arc::new(b.build());
+        let feats = Arc::new(Featurizer::new(2).matrix(&g));
+        let view = EpochView::initial(g, feats, Arc::new(vec![None, None]), Arc::new(vec![0, 0]), 1);
+        let mgr = EpochManager::new(view);
+        let mut pins = Vec::new();
+        let mut last = 0u64;
+        for &publish in &script {
+            if publish {
+                let head = mgr.pin();
+                let next = head.view().with_shards(vec![ShardView::default()], head.epoch() + 1);
+                mgr.publish_with(Arc::new(next), |_| {});
+            } else {
+                pins.push(mgr.pin());
+            }
+            let now = mgr.current_epoch();
+            prop_assert!(now >= last, "head ran backwards: {} < {}", now, last);
+            last = now;
+            for p in &pins {
+                prop_assert!(p.epoch() <= now, "a pin is ahead of the head");
+                prop_assert!(p.view().epoch() == p.epoch(), "a pin's view changed under it");
+            }
         }
     }
 }
