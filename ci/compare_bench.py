@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Compare a bench's --metrics-json output against a committed baseline.
+
+Usage:
+    compare_bench.py BASELINE.json CURRENT.json [--tolerance F] [--presence-only]
+
+Matching is by (name, labels). Numeric series must agree within the
+relative tolerance band (default 10%); series that time wall clocks —
+any name containing `_ns` or `latency` — are inherently machine-dependent
+and are checked for *presence only*, never magnitude. `--presence-only`
+demotes every series to the presence check (for benches whose counters are
+timing-driven, e.g. serve-under-update's updater thread).
+
+Baselines are the committed BENCH_*.json files; regenerate with the
+command recorded in each file's `command` field plus `--metrics-json`.
+Stdlib only.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+# Substrings that mark a series as wall-clock-derived: magnitudes are
+# machine noise, only existence is a contract.
+WALL_CLOCK_MARKERS = ("_ns", "latency")
+
+
+def fail(messages):
+    for m in messages:
+        print(f"compare_bench: FAIL: {m}", file=sys.stderr)
+    sys.exit(1)
+
+
+def key(metric):
+    labels = metric.get("labels", {})
+    if isinstance(labels, dict):
+        labels = sorted(labels.items())
+    return (metric["name"], json.dumps(labels, sort_keys=True))
+
+
+def numeric_fields(metric):
+    """The comparable numbers of one series, by kind."""
+    kind = metric.get("kind")
+    if kind in ("counter", "gauge"):
+        return {"value": metric.get("value")}
+    if kind == "histogram":
+        # Quantiles of small deterministic histograms are stable;
+        # everything here is in virtual units unless the *name* says ns.
+        return {f: metric.get(f) for f in ("count", "sum", "p50", "p99")}
+    return {}
+
+
+def is_wall_clock(name):
+    return any(marker in name for marker in WALL_CLOCK_MARKERS)
+
+
+def within(base, cur, tolerance):
+    if base == cur:
+        return True
+    if base is None or cur is None:
+        return False
+    band = abs(base) * tolerance
+    # An absolute floor keeps tiny counters (0 vs 1) from tripping the
+    # relative band while still catching real drift on larger series.
+    return abs(cur - base) <= max(band, 1.0 if tolerance > 0 else 0.0)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline", type=pathlib.Path)
+    ap.add_argument("current", type=pathlib.Path)
+    ap.add_argument("--tolerance", type=float, default=0.10)
+    ap.add_argument("--presence-only", action="store_true")
+    args = ap.parse_args()
+
+    base_doc = json.loads(args.baseline.read_text())
+    cur_doc = json.loads(args.current.read_text())
+    problems = []
+
+    if base_doc.get("command") != cur_doc.get("command"):
+        problems.append(
+            f"command mismatch: baseline `{base_doc.get('command')}` "
+            f"vs current `{cur_doc.get('command')}`"
+        )
+
+    base = {key(m): m for m in base_doc.get("metrics", [])}
+    cur = {key(m): m for m in cur_doc.get("metrics", [])}
+
+    compared = presence = 0
+    for k, bm in sorted(base.items()):
+        name = bm["name"]
+        cm = cur.get(k)
+        if cm is None:
+            problems.append(f"series missing from current run: {name} {k[1]}")
+            continue
+        if bm.get("kind") != cm.get("kind"):
+            problems.append(
+                f"{name}: kind changed {bm.get('kind')} -> {cm.get('kind')}"
+            )
+            continue
+        if args.presence_only or is_wall_clock(name):
+            presence += 1
+            continue
+        for field, bv in numeric_fields(bm).items():
+            cv = numeric_fields(cm).get(field)
+            if not within(bv, cv, args.tolerance):
+                problems.append(
+                    f"{name}.{field} out of band: baseline {bv}, current {cv} "
+                    f"(tolerance {args.tolerance:.0%})"
+                )
+            else:
+                compared += 1
+
+    if problems:
+        fail(problems)
+    print(
+        f"compare_bench: OK — {compared} values within {args.tolerance:.0%} band, "
+        f"{presence} presence-only series, {len(base)} baseline series matched"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -754,6 +754,93 @@ pub fn metrics_demo(
     Ok(out)
 }
 
+/// `aligraph closed-loop` — the end-to-end production loop: seeded traffic
+/// served from streaming epoch views, logged to the bounded data hub,
+/// compacted into graph updates, incrementally trained from checkpoint
+/// warm-starts, and atomically hot-swapped into the serving model store.
+/// Fails on a hot-swap atomicity violation or (with
+/// `--slo-freshness-ticks N`) a freshness p99 beyond the SLO.
+pub fn closed_loop(
+    args: &Args,
+    registry: &std::sync::Arc<aligraph_telemetry::Registry>,
+) -> Result<String, CliError> {
+    use aligraph_loopsim::{run_loop, LoopConfig, LoopError};
+    use aligraph_streaming::IngestFaultConfig;
+    use std::path::PathBuf;
+
+    let common = CommonArgs::from_args(args, CommonDefaults { seed: 42, workers: 2, scale: 0.02 })?;
+    let cycles: usize = args.num_or("cycles", 4usize)?.max(1);
+    let users: usize = args.num_or("users", 8usize)?.max(1);
+    let interactions: usize = args.num_or("interactions", 6usize)?.max(1);
+    let dim: usize = args.num_or("dim", 16usize)?.max(2);
+    let hub_capacity: usize = args.num_or("hub-capacity", 256usize)?.max(1);
+    let drift_rate: f64 = args.num_or("drift-rate", 0.15f64)?;
+    let batches: usize = args.num_or("batches", 6usize)?.max(1);
+    let batch: usize = args.num_or("batch", 16usize)?.max(1);
+    let staleness: u64 = args.num_or("staleness", 1u64)?;
+    // 0 disables the gate.
+    let slo_freshness: u64 = args.num_or("slo-freshness-ticks", 0u64)?;
+    let checkpoint_dir = match args.get_or("checkpoint-dir", "") {
+        "" => std::env::temp_dir().join(format!("aligraph-closed-loop-{}", std::process::id())),
+        p => PathBuf::from(p),
+    };
+
+    let cfg = LoopConfig {
+        cycles,
+        users,
+        interactions_per_user: interactions,
+        seed: common.seed,
+        scale: common.scale,
+        dim,
+        workers: common.workers.max(1),
+        hub_capacity,
+        drift_rate,
+        batches_per_epoch: batches,
+        batch_size: batch,
+        staleness,
+        checkpoint_dir,
+        fault: common.fault_seed.map(|fault_seed| IngestFaultConfig {
+            plan: aligraph_chaos::FaultPlan::with_seed(fault_seed, common.drop_rate),
+            policy: aligraph_chaos::RetryPolicy::default(),
+        }),
+    };
+
+    let outcome = run_loop(&cfg, registry).map_err(|e| match e {
+        LoopError::Atomicity { version } => CliError::Runtime(format!(
+            "hot-swap atomicity violated: pinned model version {version} failed verify"
+        )),
+        other => CliError::Runtime(other.to_string()),
+    })?;
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "closed-loop: {cycles} cycles x {users} sessions x {interactions} interactions \
+         (seed {}, {} workers, scale {})",
+        common.seed,
+        common.workers.max(1),
+        common.scale,
+    )
+    .ok();
+    writeln!(
+        out,
+        "final model: version {}  fingerprint {:016x}",
+        outcome.final_version, outcome.fingerprint
+    )
+    .ok();
+    writeln!(out, "{}", outcome.report).ok();
+    if slo_freshness > 0 {
+        let p99 = outcome.report.freshness_p99_ticks;
+        if p99 > slo_freshness {
+            return Err(CliError::Runtime(format!(
+                "freshness SLO violated: p99 {p99} ticks > {slo_freshness} ticks\n{out}"
+            )));
+        }
+        writeln!(out, "SLO: freshness p99 {p99} ticks <= {slo_freshness} ticks — OK").ok();
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -50,6 +50,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "serve-bench" => commands::serve_bench(&args, &registry),
         "serve-under-update" => commands::serve_under_update(&args, &registry),
         "train-bench" => commands::train_bench(&args, &registry),
+        "closed-loop" => commands::closed_loop(&args, &registry),
         "metrics-demo" => commands::metrics_demo(&args, &registry),
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
         other => Err(CliError::Usage(format!("unknown command `{other}`\n\n{HELP}"))),
@@ -94,6 +95,7 @@ COMMANDS:
     serve-bench online-serving load test  [--requests N] [--clients N] [--workers N] [--scale F] [--seed N] [--delta-every-ms N] [--batch N] [--queue N] [--cache N] [--fault-seed N] [--drop-rate F] [--max-stale N]
     serve-under-update streaming-update load test [--requests N] [--clients N] [--workers N] [--scale F] [--seed N] [--update-every-ms N] [--update-adds N] [--update-attrs N] [--dim N] [--cache N] [--slo-p99-ms F] [--fault-seed N] [--drop-rate F]
     train-bench distributed-training bench [--workers N] [--scale F] [--seed N] [--epochs N] [--batches N] [--batch N] [--negatives N] [--staleness N] [--dim N] [--sparse-lr F] [--checkpoint-dir DIR] [--checkpoint-every N] [--kill-worker N] [--kill-at-step N] [--fault-seed N] [--drop-rate F]
+    closed-loop end-to-end production loop: serve -> log -> update -> incremental train -> hot-swap [--cycles N] [--users N] [--interactions N] [--workers N] [--scale F] [--seed N] [--dim N] [--hub-capacity N] [--drift-rate F] [--batches N] [--batch N] [--staleness N] [--checkpoint-dir DIR] [--slo-freshness-ticks N] [--fault-seed N] [--drop-rate F]
     metrics-demo exercise every layer and print the unified telemetry table [--workers N] [--scale F] [--seed N]
     help       this text
 
@@ -102,7 +104,8 @@ SHARED FLAGS:
                           registry snapshot as stable JSON (all commands)
     --seed N / --workers N / --scale F parse identically everywhere
     --fault-seed N        attach the deterministic chaos plane, seeded with N
-                          (train-bench / serve-bench / serve-under-update);
+                          (train-bench / serve-bench / serve-under-update /
+                          closed-loop);
                           faults and retries are counted in the report and
                           metrics JSON
     --drop-rate F         per-message fault probability for the chaos plane

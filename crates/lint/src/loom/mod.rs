@@ -21,6 +21,7 @@ pub mod bucket;
 pub mod counter;
 pub mod overlay;
 pub mod ps;
+pub mod swap;
 
 /// SplitMix64 — tiny, seedable, and good enough to scatter schedules.
 #[derive(Debug, Clone)]

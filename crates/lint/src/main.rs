@@ -6,6 +6,7 @@ use aligraph_lint::loom::bucket::BucketWorkload;
 use aligraph_lint::loom::counter::CounterWorkload;
 use aligraph_lint::loom::overlay::OverlayWorkload;
 use aligraph_lint::loom::ps::PsWorkload;
+use aligraph_lint::loom::swap::SwapWorkload;
 use aligraph_lint::loom::{Explorer, Workload};
 use aligraph_lint::{all_rules, check_file, rules::FileCtx, walk};
 use std::path::PathBuf;
@@ -24,7 +25,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  aligraph-lint [--root DIR] [--deny-all] [--rule NAME]... [--list-rules]\n  \
          aligraph-lint concurrency [--seed N] [--interleavings N] \
-         [--target bucket|counter|ps|overlay|all]"
+         [--target bucket|counter|ps|overlay|swap|all]"
     );
     ExitCode::from(2)
 }
@@ -153,6 +154,10 @@ fn run_concurrency(args: &[String]) -> ExitCode {
         let w = OverlayWorkload::default();
         run(w.name(), explorer.explore(&w, interleavings));
     }
+    if target == "all" || target == "swap" {
+        let w = SwapWorkload::default();
+        run(w.name(), explorer.explore(&w, interleavings));
+    }
     // Last target: the error arm assigns `failed` directly, which is only
     // legal once the `run` closure (which also captures it) is dead.
     if target == "all" || target == "ps" {
@@ -164,7 +169,7 @@ fn run_concurrency(args: &[String]) -> ExitCode {
             }
         }
     }
-    if !["all", "bucket", "counter", "ps", "overlay"].contains(&target.as_str()) {
+    if !["all", "bucket", "counter", "ps", "overlay", "swap"].contains(&target.as_str()) {
         return usage();
     }
     if failed {

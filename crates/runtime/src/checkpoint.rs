@@ -27,6 +27,7 @@
 
 use crate::error::RuntimeError;
 use crate::ps::PsShardState;
+use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -340,6 +341,45 @@ impl Checkpoint {
         let bytes = fs::read(path)
             .map_err(|e| RuntimeError::Checkpoint(format!("read {}: {e}", path.display())))?;
         Self::from_bytes(&bytes)
+    }
+
+    /// Overwrites the PS rows for the given vertices with fresh feature
+    /// values and clears their AdaGrad accumulators — the incremental
+    /// trainer's "re-pull touched rows" step: when an upstream update
+    /// changes a vertex's features, the next delta epoch must train from
+    /// the new values, not the stale learned ones. Returns how many rows
+    /// were patched; vertices not owned by any shard and rows whose length
+    /// is not `dim` are skipped.
+    pub fn patch_feature_rows<'a, I>(&mut self, dim: usize, rows: I) -> usize
+    where
+        I: IntoIterator<Item = (u32, &'a [f32])>,
+    {
+        let mut slot: HashMap<u32, (usize, usize)> = HashMap::new();
+        for (s, shard) in self.shards.iter().enumerate() {
+            if shard.weights.len() != shard.ids.len() * dim {
+                continue;
+            }
+            for (i, &v) in shard.ids.iter().enumerate() {
+                slot.insert(v, (s, i));
+            }
+        }
+        let mut patched = 0;
+        for (v, feat) in rows {
+            if feat.len() != dim {
+                continue;
+            }
+            if let Some(&(s, i)) = slot.get(&v) {
+                let shard = &mut self.shards[s];
+                shard.weights[i * dim..(i + 1) * dim].copy_from_slice(feat);
+                if let Some(acc) = &mut shard.accum {
+                    for a in &mut acc[i * dim..(i + 1) * dim] {
+                        *a = 0.0;
+                    }
+                }
+                patched += 1;
+            }
+        }
+        patched
     }
 }
 

@@ -312,7 +312,17 @@ impl<'a> DistTrainer<'a> {
 
     /// Resumes from a checkpoint file and continues to `cfg.epochs`.
     pub fn train_from(&self, path: &Path) -> Result<DistOutcome, RuntimeError> {
-        let ckpt = Checkpoint::read_from(path)?;
+        self.train_from_checkpoint(Checkpoint::read_from(path)?)
+    }
+
+    /// Resumes from an already-loaded checkpoint and continues to
+    /// `cfg.epochs`. This is the closed loop's warm-start entry point: the
+    /// caller may patch re-pulled feature rows into the shard state
+    /// ([`Checkpoint::patch_feature_rows`]) before resuming. With
+    /// `ckpt.global_step` already at `cfg.epochs * cfg.batches_per_epoch`,
+    /// the run is a zero-step no-op that hands back exactly the
+    /// checkpointed model.
+    pub fn train_from_checkpoint(&self, ckpt: Checkpoint) -> Result<DistOutcome, RuntimeError> {
         self.validate_checkpoint(&ckpt)?;
         self.run(Some(ckpt))
     }
@@ -711,7 +721,7 @@ impl<'a> DistTrainer<'a> {
                     && !t.is_multiple_of(batches)
                     && t < total_steps
                 {
-                    co.rendezvous(me, deposit(false), |deps| {
+                    let out = co.rendezvous(me, deposit(false), |deps| {
                         let sh = shared
                             .lock()
                             .map_err(|_| RuntimeError::Poisoned("shared train state"))?;
@@ -719,8 +729,20 @@ impl<'a> DistTrainer<'a> {
                         // ordering: report-only tally read after worker
                         // joins; the join synchronizes, Relaxed suffices.
                         checkpoints.fetch_add(1, Ordering::Relaxed);
-                        Ok(Rendezvous::default())
+                        // Checkpoint cuts refresh every replica to the
+                        // materialized server state — exactly the state a
+                        // restore rebuilds (`initial_replica`) — so resumes
+                        // are bit-exact at any staleness bound. The drain
+                        // *schedule* (`last_drain`) is deliberately left
+                        // untouched: pending drains still fire at the same
+                        // steps, and the refresh itself cannot change what
+                        // a later drain would deliver (undrained dirty rows
+                        // are re-read from the server either way).
+                        Ok(Rendezvous { drain: Some(ps.materialize()?), ..Rendezvous::default() })
                     })?;
+                    if let Some(m) = &out.drain {
+                        replica = m.clone();
+                    }
                 }
             }
 
@@ -763,9 +785,11 @@ impl<'a> DistTrainer<'a> {
                     for a in &mut avg {
                         *a *= inv;
                     }
+                    let mut drain = None;
                     if let Some(ck) = &cfg.checkpoint {
                         // Epoch checkpoints store zeroed loss accumulators
-                        // (the epoch just closed) plus the averaged params.
+                        // (the epoch just closed) plus the averaged params,
+                        // and refresh replicas like the mid-epoch cut above.
                         for d in &mut deps {
                             d.loss_sum = 0.0;
                             d.pairs = 0;
@@ -783,11 +807,15 @@ impl<'a> DistTrainer<'a> {
                         // ordering: report-only tally read after worker
                         // joins; the join synchronizes, Relaxed suffices.
                         checkpoints.fetch_add(1, Ordering::Relaxed);
+                        drain = Some(ps.materialize()?);
                     }
-                    Ok(Rendezvous { avg_params: Some(avg), stop })
+                    Ok(Rendezvous { avg_params: Some(avg), drain, stop })
                 })?;
                 let avg = out.avg_params.as_ref().ok_or(RuntimeError::Poisoned("allreduce"))?;
                 encoder.load_dense_param_vec(avg).map_err(RuntimeError::Unrecoverable)?;
+                if let Some(m) = &out.drain {
+                    replica = m.clone();
+                }
                 loss_sum = 0.0;
                 pairs = 0;
                 if out.stop {

@@ -72,6 +72,12 @@ pub struct Deposit {
 pub struct Rendezvous {
     /// Averaged dense parameters (epoch barriers only).
     pub avg_params: Option<Vec<f32>>,
+    /// Replica refresh (checkpoint rendezvous only): the materialized
+    /// server state at the cut. Every worker adopts it as its replica —
+    /// without touching its drain schedule — so the checkpoint is a
+    /// self-contained restore point at any staleness bound (a restore
+    /// rebuilds replicas from the same materialized state).
+    pub drain: Option<aligraph_graph::FeatureMatrix>,
     /// Early-stop signal: workers leave their epoch loop.
     pub stop: bool,
 }
@@ -258,7 +264,7 @@ mod tests {
                             // Deposits arrive in worker order, not arrival order.
                             let sums: Vec<f64> = deps.iter().map(|d| d.loss_sum).collect();
                             assert_eq!(sums, vec![0.0, 1.0, 2.0, 3.0]);
-                            Ok(Rendezvous { avg_params: Some(vec![1.5]), stop: false })
+                            Ok(Rendezvous { avg_params: Some(vec![1.5]), ..Rendezvous::default() })
                         })
                         .unwrap();
                     assert_eq!(out.avg_params.as_deref(), Some(&[1.5][..]));

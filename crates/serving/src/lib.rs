@@ -21,7 +21,12 @@
 //!   the current graph version, invalidation removes everything a delta
 //!   could have changed);
 //! * [`metrics::ServingReport`] — p50/p95/p99 latency, QPS, cache hit rate,
-//!   and the batching-dedup evidence (`forwards < completed`).
+//!   and the batching-dedup evidence (`forwards < completed`);
+//! * [`swap::ModelStore`] — the atomic versioned model hot-swap used by the
+//!   closed production loop: publishes are a single pointer replacement,
+//!   in-flight [`swap::ModelPin`]s finish on the version they started with,
+//!   and every [`swap::ModelVersion`] is self-fingerprinted so torn reads
+//!   are detectable.
 //!
 //! ```text
 //! clients ──try_send──> [worker queues] ──micro-batch──> forward (dedup+cache)
@@ -40,9 +45,11 @@ pub mod error;
 pub mod metrics;
 pub mod overlay;
 pub mod service;
+pub mod swap;
 
 pub use cache::{CacheStats, EmbeddingCache};
 pub use error::ServeError;
 pub use metrics::{ServingMetrics, ServingReport};
 pub use overlay::{affected_seeds, OverlayGraph};
 pub use service::{ServedEmbedding, ServingConfig, ServingFaultConfig, ServingService};
+pub use swap::{ModelPin, ModelStore, ModelVersion, SwapError};

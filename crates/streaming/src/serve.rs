@@ -339,6 +339,13 @@ impl Session<'_> {
     pub fn score(&self, u: VertexId, i: VertexId) -> f32 {
         cosine(&self.gather(u).vector, &self.gather(i).vector)
     }
+
+    /// Feature row of `v` at the pinned epoch — the closed loop's re-pull
+    /// source: touched rows are re-read at the epoch the delta trainer
+    /// trains against.
+    pub fn features(&self, v: VertexId) -> &[f32] {
+        self.pin.view().features(v)
+    }
 }
 
 /// The pure gather: alias-weighted k-hop sampling + hop-decayed feature

@@ -12,6 +12,7 @@ pub use aligraph_baselines as baselines;
 pub use aligraph_chaos as chaos;
 pub use aligraph_eval as eval;
 pub use aligraph_graph as graph;
+pub use aligraph_loopsim as loopsim;
 pub use aligraph_ops as ops;
 pub use aligraph_partition as partition;
 pub use aligraph_runtime as runtime;

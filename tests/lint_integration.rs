@@ -15,6 +15,7 @@
 use aligraph_lint::loom::bucket::BucketWorkload;
 use aligraph_lint::loom::counter::CounterWorkload;
 use aligraph_lint::loom::ps::PsWorkload;
+use aligraph_lint::loom::swap::SwapWorkload;
 use aligraph_lint::loom::Explorer;
 use aligraph_lint::walk::rust_sources;
 use aligraph_lint::{check_file, FileCtx, Violation};
@@ -61,6 +62,16 @@ fn lint_sweep_covers_the_streaming_crate() {
 }
 
 #[test]
+fn lint_sweep_covers_the_loopsim_crate() {
+    // The closed-loop driver is seeded-path code end to end (virtual ticks,
+    // never wall clocks); pin that `aligraph-lint --deny-all` sweeps it.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = rust_sources(root).expect("walk workspace sources");
+    let loopsim: Vec<_> = files.iter().filter(|p| p.starts_with("crates/loopsim")).collect();
+    assert!(loopsim.len() >= 5, "loopsim crate missing from the lint sweep: {loopsim:?}");
+}
+
+#[test]
 fn bucket_executor_survives_interleavings() {
     let w = BucketWorkload::default();
     Explorer { seed: 7 }.explore(&w, 300).expect("no divergence");
@@ -85,4 +96,22 @@ fn striped_counter_survives_interleavings() {
 fn sparse_param_server_matches_shadow() {
     let w = PsWorkload::new(3, 2).expect("workload setup");
     Explorer { seed: 13 }.explore(&w, 150).expect("no divergence");
+}
+
+#[test]
+fn model_swap_survives_interleavings() {
+    let w = SwapWorkload::default();
+    Explorer { seed: 17 }.explore(&w, 300).expect("no divergence");
+}
+
+#[test]
+fn field_by_field_model_publish_is_caught_and_replays_from_suite() {
+    // The split twin publishes version, rows and seal as separate steps;
+    // some schedule must expose a torn model, and the recorded schedule
+    // must reproduce it bit-for-bit.
+    let w = SwapWorkload::buggy();
+    let div = Explorer { seed: 17 }.explore(&w, 300).expect_err("divergence expected");
+    assert!(div.message.contains("torn model"), "unexpected divergence: {}", div.message);
+    let replayed = Explorer::replay(&w, &div.schedule).expect_err("replay reproduces");
+    assert_eq!(replayed.message, div.message);
 }

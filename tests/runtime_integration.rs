@@ -8,7 +8,8 @@ use aligraph_suite::graph::{
 };
 use aligraph_suite::partition::EdgeCutHash;
 use aligraph_suite::runtime::{
-    CheckpointConfig, DistTrainer, EncoderSpec, FaultPlan, RuntimeConfig, RuntimeError,
+    latest_valid_checkpoint, CheckpointConfig, DistTrainer, EncoderSpec, FaultPlan, RuntimeConfig,
+    RuntimeError,
 };
 use aligraph_suite::sampling::UniformNeighborhood;
 use aligraph_suite::storage::{CacheStrategy, Cluster, CostModel};
@@ -261,4 +262,84 @@ fn four_workers_double_modeled_throughput() {
     assert!(four.report.staleness_hist.iter().skip(1).sum::<u64>() > 0);
     assert!(four.report.ps.remote_ops > 0);
     assert!(four.report.ps.remote_bytes > 0);
+}
+
+/// PR 7 satellite — warm-start beyond the staleness-0 boundary. Earlier the
+/// restore seeded every replica with the materialized server state at the
+/// cut while `last_drain` pointed before it, so with `staleness > 0` and a
+/// live sparse learning rate a resumed run computed on fresher features
+/// than the uninterrupted one. Checkpoint cuts now refresh every worker's
+/// replica to the same materialized state a restore rebuilds; this sweep
+/// pins bit-exact resumes across staleness bounds and both cut kinds
+/// (mid-epoch and epoch boundary).
+#[test]
+fn warm_start_is_bit_exact_across_staleness_bounds() {
+    for staleness in [0u64, 1, 2] {
+        for resume_step in ["ckpt-0000000005.bin", "ckpt-0000000008.bin"] {
+            let (cluster, features) = setup(2);
+            let dir = tmp_dir(&format!("warm-{staleness}-{resume_step}"));
+
+            let mut cfg = base_cfg(2);
+            cfg.staleness = staleness;
+            cfg.checkpoint = Some(CheckpointConfig { dir: dir.clone(), every_steps: 5 });
+            let full = DistTrainer::new(&cluster, &features, spec(), cfg.clone()).unwrap();
+            let full = full.train().unwrap();
+
+            let resumed = DistTrainer::new(&cluster, &features, spec(), cfg).unwrap();
+            let resumed = resumed.train_from(&dir.join(resume_step)).unwrap();
+
+            assert_eq!(
+                bits(&resumed.report.epoch_losses),
+                bits(&full.report.epoch_losses),
+                "losses diverged at staleness {staleness} resuming from {resume_step}",
+            );
+            assert_eq!(
+                fbits(&resumed.encoder.dense_param_vec()),
+                fbits(&full.encoder.dense_param_vec()),
+                "dense params diverged at staleness {staleness} resuming from {resume_step}",
+            );
+            assert_eq!(
+                resumed.features.as_slice(),
+                full.features.as_slice(),
+                "features diverged at staleness {staleness} resuming from {resume_step}",
+            );
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}
+
+/// PR 7 satellite — a warm-started delta epoch over an empty update set is
+/// a no-op: resuming the latest valid checkpoint without extending
+/// `epochs` runs zero steps and hands back the checkpointed model with an
+/// unchanged fingerprint (bit-identical dense parameters and features).
+#[test]
+fn empty_delta_warm_start_is_a_noop() {
+    for staleness in [0u64, 2] {
+        let (cluster, features) = setup(2);
+        let dir = tmp_dir(&format!("noop-{staleness}"));
+
+        let mut cfg = base_cfg(2);
+        cfg.staleness = staleness;
+        cfg.checkpoint = Some(CheckpointConfig { dir: dir.clone(), every_steps: 0 });
+        let trained = DistTrainer::new(&cluster, &features, spec(), cfg.clone()).unwrap();
+        let trained = trained.train().unwrap();
+
+        let (path, ckpt) = latest_valid_checkpoint(&dir).unwrap().expect("checkpoints written");
+        assert_eq!(ckpt.global_step, 24, "latest cut is the final epoch boundary: {path:?}");
+
+        let resumed = DistTrainer::new(&cluster, &features, spec(), cfg).unwrap();
+        let resumed = resumed.train_from_checkpoint(ckpt).unwrap();
+
+        assert_eq!(bits(&resumed.report.epoch_losses), bits(&trained.report.epoch_losses));
+        assert_eq!(
+            fbits(&resumed.encoder.dense_param_vec()),
+            fbits(&trained.encoder.dense_param_vec()),
+            "zero-step resume must not move the model (staleness {staleness})",
+        );
+        assert_eq!(resumed.features.as_slice(), trained.features.as_slice());
+        // Counters restore from the checkpoint; a zero-step resume adds
+        // nothing on top of the trained run's totals.
+        assert_eq!(resumed.report.edges_total, trained.report.edges_total);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 }
