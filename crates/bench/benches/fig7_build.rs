@@ -14,14 +14,13 @@ fn bench_build(c: &mut Criterion) {
     for workers in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
             b.iter(|| {
-                let (cluster, _) = Cluster::build(
-                    Arc::clone(&graph),
-                    &EdgeCutHash,
-                    w,
-                    &CacheStrategy::None,
-                    2,
-                    CostModel::default(),
-                );
+                let (cluster, _) = Cluster::builder(Arc::clone(&graph))
+                    .partitioner(&EdgeCutHash)
+                    .shards(w)
+                    .cache(CacheStrategy::None)
+                    .max_hop(2)
+                    .cost_model(CostModel::default())
+                    .build();
                 cluster.num_workers()
             })
         });

@@ -22,8 +22,13 @@ fn bench_strategies(c: &mut Criterion) {
         ("lru", CacheStrategy::Lru { fraction: 0.2 }),
     ];
     for (name, strategy) in strategies {
-        let (cluster, _) =
-            Cluster::build(Arc::clone(&graph), &EdgeCutHash, 8, &strategy, 2, CostModel::default());
+        let (cluster, _) = Cluster::builder(Arc::clone(&graph))
+            .partitioner(&EdgeCutHash)
+            .shards(8)
+            .cache(strategy)
+            .max_hop(2)
+            .cost_model(CostModel::default())
+            .build();
         group.bench_function(name, |b| {
             let view = ClusterView { cluster: &cluster, from: WorkerId(0) };
             let mut rng = StdRng::seed_from_u64(3);

@@ -19,14 +19,13 @@ const BATCH: usize = 512;
 
 fn bench_samplers(c: &mut Criterion) {
     let graph = Arc::new(taobao_small_bench());
-    let (cluster, _) = Cluster::build(
-        Arc::clone(&graph),
-        &EdgeCutHash,
-        8,
-        &CacheStrategy::ImportanceBudget { k: 2, fraction: 0.2 },
-        2,
-        CostModel::default(),
-    );
+    let (cluster, _) = Cluster::builder(Arc::clone(&graph))
+        .partitioner(&EdgeCutHash)
+        .shards(8)
+        .cache(CacheStrategy::ImportanceBudget { k: 2, fraction: 0.2 })
+        .max_hop(2)
+        .cost_model(CostModel::default())
+        .build();
     let mut group = c.benchmark_group("table4_sampling");
     group.sample_size(20).measurement_time(Duration::from_secs(5));
 

@@ -23,14 +23,13 @@ fn main() {
 
     let mut base = None;
     for workers in [1usize, 2, 4, 8] {
-        let (cluster, _) = Cluster::build(
-            Arc::clone(&graph),
-            &EdgeCutHash,
-            workers,
-            &CacheStrategy::None,
-            2,
-            CostModel::default(),
-        );
+        let (cluster, _) = Cluster::builder(Arc::clone(&graph))
+            .partitioner(&EdgeCutHash)
+            .shards(workers)
+            .cache(CacheStrategy::None)
+            .max_hop(2)
+            .cost_model(CostModel::default())
+            .build();
         let cfg = RuntimeConfig {
             workers,
             epochs: 2,

@@ -30,15 +30,14 @@ fn main() {
             // Best of 3 runs (build time is allocation-noise sensitive).
             let report = (0..3)
                 .map(|_| {
-                    Cluster::build(
-                        Arc::clone(graph),
-                        &EdgeCutHash,
-                        workers,
-                        &CacheStrategy::None,
-                        2,
-                        CostModel::default(),
-                    )
-                    .1
+                    Cluster::builder(Arc::clone(graph))
+                        .partitioner(&EdgeCutHash)
+                        .shards(workers)
+                        .cache(CacheStrategy::None)
+                        .max_hop(2)
+                        .cost_model(CostModel::default())
+                        .build()
+                        .1
                 })
                 .min_by_key(|r| r.modeled_parallel_total())
                 .expect("three runs");

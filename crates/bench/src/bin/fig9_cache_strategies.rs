@@ -50,8 +50,13 @@ fn main() {
         ];
         let mut costs = Vec::new();
         for s in &strategies {
-            let (cluster, _) =
-                Cluster::build(Arc::clone(&graph), &EdgeCutHash, 8, s, 2, CostModel::default());
+            let (cluster, _) = Cluster::builder(Arc::clone(&graph))
+                .partitioner(&EdgeCutHash)
+                .shards(8)
+                .cache(s.clone())
+                .max_hop(2)
+                .cost_model(CostModel::default())
+                .build();
             costs.push(workload_cost(&cluster, 42));
         }
         let save = |a: f64, b: f64| format!("{:.0}%", (1.0 - a / b) * 100.0);

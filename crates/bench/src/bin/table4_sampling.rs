@@ -34,14 +34,13 @@ fn main() {
         ("Taobao-small(sim)", Arc::new(taobao_small_bench()), 8usize),
         ("Taobao-large(sim)", Arc::new(taobao_large_bench()), 16),
     ] {
-        let (cluster, _) = Cluster::build(
-            Arc::clone(&graph),
-            &EdgeCutHash,
-            workers,
-            &CacheStrategy::ImportanceBudget { k: 2, fraction: 0.2 },
-            2,
-            CostModel::default(),
-        );
+        let (cluster, _) = Cluster::builder(Arc::clone(&graph))
+            .partitioner(&EdgeCutHash)
+            .shards(workers)
+            .cache(CacheStrategy::ImportanceBudget { k: 2, fraction: 0.2 })
+            .max_hop(2)
+            .cost_model(CostModel::default())
+            .build();
         let mut rng = StdRng::seed_from_u64(4);
         let negative = UnigramNegative::new(&graph, None, 0.75);
         let etype = aligraph_graph::EdgeType(0);

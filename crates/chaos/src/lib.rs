@@ -5,7 +5,8 @@
 //! layer, bucket submissions in the storage executor, and update-ingest
 //! batches in the streaming service — can be wrapped by a [`FaultPlane`].
 //! Channel tags in use: 0 PS pushes, 1 PS pull responses, 2 storage bucket
-//! submissions, 3 serving shard fetches, 4 streaming update ingest.
+//! submissions, 3 serving shard fetches, 4 streaming update ingest,
+//! 5 live-migration subgraph transfers (elastic rebalancing).
 //! Driven by a [`FaultPlan`] and a SplitMix64 hash of
 //! `(seed, channel, sequence, attempt)`, the plane decides per message
 //! whether it is delivered intact, dropped, delayed a bounded number of

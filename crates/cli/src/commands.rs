@@ -618,15 +618,14 @@ pub fn train_bench(
 
     let rt = |e: aligraph_runtime::RuntimeError| CliError::Runtime(e.to_string());
     let run = |p: usize, cfg: RuntimeConfig, registry: &Arc<Registry>| {
-        let (cluster, _) = Cluster::build_registered(
-            Arc::clone(&graph),
-            &EdgeCutHash,
-            p,
-            &CacheStrategy::None,
-            2,
-            CostModel::default(),
-            registry,
-        );
+        let (cluster, _) = Cluster::builder(Arc::clone(&graph))
+            .partitioner(&EdgeCutHash)
+            .shards(p)
+            .cache(CacheStrategy::None)
+            .max_hop(2)
+            .cost_model(CostModel::default())
+            .registry(registry)
+            .build();
         DistTrainer::new(&cluster, &features, spec.clone(), cfg)
             .map_err(rt)?
             .with_registry(Arc::clone(registry))
@@ -664,6 +663,143 @@ pub fn train_bench(
     Ok(out)
 }
 
+/// `aligraph rebalance-bench` — the elastic-membership headline: a
+/// distributed training run with a mid-training shard split (and a
+/// follow-up merge when `--merge` is set) must converge **bit-exactly** to
+/// the same run on a static topology, with or without an armed chaos plane
+/// on the migration channel. Prints both trajectories' agreement, the
+/// migration traffic, and the modeled throughput; exits with an error if a
+/// single mantissa bit diverged.
+pub fn rebalance_bench(
+    args: &Args,
+    registry: &std::sync::Arc<aligraph_telemetry::Registry>,
+) -> Result<String, CliError> {
+    use aligraph_graph::Featurizer;
+    use aligraph_runtime::{ChaosConfig, DistTrainer, EncoderSpec, RebalancePlan, RuntimeConfig};
+    use aligraph_storage::{CacheStrategy, Cluster, CostModel, RebalanceOp};
+    use aligraph_telemetry::Registry;
+    use std::sync::Arc;
+
+    let common = CommonArgs::from_args(args, CommonDefaults { seed: 42, workers: 4, scale: 0.02 })?;
+    let workers = common.workers;
+    let scale = common.scale;
+    let seed = common.seed;
+    let dim: usize = args.num_or("dim", 32usize)?.max(1);
+    let epochs = args.num_or("epochs", 3usize)?.max(2);
+    let split_after = args.num_or("split-after", 1usize)?.clamp(1, epochs - 1);
+    let merge = !args.get_or("merge", "").is_empty();
+
+    let mut run_cfg = RuntimeConfig {
+        workers,
+        epochs,
+        batches_per_epoch: args.num_or("batches", 12usize)?.max(1),
+        batch_size: args.num_or("batch", 32usize)?.max(1),
+        negatives: args.num_or("negatives", 4usize)?,
+        staleness: args.num_or("staleness", 2u64)?,
+        seed,
+        sparse_lr: args.num_or("sparse-lr", 0.05f32)?,
+        ..RuntimeConfig::default()
+    };
+    if let Some(fault_seed) = common.fault_seed {
+        run_cfg.chaos = Some(ChaosConfig::with_seed(fault_seed, common.drop_rate));
+    }
+    let mut plans = vec![RebalancePlan {
+        after_epoch: split_after,
+        op: RebalanceOp::Split { shard: 0 },
+        mode: Default::default(),
+    }];
+    if merge && split_after + 1 < epochs {
+        plans.push(RebalancePlan {
+            after_epoch: split_after + 1,
+            op: RebalanceOp::Merge { from: workers as u32, into: 0 },
+            mode: Default::default(),
+        });
+    }
+
+    let mut gen = TaobaoConfig::small_sim().scaled(scale);
+    gen.seed = seed;
+    let graph = Arc::new(gen.generate()?);
+    let spec = EncoderSpec {
+        dim_in: dim,
+        dims: vec![dim, dim / 2 + dim % 2],
+        fanouts: vec![5, 3],
+        lr: 0.05,
+        seed: seed ^ 0x5eed,
+    };
+    let features = Featurizer::new(dim).matrix(&graph);
+
+    let rt = |e: aligraph_runtime::RuntimeError| CliError::Runtime(e.to_string());
+    let run = |cfg: RuntimeConfig, registry: &Arc<Registry>| {
+        let (cluster, _) = Cluster::builder(Arc::clone(&graph))
+            .partitioner(&EdgeCutHash)
+            .shards(workers)
+            .cache(CacheStrategy::None)
+            .max_hop(2)
+            .cost_model(CostModel::default())
+            .registry(registry)
+            .build();
+        let outcome = DistTrainer::new(&cluster, &features, spec.clone(), cfg)
+            .map_err(rt)?
+            .with_registry(Arc::clone(registry))
+            .train()
+            .map_err(rt)?;
+        let m = cluster.migration_meter().snapshot();
+        let migrated = m.local_bytes + m.cached_bytes + m.remote_bytes;
+        Ok::<_, CliError>((outcome, migrated))
+    };
+
+    let elastic_cfg = RuntimeConfig { rebalance: plans.clone(), ..run_cfg.clone() };
+    let (elastic, migrated) = run(elastic_cfg, registry)?;
+    let (static_run, _) = run(run_cfg, &Arc::new(Registry::disabled()))?;
+
+    let losses_match = elastic.report.epoch_losses.iter().map(|x| x.to_bits()).eq(static_run
+        .report
+        .epoch_losses
+        .iter()
+        .map(|x| x.to_bits()));
+    let params_match = elastic.encoder.dense_param_vec().iter().map(|x| x.to_bits()).eq(static_run
+        .encoder
+        .dense_param_vec()
+        .iter()
+        .map(|x| x.to_bits()));
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "rebalance-bench: {workers} workers over {} vertices / {} edges (scale {scale}, seed \
+         {seed})",
+        graph.num_vertices(),
+        graph.num_edges(),
+    )
+    .ok();
+    writeln!(
+        out,
+        "topology plan: split shard 0 after epoch {split_after}{}",
+        if plans.len() > 1 {
+            format!(", merge it back after epoch {}", split_after + 1)
+        } else {
+            String::new()
+        }
+    )
+    .ok();
+    writeln!(out, "{}", elastic.report).ok();
+    writeln!(out, "rebalances applied {}  migration bytes {migrated}", elastic.report.rebalances)
+        .ok();
+    writeln!(
+        out,
+        "vs static topology: losses {}  dense params {}",
+        if losses_match { "bit-exact" } else { "DIVERGED" },
+        if params_match { "bit-exact" } else { "DIVERGED" },
+    )
+    .ok();
+    if !(losses_match && params_match) {
+        return Err(CliError::Runtime(format!(
+            "elastic run diverged from the static-topology run\n{out}"
+        )));
+    }
+    Ok(out)
+}
+
 /// `aligraph metrics-demo [--workers N] [--scale F] [--seed N]` — exercises
 /// every instrumented layer against one registry (a short distributed
 /// training run for `storage.*` / `sampling.*` / `runtime.*`, then a burst
@@ -690,15 +826,14 @@ pub fn metrics_demo(
     // Storage + sampling + runtime: a short distributed-training run with an
     // LRU neighbor cache so cache events show up too.
     let dim = 8;
-    let (cluster, _) = Cluster::build_registered(
-        Arc::clone(&graph),
-        &EdgeCutHash,
-        common.workers,
-        &CacheStrategy::Lru { fraction: 0.1 },
-        2,
-        CostModel::default(),
-        registry,
-    );
+    let (cluster, _) = Cluster::builder(Arc::clone(&graph))
+        .partitioner(&EdgeCutHash)
+        .shards(common.workers)
+        .cache(CacheStrategy::Lru { fraction: 0.1 })
+        .max_hop(2)
+        .cost_model(CostModel::default())
+        .registry(registry)
+        .build();
     let features = Featurizer::new(dim).matrix(&graph);
     let spec = EncoderSpec {
         dim_in: dim,

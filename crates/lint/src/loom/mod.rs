@@ -22,6 +22,7 @@ pub mod counter;
 pub mod overlay;
 pub mod ps;
 pub mod swap;
+pub mod topology;
 
 /// SplitMix64 — tiny, seedable, and good enough to scatter schedules.
 #[derive(Debug, Clone)]

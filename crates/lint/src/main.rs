@@ -7,6 +7,7 @@ use aligraph_lint::loom::counter::CounterWorkload;
 use aligraph_lint::loom::overlay::OverlayWorkload;
 use aligraph_lint::loom::ps::PsWorkload;
 use aligraph_lint::loom::swap::SwapWorkload;
+use aligraph_lint::loom::topology::TopologyWorkload;
 use aligraph_lint::loom::{Explorer, Workload};
 use aligraph_lint::{all_rules, check_file, rules::FileCtx, walk};
 use std::path::PathBuf;
@@ -25,7 +26,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  aligraph-lint [--root DIR] [--deny-all] [--rule NAME]... [--list-rules]\n  \
          aligraph-lint concurrency [--seed N] [--interleavings N] \
-         [--target bucket|counter|ps|overlay|swap|all]"
+         [--target bucket|counter|ps|overlay|swap|topology|all]"
     );
     ExitCode::from(2)
 }
@@ -158,6 +159,10 @@ fn run_concurrency(args: &[String]) -> ExitCode {
         let w = SwapWorkload::default();
         run(w.name(), explorer.explore(&w, interleavings));
     }
+    if target == "all" || target == "topology" {
+        let w = TopologyWorkload::default();
+        run(w.name(), explorer.explore(&w, interleavings));
+    }
     // Last target: the error arm assigns `failed` directly, which is only
     // legal once the `run` closure (which also captures it) is dead.
     if target == "all" || target == "ps" {
@@ -169,7 +174,8 @@ fn run_concurrency(args: &[String]) -> ExitCode {
             }
         }
     }
-    if !["all", "bucket", "counter", "ps", "overlay", "swap"].contains(&target.as_str()) {
+    if !["all", "bucket", "counter", "ps", "overlay", "swap", "topology"].contains(&target.as_str())
+    {
         return usage();
     }
     if failed {

@@ -219,15 +219,14 @@ pub fn run_loop(cfg: &LoopConfig, registry: &Arc<Registry>) -> Result<LoopOutcom
     gen.seed = cfg.seed;
     let graph = Arc::new(gen.generate().map_err(|e| LoopError::Graph(e.to_string()))?);
     let features = Featurizer::new(cfg.dim).matrix(&graph);
-    let (cluster, _build) = Cluster::build_registered(
-        Arc::clone(&graph),
-        &EdgeCutHash,
-        cfg.workers,
-        &CacheStrategy::None,
-        2,
-        CostModel::default(),
-        registry,
-    );
+    let (cluster, _build) = Cluster::builder(Arc::clone(&graph))
+        .partitioner(&EdgeCutHash)
+        .shards(cfg.workers)
+        .cache(CacheStrategy::None)
+        .max_hop(2)
+        .cost_model(CostModel::default())
+        .registry(registry)
+        .build();
     let service = StreamingService::start_with_registry(
         Arc::clone(&graph),
         Arc::new(features.clone()),
@@ -265,6 +264,7 @@ pub fn run_loop(cfg: &LoopConfig, registry: &Arc<Registry>) -> Result<LoopOutcom
         checkpoint: Some(CheckpointConfig { dir: cfg.checkpoint_dir.clone(), every_steps: 0 }),
         fault: None,
         chaos: None,
+        rebalance: Vec::new(),
     };
 
     let freshness_hist = registry.histogram("loop.freshness_ticks", &[]);

@@ -32,9 +32,8 @@ pub mod ssp;
 pub use checkpoint::{latest_checkpoint, latest_valid_checkpoint, Checkpoint, WorkerCkpt};
 pub use error::RuntimeError;
 pub use ps::{ChannelSeqs, PsShardState, SparseParamServer};
-#[allow(deprecated)]
-pub use ps::{PsStats, PsStatsSnapshot};
 pub use report::{DistReport, WorkerReport};
 pub use runtime::{
-    ChaosConfig, CheckpointConfig, DistOutcome, DistTrainer, EncoderSpec, FaultPlan, RuntimeConfig,
+    ChaosConfig, CheckpointConfig, DistOutcome, DistTrainer, EncoderSpec, FaultPlan, RebalancePlan,
+    RuntimeConfig,
 };

@@ -55,6 +55,9 @@ pub struct DistReport {
     pub faults_injected: u64,
     /// Message retries the recovery machinery performed.
     pub retries: u64,
+    /// Elastic topology changes applied at epoch boundaries (shard splits
+    /// or merges, with their PS row re-homes).
+    pub rebalances: u64,
 }
 
 impl DistReport {
@@ -135,8 +138,12 @@ impl fmt::Display for DistReport {
         )?;
         write!(
             f,
-            "checkpoints {}  recoveries {}  faults {}  retries {}",
-            self.checkpoints_written, self.recoveries, self.faults_injected, self.retries
+            "checkpoints {}  recoveries {}  faults {}  retries {}  rebalances {}",
+            self.checkpoints_written,
+            self.recoveries,
+            self.faults_injected,
+            self.retries,
+            self.rebalances
         )
     }
 }
@@ -207,6 +214,7 @@ impl Report for DistReport {
             ("recoveries", Json::UInt(self.recoveries)),
             ("faults_injected", Json::UInt(self.faults_injected)),
             ("retries", Json::UInt(self.retries)),
+            ("rebalances", Json::UInt(self.rebalances)),
         ])
     }
 
@@ -244,6 +252,7 @@ impl Report for DistReport {
         self.recoveries += other.recoveries;
         self.faults_injected += other.faults_injected;
         self.retries += other.retries;
+        self.rebalances += other.rebalances;
     }
 }
 

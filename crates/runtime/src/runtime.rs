@@ -28,7 +28,7 @@ use aligraph_graph::{AttributedHeterogeneousGraph, EdgeType, FeatureMatrix};
 use aligraph_partition::WorkerId;
 use aligraph_sampling::neighborhood::ClusterView;
 use aligraph_sampling::{worker_rng, MeteredNeighborhood, ShardEdgePools, UniformNeighborhood};
-use aligraph_storage::Cluster;
+use aligraph_storage::{Cluster, RebalanceOp};
 use aligraph_telemetry::{Registry, Span, Stopwatch};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -84,6 +84,27 @@ impl ChaosConfig {
     }
 }
 
+/// One scheduled elastic topology change: after training epoch
+/// `after_epoch` completes (1-based), apply `op` to the cluster and re-home
+/// the parameter-server rows to match, all inside the epoch-boundary
+/// allreduce rendezvous where every worker is parked. Excluded from the
+/// config fingerprint: a rebalance moves only physical residency, never the
+/// math, so checkpoints interchange with static-topology runs — which is
+/// what lets the migration chaos suite pin bit-exact convergence across a
+/// mid-training split.
+#[derive(Debug, Clone, Copy)]
+pub struct RebalancePlan {
+    /// Apply after this many epochs have finished (1-based; `1` = after the
+    /// first epoch's allreduce).
+    pub after_epoch: usize,
+    /// The topology change.
+    pub op: RebalanceOp,
+    /// Recovery machinery for the migration stream. [`RecoveryMode::Full`]
+    /// is the real system; the broken variants deliberately lose moved
+    /// subgraphs/rows so divergence tests have teeth.
+    pub mode: RecoveryMode,
+}
+
 /// Per-attempt chaos runtime handles threaded through the worker loop.
 struct ChaosRt<'p> {
     plane: &'p FaultPlane,
@@ -127,6 +148,8 @@ pub struct RuntimeConfig {
     pub fault: Option<FaultPlan>,
     /// Chaos plane over every PS channel (`None` disables).
     pub chaos: Option<ChaosConfig>,
+    /// Elastic topology changes to apply at epoch boundaries, in order.
+    pub rebalance: Vec<RebalancePlan>,
 }
 
 impl Default for RuntimeConfig {
@@ -145,6 +168,7 @@ impl Default for RuntimeConfig {
             checkpoint: None,
             fault: None,
             chaos: None,
+            rebalance: Vec::new(),
         }
     }
 }
@@ -254,6 +278,14 @@ impl<'a> DistTrainer<'a> {
                 features.len(),
                 cluster.graph().num_vertices()
             ));
+        }
+        for plan in &cfg.rebalance {
+            if plan.after_epoch == 0 || plan.after_epoch > cfg.epochs {
+                return fail(format!(
+                    "rebalance after_epoch {} out of range (1..={} epochs)",
+                    plan.after_epoch, cfg.epochs
+                ));
+            }
         }
         Ok(DistTrainer { cluster, features, spec, cfg, registry: Arc::new(Registry::disabled()) })
     }
@@ -441,12 +473,17 @@ impl<'a> DistTrainer<'a> {
         let t0 = resume.as_ref().map_or(0, |c| c.global_step);
         let fingerprint = self.fingerprint();
 
-        let ps = SparseParamServer::new_registered(
+        // Pre-allocate one PS slot per scheduled split so slot indices and
+        // sequence tables stay stable across every rebalance of the run.
+        let splits =
+            cfg.rebalance.iter().filter(|p| matches!(p.op, RebalanceOp::Split { .. })).count();
+        let ps = SparseParamServer::new_elastic(
             self.cluster.partition(),
             self.features,
             cfg.sparse_lr,
             *self.cluster.cost_model(),
             &self.registry,
+            cfg.workers.max(self.cluster.num_shards()) + splits,
         );
         // Registered counters are shared registry-wide, so a fault-recovery
         // retry must zero them to report only its own traffic (matching the
@@ -466,6 +503,7 @@ impl<'a> DistTrainer<'a> {
             None => SharedTrain { best_loss: f64::INFINITY, ..SharedTrain::default() },
         });
         let co = Coordinator::new(p, t0);
+        let rebalances = AtomicU64::new(0);
         // Materialized once, before any worker can push: each worker's
         // starting replica must be the time-t0 server state, not whatever
         // the server holds when that worker's thread happens to start.
@@ -479,6 +517,7 @@ impl<'a> DistTrainer<'a> {
                     let ps = &ps;
                     let co = &co;
                     let shared = &shared;
+                    let rebalances = &rebalances;
                     scope.spawn(move || {
                         self.worker_loop(
                             me,
@@ -492,6 +531,7 @@ impl<'a> DistTrainer<'a> {
                             shared,
                             fault_fired,
                             checkpoints,
+                            rebalances,
                             chaos,
                         )
                     })
@@ -554,6 +594,9 @@ impl<'a> DistTrainer<'a> {
             recoveries: 0,
             faults_injected: 0,
             retries: 0,
+            // ordering: read after all worker threads joined above; the
+            // join synchronizes, Relaxed suffices.
+            rebalances: rebalances.load(Ordering::Relaxed),
         };
         Ok(DistOutcome { report, encoder, features })
     }
@@ -573,6 +616,7 @@ impl<'a> DistTrainer<'a> {
         shared: &Mutex<SharedTrain>,
         fault_fired: &AtomicBool,
         checkpoints: &AtomicU64,
+        rebalances: &AtomicU64,
         chaos: Option<&ChaosRt<'_>>,
     ) -> Result<WorkerDone, RuntimeError> {
         let cfg = &self.cfg;
@@ -605,7 +649,9 @@ impl<'a> DistTrainer<'a> {
         }
         // Fresh per attempt, pairing with the PS's fresh `applied_seq`
         // table: a recovery restart replays its channels from sequence 0.
-        let mut seqs = ChannelSeqs::new(cfg.workers);
+        // Sized by PS slots, not workers — after an elastic split, pushes
+        // route to the spare shard's channel.
+        let mut seqs = ChannelSeqs::new(ps.num_shards());
         let pools = ShardEdgePools::build(graph, self.cluster.partition(), WorkerId(me as u32));
         let view = ClusterView { cluster: self.cluster, from: WorkerId(me as u32) };
         let sampler = MeteredNeighborhood::new(UniformNeighborhood, &self.registry, "uniform");
@@ -753,6 +799,22 @@ impl<'a> DistTrainer<'a> {
                     // Times the leader's allreduce + epoch bookkeeping into
                     // `runtime.allreduce_ns` (recorded when the guard drops).
                     let _allreduce = Span::enter(&allreduce_ns);
+                    // Elastic boundary: every worker is parked at this
+                    // rendezvous — no push, pull, sample, or drain is in
+                    // flight — so scheduled topology changes migrate
+                    // residency (graph shards + PS rows) here. Runs before
+                    // the checkpoint below so the cut captures the
+                    // post-move shard layout.
+                    let epoch = (t / batches) as usize;
+                    for (i, plan) in cfg.rebalance.iter().enumerate() {
+                        if plan.after_epoch == epoch {
+                            self.apply_rebalance(i, plan, ps, chaos)?;
+                            // ordering: report-only tally read after worker
+                            // joins; the join synchronizes, Relaxed
+                            // suffices.
+                            rebalances.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                     let mut sh =
                         shared.lock().map_err(|_| RuntimeError::Poisoned("shared train state"))?;
                     let loss: f64 = deps.iter().map(|d| d.loss_sum).sum();
@@ -824,6 +886,39 @@ impl<'a> DistTrainer<'a> {
             }
         }
         Ok(WorkerDone { state: encoder.dense_state_vec(), edges, busy_ns, comm_ns, hist })
+    }
+
+    /// Applies one scheduled rebalance (leader-only, all workers parked).
+    ///
+    /// The cluster's topology outlives fault-recovery attempts, so the
+    /// graph-side migration is guarded by the membership epoch — plan `i`
+    /// takes the topology from epoch `i` to `i + 1`, and a recovery re-run
+    /// that reaches this boundary again skips it. The PS is fresh per
+    /// attempt, so its rows always re-home here; when the restored
+    /// checkpoint already captured the post-move layout that re-home finds
+    /// nothing to move.
+    fn apply_rebalance(
+        &self,
+        index: usize,
+        plan: &RebalancePlan,
+        ps: &SparseParamServer,
+        chaos: Option<&ChaosRt<'_>>,
+    ) -> Result<(), RuntimeError> {
+        let clean;
+        let (plane, policy) = match chaos {
+            Some(cx) => (cx.plane, cx.policy),
+            None => {
+                clean = FaultPlane::new(aligraph_chaos::FaultPlan::default());
+                (&clean, RetryPolicy::default())
+            }
+        };
+        if self.cluster.topology().current_epoch() <= index as u64 {
+            self.cluster
+                .rebalance(plan.op, plane, &policy, plan.mode)
+                .map_err(|e| RuntimeError::Unrecoverable(format!("rebalance failed: {e}")))?;
+        }
+        ps.rehome(&self.cluster.residency_snapshot(), plane, &policy, plan.mode)?;
+        Ok(())
     }
 }
 

@@ -91,7 +91,10 @@ pub struct ClusterView<'a> {
 impl NeighborAccess for ClusterView<'_> {
     #[inline]
     fn neighbors(&self, v: VertexId, hop: usize) -> &[Neighbor] {
-        self.cluster.neighbors_from(self.from, v, hop)
+        // invariant: the view's `from` worker and every sampled vertex come
+        // from the cluster itself (samplers walk the cluster's own graph),
+        // so the route is always in range.
+        self.cluster.neighbors_from(self.from, v, hop).expect("view routes within the cluster")
     }
 }
 
@@ -378,8 +381,13 @@ mod tests {
         use aligraph_storage::{CacheStrategy, CostModel};
         use std::sync::Arc;
         let g = Arc::new(TaobaoConfig::tiny().generate().unwrap());
-        let (cluster, _) =
-            Cluster::build(g, &EdgeCutHash, 4, &CacheStrategy::None, 2, CostModel::default());
+        let (cluster, _) = Cluster::builder(g)
+            .partitioner(&EdgeCutHash)
+            .shards(4)
+            .cache(CacheStrategy::None)
+            .max_hop(2)
+            .cost_model(CostModel::default())
+            .build();
         let view = ClusterView { cluster: &cluster, from: WorkerId(0) };
         let seeds: Vec<VertexId> = cluster.graph().vertices().take(16).collect();
         let mut rng = StdRng::seed_from_u64(7);

@@ -44,6 +44,7 @@ pub mod cache;
 pub mod error;
 pub mod metrics;
 pub mod overlay;
+pub mod router;
 pub mod service;
 pub mod swap;
 
@@ -51,5 +52,6 @@ pub use cache::{CacheStats, EmbeddingCache};
 pub use error::ServeError;
 pub use metrics::{ServingMetrics, ServingReport};
 pub use overlay::{affected_seeds, OverlayGraph};
+pub use router::{ReplicaRouter, RouteDecision};
 pub use service::{ServedEmbedding, ServingConfig, ServingFaultConfig, ServingService};
 pub use swap::{ModelPin, ModelStore, ModelVersion, SwapError};

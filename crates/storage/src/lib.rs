@@ -20,7 +20,13 @@
 //!   weighted draws, dynamic-weight updates); `bucket` is the minimal
 //!   weight-only variant benchmarked against a global mutex; both share the
 //!   queue/thread plumbing in [`executor`];
-//! * [`cost`] — simulated local/remote access costs and atomic statistics.
+//! * [`cost`] — simulated local/remote access costs and atomic statistics;
+//! * [`topology`] / [`migrate`] — elastic membership: a versioned
+//!   [`topology::Topology`] (monotonic epochs, published like the streaming
+//!   layer's `EpochManager`) owns routing as load-ranked
+//!   [`topology::ReplicaSet`]s, and [`migrate`] implements online shard
+//!   split/merge with live subgraph migration over the chaos plane while
+//!   both shards keep serving.
 //!
 //! The "network" is simulated: every shard can physically reach the whole
 //! graph, but accesses to vertices owned by another worker are accounted (and
@@ -36,17 +42,23 @@ pub mod cluster;
 pub mod cost;
 pub mod executor;
 pub mod lru;
+pub mod migrate;
 pub mod neighbor_cache;
 pub mod server;
 pub mod service;
+pub mod topology;
 
 pub use bucket::{LockFreeWeightService, MutexWeightService, WeightService};
-pub use cluster::{Cluster, ClusterBuildReport};
+pub use cluster::{Cluster, ClusterBuildReport, ClusterBuilder};
 pub use cost::{
     AccessKind, AccessStats, AccessStatsSnapshot, CostModel, TierMeter, TierMeterSnapshot,
 };
 pub use executor::{BucketExecutor, ExecutorStopped};
 pub use lru::LruCache;
+pub use migrate::{MigrationError, MigrationReport, RebalanceOp, MIGRATION_TAG};
 pub use neighbor_cache::{CacheStrategy, NeighborCache};
-pub use server::GraphServer;
+pub use server::{GraphServer, VertexRecord};
 pub use service::GraphRequestService;
+pub use topology::{
+    ReplicaSet, Residency, RouteError, ShardLoads, Topology, TopologyPin, TopologyView,
+};

@@ -1,0 +1,553 @@
+//! Online shard split / merge with live subgraph migration.
+//!
+//! A rebalance streams the moving vertices' records — adjacency, weight
+//! tables, and neighbor-cache seeds — from the source shard to the
+//! destination over the chaos plane (channel tag [`MIGRATION_TAG`]), while
+//! **both shards keep serving**: the destination absorbs each record before
+//! the per-vertex [`Residency`](crate::topology::Residency) cutover flips,
+//! and the source copy only retires inside the next topology publish's
+//! sweep. Dropped or corrupted sends retry under a capped-backoff
+//! [`RetryPolicy`]; a [`Sequencer`] collapses lost-ack resends and late
+//! duplicates to exactly-once application. Faults therefore cost only
+//! modelled ticks, never data — unless recovery is deliberately broken
+//! ([`RecoveryMode::NoRetry`]), in which case a lost record still flips the
+//! cutover and the destination serves a vertex it never received: the bug
+//! the migration chaos suite exists to catch.
+//!
+//! The protocol per vertex:
+//!
+//! ```text
+//! extract(src) ──channel tag 5──> absorb(dst) ──> cutover(v, dst)   [commit]
+//!                                                     │
+//!                         publish_with(next epoch, sweep: src.retire(moved))
+//! ```
+
+use crate::cluster::{attr_cache_capacity, Cluster};
+use crate::cost::AccessKind;
+use crate::neighbor_cache::NeighborCache;
+use crate::server::{GraphServer, VertexRecord};
+use crate::topology::RouteError;
+use aligraph_chaos::{Delivery, FaultPlane, RecoveryMode, RetryPolicy, Sequencer};
+use aligraph_graph::VertexId;
+use aligraph_partition::WorkerId;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// Fault-plane channel tag of the live-migration plane (tags 0–4 are taken
+/// by PS pushes, PS pull responses, bucket submissions, serving k-hop
+/// gathers, and update ingest).
+pub const MIGRATION_TAG: u64 = 5;
+
+/// A membership change request against the current topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebalanceOp {
+    /// Split one live shard: half its resident vertices (by a deterministic
+    /// hash bit) move to a freshly allocated slot.
+    Split {
+        /// The shard to split.
+        shard: u32,
+    },
+    /// Merge one live shard into another: every resident vertex moves, the
+    /// source slot retires.
+    Merge {
+        /// The shard to drain and retire.
+        from: u32,
+        /// The surviving shard absorbing its vertices.
+        into: u32,
+    },
+}
+
+/// What one rebalance did.
+#[derive(Debug, Clone)]
+pub struct MigrationReport {
+    /// The operation performed.
+    pub op: RebalanceOp,
+    /// Source shard slot.
+    pub from: u32,
+    /// Destination shard slot.
+    pub to: u32,
+    /// Vertices whose residency moved.
+    pub moved: usize,
+    /// Payload bytes that crossed the migration channel (including
+    /// duplicates the sequencer later discarded).
+    pub bytes: u64,
+    /// Modelled ticks of migration lag: injected delays plus retry backoff.
+    pub lag_ticks: u64,
+    /// Records lost in flight (always 0 unless recovery is broken).
+    pub lost: u64,
+    /// The membership epoch the rebalance published.
+    pub epoch: u64,
+}
+
+/// Why a rebalance failed (before any cutover flipped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigrationError {
+    /// The requested operation does not name live, distinct shards of the
+    /// current topology.
+    BadOp(String),
+    /// The retry budget ran out sending one record.
+    RetriesExhausted {
+        /// Source shard.
+        from: u32,
+        /// Destination shard.
+        to: u32,
+        /// The record's sequence number.
+        seq: u64,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// A routing lookup failed while validating the operation.
+    Route(RouteError),
+}
+
+impl std::fmt::Display for MigrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrationError::BadOp(why) => write!(f, "bad rebalance op: {why}"),
+            MigrationError::RetriesExhausted { from, to, seq, attempts } => write!(
+                f,
+                "migration retries exhausted: record {seq} from shard {from} to {to} \
+                 after {attempts} attempts"
+            ),
+            MigrationError::Route(e) => write!(f, "rebalance routing error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MigrationError {}
+
+impl From<RouteError> for MigrationError {
+    fn from(e: RouteError) -> Self {
+        MigrationError::Route(e)
+    }
+}
+
+/// One message of the migration stream.
+#[derive(Debug, Clone)]
+enum MigrationRecord {
+    /// A moving vertex's shard-resident state.
+    Vertex(VertexRecord),
+    /// One neighbor-cache entry carried from the source shard so the
+    /// destination serves the same remote vertices locally. Loss costs only
+    /// accounting (colder cache), never correctness.
+    CacheSeed { v: VertexId, depth: u8 },
+}
+
+impl MigrationRecord {
+    fn bytes(&self) -> u64 {
+        match self {
+            MigrationRecord::Vertex(rec) => rec.bytes(),
+            MigrationRecord::CacheSeed { .. } => 5,
+        }
+    }
+}
+
+/// Deterministic split assignment: which half of a shard a vertex joins.
+/// A pure function of the vertex id (splitmix-style mix), so every attempt
+/// of a recovering run moves the same set. Uses a *high* bit of the mix:
+/// the hash partitioner keys worker assignment to the low bits of the same
+/// mix, and sharing them would make a split move nothing (or everything).
+fn split_bit(v: u32) -> bool {
+    let mut x = u64::from(v).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    ((x ^ (x >> 31)) >> 32) & 1 == 1
+}
+
+impl Cluster {
+    /// Performs one online shard split or merge with live migration.
+    ///
+    /// Streams the moving subgraph over the chaos `plane` (tag
+    /// [`MIGRATION_TAG`], one directed channel per shard pair), retrying
+    /// under `policy` and deduplicating through a [`Sequencer`]; each vertex
+    /// cuts over atomically once its record is absorbed at the destination,
+    /// and the new membership epoch publishes with the source retirement in
+    /// its sweep. Both shards serve throughout.
+    ///
+    /// `mode` selects the recovery discipline; anything but
+    /// [`RecoveryMode::Full`] is a deliberately broken variant for the
+    /// chaos suite ([`RecoveryMode::NoRetry`] loses records but flips their
+    /// cutover anyway, [`RecoveryMode::NoDedup`] double-applies duplicates
+    /// — harmless for the idempotent absorb, double-counted in the meter).
+    pub fn rebalance(
+        &self,
+        op: RebalanceOp,
+        plane: &FaultPlane,
+        policy: &RetryPolicy,
+        mode: RecoveryMode,
+    ) -> Result<MigrationReport, MigrationError> {
+        let view = self.topology.view();
+        let (src, dst) = match op {
+            RebalanceOp::Split { shard } => {
+                if !view.is_live(shard) {
+                    return Err(MigrationError::BadOp(format!("split of non-live shard {shard}")));
+                }
+                (shard, view.num_shards() as u32)
+            }
+            RebalanceOp::Merge { from, into } => {
+                if from == into {
+                    return Err(MigrationError::BadOp(format!(
+                        "merge of shard {from} into itself"
+                    )));
+                }
+                if !view.is_live(from) || !view.is_live(into) {
+                    return Err(MigrationError::BadOp(format!(
+                        "merge {from} -> {into} names a non-live shard"
+                    )));
+                }
+                (from, into)
+            }
+        };
+
+        // Allocate the split destination before any record moves: a new
+        // empty server slot, live in the successor view only.
+        if matches!(op, RebalanceOp::Split { .. }) {
+            let cache = NeighborCache::empty(self.graph().num_vertices());
+            let server = Arc::new(GraphServer::empty(
+                WorkerId(dst),
+                Arc::clone(self.graph()),
+                cache,
+                attr_cache_capacity(self.graph()),
+            ));
+            self.servers.write().push(server);
+            self.loads.write().push(AtomicU64::new(0));
+        }
+
+        let (src_server, dst_server) = {
+            let servers = self.servers.read();
+            (Arc::clone(&servers[src as usize]), Arc::clone(&servers[dst as usize]))
+        };
+
+        // The moving set: deterministic in (current residency, op), sorted
+        // ascending so record sequence numbers are reproducible.
+        let mut moving: Vec<VertexId> = Vec::new();
+        for v in self.graph().vertices() {
+            if self.residency.of(v) != src {
+                continue;
+            }
+            let moves = match op {
+                RebalanceOp::Split { .. } => split_bit(v.0),
+                RebalanceOp::Merge { .. } => true,
+            };
+            if moves {
+                moving.push(v);
+            }
+        }
+
+        // The stream: every moving vertex's record, then the source shard's
+        // neighbor-cache entries (the destination starts cold on a split).
+        let mut records: Vec<MigrationRecord> = Vec::with_capacity(moving.len());
+        for &v in &moving {
+            // invariant: v was selected from src's residency above and
+            // nothing else mutates residency during a rebalance (one
+            // rebalance at a time — the driver serializes them).
+            let rec = src_server.extract(v).expect("moving vertex resident on source shard");
+            records.push(MigrationRecord::Vertex(rec));
+        }
+        for (v, depth) in src_server.neighbor_cache().entries() {
+            records.push(MigrationRecord::CacheSeed { v, depth });
+        }
+
+        // Stream with the canonical chaos retry idiom: decide per
+        // (channel, seq, attempt), retry with capped backoff, dedup through
+        // the sequencer so lost-ack resends and late replays apply once.
+        let channel = FaultPlane::channel_with(MIGRATION_TAG, u64::from(src), u64::from(dst));
+        let mut sequencer: Sequencer<MigrationRecord> = Sequencer::new();
+        let mut bytes = 0u64;
+        let mut lag_ticks = 0u64;
+        let mut lost = 0u64;
+        let mut deliver = |seq: u64, record: MigrationRecord, bytes: &mut u64| {
+            *bytes += record.bytes();
+            self.migration_meter.record(AccessKind::Remote, record.bytes(), self.cost_model());
+            let ready = if matches!(mode, RecoveryMode::NoDedup) {
+                vec![record]
+            } else {
+                sequencer.offer(seq, record)
+            };
+            for rec in ready {
+                match rec {
+                    MigrationRecord::Vertex(rec) => {
+                        let v = rec.vertex;
+                        dst_server.absorb(rec);
+                        // Absorb precedes the flip: the commit point.
+                        self.residency.cutover(v, dst);
+                    }
+                    MigrationRecord::CacheSeed { v, depth } => {
+                        dst_server.neighbor_cache().set_depth(v, depth);
+                    }
+                }
+            }
+        };
+        for (seq, record) in records.into_iter().enumerate() {
+            let seq = seq as u64;
+            let mut attempt = 0u32;
+            let delivered = loop {
+                if attempt > 0 {
+                    if matches!(mode, RecoveryMode::NoRetry) {
+                        break false;
+                    }
+                    if policy.exhausted(attempt) {
+                        return Err(MigrationError::RetriesExhausted {
+                            from: src,
+                            to: dst,
+                            seq,
+                            attempts: attempt,
+                        });
+                    }
+                    plane.note_retry();
+                    lag_ticks += policy.backoff_ticks(attempt);
+                }
+                match plane.decide(channel, seq, attempt) {
+                    Delivery::Deliver => break true,
+                    Delivery::Delay(d) => {
+                        lag_ticks += d;
+                        break true;
+                    }
+                    Delivery::AckLost => {
+                        // The record lands and applies, but our ack is
+                        // "lost": resend, and let the sequencer discard the
+                        // duplicate.
+                        deliver(seq, record.clone(), &mut bytes);
+                        attempt += 1;
+                    }
+                    Delivery::Drop | Delivery::Corrupt => {
+                        attempt += 1;
+                    }
+                }
+            };
+            if delivered {
+                deliver(seq, record.clone(), &mut bytes);
+                // The reorder fault: a late duplicate of a delivered record.
+                if plane.replays_duplicate(channel, seq) {
+                    deliver(seq, record, &mut bytes);
+                }
+            } else {
+                lost += 1;
+                // The deliberately broken cutover: the flip happens even
+                // though the destination never received the record, so the
+                // new epoch routes the vertex to a shard that cannot serve
+                // it. This is the bug the migration chaos test must catch.
+                if let MigrationRecord::Vertex(rec) = record {
+                    self.residency.cutover(rec.vertex, dst);
+                }
+            }
+        }
+
+        // Publish the successor epoch; the source retirement runs in the
+        // sweep, under the publish lock, so no reader on the new epoch can
+        // observe a mid-retirement source and every pin of the old epoch
+        // keeps its copies alive.
+        let primary = Arc::new(self.residency.snapshot());
+        let mut live: Vec<bool> = (0..view.num_shards() as u32).map(|s| view.is_live(s)).collect();
+        match op {
+            RebalanceOp::Split { .. } => live.push(true),
+            RebalanceOp::Merge { from, .. } => live[from as usize] = false,
+        }
+        let next = Arc::new(view.advance(primary, Arc::new(live)));
+        let epoch = next.epoch();
+        let moved_ids: Vec<u32> = moving.iter().map(|v| v.0).collect();
+        self.topology.publish_with(next, |_| src_server.retire(&moved_ids));
+
+        Ok(MigrationReport {
+            op,
+            from: src,
+            to: dst,
+            moved: moving.len(),
+            bytes,
+            lag_ticks,
+            lost,
+            epoch,
+        })
+    }
+
+    /// The migration oracle: every vertex must be resident (`Local`) on its
+    /// primary shard of the current epoch. A clean rebalance always passes;
+    /// the broken-cutover variant routes lost vertices to a shard that
+    /// never absorbed them and fails here.
+    pub fn verify_residency(&self) -> Result<(), String> {
+        let view = self.topology.view();
+        view.verify()?;
+        let servers = self.servers.read();
+        for v in self.graph().vertices() {
+            let p = view.primary_of(v).map_err(|e| e.to_string())?;
+            let server = servers
+                .get(p.index())
+                .ok_or_else(|| format!("vertex {} routed to missing slot {}", v.0, p.0))?;
+            if !server.is_local(v) {
+                return Err(format!(
+                    "vertex {} routes to shard {} at epoch {} but is not resident there",
+                    v.0,
+                    p.0,
+                    view.epoch()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neighbor_cache::CacheStrategy;
+    use aligraph_chaos::FaultPlan;
+    use aligraph_graph::generate::TaobaoConfig;
+    use aligraph_partition::EdgeCutHash;
+
+    fn cluster(shards: usize, strategy: CacheStrategy) -> Cluster {
+        let g = Arc::new(TaobaoConfig::tiny().generate().unwrap());
+        Cluster::builder(g).partitioner(&EdgeCutHash).shards(shards).cache(strategy).build().0
+    }
+
+    fn clean_plane() -> FaultPlane {
+        FaultPlane::new(FaultPlan::default())
+    }
+
+    #[test]
+    fn split_moves_half_and_publishes_next_epoch() {
+        let c = cluster(2, CacheStrategy::None);
+        let before = c.server(WorkerId(0)).num_owned();
+        let report = c
+            .rebalance(
+                RebalanceOp::Split { shard: 0 },
+                &clean_plane(),
+                &RetryPolicy::default(),
+                RecoveryMode::Full,
+            )
+            .unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.from, 0);
+        assert_eq!(report.to, 2);
+        assert_eq!(report.lost, 0);
+        assert!(report.moved > 0, "a split of a populated shard moves vertices");
+        assert_eq!(c.num_shards(), 3);
+        assert_eq!(c.num_workers(), 2, "logical worker count never changes");
+        assert_eq!(c.server(WorkerId(0)).num_owned(), before - report.moved);
+        assert_eq!(c.server(WorkerId(2)).num_owned(), report.moved);
+        c.verify_residency().unwrap();
+    }
+
+    #[test]
+    fn merge_drains_and_retires_the_source() {
+        let c = cluster(3, CacheStrategy::None);
+        let drained = c.server(WorkerId(2)).num_owned();
+        let report = c
+            .rebalance(
+                RebalanceOp::Merge { from: 2, into: 0 },
+                &clean_plane(),
+                &RetryPolicy::default(),
+                RecoveryMode::Full,
+            )
+            .unwrap();
+        assert_eq!(report.moved, drained);
+        assert_eq!(c.server(WorkerId(2)).num_owned(), 0);
+        let view = c.topology().view();
+        assert!(!view.is_live(2), "merged-away slot retires");
+        assert_eq!(view.num_live(), 2);
+        c.verify_residency().unwrap();
+    }
+
+    #[test]
+    fn split_then_merge_roundtrips_residency() {
+        let c = cluster(2, CacheStrategy::None);
+        let policy = RetryPolicy::default();
+        c.rebalance(RebalanceOp::Split { shard: 1 }, &clean_plane(), &policy, RecoveryMode::Full)
+            .unwrap();
+        let report = c
+            .rebalance(
+                RebalanceOp::Merge { from: 2, into: 1 },
+                &clean_plane(),
+                &policy,
+                RecoveryMode::Full,
+            )
+            .unwrap();
+        assert_eq!(report.epoch, 2);
+        c.verify_residency().unwrap();
+        // Every vertex is back on its original (logical) owner.
+        for v in c.graph().vertices() {
+            assert_eq!(c.primary_of(v).unwrap(), c.partition().owner_of(v));
+        }
+    }
+
+    #[test]
+    fn faulted_migration_matches_clean_residency_exactly() {
+        let clean = cluster(2, CacheStrategy::ImportanceBudget { k: 2, fraction: 0.2 });
+        let chaotic = cluster(2, CacheStrategy::ImportanceBudget { k: 2, fraction: 0.2 });
+        let policy = RetryPolicy::default();
+        let a = clean
+            .rebalance(RebalanceOp::Split { shard: 0 }, &clean_plane(), &policy, RecoveryMode::Full)
+            .unwrap();
+        let b = chaotic
+            .rebalance(
+                RebalanceOp::Split { shard: 0 },
+                &FaultPlane::new(FaultPlan::with_seed(7, 0.2)),
+                &policy,
+                RecoveryMode::Full,
+            )
+            .unwrap();
+        assert_eq!(a.moved, b.moved);
+        assert_eq!(b.lost, 0, "full recovery never loses records");
+        assert!(b.lag_ticks > 0, "a 20% fault rate must cost modelled lag");
+        assert!(b.bytes > a.bytes, "resends cost extra bytes");
+        chaotic.verify_residency().unwrap();
+        for v in clean.graph().vertices() {
+            assert_eq!(
+                clean.primary_of(v).unwrap(),
+                chaotic.primary_of(v).unwrap(),
+                "faults must not change where vertex {} lands",
+                v.0
+            );
+        }
+        // The destination's seeded cache matches the clean run's.
+        assert_eq!(
+            clean.server(WorkerId(2)).neighbor_cache().cached_count(),
+            chaotic.server(WorkerId(2)).neighbor_cache().cached_count()
+        );
+    }
+
+    #[test]
+    fn broken_cutover_is_caught_by_the_oracle() {
+        let c = cluster(2, CacheStrategy::None);
+        let report = c
+            .rebalance(
+                RebalanceOp::Split { shard: 0 },
+                &FaultPlane::new(FaultPlan::with_seed(11, 0.3)),
+                &RetryPolicy::default(),
+                RecoveryMode::NoRetry,
+            )
+            .unwrap();
+        assert!(report.lost > 0, "a 30% drop rate with no retries must lose records");
+        let err = c.verify_residency().unwrap_err();
+        assert!(err.contains("not resident"), "{err}");
+    }
+
+    #[test]
+    fn bad_ops_are_rejected_before_any_cutover() {
+        let c = cluster(2, CacheStrategy::None);
+        let policy = RetryPolicy::default();
+        for op in [
+            RebalanceOp::Split { shard: 7 },
+            RebalanceOp::Merge { from: 1, into: 1 },
+            RebalanceOp::Merge { from: 5, into: 0 },
+        ] {
+            let err = c.rebalance(op, &clean_plane(), &policy, RecoveryMode::Full).unwrap_err();
+            assert!(matches!(err, MigrationError::BadOp(_)), "{err}");
+        }
+        assert_eq!(c.topology().current_epoch(), 0, "rejected ops publish nothing");
+    }
+
+    #[test]
+    fn both_shards_serve_during_the_absorb_window() {
+        // Simulate the mid-migration window by hand: absorb + cutover one
+        // vertex without publishing, then read it from both shards.
+        let c = cluster(2, CacheStrategy::None);
+        let v = c.graph().vertices().find(|&v| c.residency.of(v) == 0).unwrap();
+        let rec = c.server(WorkerId(0)).extract(v).unwrap();
+        c.server(WorkerId(1)).absorb(rec);
+        let (a, _) = c.neighbors_from_kind(WorkerId(0), v, 1).unwrap();
+        assert_eq!(a, c.graph().out_neighbors(v));
+        let (b, kind) = c.neighbors_from_kind(WorkerId(1), v, 1).unwrap();
+        assert_eq!(b, c.graph().out_neighbors(v));
+        assert_eq!(kind, AccessKind::Local, "absorbed copy serves locally before cutover");
+    }
+}

@@ -17,9 +17,10 @@
 use crate::cost::{AccessStats, CostModel};
 use crate::lru::LruCache;
 use aligraph_graph::{AttributedHeterogeneousGraph, DegreeTable, ImportanceTable, VertexId};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use rand::prelude::*;
 use rand::rngs::StdRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Which vertices' neighborhoods get cached locally.
 #[derive(Debug, Clone)]
@@ -66,14 +67,18 @@ pub enum CacheOutcome {
 }
 
 /// A per-server neighbor cache.
+///
+/// The static depth table sits behind a `RwLock` so a live migration can
+/// seed entries onto an already-serving shard ([`set_depth`](Self::set_depth))
+/// without stopping its readers; lookups only take the read side.
 #[derive(Debug)]
 pub struct NeighborCache {
     /// Static cached-depth per vertex (0 = not cached, k = cached to hop k).
-    cached_depth: Vec<u8>,
+    cached_depth: RwLock<Vec<u8>>,
     /// Dynamic LRU (only for `CacheStrategy::Lru`).
     lru: Option<Mutex<LruCache<u32, ()>>>,
     /// Number of statically cached vertices.
-    static_cached: usize,
+    static_cached: AtomicUsize,
     n: usize,
 }
 
@@ -125,7 +130,40 @@ impl NeighborCache {
             }
         }
         let static_cached = cached_depth.iter().filter(|&&d| d > 0).count();
-        NeighborCache { cached_depth, lru, static_cached, n }
+        NeighborCache {
+            cached_depth: RwLock::new(cached_depth),
+            lru,
+            static_cached: AtomicUsize::new(static_cached),
+            n,
+        }
+    }
+
+    /// An empty cache covering `n` vertices — the starting state of a shard
+    /// born by a split, filled by streamed cache-seed entries.
+    pub fn empty(n: usize) -> Self {
+        NeighborCache {
+            cached_depth: RwLock::new(vec![0u8; n]),
+            lru: None,
+            static_cached: AtomicUsize::new(0),
+            n,
+        }
+    }
+
+    /// Seeds (or deepens) one entry: `v` is served locally up to hop
+    /// `depth`. Used by live migration to carry the source shard's cache
+    /// onto the destination; never shrinks an existing entry.
+    pub fn set_depth(&self, v: VertexId, depth: u8) {
+        if depth == 0 || v.index() >= self.n {
+            return;
+        }
+        let mut table = self.cached_depth.write();
+        let slot = &mut table[v.index()];
+        if *slot == 0 {
+            // ordering: counter is report-only (cached_fraction); the depth
+            // table itself synchronizes through the RwLock.
+            self.static_cached.fetch_add(1, Ordering::Relaxed);
+        }
+        *slot = (*slot).max(depth);
     }
 
     /// Convenience: computes degrees + importance, then builds. Prefer
@@ -149,7 +187,7 @@ impl NeighborCache {
         stats: &AccessStats,
         model: &CostModel,
     ) -> CacheOutcome {
-        if self.cached_depth[v.index()] as usize >= hop {
+        if self.cached_depth.read()[v.index()] as usize >= hop {
             stats.record_cache_hit();
             return CacheOutcome::Hit;
         }
@@ -183,17 +221,30 @@ impl NeighborCache {
         if self.n == 0 {
             return 0.0;
         }
-        self.static_cached as f64 / self.n as f64
+        self.cached_count() as f64 / self.n as f64
     }
 
     /// Statically cached vertex count.
     pub fn cached_count(&self) -> usize {
-        self.static_cached
+        // ordering: report-only counter, see set_depth().
+        self.static_cached.load(Ordering::Relaxed)
     }
 
     /// The cached depth of one vertex (0 = not cached).
     pub fn depth(&self, v: VertexId) -> u8 {
-        self.cached_depth[v.index()]
+        self.cached_depth.read()[v.index()]
+    }
+
+    /// Every statically cached entry as `(vertex, depth)` pairs — the
+    /// migration stream's cache-seed payload.
+    pub fn entries(&self) -> Vec<(VertexId, u8)> {
+        self.cached_depth
+            .read()
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d > 0)
+            .map(|(i, &d)| (VertexId(i as u32), d))
+            .collect()
     }
 }
 

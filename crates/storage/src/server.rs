@@ -1,30 +1,56 @@
-//! One graph server (worker shard): owns a partition's vertices, their full
-//! out-adjacency, LRU-fronted attribute access, and a local neighbor cache.
+//! One graph server (worker shard): owns a resident set of vertices, their
+//! full out-adjacency, LRU-fronted attribute access, and a local neighbor
+//! cache.
+//!
+//! Residency is dynamic: a live migration [`absorb`](GraphServer::absorb)s
+//! vertex records onto a serving shard and [`retire`](GraphServer::retire)s
+//! them from the source at the next topology publish, so both shards serve
+//! throughout. The resident maps sit behind `RwLock`s for exactly that
+//! reason; the hot read path only takes the read side.
 
 use crate::cost::{AccessKind, AccessStats, CostModel};
 use crate::lru::LruCache;
 use crate::neighbor_cache::{CacheOutcome, NeighborCache};
 use aligraph_graph::{AttrId, AttrVector, AttributedHeterogeneousGraph, Neighbor, VertexId};
-use aligraph_partition::{Partition, WorkerId};
-use parking_lot::Mutex;
+use aligraph_partition::WorkerId;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// One vertex's movable shard-resident state: the unit a live migration
+/// streams from source to destination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VertexRecord {
+    /// The vertex being moved.
+    pub vertex: VertexId,
+    /// Its materialized out-adjacency.
+    pub neighbors: Box<[Neighbor]>,
+    /// Its cumulative edge-weight table (empty when the vertex has no
+    /// out-edges).
+    pub weight_cdf: Arc<[f32]>,
+}
+
+impl VertexRecord {
+    /// Payload size of this record on the wire (what migration meters).
+    pub fn bytes(&self) -> u64 {
+        4 + self.neighbors.len() as u64 * 12 + self.weight_cdf.len() as u64 * 4
+    }
+}
+
 /// A worker shard of the simulated cluster.
 ///
-/// The server materializes its own adjacency for owned vertices (this is the
-/// real work the parallel ingest of Figure 7 measures) and serves lookups
-/// with local / cached / remote accounting.
+/// The server materializes its own adjacency for resident vertices (this is
+/// the real work the parallel ingest of Figure 7 measures) and serves
+/// lookups with local / cached / remote accounting.
 #[derive(Debug)]
 pub struct GraphServer {
     worker: WorkerId,
     graph: Arc<AttributedHeterogeneousGraph>,
-    partition: Arc<Partition>,
-    /// Materialized out-adjacency of owned vertices.
-    local_adjacency: HashMap<u32, Box<[Neighbor]>>,
+    /// Materialized out-adjacency of resident vertices.
+    local_adjacency: RwLock<HashMap<u32, Box<[Neighbor]>>>,
     /// Per-vertex cumulative edge-weight tables supporting O(log d) weighted
     /// neighbor draws without rescanning the adjacency (built at ingest).
-    weight_cdf: HashMap<u32, Box<[f32]>>,
+    weight_cdf: RwLock<HashMap<u32, Arc<[f32]>>>,
     /// Neighbor cache for remote vertices (Algorithm 2).
     neighbor_cache: NeighborCache,
     /// LRU in front of the vertex attribute index `I_V` (paper §3.2).
@@ -34,50 +60,57 @@ pub struct GraphServer {
 }
 
 impl GraphServer {
-    /// Ingests the worker's partition: copies the adjacency of every owned
+    /// Ingests the worker's shard: copies the adjacency of every roster
     /// vertex into local storage and builds the per-vertex cumulative
-    /// weight tables. `roster` is this worker's owned vertex list (computed
-    /// once by the cluster so each shard only touches its own data — this
-    /// is what makes parallel ingest scale with workers, Figure 7).
+    /// weight tables. `roster` is this worker's resident vertex list
+    /// (computed once by the cluster so each shard only touches its own
+    /// data — this is what makes parallel ingest scale with workers,
+    /// Figure 7).
     pub fn ingest(
         worker: WorkerId,
         graph: Arc<AttributedHeterogeneousGraph>,
-        partition: Arc<Partition>,
         roster: &[VertexId],
         neighbor_cache: NeighborCache,
         attr_cache_capacity: usize,
     ) -> Self {
-        let mut local_adjacency = HashMap::with_capacity(roster.len());
-        let mut weight_cdf = HashMap::with_capacity(roster.len());
-        for &v in roster {
-            debug_assert_eq!(partition.owner_of(v), worker);
-            let nbrs: Box<[Neighbor]> = graph.out_neighbors(v).into();
-            if !nbrs.is_empty() {
-                let mut cdf = Vec::with_capacity(nbrs.len());
-                let mut acc = 0.0f32;
-                for n in nbrs.iter() {
-                    acc += n.weight;
-                    cdf.push(acc);
+        let server = Self::empty(worker, graph, neighbor_cache, attr_cache_capacity);
+        {
+            let mut adjacency = server.local_adjacency.write();
+            let mut cdfs = server.weight_cdf.write();
+            adjacency.reserve(roster.len());
+            for &v in roster {
+                let nbrs: Box<[Neighbor]> = server.graph.out_neighbors(v).into();
+                if !nbrs.is_empty() {
+                    cdfs.insert(v.0, build_cdf(&nbrs));
                 }
-                weight_cdf.insert(v.0, cdf.into_boxed_slice());
+                adjacency.insert(v.0, nbrs);
             }
-            local_adjacency.insert(v.0, nbrs);
         }
+        server
+    }
+
+    /// A shard with no resident vertices yet — the starting state of a
+    /// split destination, populated by [`absorb`](Self::absorb).
+    pub fn empty(
+        worker: WorkerId,
+        graph: Arc<AttributedHeterogeneousGraph>,
+        neighbor_cache: NeighborCache,
+        attr_cache_capacity: usize,
+    ) -> Self {
         GraphServer {
             worker,
             graph,
-            partition,
-            local_adjacency,
-            weight_cdf,
+            local_adjacency: RwLock::new(HashMap::new()),
+            weight_cdf: RwLock::new(HashMap::new()),
             neighbor_cache,
             vertex_attr_cache: Mutex::new(LruCache::new(attr_cache_capacity)),
             edge_attr_cache: Mutex::new(LruCache::new(attr_cache_capacity)),
         }
     }
 
-    /// The cumulative weight table of a locally owned vertex, if any.
-    pub fn weight_cdf(&self, v: VertexId) -> Option<&[f32]> {
-        self.weight_cdf.get(&v.0).map(|b| b.as_ref())
+    /// The cumulative weight table of a resident vertex, if any.
+    pub fn weight_cdf(&self, v: VertexId) -> Option<Arc<[f32]>> {
+        self.weight_cdf.read().get(&v.0).cloned()
     }
 
     /// This server's worker id.
@@ -85,20 +118,76 @@ impl GraphServer {
         self.worker
     }
 
-    /// Number of vertices owned.
+    /// Number of resident vertices.
     pub fn num_owned(&self) -> usize {
-        self.local_adjacency.len()
+        self.local_adjacency.read().len()
     }
 
-    /// Whether a vertex is owned by this server.
+    /// Whether a vertex is resident on this server.
     #[inline]
     pub fn is_local(&self, v: VertexId) -> bool {
-        self.partition.owner_of(v) == self.worker
+        self.local_adjacency.read().contains_key(&v.0)
     }
 
-    /// The neighbor cache (exposed for experiment reporting).
+    /// The neighbor cache (exposed for experiment reporting and migration).
     pub fn neighbor_cache(&self) -> &NeighborCache {
         &self.neighbor_cache
+    }
+
+    /// A movable copy of one resident vertex's state (`None` if not
+    /// resident here). The source keeps serving the vertex until
+    /// [`retire`](Self::retire) — live migration's both-sides-serve window.
+    pub fn extract(&self, v: VertexId) -> Option<VertexRecord> {
+        let adjacency = self.local_adjacency.read();
+        let nbrs = adjacency.get(&v.0)?;
+        let weight_cdf =
+            self.weight_cdf.read().get(&v.0).cloned().unwrap_or_else(|| Arc::from(Vec::new()));
+        Some(VertexRecord { vertex: v, neighbors: nbrs.clone(), weight_cdf })
+    }
+
+    /// Installs one migrated vertex record; after this the vertex serves
+    /// as `Local` here. Idempotent (re-absorbing overwrites with identical
+    /// data — the graph is immutable).
+    pub fn absorb(&self, rec: VertexRecord) {
+        if !rec.weight_cdf.is_empty() {
+            self.weight_cdf.write().insert(rec.vertex.0, rec.weight_cdf);
+        }
+        self.local_adjacency.write().insert(rec.vertex.0, rec.neighbors);
+    }
+
+    /// Drops residency of the given vertices (the migration publish sweep:
+    /// the destination has absorbed and cut over, readers on the new epoch
+    /// route there, so the source copy can go).
+    pub fn retire(&self, vertices: &[u32]) {
+        let mut adjacency = self.local_adjacency.write();
+        let mut cdfs = self.weight_cdf.write();
+        for v in vertices {
+            adjacency.remove(v);
+            cdfs.remove(v);
+        }
+    }
+
+    /// Classifies (and meters) one neighbor access from this shard without
+    /// touching the data: `Local` if resident, otherwise cached/remote per
+    /// the neighbor cache. The cluster serves the actual slice from the
+    /// shared graph.
+    pub fn classify(
+        &self,
+        v: VertexId,
+        hop: usize,
+        stats: &AccessStats,
+        model: &CostModel,
+    ) -> AccessKind {
+        let kind = if self.local_adjacency.read().contains_key(&v.0) {
+            AccessKind::Local
+        } else {
+            match self.neighbor_cache.lookup(v, hop, stats, model) {
+                CacheOutcome::Hit => AccessKind::CachedRemote,
+                CacheOutcome::Miss | CacheOutcome::MissEvicted => AccessKind::Remote,
+            }
+        };
+        stats.record(kind, model);
+        kind
     }
 
     /// Out-neighbors of `v` as seen from this server. `hop` is the depth the
@@ -107,7 +196,9 @@ impl GraphServer {
     /// "1 to k-hop" neighbors for exactly this reason).
     ///
     /// Returns the adjacency slice plus how the access was served; the
-    /// access is recorded in `stats` under `model`.
+    /// access is recorded in `stats` under `model`. The simulation serves
+    /// the data from the shared graph either way; only the accounting
+    /// differs.
     pub fn neighbors(
         &self,
         v: VertexId,
@@ -115,18 +206,7 @@ impl GraphServer {
         stats: &AccessStats,
         model: &CostModel,
     ) -> (&[Neighbor], AccessKind) {
-        let kind = if let Some(local) = self.local_adjacency.get(&v.0) {
-            stats.record(AccessKind::Local, model);
-            return (local, AccessKind::Local);
-        } else {
-            match self.neighbor_cache.lookup(v, hop, stats, model) {
-                CacheOutcome::Hit => AccessKind::CachedRemote,
-                CacheOutcome::Miss | CacheOutcome::MissEvicted => AccessKind::Remote,
-            }
-        };
-        stats.record(kind, model);
-        // The simulation serves the data from the shared graph either way;
-        // only the accounting differs.
+        let kind = self.classify(v, hop, stats, model);
         (self.graph.out_neighbors(v), kind)
     }
 
@@ -172,6 +252,17 @@ impl GraphServer {
     }
 }
 
+/// Cumulative weight table over one adjacency row.
+fn build_cdf(nbrs: &[Neighbor]) -> Arc<[f32]> {
+    let mut cdf = Vec::with_capacity(nbrs.len());
+    let mut acc = 0.0f32;
+    for n in nbrs {
+        acc += n.weight;
+        cdf.push(acc);
+    }
+    Arc::from(cdf)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,11 +272,11 @@ mod tests {
 
     fn setup(strategy: CacheStrategy) -> (Arc<AttributedHeterogeneousGraph>, GraphServer) {
         let g = Arc::new(TaobaoConfig::tiny().generate().unwrap());
-        let part = Arc::new(EdgeCutHash.partition(&g, 4));
+        let part = EdgeCutHash.partition(&g, 4);
         let cache = NeighborCache::build_fresh(&g, &strategy, 2);
         let roster: Vec<VertexId> =
             g.vertices().filter(|&v| part.owner_of(v) == WorkerId(0)).collect();
-        let server = GraphServer::ingest(WorkerId(0), g.clone(), part, &roster, cache, 64);
+        let server = GraphServer::ingest(WorkerId(0), g.clone(), &roster, cache, 64);
         (g, server)
     }
 
@@ -226,16 +317,35 @@ mod tests {
     #[test]
     fn owned_count_partitions_graph() {
         let g = Arc::new(TaobaoConfig::tiny().generate().unwrap());
-        let part = Arc::new(EdgeCutHash.partition(&g, 3));
+        let part = EdgeCutHash.partition(&g, 3);
         let mut total = 0;
         for w in 0..3 {
             let cache = NeighborCache::build_fresh(&g, &CacheStrategy::None, 1);
             let roster: Vec<VertexId> =
                 g.vertices().filter(|&v| part.owner_of(v) == WorkerId(w)).collect();
-            let s = GraphServer::ingest(WorkerId(w), g.clone(), part.clone(), &roster, cache, 8);
+            let s = GraphServer::ingest(WorkerId(w), g.clone(), &roster, cache, 8);
             total += s.num_owned();
         }
         assert_eq!(total, g.num_vertices());
+    }
+
+    #[test]
+    fn extract_absorb_retire_moves_residency() {
+        let (g, server) = setup(CacheStrategy::None);
+        let dest =
+            GraphServer::empty(WorkerId(9), g.clone(), NeighborCache::empty(g.num_vertices()), 8);
+        let v = g.vertices().find(|&v| server.is_local(v)).unwrap();
+        let rec = server.extract(v).unwrap();
+        assert_eq!(&*rec.neighbors, g.out_neighbors(v));
+        dest.absorb(rec);
+        // Both-sides window: source still serves until retirement.
+        assert!(server.is_local(v));
+        assert!(dest.is_local(v));
+        assert_eq!(dest.weight_cdf(v).is_some(), !g.out_neighbors(v).is_empty());
+        server.retire(&[v.0]);
+        assert!(!server.is_local(v));
+        assert!(server.weight_cdf(v).is_none());
+        assert!(server.extract(v).is_none());
     }
 
     #[test]

@@ -57,6 +57,27 @@ impl EpochView {
         EpochView { epoch, shards, ..self.clone() }
     }
 
+    /// The next version with re-pointed ownership: a new owner table plus
+    /// the post-handoff shard overlays, same base. This is how streaming
+    /// routing follows an elastic rebalance — readers at this epoch resolve
+    /// every vertex through the new table, and the overlays already hold
+    /// the migrated state, so the graph bits are unchanged.
+    pub fn with_routing(
+        &self,
+        owners: Arc<Vec<u32>>,
+        shards: Vec<ShardView>,
+        epoch: u64,
+    ) -> EpochView {
+        debug_assert_eq!(owners.len(), self.num_vertices());
+        debug_assert_eq!(shards.len(), self.shards.len());
+        EpochView { epoch, owners, shards, ..self.clone() }
+    }
+
+    /// The ownership table reads route by at this epoch.
+    pub fn owners(&self) -> &Arc<Vec<u32>> {
+        &self.owners
+    }
+
     /// This view's epoch number.
     pub fn epoch(&self) -> u64 {
         self.epoch

@@ -11,7 +11,7 @@
 //! epochs, ordering, or graph state — the property the chaos suite pins.
 
 use crate::event::UpdateEvent;
-use crate::store::{Applied, ShardStore, Touched};
+use crate::store::{Applied, ShardStore, Touched, VertexOverlay};
 use aligraph_chaos::{Delivery, FaultPlane, RetryPolicy, Sequencer};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::Arc;
@@ -19,7 +19,7 @@ use std::thread::JoinHandle;
 
 /// Fault-plane channel tag of the update-ingest plane (tags 0–3 are taken
 /// by PS pushes, PS pull responses, bucket submissions, and serving k-hop
-/// gathers).
+/// gathers; tag 5 is the storage layer's live-migration plane).
 pub const UPDATE_INGEST_TAG: u64 = 4;
 
 /// Chaos configuration of the ingest channel.
@@ -45,6 +45,8 @@ pub enum IngestError {
     },
     /// The worker pool has shut down.
     Disconnected,
+    /// An adopted ownership table does not fit this pipeline.
+    BadOwners(String),
 }
 
 impl std::fmt::Display for IngestError {
@@ -55,15 +57,23 @@ impl std::fmt::Display for IngestError {
                 "ingest retries exhausted: batch {seq} to shard {shard} after {attempts} attempts"
             ),
             IngestError::Disconnected => write!(f, "ingest worker pool has shut down"),
+            IngestError::BadOwners(reason) => write!(f, "bad ownership table: {reason}"),
         }
     }
 }
 
 impl std::error::Error for IngestError {}
 
-struct ShardMsg {
-    seq: u64,
-    events: Arc<Vec<UpdateEvent>>,
+enum ShardMsg {
+    /// A sequence-numbered update batch, travelling the fault plane.
+    Batch { seq: u64, events: Arc<Vec<UpdateEvent>> },
+    /// Control plane: adopt a new ownership table, extract emigrants. Not
+    /// faulted and not sequenced — membership changes ride the reliable
+    /// in-order channel itself, mirroring how the storage layer publishes
+    /// topology epochs outside the data path.
+    Adopt { owners: Arc<Vec<u32>> },
+    /// Control plane: install overlay state extracted from previous owners.
+    Absorb { immigrants: Vec<(u32, VertexOverlay)> },
 }
 
 #[derive(Clone)]
@@ -71,6 +81,16 @@ struct ShardAck {
     shard: usize,
     seq: u64,
     applied: Applied,
+}
+
+enum WorkerAck {
+    /// One applied batch.
+    Batch(ShardAck),
+    /// Response to `Adopt`: the overlay state of every vertex that left
+    /// this shard, as `(vertex, new owner, state)`.
+    Emigrants { emigrants: Vec<(u32, u32, VertexOverlay)> },
+    /// Response to `Absorb`: a fresh post-handoff snapshot.
+    Snapshot { shard: usize, view: crate::store::ShardView },
 }
 
 /// What one coordinated submit produced, aggregated over all shards.
@@ -95,7 +115,7 @@ pub(crate) struct SubmitOutcome {
 /// is only sent once every shard acked batch `n`.
 pub(crate) struct IngestPipeline {
     senders: Vec<Sender<ShardMsg>>,
-    acks: Receiver<ShardAck>,
+    acks: Receiver<WorkerAck>,
     handles: Vec<JoinHandle<()>>,
     plane: Arc<FaultPlane>,
     policy: RetryPolicy,
@@ -114,7 +134,7 @@ impl std::fmt::Debug for IngestPipeline {
 impl IngestPipeline {
     /// Spawns one ingest worker per shard store.
     pub fn spawn(stores: Vec<ShardStore>, plane: Arc<FaultPlane>, policy: RetryPolicy) -> Self {
-        let (ack_tx, acks) = unbounded::<ShardAck>();
+        let (ack_tx, acks) = unbounded::<WorkerAck>();
         let mut senders = Vec::with_capacity(stores.len());
         let mut handles = Vec::with_capacity(stores.len());
         for (shard, store) in stores.into_iter().enumerate() {
@@ -180,7 +200,13 @@ impl IngestPipeline {
         let mut applied: Vec<Option<Applied>> = vec![None; shards];
         let mut got = 0usize;
         while got < shards {
-            let ack = self.acks.recv().map_err(|_| IngestError::Disconnected)?;
+            let ack = match self.acks.recv().map_err(|_| IngestError::Disconnected)? {
+                WorkerAck::Batch(ack) => ack,
+                // Control-plane acks never interleave with batch acks: an
+                // adopt drains its own acks to completion before submit can
+                // run again.
+                WorkerAck::Emigrants { .. } | WorkerAck::Snapshot { .. } => continue,
+            };
             if ack.seq != seq {
                 continue;
             }
@@ -208,6 +234,69 @@ impl IngestPipeline {
         Ok(SubmitOutcome { views, touched, lag_ticks, repairs, repaired_slots })
     }
 
+    /// Re-points shard ownership at a new table and migrates overlay state
+    /// between workers — the streaming half of an elastic rebalance, run
+    /// while the pipeline keeps its workers alive.
+    ///
+    /// Two reliable broadcast rounds:
+    ///
+    /// 1. **Adopt** — every worker swaps in the new table and hands back the
+    ///    overlay state of vertices that left it;
+    /// 2. **Absorb** — the coordinator regroups emigrants by destination and
+    ///    delivers them; every worker answers with a fresh snapshot.
+    ///
+    /// The returned per-shard views reflect the post-handoff state, ready to
+    /// publish in the next epoch together with `owners`. Because the channel
+    /// is FIFO per worker, any batch submitted after this call applies on
+    /// the new owner — routing follows the epoch with no torn window.
+    pub fn adopt_owners(
+        &mut self,
+        owners: Arc<Vec<u32>>,
+    ) -> Result<Vec<crate::store::ShardView>, IngestError> {
+        let shards = self.senders.len();
+        if let Some(&bad) = owners.iter().find(|&&o| o as usize >= shards) {
+            return Err(IngestError::BadOwners(format!(
+                "owner {bad} out of range for {shards} ingest shards"
+            )));
+        }
+        for tx in &self.senders {
+            tx.send(ShardMsg::Adopt { owners: Arc::clone(&owners) })
+                .map_err(|_| IngestError::Disconnected)?;
+        }
+        let mut per_dst: Vec<Vec<(u32, VertexOverlay)>> = vec![Vec::new(); shards];
+        let mut got = 0usize;
+        while got < shards {
+            if let WorkerAck::Emigrants { emigrants } =
+                self.acks.recv().map_err(|_| IngestError::Disconnected)?
+            {
+                for (v, dst, state) in emigrants {
+                    per_dst[dst as usize].push((v, state));
+                }
+                got += 1;
+            }
+        }
+        for row in &mut per_dst {
+            row.sort_by_key(|(v, _)| *v);
+        }
+        for (tx, immigrants) in self.senders.iter().zip(per_dst) {
+            tx.send(ShardMsg::Absorb { immigrants }).map_err(|_| IngestError::Disconnected)?;
+        }
+        let mut views: Vec<Option<crate::store::ShardView>> = vec![None; shards];
+        let mut got = 0usize;
+        while got < shards {
+            if let WorkerAck::Snapshot { shard, view } =
+                self.acks.recv().map_err(|_| IngestError::Disconnected)?
+            {
+                if views[shard].is_none() {
+                    views[shard] = Some(view);
+                    got += 1;
+                }
+            }
+        }
+        // invariant: the loop above filled every slot before exiting.
+        Ok(views.into_iter().map(|v| v.expect("one snapshot per shard collected")).collect())
+    }
+
     /// Drops the senders and joins the workers.
     pub fn shutdown(self) {
         drop(self.senders);
@@ -223,7 +312,8 @@ fn send(
     seq: u64,
     events: &Arc<Vec<UpdateEvent>>,
 ) -> Result<(), IngestError> {
-    tx.send(ShardMsg { seq, events: Arc::clone(events) }).map_err(|_| IngestError::Disconnected)
+    tx.send(ShardMsg::Batch { seq, events: Arc::clone(events) })
+        .map_err(|_| IngestError::Disconnected)
 }
 
 /// One shard's ingest worker: dedups arrivals through a [`Sequencer`],
@@ -234,19 +324,37 @@ fn send(
 fn worker_loop(
     mut store: ShardStore,
     rx: Receiver<ShardMsg>,
-    acks: Sender<ShardAck>,
+    acks: Sender<WorkerAck>,
     shard: usize,
 ) {
     let mut sequencer: Sequencer<Arc<Vec<UpdateEvent>>> = Sequencer::new();
     let mut last: Option<ShardAck> = None;
     while let Ok(msg) = rx.recv() {
-        let seq = msg.seq;
-        let ready = sequencer.offer(seq, msg.events);
+        let (seq, events) = match msg {
+            ShardMsg::Batch { seq, events } => (seq, events),
+            ShardMsg::Adopt { owners } => {
+                let emigrants = store.adopt_owners(owners);
+                if acks.send(WorkerAck::Emigrants { emigrants }).is_err() {
+                    return;
+                }
+                continue;
+            }
+            ShardMsg::Absorb { immigrants } => {
+                for (v, state) in immigrants {
+                    store.absorb(v, state);
+                }
+                if acks.send(WorkerAck::Snapshot { shard, view: store.snapshot() }).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let ready = sequencer.offer(seq, events);
         if ready.is_empty() {
             // Duplicate (already applied or buffered): re-ack if it is the
             // batch we just applied, otherwise drop it silently.
             if let Some(prev) = &last {
-                if prev.seq == seq && acks.send(prev.clone()).is_err() {
+                if prev.seq == seq && acks.send(WorkerAck::Batch(prev.clone())).is_err() {
                     return;
                 }
             }
@@ -257,7 +365,7 @@ fn worker_loop(
             let applied = store.apply(&events);
             let ack = ShardAck { shard, seq: base + i as u64, applied };
             last = Some(ack.clone());
-            if acks.send(ack).is_err() {
+            if acks.send(WorkerAck::Batch(ack)).is_err() {
                 return;
             }
         }
@@ -325,5 +433,34 @@ mod tests {
         assert!(lag > 0, "a 20% fault rate must cost some modelled lag");
         clean.shutdown();
         chaotic.shutdown();
+    }
+
+    #[test]
+    fn adoption_hands_overlays_to_the_new_owner() {
+        let plane = Arc::new(FaultPlane::new(FaultPlan::default()));
+        let mut pipe = IngestPipeline::spawn(stores(2), plane, RetryPolicy::default());
+        // Vertex 0 is owned by shard 0 (v % 2) and gets an overlay row.
+        pipe.submit(Arc::new(vec![add(0, 3)])).unwrap();
+        let flipped: Arc<Vec<u32>> = Arc::new((0..6u32).map(|v| (v + 1) % 2).collect());
+        let views = pipe.adopt_owners(Arc::clone(&flipped)).unwrap();
+        assert!(views[0].out_row(VertexId(0)).is_none(), "overlay left the old owner");
+        let moved = views[1].out_row(VertexId(0)).expect("overlay landed on the new owner");
+        assert!(moved.iter().any(|n| n.vertex.0 == 3));
+        // A post-adoption submit routes vertex 0's edit to shard 1, on top
+        // of the migrated state.
+        let out = pipe.submit(Arc::new(vec![add(0, 5)])).unwrap();
+        assert_eq!(out.touched.rows, vec![0]);
+        let row = out.views[1].out_row(VertexId(0)).unwrap();
+        assert!(row.iter().any(|n| n.vertex.0 == 3) && row.iter().any(|n| n.vertex.0 == 5));
+        pipe.shutdown();
+    }
+
+    #[test]
+    fn adoption_rejects_owners_beyond_the_shard_count() {
+        let plane = Arc::new(FaultPlane::new(FaultPlan::default()));
+        let mut pipe = IngestPipeline::spawn(stores(2), plane, RetryPolicy::default());
+        let bad = Arc::new(vec![0u32, 1, 2, 0, 1, 2]);
+        assert!(matches!(pipe.adopt_owners(bad), Err(IngestError::BadOwners(_))));
+        pipe.shutdown();
     }
 }

@@ -62,7 +62,7 @@ pub use event::{UpdateBatch, UpdateEvent, UpdateWorkload};
 pub use ingest::{IngestError, IngestFaultConfig, UPDATE_INGEST_TAG};
 pub use report::StreamingReport;
 pub use serve::{Gathered, IngestReceipt, Session, StreamingConfig, StreamingService};
-pub use store::{ShardStore, ShardView, Touched};
+pub use store::{ShardStore, ShardView, Touched, VertexOverlay};
 
 /// SplitMix64-style fold of two words into one seed: how per-gather RNG
 /// streams are derived from `(service seed, vertex)` so a gather is a pure

@@ -241,6 +241,37 @@ impl StreamingService {
         })
     }
 
+    /// Re-points vertex ownership at `owners` — the streaming half of an
+    /// elastic rebalance, typically fed from the storage layer's topology
+    /// epoch after a shard split/merge so ingest routing follows the
+    /// membership version. The overlay state of every moved vertex migrates
+    /// between shard workers *before* the next epoch publishes, so a read
+    /// at the new epoch sees exactly the pre-move bits; no cache entry is
+    /// invalidated because no graph data changed, only placement. Returns
+    /// the epoch the new routing published under.
+    pub fn adopt_owners(&self, owners: Arc<Vec<u32>>) -> Result<u64, IngestError> {
+        let mut pipeline = self.pipeline.lock();
+        let pre = self.epochs.pin();
+        if owners.len() != pre.view().num_vertices() {
+            return Err(IngestError::BadOwners(format!(
+                "owner table covers {} vertices, graph has {}",
+                owners.len(),
+                pre.view().num_vertices()
+            )));
+        }
+        let views = pipeline.adopt_owners(Arc::clone(&owners))?;
+        let next_epoch = pre.epoch() + 1;
+        let next = Arc::new(pre.view().with_routing(owners, views, next_epoch));
+        self.metrics.epoch.set(next_epoch as i64);
+        // Placement-only change: sweep nothing, every cached gather is
+        // still bit-correct at the new epoch.
+        self.epochs.publish_with(next, |_| {
+            self.cache.advance(next_epoch, std::iter::empty());
+        });
+        drop(pipeline);
+        Ok(next_epoch)
+    }
+
     /// Opens a session pinned to the current epoch.
     pub fn session(&self) -> Session<'_> {
         Session { svc: self, pin: self.epochs.pin() }
@@ -469,6 +500,52 @@ mod tests {
         assert_eq!(hit.epoch, 1);
         assert_eq!(svc.cache_stats().hits, 1);
         svc.oracle_check().unwrap();
+        svc.shutdown();
+    }
+
+    #[test]
+    fn adoption_republishes_routing_without_changing_the_graph_bits() {
+        let svc = service(StreamingConfig::default());
+        // Give the owning shard of vertex 1 some overlay state to migrate.
+        svc.ingest(&UpdateBatch { events: vec![add(1, 4)] }).unwrap();
+        let before: Vec<_> = (0..6).map(|v| svc.session().gather(VertexId(v)).vector).collect();
+        // Flip every vertex to the other shard — the streaming half of a
+        // rebalance.
+        let old = Arc::clone(svc.epochs.pin().view().owners());
+        let flipped: Arc<Vec<u32>> = Arc::new(old.iter().map(|&o| 1 - o).collect());
+        let epoch = svc.adopt_owners(Arc::clone(&flipped)).unwrap();
+        assert_eq!(epoch, 2);
+        assert_eq!(svc.epochs.pin().view().owners(), &flipped);
+        // Placement-only epoch: every gather is bit-identical, and the
+        // oracle's recompute-everything sweep agrees.
+        let s = svc.session();
+        for v in 0..6u32 {
+            assert_eq!(s.gather(VertexId(v)).vector, before[v as usize], "vertex {v}");
+        }
+        svc.oracle_check().unwrap();
+        // A post-adoption edit to the moved vertex lands on its new owner,
+        // stacked on the migrated overlay (4 from before, 3 now).
+        let receipt = svc.ingest(&UpdateBatch { events: vec![add(1, 3)] }).unwrap();
+        assert_eq!(receipt.touched_rows, vec![1]);
+        let pin = svc.epochs.pin();
+        let row: Vec<u32> =
+            pin.view().out_neighbors(VertexId(1)).iter().map(|n| n.vertex.0).collect();
+        assert!(row.contains(&4) && row.contains(&3), "got {row:?}");
+        svc.oracle_check().unwrap();
+        svc.shutdown();
+    }
+
+    #[test]
+    fn adoption_rejects_tables_that_do_not_fit() {
+        let svc = service(StreamingConfig::default());
+        assert!(matches!(
+            svc.adopt_owners(Arc::new(vec![0u32; 3])),
+            Err(IngestError::BadOwners(_))
+        ));
+        assert!(matches!(
+            svc.adopt_owners(Arc::new(vec![7u32; 6])),
+            Err(IngestError::BadOwners(_))
+        ));
         svc.shutdown();
     }
 

@@ -90,6 +90,22 @@ impl ShardView {
     }
 }
 
+/// One vertex's extracted overlay state, handed from its previous owner to
+/// its new owner when an ownership table is adopted mid-stream. `None`
+/// fields mean the previous owner never touched that aspect (the base
+/// snapshot still serves it correctly on any shard).
+#[derive(Debug, Clone, Default)]
+pub struct VertexOverlay {
+    /// Overlaid out-adjacency row, if touched.
+    pub out_row: Option<Arc<Vec<Neighbor>>>,
+    /// Overlaid in-adjacency row, if touched.
+    pub in_row: Option<Arc<Vec<Neighbor>>>,
+    /// Incrementally maintained alias table, if materialized.
+    pub alias: Option<Arc<IncrementalAlias>>,
+    /// Overlaid feature vector, if set.
+    pub feats: Option<Arc<Vec<f32>>>,
+}
+
 /// The mutable per-shard state an ingest worker owns.
 #[derive(Debug)]
 pub struct ShardStore {
@@ -253,6 +269,65 @@ impl ShardStore {
         }
     }
 
+    /// Adopts a new ownership table (typically the owner table of a storage
+    /// topology epoch after a shard split/merge) and extracts the overlay
+    /// state of every vertex that no longer belongs here. The returned
+    /// emigrants — `(vertex, new owner, state)`, ascending by vertex — must
+    /// be [`absorb`](Self::absorb)ed by their new owners before the next
+    /// epoch publishes, or their streamed edits would be lost to base-row
+    /// fallbacks.
+    pub fn adopt_owners(&mut self, owners: Arc<Vec<u32>>) -> Vec<(u32, u32, VertexOverlay)> {
+        self.owners = owners;
+        let mut leaving: BTreeSet<u32> = BTreeSet::new();
+        for &v in self
+            .out_rows
+            .keys()
+            .chain(self.in_rows.keys())
+            .chain(self.alias.keys())
+            .chain(self.feats.keys())
+        {
+            if !self.owns(VertexId(v)) {
+                leaving.insert(v);
+            }
+        }
+        leaving
+            .into_iter()
+            .map(|v| {
+                let state = VertexOverlay {
+                    out_row: self.out_rows.remove(&v),
+                    in_row: self.in_rows.remove(&v),
+                    alias: self.alias.remove(&v),
+                    feats: self.feats.remove(&v),
+                };
+                (v, self.owners.get(v as usize).copied().unwrap_or(0), state)
+            })
+            .collect()
+    }
+
+    /// Installs overlay state extracted from a vertex's previous owner.
+    /// Present fields overwrite (the emigrant state is newer by
+    /// construction); absent fields leave any local state alone, so a
+    /// duplicate absorb is harmless.
+    pub fn absorb(&mut self, v: u32, state: VertexOverlay) {
+        if let Some(r) = state.out_row {
+            self.out_rows.insert(v, r);
+        }
+        if let Some(r) = state.in_row {
+            self.in_rows.insert(v, r);
+        }
+        if let Some(a) = state.alias {
+            self.alias.insert(v, a);
+        }
+        if let Some(f) = state.feats {
+            self.feats.insert(v, f);
+        }
+    }
+
+    /// The ownership table this shard currently routes by.
+    pub fn owners(&self) -> &Arc<Vec<u32>> {
+        &self.owners
+    }
+
     /// An immutable snapshot of the current overlay state.
     pub fn snapshot(&self) -> ShardView {
         ShardView {
@@ -356,6 +431,40 @@ mod tests {
         assert!(a1.touched.rows.is_empty());
         assert_eq!(a1.view.in_row(vs[1]).unwrap().len(), 2);
         assert_eq!(a1.repairs, 0);
+    }
+
+    #[test]
+    fn adopt_extracts_emigrants_and_absorb_restores_them() {
+        let (g, vs) = chain();
+        let mut s0 = one_shard(&g); // owns everything
+        s0.apply(&[
+            UpdateEvent::AddEdge { src: vs[0], dst: vs[2], etype: CLICK, weight: 2.0 },
+            UpdateEvent::SetFeatures { vertex: vs[0], features: vec![5.0, 6.0] },
+        ]);
+        // Move vertex 0 to shard 1; everything else stays.
+        let next = Arc::new(vec![1u32, 0, 0, 0]);
+        let emigrants = s0.adopt_owners(Arc::clone(&next));
+        assert_eq!(emigrants.len(), 1);
+        let (v, dst, state) = emigrants.into_iter().next().unwrap();
+        assert_eq!((v, dst), (0, 1));
+        assert!(state.out_row.is_some() && state.alias.is_some() && state.feats.is_some());
+        // The old owner no longer holds (or serves) the moved overlay.
+        let view0 = s0.snapshot();
+        assert!(view0.out_row(vs[0]).is_none());
+        assert!(view0.features(vs[0]).is_none());
+        // The new owner absorbs it bit-for-bit.
+        let mut s1 = ShardStore::new(Arc::clone(&g), next, 1);
+        s1.absorb(v, state);
+        let view1 = s1.snapshot();
+        assert_eq!(view1.out_row(vs[0]).unwrap().len(), 2);
+        assert_eq!(view1.features(vs[0]).unwrap().as_slice(), &[5.0, 6.0]);
+        // Post-adoption edits to the moved vertex apply on the new owner
+        // only: routing followed the table.
+        let events = [UpdateEvent::AddEdge { src: vs[0], dst: vs[3], etype: CLICK, weight: 1.0 }];
+        assert!(s0.apply(&events).touched.rows.is_empty());
+        let a1 = s1.apply(&events);
+        assert_eq!(a1.touched.rows, vec![0]);
+        assert_eq!(a1.view.out_row(vs[0]).unwrap().len(), 3);
     }
 
     #[test]

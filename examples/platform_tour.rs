@@ -57,21 +57,20 @@ fn main() {
     }
 
     // --- A cluster with accounting. ---
-    let (cluster, report) = Cluster::build(
-        Arc::clone(&graph),
-        &EdgeCutHash,
-        4,
-        &CacheStrategy::ImportanceBudget { k: 2, fraction: 0.2 },
-        2,
-        CostModel::default(),
-    );
+    let (cluster, report) = Cluster::builder(Arc::clone(&graph))
+        .partitioner(&EdgeCutHash)
+        .shards(4)
+        .cache(CacheStrategy::ImportanceBudget { k: 2, fraction: 0.2 })
+        .max_hop(2)
+        .cost_model(CostModel::default())
+        .build();
     println!(
         "\n## cluster: built in {:.2?} (distributed makespan {:.2?})",
         report.total(),
         report.modeled_parallel_total()
     );
     for v in graph.vertices().take(2_000) {
-        cluster.neighbors_from(WorkerId(0), v, 2);
+        cluster.neighbors_from(WorkerId(0), v, 2).expect("in-graph vertex");
     }
     let snap = cluster.stats().snapshot();
     println!(

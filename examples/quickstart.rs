@@ -38,14 +38,13 @@ fn main() {
     );
 
     // 2. Distributed storage: 4 workers, importance cache on the top 20%.
-    let (cluster, report) = Cluster::build(
-        Arc::clone(&graph),
-        &EdgeCutHash,
-        4,
-        &CacheStrategy::ImportanceBudget { k: 2, fraction: 0.2 },
-        2,
-        CostModel::default(),
-    );
+    let (cluster, report) = Cluster::builder(Arc::clone(&graph))
+        .partitioner(&EdgeCutHash)
+        .shards(4)
+        .cache(CacheStrategy::ImportanceBudget { k: 2, fraction: 0.2 })
+        .max_hop(2)
+        .cost_model(CostModel::default())
+        .build();
     println!(
         "cluster: {} workers built in {:.1?} ({:.1}% of vertices cached per shard)",
         cluster.num_workers(),

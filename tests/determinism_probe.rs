@@ -13,8 +13,13 @@ use std::sync::Arc;
 fn probe(workers: usize, sparse_lr: f32, label: &str) {
     let graph = Arc::new(TaobaoConfig::tiny().generate().unwrap());
     let features = Featurizer::new(16).matrix(&graph);
-    let (cluster, _) =
-        Cluster::build(graph, &EdgeCutHash, workers, &CacheStrategy::None, 2, CostModel::default());
+    let (cluster, _) = Cluster::builder(graph)
+        .partitioner(&EdgeCutHash)
+        .shards(workers)
+        .cache(CacheStrategy::None)
+        .max_hop(2)
+        .cost_model(CostModel::default())
+        .build();
     let spec =
         EncoderSpec { dim_in: 16, dims: vec![16, 8], fanouts: vec![3, 2], lr: 0.05, seed: 7 };
     let cfg = RuntimeConfig {

@@ -50,14 +50,13 @@ fn every_partitioner_supports_the_full_stack() {
 #[test]
 fn cluster_serves_full_sampling_pipeline() {
     let graph = Arc::new(graph());
-    let (cluster, report) = Cluster::build(
-        Arc::clone(&graph),
-        &EdgeCutHash,
-        4,
-        &CacheStrategy::ImportanceBudget { k: 2, fraction: 0.2 },
-        2,
-        CostModel::default(),
-    );
+    let (cluster, report) = Cluster::builder(Arc::clone(&graph))
+        .partitioner(&EdgeCutHash)
+        .shards(4)
+        .cache(CacheStrategy::ImportanceBudget { k: 2, fraction: 0.2 })
+        .max_hop(2)
+        .cost_model(CostModel::default())
+        .build();
     assert!(report.total() > std::time::Duration::ZERO);
     assert!(report.ingest_makespan() <= report.ingest_time);
 
@@ -88,10 +87,15 @@ fn importance_cache_reduces_modeled_cost_end_to_end() {
     let graph = Arc::new(graph());
     let mut costs = Vec::new();
     for strategy in [CacheStrategy::None, CacheStrategy::ImportanceBudget { k: 2, fraction: 0.3 }] {
-        let (cluster, _) =
-            Cluster::build(Arc::clone(&graph), &EdgeCutHash, 4, &strategy, 2, CostModel::default());
+        let (cluster, _) = Cluster::builder(Arc::clone(&graph))
+            .partitioner(&EdgeCutHash)
+            .shards(4)
+            .cache(strategy)
+            .max_hop(2)
+            .cost_model(CostModel::default())
+            .build();
         for v in graph.vertices() {
-            cluster.neighbors_from(WorkerId(0), v, 2);
+            cluster.neighbors_from(WorkerId(0), v, 2).unwrap();
         }
         costs.push(cluster.stats().snapshot().virtual_ns);
     }

@@ -21,8 +21,13 @@ const DIM: usize = 16;
 fn setup(workers: usize) -> (Cluster, FeatureMatrix) {
     let graph = Arc::new(TaobaoConfig::tiny().generate().expect("valid config"));
     let features = Featurizer::new(DIM).matrix(&graph);
-    let (cluster, _) =
-        Cluster::build(graph, &EdgeCutHash, workers, &CacheStrategy::None, 2, CostModel::default());
+    let (cluster, _) = Cluster::builder(graph)
+        .partitioner(&EdgeCutHash)
+        .shards(workers)
+        .cache(CacheStrategy::None)
+        .max_hop(2)
+        .cost_model(CostModel::default())
+        .build();
     (cluster, features)
 }
 

@@ -19,15 +19,14 @@ fn graph() -> Arc<AttributedHeterogeneousGraph> {
 fn train(registry: &Arc<Registry>) -> DistOutcome {
     let graph = graph();
     let dim = 8;
-    let (cluster, _) = Cluster::build_registered(
-        Arc::clone(&graph),
-        &EdgeCutHash,
-        2,
-        &CacheStrategy::Lru { fraction: 0.1 },
-        2,
-        CostModel::default(),
-        registry,
-    );
+    let (cluster, _) = Cluster::builder(Arc::clone(&graph))
+        .partitioner(&EdgeCutHash)
+        .shards(2)
+        .cache(CacheStrategy::Lru { fraction: 0.1 })
+        .max_hop(2)
+        .cost_model(CostModel::default())
+        .registry(registry)
+        .build();
     let features = Featurizer::new(dim).matrix(&graph);
     let spec =
         EncoderSpec { dim_in: dim, dims: vec![dim, 4], fanouts: vec![4, 2], lr: 0.05, seed: 3 };
