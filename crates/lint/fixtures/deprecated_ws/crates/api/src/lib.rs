@@ -1,0 +1,11 @@
+#![forbid(unsafe_code)]
+//! Fixture: a deprecated item that `client` still calls.
+
+#[deprecated(note = "use route_v2")]
+pub fn old_route(v: u32) -> u32 {
+    v
+}
+
+pub fn route_v2(v: u32) -> u32 {
+    v + 1
+}

@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+//! Fixture: the offending caller of `api::old_route`.
+
+pub fn lookup(v: u32) -> u32 {
+    old_route(v)
+}

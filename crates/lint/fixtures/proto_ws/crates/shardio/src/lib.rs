@@ -1,0 +1,19 @@
+#![forbid(unsafe_code)]
+//! Fixture: both halves of the channel contract broken.
+//! * `fire` drives `.decide(…)` with no sequence identifier and no retry
+//!   machinery — two violations.
+//! * `notify` does a raw `.send(…)` with no `seq` in the message — one.
+
+/// Decide loop with neither a `ChannelSeqs` assignment nor a `RetryPolicy`.
+pub fn fire(plane: &FaultPlane) {
+    loop {
+        match plane.decide(0, 0, 0) {
+            _ => break,
+        }
+    }
+}
+
+/// Unsequenced inter-shard send on a non-reply channel.
+pub fn notify(tx: &Sender<Msg>) {
+    tx.send(Msg::Bare(1)).ok();
+}

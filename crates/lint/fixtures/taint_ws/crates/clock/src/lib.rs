@@ -1,0 +1,15 @@
+#![forbid(unsafe_code)]
+//! Fixture: the taint source, two hops below the seeded root in `plan`.
+
+use std::time::Instant;
+
+/// Reads the wall clock — the planted determinism source.
+pub fn now_ms() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_millis() as u64
+}
+
+/// Innocent-looking helper: tainted because it calls `now_ms`.
+pub fn jitter_ms() -> u64 {
+    now_ms() % 7
+}

@@ -1,0 +1,8 @@
+#![forbid(unsafe_code)]
+//! Fixture: a seeded root reaching the wall clock through one helper.
+//! Expected chain: `plan_updates` → `jitter_ms` → `now_ms`.
+
+// aligraph::seeded
+pub fn plan_updates(seed: u64) -> u64 {
+    seed ^ jitter_ms()
+}

@@ -9,8 +9,14 @@
 //!   comments (`/* /* */ */`) — kept as [`TokenKind::Comment`] tokens
 //!   because waivers and `// ordering:` justifications live in them;
 //! * string literals (`"..."` with escapes), raw strings (`r"…"`,
-//!   `r#"…"#`, any hash depth), byte and byte-raw strings;
-//! * char literals (`'x'`, `'\n'`) disambiguated from lifetimes (`'a`);
+//!   `r#"…"#`, any hash depth), byte and byte-raw strings (`b"…"`,
+//!   `br#"…"#`), and byte-char literals (`b'x'`, `b'\n'`);
+//! * char literals (`'x'`, `'\n'`) disambiguated from lifetimes (`'a`),
+//!   including at macro boundaries (`m!('a')` vs `m!('static)`);
+//! * raw identifiers (`r#fn`, `r#type`) kept as one token, prefix and all,
+//!   so keyword-driven item parsing never mistakes them for keywords;
+//! * a shebang line (`#!/usr/bin/env …`) skipped whole, so a script-style
+//!   source file does not shed stray `#`/`!` tokens into attribute matching;
 //! * identifiers/keywords, integer-ish number runs, and single-char
 //!   punctuation (with `::` fused, since rules match paths).
 //!
@@ -64,6 +70,12 @@ pub fn lex(src: &str) -> Vec<Token> {
     let mut out = Vec::with_capacity(src.len() / 6);
     let mut i = 0usize;
     let mut line = 1u32;
+    // A shebang (`#!` at byte 0, not `#![attr]`) owns the whole first line.
+    if b.len() > 2 && b[0] == b'#' && b[1] == b'!' && b[2] != b'[' {
+        while i < b.len() && b[i] != b'\n' {
+            i += 1;
+        }
+    }
     while i < b.len() {
         let c = b[i];
         match c {
@@ -107,11 +119,32 @@ pub fn lex(src: &str) -> Vec<Token> {
                 i = end;
             }
             b'r' | b'b' if raw_string_start(b, i).is_some() => {
-                // `r"`, `r#"`, `br"`, `b"` — raw/byte string flavors.
+                // `r"`, `r#"`, `br"`, `br#"`, `b"` — raw/byte string flavors.
                 let (end, nl) = raw_string_start(b, i).unwrap_or((i + 1, 0));
                 out.push(tok(TokenKind::Literal, &src[i..end], line));
                 line += nl;
                 i = end;
+            }
+            b'b' if i + 1 < b.len()
+                && b[i + 1] == b'\''
+                && scan_char_literal(b, i + 1).is_some() =>
+            {
+                // Byte-char literal `b'x'` / `b'\n'` — one literal token, not
+                // a stray ident `b` followed by a char.
+                // invariant: the guard above proved the char literal scans.
+                let end = scan_char_literal(b, i + 1).expect("guard checked byte-char literal");
+                out.push(tok(TokenKind::Literal, &src[i..end], line));
+                i = end;
+            }
+            b'r' if i + 2 < b.len() && b[i + 1] == b'#' && is_ident_start(b[i + 2]) => {
+                // Raw identifier `r#fn` / `r#type`: one Ident token with the
+                // prefix kept, so `r#fn` never reads as the keyword `fn`.
+                let start = i;
+                i += 2;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.push(tok(TokenKind::Ident, &src[start..i], line));
             }
             b'\'' => {
                 // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
@@ -272,6 +305,10 @@ fn scan_char_literal(b: &[u8], i: usize) -> Option<usize> {
     }
 }
 
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic()
+}
+
 fn utf8_len(first: u8) -> usize {
     match first {
         b if b >= 0xF0 => 4,
@@ -338,6 +375,69 @@ mod tests {
         let toks = lex(src);
         let sep = toks.iter().find(|t| t.kind == TokenKind::PathSep).unwrap();
         assert_eq!(sep.line, 2);
+    }
+
+    #[test]
+    fn raw_byte_strings_any_hash_depth() {
+        // `br#"…"#` must lex as one literal — the unwrap inside is data.
+        let src = r###"let s = br#"x.unwrap() "quoted" inside"#; y.unwrap();"###;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|s| *s == "unwrap").count(), 1);
+        // Multi-line raw byte string: line numbers keep tracking.
+        let src = "let s = br##\"a\nb\"# not the end\nc\"##;\nmarker";
+        let toks = lex(src);
+        let m = toks.iter().find(|t| t.is_ident("marker")).unwrap();
+        assert_eq!(m.line, 4);
+    }
+
+    #[test]
+    fn byte_char_literals_are_one_token() {
+        // `b'x'` must not shed a stray ident `b` (which the parser would
+        // read as an expression head) plus a char literal.
+        let src = r"let c = b'x'; let d = b'\n'; e.unwrap();";
+        let toks = lex(src);
+        assert!(!toks.iter().any(|t| t.is_ident("b")), "{toks:?}");
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Literal && t.text == "b'x'"));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Literal && t.text == r"b'\n'"));
+        assert!(idents(src).contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn static_lifetime_at_macro_boundaries() {
+        // `m!('static)` is a lifetime argument, `m!('s')` a char: the quote
+        // must not swallow `)` and unbalance the macro's parens.
+        let src = "m!('static); n!('s'); o::<&'static str>(x); p.unwrap();";
+        let toks = lex(src);
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Literal && t.text == "'static"));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Literal && t.text == "'s'"));
+        assert!(idents(src).contains(&"unwrap".to_string()));
+        let opens = toks.iter().filter(|t| t.kind == TokenKind::Punct('(')).count();
+        let closes = toks.iter().filter(|t| t.kind == TokenKind::Punct(')')).count();
+        assert_eq!(opens, closes, "parens stay balanced: {toks:?}");
+    }
+
+    #[test]
+    fn raw_identifiers_do_not_read_as_keywords() {
+        // `r#fn` is an identifier named `fn`; keeping the prefix means item
+        // parsing never mistakes it for a function declaration.
+        let src = "let r#fn = 1; struct r#type; call(r#fn);";
+        let toks = lex(src);
+        assert!(toks.iter().any(|t| t.is_ident("r#fn")));
+        assert!(toks.iter().any(|t| t.is_ident("r#type")));
+        assert!(!toks.iter().any(|t| t.kind == TokenKind::Pound), "{toks:?}");
+    }
+
+    #[test]
+    fn shebang_line_is_skipped() {
+        let src = "#!/usr/bin/env run-cargo-script\nfn main() { x.unwrap(); }\n";
+        let toks = lex(src);
+        assert!(toks[0].is_ident("fn"), "shebang must shed no tokens: {toks:?}");
+        assert_eq!(toks[0].line, 2);
+        // But a crate-root inner attribute still lexes as `#` `!` `[`…
+        let attr = "#![forbid(unsafe_code)]\n";
+        let toks = lex(attr);
+        assert_eq!(toks[0].kind, TokenKind::Pound);
+        assert_eq!(toks[1].kind, TokenKind::Bang);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use aligraph_lint::loom::ps::PsWorkload;
 use aligraph_lint::loom::swap::SwapWorkload;
 use aligraph_lint::loom::topology::TopologyWorkload;
 use aligraph_lint::loom::{Explorer, Workload};
-use aligraph_lint::{all_rules, check_file, rules::FileCtx, walk};
+use aligraph_lint::{all_rules, analysis_rules, analyze_workspace};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -24,7 +24,8 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  aligraph-lint [--root DIR] [--deny-all] [--rule NAME]... [--list-rules]\n  \
+        "usage:\n  aligraph-lint [--root DIR] [--deny-all] [--json] [--rule NAME]... \
+         [--list-rules]\n  \
          aligraph-lint concurrency [--seed N] [--interleavings N] \
          [--target bucket|counter|ps|overlay|swap|topology|all]"
     );
@@ -36,6 +37,7 @@ fn usage() -> ExitCode {
 fn run_lint(args: &[String]) -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut deny_all = false;
+    let mut json = false;
     let mut only: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -45,6 +47,7 @@ fn run_lint(args: &[String]) -> ExitCode {
                 None => return usage(),
             },
             "--deny-all" => deny_all = true,
+            "--json" => json = true,
             "--rule" => match it.next() {
                 Some(r) => only.push(r.clone()),
                 None => return usage(),
@@ -52,6 +55,9 @@ fn run_lint(args: &[String]) -> ExitCode {
             "--list-rules" => {
                 for r in all_rules() {
                     println!("{:32} {}", r.name, r.description);
+                }
+                for (name, desc) in analysis_rules() {
+                    println!("{name:32} {desc}");
                 }
                 return ExitCode::SUCCESS;
             }
@@ -65,39 +71,35 @@ fn run_lint(args: &[String]) -> ExitCode {
         root = root.join("../..");
     }
 
-    let files = match walk::rust_sources(&root) {
-        Ok(f) => f,
+    let only = (!only.is_empty()).then_some(only);
+    let report = match analyze_workspace(&root, only.as_deref()) {
+        Ok(r) => r,
         Err(e) => {
-            eprintln!("aligraph-lint: walking {}: {e}", root.display());
+            eprintln!("aligraph-lint: analyzing {}: {e}", root.display());
             return ExitCode::FAILURE;
         }
     };
-    let only = (!only.is_empty()).then_some(only);
-    let mut violations = Vec::new();
-    let mut scanned = 0usize;
-    for rel in &files {
-        let src = match std::fs::read_to_string(root.join(rel)) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("aligraph-lint: reading {}: {e}", rel.display());
-                return ExitCode::FAILURE;
-            }
-        };
-        scanned += 1;
-        let rel = rel.to_string_lossy().replace('\\', "/");
-        let ctx = FileCtx::new(&rel, &src);
-        violations.extend(check_file(&ctx, only.as_deref()));
+    if json {
+        // Machine output: CI diffs this against ci/lint-baseline.json via
+        // ci/compare_lint.py; the exit code stays 0 so the comparison (not
+        // the producer) decides pass/fail.
+        print!("{}", report.to_json());
+        return ExitCode::SUCCESS;
     }
-    for v in &violations {
-        println!("{v}");
+    let active: Vec<_> = report.active().collect();
+    for d in &active {
+        println!("{d}");
     }
     println!(
-        "aligraph-lint: {} file(s) scanned, {} violation(s){}",
-        scanned,
-        violations.len(),
+        "aligraph-lint: {} file(s) scanned, {} fn(s) in call graph, {} violation(s), \
+         {} waived{}",
+        report.files_scanned,
+        report.functions,
+        active.len(),
+        report.waived_count(),
         if deny_all { " [deny-all]" } else { "" }
     );
-    if deny_all && !violations.is_empty() {
+    if deny_all && !active.is_empty() {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

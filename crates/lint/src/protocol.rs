@@ -1,0 +1,255 @@
+//! The `channel-protocol` interprocedural pass.
+//!
+//! The chaos plane wraps six inter-shard channel families (tags 0–5: PS
+//! push/pull, bucket submissions, serving fetches, streaming ingest,
+//! migration) and may drop, duplicate, or reorder anything sent through
+//! them. PRs 5–8 survive that because every send carries a `ChannelSeqs`
+//! sequence number and every delivery loop consults `FaultPlane::decide`
+//! under a bounded `RetryPolicy`. This pass pins both halves of that
+//! contract:
+//!
+//! * **Decide loops** — a function calling `.decide(…)` must have a
+//!   sequence identifier in scope *and* retry machinery (`RetryPolicy`,
+//!   `exhausted`, `RecoveryMode`, `backoff_ticks`). When the sequence
+//!   arrives as a parameter, some transitive caller must contain a
+//!   sequence *origin* (`ChannelSeqs`, `next_push`, `next_pull`,
+//!   `next_seq`) — a decide loop fed by an unsequenced caller is exactly
+//!   the bug that turns a duplicated delivery into a double-apply.
+//! * **Raw sends** — a `.send(…)` in library code whose message carries no
+//!   `seq` identifier is flagged, unless the endpoint is an ack/reply
+//!   channel (response channels are request-scoped; the request's sequence
+//!   number already dedupes them). Control-plane sends that are
+//!   deliberately unsequenced take an `aligraph::allow(channel-protocol)`
+//!   waiver, which the JSON output keeps auditable.
+
+use crate::graph::{Diagnostic, Workspace};
+
+/// Rule name (stable; used in waivers, JSON, and the baseline).
+pub const RULE: &str = "channel-protocol";
+
+/// Identifiers that prove retry machinery is present around a decide loop.
+const RETRY_TOKENS: &[&str] =
+    &["RetryPolicy", "exhausted", "RecoveryMode", "backoff_ticks", "policy"];
+
+/// Identifiers that *originate* a sequence number (as opposed to merely
+/// carrying one).
+const SEQ_ORIGINS: &[&str] = &["ChannelSeqs", "Sequencer", "next_push", "next_pull", "next_seq"];
+
+/// Receiver-name fragments marking a response/ack endpoint.
+const REPLY_RECEIVERS: &[&str] = &["reply", "ack", "resp", "done"];
+
+/// Runs the pass, appending diagnostics (waived ones included, marked).
+pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for i in 0..ws.fns.len() {
+        if !ws.is_traversal_node(i) {
+            continue;
+        }
+        check_decides(ws, i, out);
+        check_sends(ws, i, out);
+    }
+}
+
+/// True when the fn mentions a sequence identifier anywhere.
+fn has_seq_ident(ws: &Workspace, i: usize) -> bool {
+    ws.fns[i].item.idents.iter().any(|t| is_seq_ident(t))
+}
+
+fn is_seq_ident(t: &str) -> bool {
+    t == "seq" || t == "seqs" || t.ends_with("_seq") || t.ends_with("_seqs")
+}
+
+fn has_any(ws: &Workspace, i: usize, tokens: &[&str]) -> bool {
+    tokens.iter().any(|t| ws.fns[i].item.idents.contains(*t))
+}
+
+fn check_decides(ws: &Workspace, i: usize, out: &mut Vec<Diagnostic>) {
+    if ws.fns[i].item.decides.is_empty() {
+        return;
+    }
+    let file = &ws.files[ws.fns[i].file];
+    let mut problems: Vec<String> = Vec::new();
+    if !has_seq_ident(ws, i) {
+        problems.push(
+            "no sequence identifier in scope — the delivery decision is not tied to a \
+             `ChannelSeqs` assignment"
+                .to_string(),
+        );
+    } else if !has_any(ws, i, SEQ_ORIGINS) {
+        // The sequence is a parameter: some caller must originate it.
+        let parents = ws.callers_bfs(i);
+        let caller_count = parents.len() - 1;
+        let fed = parents
+            .keys()
+            .any(|&c| c != i && (has_any(ws, c, SEQ_ORIGINS) || !ws.fns[c].item.decides.is_empty()));
+        // Vacuous pass when no non-test caller exists yet (e.g. a helper
+        // only exercised from tests — the test is the sequencer).
+        if caller_count > 0 && !fed {
+            problems.push(format!(
+                "sequence number arrives as a parameter but none of its {caller_count} \
+                 caller(s) contains a `ChannelSeqs`/`next_*` origin"
+            ));
+        }
+    }
+    if !has_any(ws, i, RETRY_TOKENS) {
+        problems.push(
+            "no retry machinery (`RetryPolicy`/`exhausted`/`RecoveryMode`) guards the \
+             decide loop — a dropped delivery would be lost instead of retried"
+                .to_string(),
+        );
+    }
+    for p in problems {
+        let line = ws.fns[i].item.decides[0];
+        out.push(Diagnostic {
+            rule: RULE,
+            path: file.path.clone(),
+            line,
+            message: format!(
+                "`{}` drives a chaos-plane `.decide(…)` loop but {p}",
+                ws.qualified_name(i)
+            ),
+            chain: Vec::new(),
+            waived: file.waiver_reason(RULE, line).map(str::to_string),
+        });
+    }
+}
+
+fn check_sends(ws: &Workspace, i: usize, out: &mut Vec<Diagnostic>) {
+    let file = &ws.files[ws.fns[i].file];
+    for s in &ws.fns[i].item.sends {
+        if file.is_test_line(s.line) || s.carries_seq {
+            continue;
+        }
+        let recv = s.receiver.to_ascii_lowercase();
+        if REPLY_RECEIVERS.iter().any(|r| recv.contains(r)) {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: RULE,
+            path: file.path.clone(),
+            line: s.line,
+            message: format!(
+                "raw `.send(…)` on `{}` in `{}` carries no sequence number — route it \
+                 through `ChannelSeqs` (or waive if it is deliberately unsequenced \
+                 control-plane traffic)",
+                s.receiver,
+                ws.qualified_name(i)
+            ),
+            chain: Vec::new(),
+            waived: file.waiver_reason(RULE, s.line).map(str::to_string),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FileCtx;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let ws = Workspace::build(files.iter().map(|(p, s)| FileCtx::new(p, s)).collect());
+        let mut out = Vec::new();
+        check(&ws, &mut out);
+        out
+    }
+
+    fn active(out: &[Diagnostic]) -> usize {
+        out.iter().filter(|d| d.waived.is_none()).count()
+    }
+
+    #[test]
+    fn sequenced_retry_guarded_decide_loop_is_clean() {
+        let out = run(&[(
+            "crates/runtime/src/p.rs",
+            "pub fn push(seqs: &mut ChannelSeqs, policy: &RetryPolicy, plane: &FaultPlane) {\n\
+                 let seq = seqs.next_push();\n\
+                 let mut attempt = 0;\n\
+                 while !policy.exhausted(attempt) {\n\
+                     match plane.decide(0, seq, attempt) { _ => break }\n\
+                 }\n\
+             }\n",
+        )]);
+        assert_eq!(active(&out), 0, "{out:?}");
+    }
+
+    #[test]
+    fn decide_loop_without_seq_or_retry_is_flagged_twice() {
+        let out = run(&[(
+            "crates/runtime/src/q.rs",
+            "pub fn fire(plane: &FaultPlane) {\n\
+                 loop { match plane.decide(0, 0, 0) { _ => break } }\n\
+             }\n",
+        )]);
+        assert_eq!(active(&out), 2, "missing seq AND missing retry: {out:?}");
+    }
+
+    #[test]
+    fn param_seq_needs_an_originating_caller() {
+        // Caller without any ChannelSeqs origin → flagged.
+        let bad = run(&[(
+            "crates/storage/src/r.rs",
+            "pub fn deliver(seq: u64, plane: &FaultPlane, policy: &RetryPolicy) {\n\
+                 let mut attempt = 0;\n\
+                 while !policy.exhausted(attempt) {\n\
+                     match plane.decide(2, seq, attempt) { _ => break }\n\
+                 }\n\
+             }\n\
+             pub fn submit(plane: &FaultPlane, policy: &RetryPolicy) { deliver(9, plane, policy); }\n",
+        )]);
+        assert_eq!(active(&bad), 1, "{bad:?}");
+
+        // Caller that draws from ChannelSeqs → clean.
+        let ok = run(&[(
+            "crates/storage/src/r.rs",
+            "pub fn deliver(seq: u64, plane: &FaultPlane, policy: &RetryPolicy) {\n\
+                 let mut attempt = 0;\n\
+                 while !policy.exhausted(attempt) {\n\
+                     match plane.decide(2, seq, attempt) { _ => break }\n\
+                 }\n\
+             }\n\
+             pub fn submit(seqs: &mut ChannelSeqs, plane: &FaultPlane, policy: &RetryPolicy) {\n\
+                 deliver(seqs.next_push(), plane, policy);\n\
+             }\n",
+        )]);
+        assert_eq!(active(&ok), 0, "{ok:?}");
+
+        // No callers at all → vacuous pass (the test is the sequencer).
+        let orphan = run(&[(
+            "crates/storage/src/r.rs",
+            "pub fn deliver(seq: u64, plane: &FaultPlane, policy: &RetryPolicy) {\n\
+                 let mut attempt = 0;\n\
+                 while !policy.exhausted(attempt) {\n\
+                     match plane.decide(2, seq, attempt) { _ => break }\n\
+                 }\n\
+             }\n",
+        )]);
+        assert_eq!(active(&orphan), 0, "{orphan:?}");
+    }
+
+    #[test]
+    fn unsequenced_send_is_flagged_but_seq_and_reply_sends_pass() {
+        let out = run(&[(
+            "crates/streaming/src/s.rs",
+            "pub fn go(tx: &Sender<Msg>, reply_tx: &Sender<u64>) {\n\
+                 tx.send(Msg::Batch { seq, rows }).ok();\n\
+                 reply_tx.send(7).ok();\n\
+                 tx.send(Msg::Bare(1)).ok();\n\
+             }\n",
+        )]);
+        assert_eq!(active(&out), 1, "{out:?}");
+        assert_eq!(out[0].line, 4);
+    }
+
+    #[test]
+    fn waived_control_plane_send_is_audited_not_active() {
+        let out = run(&[(
+            "crates/streaming/src/t.rs",
+            "pub fn adopt(tx: &Sender<Msg>) {\n\
+                 // aligraph::allow(channel-protocol): control-plane handoff, idempotent\n\
+                 tx.send(Msg::Adopt).ok();\n\
+             }\n",
+        )]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(active(&out), 0);
+        assert_eq!(out[0].waived.as_deref(), Some("control-plane handoff, idempotent"));
+    }
+}

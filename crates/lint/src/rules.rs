@@ -96,9 +96,13 @@ pub struct FileCtx {
     pub class: FileClass,
     /// Non-comment tokens, in order.
     pub code: Vec<Token>,
-    /// Line → waived rule names (`aligraph::allow(rule)` comments; a waiver
-    /// covers its own line and the next line).
-    waivers: HashMap<u32, Vec<String>>,
+    /// Line → waived `(rule, reason)` pairs (`aligraph::allow(rule): reason`
+    /// comments; a waiver covers its own line and the next line).
+    waivers: HashMap<u32, Vec<(String, String)>>,
+    /// Lines carrying an `// aligraph::seeded` mark — the annotation that
+    /// forces the following function into the determinism-taint pass's
+    /// seeded region even when no seed-root call is visible.
+    seeded_marks: HashSet<u32>,
     /// Lines carrying a `// ordering:` justification.
     ordering_notes: HashSet<u32>,
     /// Lines carrying a `// invariant:` justification.
@@ -116,7 +120,8 @@ impl FileCtx {
     /// Lexes and indexes `src`.
     pub fn new(path: &str, src: &str) -> FileCtx {
         let tokens = lex(src);
-        let mut waivers: HashMap<u32, Vec<String>> = HashMap::new();
+        let mut waivers: HashMap<u32, Vec<(String, String)>> = HashMap::new();
+        let mut seeded_marks = HashSet::new();
         let mut ordering_notes = HashSet::new();
         let mut invariant_notes = HashSet::new();
         let mut code = Vec::with_capacity(tokens.len());
@@ -125,6 +130,9 @@ impl FileCtx {
                 let body = t.text.trim_start_matches('/').trim_start_matches('*').trim_start();
                 for rule in parse_waivers(&t.text) {
                     waivers.entry(t.line).or_default().push(rule);
+                }
+                if t.text.contains("aligraph::seeded") {
+                    seeded_marks.insert(t.line);
                 }
                 if body.starts_with("ordering:") {
                     ordering_notes.insert(t.line);
@@ -150,6 +158,7 @@ impl FileCtx {
             .collect();
         propagate_through_comments(&mut ordering_notes, &comment_lines);
         propagate_through_comments(&mut invariant_notes, &comment_lines);
+        propagate_through_comments(&mut seeded_marks, &comment_lines);
         let waived_lines: Vec<u32> = waivers.keys().copied().collect();
         for start in waived_lines {
             let rules = waivers[&start].clone();
@@ -164,6 +173,7 @@ impl FileCtx {
             class: FileClass::of(path),
             code,
             waivers,
+            seeded_marks,
             ordering_notes,
             invariant_notes,
             test_spans,
@@ -180,14 +190,34 @@ impl FileCtx {
     /// True when `rule` is waived for `line`: a waiver comment on the line
     /// itself, or on a comment-only line directly above.
     pub fn is_waived(&self, rule: &str, line: u32) -> bool {
-        let matches = |l: u32| {
-            self.waivers.get(&l).is_some_and(|rs| rs.iter().any(|r| r == rule || r == "*"))
+        self.waiver_reason(rule, line).is_some()
+    }
+
+    /// The waiver reason covering `(rule, line)`, when one applies — the
+    /// text after `aligraph::allow(rule):`, kept so JSON output can list
+    /// grandfathered waivers auditable by reason.
+    pub fn waiver_reason(&self, rule: &str, line: u32) -> Option<&str> {
+        let find = |l: u32| {
+            self.waivers
+                .get(&l)
+                .and_then(|rs| rs.iter().find(|(r, _)| r == rule || r == "*"))
+                .map(|(_, reason)| reason.as_str())
         };
-        if matches(line) {
-            return true;
+        if let Some(r) = find(line) {
+            return Some(r);
         }
         let above = line.saturating_sub(1);
-        matches(above) && !self.code_lines.contains(&above)
+        if !self.code_lines.contains(&above) {
+            return find(above);
+        }
+        None
+    }
+
+    /// True when an `// aligraph::seeded` mark sits on `line` or within the
+    /// justification window above it (covering doc comments and attributes
+    /// between the mark and the `fn` it annotates).
+    pub fn has_seeded_mark(&self, line: u32) -> bool {
+        self.has_note_near(&self.seeded_marks, line)
     }
 
     fn has_note_near(&self, notes: &HashSet<u32>, line: u32) -> bool {
@@ -221,16 +251,20 @@ fn propagate_through_comments(notes: &mut HashSet<u32>, comment_lines: &HashSet<
     }
 }
 
-fn parse_waivers(comment: &str) -> Vec<String> {
+fn parse_waivers(comment: &str) -> Vec<(String, String)> {
     let mut out = Vec::new();
     let mut rest = comment;
     while let Some(pos) = rest.find("aligraph::allow(") {
         let after = &rest[pos + "aligraph::allow(".len()..];
         if let Some(end) = after.find(')') {
+            let reason = after[end + 1..]
+                .strip_prefix(':')
+                .map(|r| r.trim_start().to_string())
+                .unwrap_or_default();
             for name in after[..end].split(',') {
                 let name = name.trim();
                 if !name.is_empty() {
-                    out.push(name.to_string());
+                    out.push((name.to_string(), reason.clone()));
                 }
             }
             rest = &after[end..];
@@ -311,20 +345,15 @@ impl std::fmt::Debug for Rule {
     }
 }
 
-/// The full rule catalogue, in diagnostic order.
+/// The token-level rule catalogue, in diagnostic order. The interprocedural
+/// rules (`determinism-taint`, `channel-protocol`, `no-deprecated-calls`)
+/// live in the [`crate::taint`], [`crate::protocol`], and [`crate::graph`]
+/// passes; [`crate::analysis_rules`] lists the whole catalogue. The old
+/// purely local `no-wallclock-in-seeded-paths`/`no-entropy` rules were
+/// subsumed by `determinism-taint`, which tracks entropy/wall-clock *flow*
+/// through the workspace call graph instead of flagging every token.
 pub fn all_rules() -> Vec<Rule> {
     vec![
-        Rule {
-            name: "no-wallclock-in-seeded-paths",
-            description: "Instant::now/SystemTime only in telemetry and bench/CLI code — \
-                          seeded paths must be pure functions of --seed",
-            check: check_wallclock,
-        },
-        Rule {
-            name: "no-entropy",
-            description: "no unseeded RNG construction (thread_rng/from_entropy/OsRng/…)",
-            check: check_entropy,
-        },
         Rule {
             name: "no-unwrap-in-lib",
             description: "no unwrap/panic! in non-test library code; expect() needs an \
@@ -356,8 +385,9 @@ pub fn all_rules() -> Vec<Rule> {
 }
 
 /// Runs every rule (or the named subset) over one file's context,
-/// filtering waived sites.
-pub fn check_file(ctx: &FileCtx, only: Option<&[String]>) -> Vec<Violation> {
+/// *without* filtering waived sites — the JSON output keeps waived
+/// diagnostics as an audit trail.
+pub fn check_file_raw(ctx: &FileCtx, only: Option<&[String]>) -> Vec<Violation> {
     let mut raw = Vec::new();
     for rule in all_rules() {
         if only.is_some_and(|names| !names.iter().any(|n| n == rule.name)) {
@@ -365,82 +395,20 @@ pub fn check_file(ctx: &FileCtx, only: Option<&[String]>) -> Vec<Violation> {
         }
         (rule.check)(ctx, &mut raw);
     }
-    raw.retain(|v| !ctx.is_waived(v.rule, v.line));
     raw.sort_by_key(|v| (v.line, v.rule));
+    raw
+}
+
+/// Runs every rule (or the named subset) over one file's context,
+/// filtering waived sites.
+pub fn check_file(ctx: &FileCtx, only: Option<&[String]>) -> Vec<Violation> {
+    let mut raw = check_file_raw(ctx, only);
+    raw.retain(|v| !ctx.is_waived(v.rule, v.line));
     raw
 }
 
 fn push(out: &mut Vec<Violation>, ctx: &FileCtx, line: u32, rule: &'static str, msg: String) {
     out.push(Violation { path: ctx.path.clone(), line, rule, message: msg });
-}
-
-// ---------------------------------------------------------------- wallclock
-
-fn check_wallclock(ctx: &FileCtx, out: &mut Vec<Violation>) {
-    // Telemetry owns the clock; bench/CLI/examples report human timings.
-    if ctx.class.crate_name == "telemetry" || ctx.class.is_bin_like {
-        return;
-    }
-    let code = &ctx.code;
-    for (i, t) in code.iter().enumerate() {
-        if t.kind != TokenKind::Ident || ctx.is_test_line(t.line) {
-            continue;
-        }
-        let flagged = match t.text.as_str() {
-            "Instant" => {
-                code.get(i + 1).is_some_and(|s| s.kind == TokenKind::PathSep)
-                    && code.get(i + 2).is_some_and(|n| n.is_ident("now"))
-            }
-            "SystemTime" | "UNIX_EPOCH" => true,
-            _ => false,
-        };
-        if flagged {
-            push(
-                out,
-                ctx,
-                t.line,
-                "no-wallclock-in-seeded-paths",
-                format!(
-                    "`{}` wall-clock read outside telemetry/bench/CLI; use \
-                     aligraph_telemetry::Stopwatch (records, never branches) or waive",
-                    t.text
-                ),
-            );
-        }
-    }
-}
-
-// ------------------------------------------------------------------ entropy
-
-const ENTROPY_IDENTS: &[&str] = &[
-    "thread_rng",
-    "ThreadRng",
-    "from_entropy",
-    "from_os_rng",
-    "OsRng",
-    "getrandom",
-    "RandomState",
-];
-
-fn check_entropy(ctx: &FileCtx, out: &mut Vec<Violation>) {
-    for t in &ctx.code {
-        if t.kind == TokenKind::Ident
-            && ENTROPY_IDENTS.contains(&t.text.as_str())
-            && !ctx.is_test_line(t.line)
-        {
-            push(
-                out,
-                ctx,
-                t.line,
-                "no-entropy",
-                format!(
-                    "`{}` draws OS entropy — runs must be a pure function of --seed; \
-                     construct RNGs with seed_from_u64/from_state",
-                    t.text
-                ),
-            );
-        }
-    }
 }
 
 // ------------------------------------------------------------------- unwrap
@@ -755,33 +723,6 @@ mod tests {
     // Each rule has fixture-based positive and waived-negative self-tests;
     // the fixtures live under crates/lint/fixtures/ and are excluded from
     // the workspace walk.
-
-    #[test]
-    fn fixture_wallclock() {
-        let bad = include_str!("../fixtures/wallclock_bad.rs");
-        let v = run("crates/storage/src/fixture.rs", bad);
-        assert!(rules_hit(&v).contains(&"no-wallclock-in-seeded-paths"), "{v:?}");
-        let waived = include_str!("../fixtures/wallclock_waived.rs");
-        let v = run("crates/storage/src/fixture.rs", waived);
-        assert!(!rules_hit(&v).contains(&"no-wallclock-in-seeded-paths"), "{v:?}");
-        // Telemetry and bench/CLI code are exempt.
-        assert!(run("crates/telemetry/src/fixture.rs", bad).is_empty());
-        assert!(run("crates/bench/src/bin/fixture.rs", bad).is_empty());
-    }
-
-    #[test]
-    fn fixture_entropy() {
-        let bad = include_str!("../fixtures/entropy_bad.rs");
-        let v = run("crates/sampling/src/fixture.rs", bad);
-        assert_eq!(
-            rules_hit(&v).iter().filter(|r| **r == "no-entropy").count(),
-            3,
-            "thread_rng, from_entropy, OsRng: {v:?}"
-        );
-        let waived = include_str!("../fixtures/entropy_waived.rs");
-        let v = run("crates/sampling/src/fixture.rs", waived);
-        assert!(!rules_hit(&v).contains(&"no-entropy"), "{v:?}");
-    }
 
     #[test]
     fn fixture_unwrap() {

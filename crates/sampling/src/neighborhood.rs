@@ -58,7 +58,10 @@ pub fn reverse_reach<V: InNeighborAccess + ?Sized>(
 ) -> std::collections::HashSet<VertexId> {
     let mut reached = sources.clone();
     for view in views {
+        // The reached *set* is order-independent, but a sorted frontier
+        // makes the traversal itself deterministic (and lint-provably so).
         let mut frontier: Vec<VertexId> = sources.iter().copied().collect();
+        frontier.sort_unstable();
         let mut seen = sources.clone();
         for _ in 0..depth {
             let mut next = Vec::new();

@@ -19,14 +19,14 @@ pub(crate) fn next_batch<T>(
     max_delay: Duration,
 ) -> Option<Vec<T>> {
     let first = rx.recv().ok()?;
-    // aligraph::allow(no-wallclock-in-seeded-paths): batching deadlines are
+    // aligraph::allow(determinism-taint): batching deadlines are
     // real-time by definition; this path only shapes batch sizes and never
     // feeds seeded computation.
     let deadline = Instant::now() + max_delay;
     let mut batch = Vec::with_capacity(max_batch);
     batch.push(first);
     while batch.len() < max_batch {
-        // aligraph::allow(no-wallclock-in-seeded-paths): remaining-budget
+        // aligraph::allow(determinism-taint): remaining-budget
         // check for the same real-time batching deadline.
         let now = Instant::now();
         if now >= deadline {

@@ -275,7 +275,7 @@ impl<S: NeighborhoodSampler + Clone + Send + Sync + 'static> ServingService<S> {
         }
         let owner = self.shared.owners[v.index()].index();
         let (tx, rx) = bounded(1);
-        // aligraph::allow(no-wallclock-in-seeded-paths): enqueue timestamp
+        // aligraph::allow(determinism-taint): enqueue timestamp
         // feeds only the queue-latency histogram; no control flow reads it.
         let job = Job { vertex: v, kind, reply: tx, enqueued: Instant::now() };
         match self.senders[owner].try_send(job) {

@@ -68,9 +68,9 @@ impl ClusterBuildReport {
     }
 }
 
-/// Fluent construction of a [`Cluster`]: one builder instead of the old
-/// `build` / `build_registered` pair, with replication factor and initial
-/// shard count as first-class knobs.
+/// Fluent construction of a [`Cluster`]: one builder (the old positional
+/// `build` / `build_registered` pair is gone), with replication factor and
+/// initial shard count as first-class knobs.
 ///
 /// ```ignore
 /// let (cluster, report) = Cluster::builder(graph)
@@ -262,48 +262,6 @@ impl Cluster {
         ClusterBuilder::new(graph)
     }
 
-    /// Deprecated constructor kept for one PR; use [`Cluster::builder`].
-    #[deprecated(since = "0.8.0", note = "use Cluster::builder(graph).shards(n)...build()")]
-    pub fn build(
-        graph: Arc<AttributedHeterogeneousGraph>,
-        partitioner: &dyn Partitioner,
-        num_workers: usize,
-        strategy: &CacheStrategy,
-        max_hop: usize,
-        cost: CostModel,
-    ) -> (Self, ClusterBuildReport) {
-        Cluster::builder(graph)
-            .partitioner(partitioner)
-            .shards(num_workers)
-            .cache(strategy.clone())
-            .max_hop(max_hop)
-            .cost_model(cost)
-            .build()
-    }
-
-    /// Deprecated constructor kept for one PR; use [`Cluster::builder`]
-    /// with [`ClusterBuilder::registry`].
-    #[deprecated(since = "0.8.0", note = "use Cluster::builder(graph).registry(r)...build()")]
-    #[allow(clippy::too_many_arguments)]
-    pub fn build_registered(
-        graph: Arc<AttributedHeterogeneousGraph>,
-        partitioner: &dyn Partitioner,
-        num_workers: usize,
-        strategy: &CacheStrategy,
-        max_hop: usize,
-        cost: CostModel,
-        registry: &Registry,
-    ) -> (Self, ClusterBuildReport) {
-        Cluster::builder(graph)
-            .partitioner(partitioner)
-            .shards(num_workers)
-            .cache(strategy.clone())
-            .max_hop(max_hop)
-            .cost_model(cost)
-            .registry(registry)
-            .build()
-    }
-
     /// The shared graph.
     pub fn graph(&self) -> &Arc<AttributedHeterogeneousGraph> {
         &self.graph
@@ -342,17 +300,6 @@ impl Cluster {
     /// use [`neighbors_from`](Self::neighbors_from) for fallible access).
     pub fn server(&self, w: WorkerId) -> Arc<GraphServer> {
         Arc::clone(&self.servers.read()[w.index()])
-    }
-
-    /// Deprecated single-owner routing; use [`primary_of`](Self::primary_of)
-    /// or [`route_replica`](Self::route_replica).
-    #[deprecated(since = "0.8.0", note = "use primary_of / route_replica")]
-    #[inline]
-    pub fn route(&self, v: VertexId) -> WorkerId {
-        // invariant: the topology covers every graph vertex by
-        // construction; only ids beyond the graph can error, and this shim
-        // preserves the old API's panic there.
-        self.topology.view().primary_of(v).expect("vertex beyond the topology")
     }
 
     /// The vertex's primary shard at the current membership epoch.

@@ -260,6 +260,9 @@ impl IngestPipeline {
             )));
         }
         for tx in &self.senders {
+            // aligraph::allow(channel-protocol): rebalance control plane —
+            // Adopt is broadcast once per reshard outside the sequenced
+            // update stream, and the ack loop below is its receive pairing.
             tx.send(ShardMsg::Adopt { owners: Arc::clone(&owners) })
                 .map_err(|_| IngestError::Disconnected)?;
         }
@@ -279,6 +282,9 @@ impl IngestPipeline {
             row.sort_by_key(|(v, _)| *v);
         }
         for (tx, immigrants) in self.senders.iter().zip(per_dst) {
+            // aligraph::allow(channel-protocol): rebalance control plane —
+            // Absorb carries the sorted emigrant rows gathered above and is
+            // acknowledged by the Snapshot loop below, not by RetryPolicy.
             tx.send(ShardMsg::Absorb { immigrants }).map_err(|_| IngestError::Disconnected)?;
         }
         let mut views: Vec<Option<crate::store::ShardView>> = vec![None; shards];

@@ -41,8 +41,8 @@ impl Drop for Span {
 /// A started wall-clock measurement that is read, not branched on.
 ///
 /// Telemetry owns the clock in this workspace: `aligraph-lint`'s
-/// `no-wallclock-in-seeded-paths` rule bans raw `Instant::now()` outside
-/// this crate and bench/CLI code, and every other layer that wants to
+/// `determinism-taint` pass flags raw `Instant::now()` that flows into
+/// seeded paths (this crate is exempt), and every other layer that wants to
 /// *report* how long something took (cluster build phases, run wall time,
 /// per-epoch timings) goes through a `Stopwatch`. Like [`Span`], it
 /// records; unlike [`Span`], the caller chooses where the reading lands

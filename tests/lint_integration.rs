@@ -1,12 +1,17 @@
-//! Workspace-level gates for `aligraph-lint` (DESIGN.md §2.13).
+//! Workspace-level gates for `aligraph-lint` (DESIGN.md §2.13, §2.18).
 //!
-//! Two contracts are pinned here rather than inside the lint crate's unit
-//! tests, because both are statements about the *whole repository*:
+//! These contracts are pinned here rather than inside the lint crate's unit
+//! tests, because they are statements about the *whole repository*:
 //!
-//! 1. The workspace is lint-clean: every rule passes over every first-party
-//!    source file, so `--deny-all` in CI can only fail when a change
-//!    introduces a new violation (not because of pre-existing debt).
-//! 2. The mini-loom targets hold over a seed sweep: the lock-free bucket
+//! 1. The workspace is analysis-clean: the token rules **and** the
+//!    interprocedural passes (determinism taint, channel protocol,
+//!    deprecated calls) report zero active violations, so CI's baseline
+//!    diff can only fail when a change introduces new debt.
+//! 2. The call graph covers the workspace: every `pub fn` in the storage,
+//!    runtime, and streaming crates resolves to a graph node, and the
+//!    planted fixture workspaces still yield their exact violations —
+//!    including the full source→sink call path for the taint chain.
+//! 3. The mini-loom targets hold over a seed sweep: the lock-free bucket
 //!    executor, the striped telemetry counter, and the sparse parameter
 //!    server each survive hundreds of adversarial interleavings against
 //!    their sequential shadow models — and the known-bad drain-loop variant
@@ -16,38 +21,137 @@ use aligraph_lint::loom::bucket::BucketWorkload;
 use aligraph_lint::loom::counter::CounterWorkload;
 use aligraph_lint::loom::ps::PsWorkload;
 use aligraph_lint::loom::swap::SwapWorkload;
+use aligraph_lint::parse::parse_fns;
 use aligraph_lint::loom::Explorer;
 use aligraph_lint::walk::rust_sources;
-use aligraph_lint::{check_file, FileCtx, Violation};
+use aligraph_lint::{analyze_workspace, AnalysisReport, FileCtx, Workspace};
 use std::path::Path;
 
-/// Lints every first-party source file under the workspace root.
-fn lint_workspace() -> Vec<Violation> {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let files = rust_sources(root).expect("walk workspace sources");
-    assert!(
-        files.len() > 100,
-        "expected the walker to find the whole workspace, got {} files",
-        files.len()
-    );
-    let mut violations = Vec::new();
-    for rel in &files {
-        let src = std::fs::read_to_string(root.join(rel)).expect("read source file");
-        let ctx = FileCtx::new(&rel.to_string_lossy().replace('\\', "/"), &src);
-        violations.extend(check_file(&ctx, None));
-    }
-    violations
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn analyze(rel: &str) -> AnalysisReport {
+    analyze_workspace(&repo_root().join(rel), None).expect("analyze")
 }
 
 #[test]
-fn workspace_is_lint_clean() {
-    let violations = lint_workspace();
+fn workspace_is_analysis_clean() {
+    let report = analyze_workspace(repo_root(), None).expect("analyze workspace");
     assert!(
-        violations.is_empty(),
-        "workspace has {} lint violation(s):\n{}",
-        violations.len(),
-        violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\n")
+        report.files_scanned > 100,
+        "expected the walker to find the whole workspace, got {} files",
+        report.files_scanned
     );
+    assert!(
+        report.functions > 1000,
+        "call graph suspiciously small: {} functions",
+        report.functions
+    );
+    let active: Vec<_> = report.active().collect();
+    assert!(
+        active.is_empty(),
+        "workspace has {} active violation(s):\n{}",
+        active.len(),
+        active.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn every_pub_fn_in_core_crates_resolves_to_a_call_graph_node() {
+    // Property over crates/{storage,runtime,streaming}: re-parse each file
+    // independently and require every `pub fn` to land in the workspace
+    // call graph under the same (qualifier, name) — a parser regression
+    // that silently drops items would shrink taint coverage without any
+    // rule noticing.
+    let root = repo_root();
+    let files = rust_sources(root).expect("walk workspace sources");
+    let ctxs: Vec<FileCtx> = files
+        .iter()
+        .map(|rel| {
+            let src = std::fs::read_to_string(root.join(rel)).expect("read source file");
+            FileCtx::new(&rel.to_string_lossy().replace('\\', "/"), &src)
+        })
+        .collect();
+    // Collect the expected (qual, name) pairs first; `Workspace::build`
+    // takes the contexts by value.
+    let mut expected: Vec<(String, Option<String>, String, u32)> = Vec::new();
+    for ctx in &ctxs {
+        let core = ["storage", "runtime", "streaming"].contains(&ctx.class.crate_name.as_str());
+        if !core || ctx.class.is_test_tree || ctx.class.is_bin_like {
+            continue;
+        }
+        for f in parse_fns(ctx) {
+            if f.is_pub {
+                expected.push((ctx.path.clone(), f.qual.clone(), f.name.clone(), f.line));
+            }
+        }
+    }
+    let ws = Workspace::build(ctxs);
+    for (path, qual, name, line) in &expected {
+        let hits = match qual.as_deref() {
+            Some(q) => ws.find_qualified(q, name),
+            None => ws.find(name),
+        };
+        assert!(
+            !hits.is_empty(),
+            "pub fn `{}{}` at {}:{} missing from the call graph",
+            qual.as_deref().map(|q| format!("{q}::")).unwrap_or_default(),
+            name,
+            path,
+            line
+        );
+    }
+    assert!(
+        expected.len() > 150,
+        "property checked only {} pub fns — walk regressed?",
+        expected.len()
+    );
+}
+
+#[test]
+fn planted_taint_fixture_reports_the_exact_chain() {
+    let report = analyze("crates/lint/fixtures/taint_ws");
+    let active: Vec<_> = report.active().collect();
+    assert_eq!(active.len(), 1, "{active:?}");
+    let d = active[0];
+    assert_eq!(d.rule, "determinism-taint");
+    assert_eq!(d.path, "crates/clock/src/lib.rs");
+    assert_eq!(d.line, 8, "pinned to the `Instant::now` line");
+    assert_eq!(d.chain.len(), 3, "plan_updates → jitter_ms → now_ms: {:?}", d.chain);
+    assert!(d.chain[0].contains("plan_updates"), "{:?}", d.chain);
+    assert!(d.chain[1].contains("jitter_ms"), "{:?}", d.chain);
+    assert!(d.chain[2].contains("now_ms"), "{:?}", d.chain);
+}
+
+#[test]
+fn planted_protocol_fixture_reports_both_contract_halves() {
+    let report = analyze("crates/lint/fixtures/proto_ws");
+    let active: Vec<_> = report.active().collect();
+    assert_eq!(active.len(), 3, "{active:?}");
+    assert!(active.iter().all(|d| d.rule == "channel-protocol"));
+    assert!(active.iter().any(|d| d.message.contains("no sequence identifier")));
+    assert!(active.iter().any(|d| d.message.contains("no retry machinery")));
+    assert!(active.iter().any(|d| d.message.contains("raw `.send(…)`")));
+}
+
+#[test]
+fn planted_deprecated_fixture_is_flagged() {
+    let report = analyze("crates/lint/fixtures/deprecated_ws");
+    let active: Vec<_> = report.active().collect();
+    assert_eq!(active.len(), 1, "{active:?}");
+    assert_eq!(active[0].rule, "no-deprecated-calls");
+    assert_eq!(active[0].path, "crates/client/src/lib.rs");
+    assert!(active[0].message.contains("old_route"), "{}", active[0].message);
+}
+
+#[test]
+fn json_report_round_trips_the_summary() {
+    let report = analyze("crates/lint/fixtures/proto_ws");
+    let json = report.to_json();
+    assert!(json.contains("\"version\": 1"), "{json}");
+    assert!(json.contains("\"active\": 3"), "{json}");
+    assert!(json.contains("channel-protocol"), "{json}");
 }
 
 #[test]
