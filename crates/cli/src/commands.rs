@@ -616,16 +616,20 @@ pub fn train_bench(
     };
     let features = Featurizer::new(dim).matrix(&graph);
 
+    let resident_budget: u64 = args.num_or("resident-budget", 0u64)?;
     let rt = |e: aligraph_runtime::RuntimeError| CliError::Runtime(e.to_string());
     let run = |p: usize, cfg: RuntimeConfig, registry: &Arc<Registry>| {
-        let (cluster, _) = Cluster::builder(Arc::clone(&graph))
+        let mut builder = Cluster::builder(Arc::clone(&graph))
             .partitioner(&EdgeCutHash)
             .shards(p)
             .cache(CacheStrategy::None)
             .max_hop(2)
             .cost_model(CostModel::default())
-            .registry(registry)
-            .build();
+            .registry(registry);
+        if resident_budget > 0 {
+            builder = builder.resident_budget(resident_budget);
+        }
+        let (cluster, _) = builder.build();
         DistTrainer::new(&cluster, &features, spec.clone(), cfg)
             .map_err(rt)?
             .with_registry(Arc::clone(registry))
@@ -797,6 +801,186 @@ pub fn rebalance_bench(
             "elastic run diverged from the static-topology run\n{out}"
         )));
     }
+    Ok(out)
+}
+
+/// `aligraph tiered-bench [--scale S] [--workers N] [--seed N]
+/// [--resident-budget BYTES] [--epochs N] [--batches N] [--batch N]
+/// [--dim N]` — the out-of-core scale curve. At graph sizes S/4, S/2 and S
+/// (S in hundredths of `TaobaoConfig::large_sim()`, so `--scale 100` is the
+/// full taobao-large graph) it builds the tiered cluster twice per point:
+/// once all-hot (infinite budget, detached registry) as the oracle, once
+/// under the resident byte cap. Hard gates, each of which fails the run:
+/// the tight run's peak resident bytes must stay within the budget, its
+/// model fingerprint (epoch losses + dense parameters + trained features)
+/// must be bit-identical to the all-hot oracle's, the oracle must never
+/// read cold, and a tight run whose budget is genuinely below the all-hot
+/// footprint must actually serve training reads from the cold tier. The
+/// largest point's tight run publishes into `registry` (`tier.*`,
+/// `storage.*`, `sampling.*`, `runtime.*`).
+///
+/// `--resident-budget` caps the top point and scales linearly down the
+/// curve; when omitted every point gets 10% of its own all-hot footprint.
+pub fn tiered_bench(
+    args: &Args,
+    registry: &std::sync::Arc<aligraph_telemetry::Registry>,
+) -> Result<String, CliError> {
+    use aligraph_graph::Featurizer;
+    use aligraph_runtime::{DistOutcome, DistTrainer, EncoderSpec, RuntimeConfig};
+    use aligraph_storage::{CacheStrategy, Cluster, CostModel, TierConfig};
+    use aligraph_telemetry::Registry;
+    use std::sync::Arc;
+
+    fn fnv(h: &mut u64, x: u64) {
+        *h ^= x;
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // Order-sensitive FNV over every bit the training run produced: epoch
+    // losses, dense encoder parameters, trained feature rows.
+    fn fingerprint(out: &DistOutcome) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for x in &out.report.epoch_losses {
+            fnv(&mut h, x.to_bits());
+        }
+        for x in out.encoder.dense_param_vec() {
+            fnv(&mut h, u64::from(x.to_bits()));
+        }
+        for x in out.features.as_slice() {
+            fnv(&mut h, u64::from(x.to_bits()));
+        }
+        h
+    }
+
+    let common = CommonArgs::from_args(args, CommonDefaults { seed: 42, workers: 4, scale: 10.0 })?;
+    let workers = common.workers;
+    let seed = common.seed;
+    let dim: usize = args.num_or("dim", 16usize)?.max(2);
+    let budget_arg: u64 = args.num_or("resident-budget", 0u64)?;
+    let run_cfg = RuntimeConfig {
+        workers,
+        epochs: args.num_or("epochs", 2usize)?.max(1),
+        batches_per_epoch: args.num_or("batches", 6usize)?.max(1),
+        batch_size: args.num_or("batch", 16usize)?.max(1),
+        negatives: args.num_or("negatives", 2usize)?,
+        staleness: args.num_or("staleness", 0u64)?,
+        seed,
+        sparse_lr: args.num_or("sparse-lr", 0.05f32)?,
+        ..RuntimeConfig::default()
+    };
+
+    let top = common.scale.max(0.04);
+    let points = [top / 4.0, top / 2.0, top];
+    let rt = |e: aligraph_runtime::RuntimeError| CliError::Runtime(e.to_string());
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "tiered-bench: scale curve [{:.2}, {:.2}, {:.2}] (hundredths of taobao-large), \
+         {workers} workers, seed {seed}",
+        points[0], points[1], points[2],
+    )
+    .ok();
+
+    for (i, &point) in points.iter().enumerate() {
+        let mut gen = TaobaoConfig::large_sim().scaled(point / 100.0);
+        gen.seed = seed;
+        let graph = Arc::new(gen.generate()?);
+        let spec = EncoderSpec {
+            dim_in: dim,
+            dims: vec![dim, dim / 2 + dim % 2],
+            fanouts: vec![5, 3],
+            lr: 0.05,
+            seed: seed ^ 0x5eed,
+        };
+        let features = Featurizer::new(dim).matrix(&graph);
+
+        let build = |budget: Option<u64>, registry: &Arc<Registry>| {
+            Cluster::builder(Arc::clone(&graph))
+                .partitioner(&EdgeCutHash)
+                .shards(workers)
+                .cache(CacheStrategy::None)
+                .max_hop(2)
+                .cost_model(CostModel::default())
+                .registry(registry)
+                .tier_config(TierConfig::with_budget(budget))
+                .build()
+                .0
+        };
+
+        // All-hot oracle: infinite budget; a full sweep pins every row hot
+        // and measures the footprint the byte cap is a fraction of.
+        let detached = Arc::new(Registry::disabled());
+        let oracle_cluster = build(None, &detached);
+        let oracle_tier = oracle_cluster.tier().expect("tiered build always has a tier").clone();
+        for v in graph.vertices() {
+            oracle_tier.read_adjacency(v);
+        }
+        let all_hot = oracle_tier.resident_bytes();
+        let oracle = DistTrainer::new(&oracle_cluster, &features, spec.clone(), run_cfg.clone())
+            .map_err(rt)?
+            .train()
+            .map_err(rt)?;
+
+        let budget = if budget_arg > 0 {
+            ((budget_arg as f64 * point / top) as u64).max(1)
+        } else {
+            (all_hot / 10).max(1)
+        };
+        let reg = if i == points.len() - 1 {
+            Arc::clone(registry)
+        } else {
+            Arc::new(Registry::disabled())
+        };
+        let cluster = build(Some(budget), &reg);
+        let tier = cluster.tier().expect("tiered build always has a tier").clone();
+        let tight = DistTrainer::new(&cluster, &features, spec.clone(), run_cfg.clone())
+            .map_err(rt)?
+            .with_registry(Arc::clone(&reg))
+            .train()
+            .map_err(rt)?;
+
+        let peak = tier.peak_resident_bytes();
+        let fp_oracle = fingerprint(&oracle);
+        let fp_tight = fingerprint(&tight);
+        writeln!(
+            out,
+            "  point {point:>6.2}: {} vertices / {} edges  all-hot {all_hot} B  budget \
+             {budget} B  peak {peak} B  cold training reads {}  fingerprint {fp_tight:016x} ({})",
+            graph.num_vertices(),
+            graph.num_edges(),
+            tight.report.adjacency.cold,
+            if fp_tight == fp_oracle { "bit-exact vs all-hot" } else { "DIVERGED" },
+        )
+        .ok();
+
+        if peak > budget {
+            return Err(CliError::Runtime(format!(
+                "budget burst at point {point:.2}: peak resident {peak} B > budget {budget} B\n{out}"
+            )));
+        }
+        if fp_tight != fp_oracle {
+            return Err(CliError::Runtime(format!(
+                "tight-budget model diverged from the all-hot oracle at point {point:.2}\n{out}"
+            )));
+        }
+        if oracle.report.adjacency.cold != 0 {
+            return Err(CliError::Runtime(format!(
+                "all-hot oracle read the cold tier at point {point:.2}\n{out}"
+            )));
+        }
+        if budget < all_hot && tight.report.adjacency.cold == 0 {
+            return Err(CliError::Runtime(format!(
+                "vacuous point {point:.2}: budget {budget} B is below the all-hot footprint \
+                 {all_hot} B yet training never read cold\n{out}"
+            )));
+        }
+    }
+    writeln!(
+        out,
+        "scale curve complete: every tight-budget run stayed within its byte cap and matched \
+         the all-hot oracle bit-for-bit"
+    )
+    .ok();
     Ok(out)
 }
 
@@ -1121,6 +1305,43 @@ mod tests {
         assert!(snap.has_prefix("sampling."), "sampling series missing");
         assert!(snap.has_prefix("runtime.ps."), "runtime series missing");
         assert!(snap.histogram("runtime.staleness", &[]).count > 0);
+    }
+
+    #[test]
+    fn tiered_bench_holds_budget_and_matches_oracle() {
+        let reg = registry();
+        let out = tiered_bench(
+            &args(&[
+                "tiered-bench",
+                "--scale",
+                "1",
+                "--workers",
+                "2",
+                "--epochs",
+                "1",
+                "--batches",
+                "3",
+                "--batch",
+                "8",
+                "--dim",
+                "8",
+            ]),
+            &reg,
+        )
+        .unwrap();
+        assert!(out.contains("tiered-bench: scale curve"), "{out}");
+        assert_eq!(out.matches("bit-exact vs all-hot").count(), 3, "{out}");
+        assert!(out.contains("scale curve complete"), "{out}");
+        // The largest point's tight run published cold-tier series.
+        let snap = reg.snapshot();
+        assert!(snap.has_prefix("tier."), "tier series missing");
+        assert!(snap.gauge("tier.resident_bytes", &[]) > 0);
+        assert!(
+            snap.counter("tier.reads", &[("src", "cold")])
+                + snap.counter("tier.reads", &[("src", "prefetch")])
+                > 0,
+            "no cold-tier reads recorded"
+        );
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "serve-under-update" => commands::serve_under_update(&args, &registry),
         "train-bench" => commands::train_bench(&args, &registry),
         "rebalance-bench" => commands::rebalance_bench(&args, &registry),
+        "tiered-bench" => commands::tiered_bench(&args, &registry),
         "closed-loop" => commands::closed_loop(&args, &registry),
         "metrics-demo" => commands::metrics_demo(&args, &registry),
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
@@ -95,8 +96,9 @@ COMMANDS:
     automl     model-selection tournament --graph FILE
     serve-bench online-serving load test  [--requests N] [--clients N] [--workers N] [--scale F] [--seed N] [--delta-every-ms N] [--batch N] [--queue N] [--cache N] [--fault-seed N] [--drop-rate F] [--max-stale N]
     serve-under-update streaming-update load test [--requests N] [--clients N] [--workers N] [--scale F] [--seed N] [--update-every-ms N] [--update-adds N] [--update-attrs N] [--dim N] [--cache N] [--slo-p99-ms F] [--fault-seed N] [--drop-rate F]
-    train-bench distributed-training bench [--workers N] [--scale F] [--seed N] [--epochs N] [--batches N] [--batch N] [--negatives N] [--staleness N] [--dim N] [--sparse-lr F] [--checkpoint-dir DIR] [--checkpoint-every N] [--kill-worker N] [--kill-at-step N] [--fault-seed N] [--drop-rate F]
+    train-bench distributed-training bench [--workers N] [--scale F] [--seed N] [--epochs N] [--batches N] [--batch N] [--negatives N] [--staleness N] [--dim N] [--sparse-lr F] [--checkpoint-dir DIR] [--checkpoint-every N] [--kill-worker N] [--kill-at-step N] [--fault-seed N] [--drop-rate F] [--resident-budget BYTES]
     rebalance-bench elastic-topology bench: mid-training shard split (and optional merge) must match the static run bit-for-bit [--workers N] [--scale F] [--seed N] [--epochs N] [--split-after N] [--merge 1] [--batches N] [--batch N] [--staleness N] [--dim N] [--fault-seed N] [--drop-rate F]
+    tiered-bench out-of-core scale curve: graph sizes S/4, S/2, S (hundredths of taobao-large), each trained all-hot and under a resident byte cap — peak resident bytes must hold the budget and the tight model must match the all-hot oracle bit-for-bit [--scale S] [--workers N] [--seed N] [--resident-budget BYTES] [--epochs N] [--batches N] [--batch N] [--dim N]
     closed-loop end-to-end production loop: serve -> log -> update -> incremental train -> hot-swap [--cycles N] [--users N] [--interactions N] [--workers N] [--scale F] [--seed N] [--dim N] [--hub-capacity N] [--drift-rate F] [--batches N] [--batch N] [--staleness N] [--checkpoint-dir DIR] [--slo-freshness-ticks N] [--fault-seed N] [--drop-rate F]
     metrics-demo exercise every layer and print the unified telemetry table [--workers N] [--scale F] [--seed N]
     help       this text
@@ -112,6 +114,10 @@ SHARED FLAGS:
                           metrics JSON
     --drop-rate F         per-message fault probability for the chaos plane
                           (default 0.1, clamped to [0, 0.999])
+    --resident-budget N   byte cap for the cold storage tier's hot set
+                          (train-bench / tiered-bench); 0 or absent keeps
+                          train-bench untiered and lets tiered-bench default
+                          to 10% of each point's all-hot footprint
 ";
 
 #[cfg(test)]

@@ -119,21 +119,24 @@ impl fmt::Display for DistReport {
         writeln!(f, "]")?;
         writeln!(
             f,
-            "ps comm: local {} msgs / {} B, cached {} msgs / {} B, remote {} msgs / {} B ({:.2} ms virtual)",
+            "ps comm: local {} msgs / {} B, cached {} msgs / {} B, remote {} msgs / {} B, cold {} msgs / {} B ({:.2} ms virtual)",
             self.ps.local_ops,
             self.ps.local_bytes,
             self.ps.cached_ops,
             self.ps.cached_bytes,
             self.ps.remote_ops,
             self.ps.remote_bytes,
+            self.ps.cold_ops,
+            self.ps.cold_bytes,
             self.ps.virtual_ns as f64 / 1e6
         )?;
         writeln!(
             f,
-            "adjacency: local {}, cached {}, remote {} ({:.2} ms virtual)",
+            "adjacency: local {}, cached {}, remote {}, cold {} ({:.2} ms virtual)",
             self.adjacency.local,
             self.adjacency.cached_remote,
             self.adjacency.remote,
+            self.adjacency.cold,
             self.adjacency.virtual_ns as f64 / 1e6
         )?;
         write!(
@@ -153,9 +156,11 @@ fn tier_json(s: &TierMeterSnapshot) -> Json {
         ("local_ops", Json::UInt(s.local_ops)),
         ("cached_ops", Json::UInt(s.cached_ops)),
         ("remote_ops", Json::UInt(s.remote_ops)),
+        ("cold_ops", Json::UInt(s.cold_ops)),
         ("local_bytes", Json::UInt(s.local_bytes)),
         ("cached_bytes", Json::UInt(s.cached_bytes)),
         ("remote_bytes", Json::UInt(s.remote_bytes)),
+        ("cold_bytes", Json::UInt(s.cold_bytes)),
         ("virtual_ns", Json::UInt(s.virtual_ns)),
     ])
 }
@@ -206,6 +211,7 @@ impl Report for DistReport {
                     ("local", Json::UInt(self.adjacency.local)),
                     ("cached_remote", Json::UInt(self.adjacency.cached_remote)),
                     ("remote", Json::UInt(self.adjacency.remote)),
+                    ("cold", Json::UInt(self.adjacency.cold)),
                     ("replacements", Json::UInt(self.adjacency.replacements)),
                     ("virtual_ns", Json::UInt(self.adjacency.virtual_ns)),
                 ]),
@@ -239,13 +245,16 @@ impl Report for DistReport {
         self.ps.local_ops += other.ps.local_ops;
         self.ps.cached_ops += other.ps.cached_ops;
         self.ps.remote_ops += other.ps.remote_ops;
+        self.ps.cold_ops += other.ps.cold_ops;
         self.ps.local_bytes += other.ps.local_bytes;
         self.ps.cached_bytes += other.ps.cached_bytes;
         self.ps.remote_bytes += other.ps.remote_bytes;
+        self.ps.cold_bytes += other.ps.cold_bytes;
         self.ps.virtual_ns += other.ps.virtual_ns;
         self.adjacency.local += other.adjacency.local;
         self.adjacency.cached_remote += other.adjacency.cached_remote;
         self.adjacency.remote += other.adjacency.remote;
+        self.adjacency.cold += other.adjacency.cold;
         self.adjacency.replacements += other.adjacency.replacements;
         self.adjacency.virtual_ns += other.adjacency.virtual_ns;
         self.checkpoints_written += other.checkpoints_written;

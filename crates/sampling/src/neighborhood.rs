@@ -18,6 +18,12 @@ use rand::Rng;
 pub trait NeighborAccess {
     /// Out-neighbor records of `v`.
     fn neighbors(&self, v: VertexId, hop: usize) -> &[Neighbor];
+
+    /// Announces the frontier the sampler is about to expand, so tiered
+    /// storage can batch its cold decodes and overlap them with the current
+    /// layer's gather/aggregate. Purely an accounting/performance hint —
+    /// results never depend on it. Default: no-op.
+    fn prefetch_hint(&self, _frontier: &[VertexId], _hop: usize) {}
 }
 
 impl NeighborAccess for AttributedHeterogeneousGraph {
@@ -99,6 +105,10 @@ impl NeighborAccess for ClusterView<'_> {
         // so the route is always in range.
         self.cluster.neighbors_from(self.from, v, hop).expect("view routes within the cluster")
     }
+
+    fn prefetch_hint(&self, frontier: &[VertexId], _hop: usize) {
+        self.cluster.prefetch(frontier);
+    }
 }
 
 /// One hop of a sampled context: `neighbors[i]` are the sampled neighbors of
@@ -178,6 +188,10 @@ pub trait NeighborhoodSampler {
             // Depth needed from the *cache's* perspective: a read at hop k
             // still has (total_hops - k) expansions below it.
             let depth = total_hops - k;
+            // Hand the storage layer the whole frontier before touching it:
+            // a cold tier batches these rows into its prefetch pipeline so
+            // the decode overlaps this layer's sampling work.
+            access.prefetch_hint(&targets, depth);
             let mut neighbors = Vec::with_capacity(targets.len());
             for &t in &targets {
                 let all = access.neighbors(t, depth);

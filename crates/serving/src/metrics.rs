@@ -187,6 +187,7 @@ impl ServingReport {
                 local: snap.counter("serving.access", &[("tier", "local")]),
                 cached_remote: snap.counter("serving.access", &[("tier", "cached_remote")]),
                 remote: snap.counter("serving.access", &[("tier", "remote")]),
+                cold: snap.counter("serving.access", &[("tier", "cold")]),
                 replacements: snap.counter("serving.access.replacements", &[]),
                 virtual_ns: snap.counter("serving.access.virtual_ns", &[]),
             },
@@ -247,10 +248,11 @@ impl fmt::Display for ServingReport {
         }
         write!(
             f,
-            "shard access: {} local, {} cache-served, {} remote (hit rate {:.1}%)",
+            "shard access: {} local, {} cache-served, {} remote, {} cold (hit rate {:.1}%)",
             self.access.local,
             self.access.cached_remote,
             self.access.remote,
+            self.access.cold,
             self.access.cache_hit_rate() * 100.0
         )
     }
@@ -293,6 +295,7 @@ impl Report for ServingReport {
                     ("local", Json::UInt(self.access.local)),
                     ("cached_remote", Json::UInt(self.access.cached_remote)),
                     ("remote", Json::UInt(self.access.remote)),
+                    ("cold", Json::UInt(self.access.cold)),
                     ("replacements", Json::UInt(self.access.replacements)),
                     ("virtual_ns", Json::UInt(self.access.virtual_ns)),
                 ]),
@@ -320,6 +323,7 @@ impl Report for ServingReport {
             local: self.access.local + other.access.local,
             cached_remote: self.access.cached_remote + other.access.cached_remote,
             remote: self.access.remote + other.access.remote,
+            cold: self.access.cold + other.access.cold,
             replacements: self.access.replacements + other.access.replacements,
             virtual_ns: self.access.virtual_ns + other.access.virtual_ns,
         };

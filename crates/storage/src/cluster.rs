@@ -20,7 +20,9 @@
 
 use crate::cost::{AccessKind, AccessStats, CostModel, TierMeter};
 use crate::neighbor_cache::{CacheStrategy, NeighborCache};
+use crate::segment::SegmentError;
 use crate::server::GraphServer;
+use crate::tier::{TierConfig, TieredStore};
 use crate::topology::{ReplicaSet, Residency, RouteError, ShardLoads, Topology, TopologyView};
 use aligraph_graph::{
     AttributedHeterogeneousGraph, DegreeTable, ImportanceTable, Neighbor, VertexId,
@@ -90,6 +92,7 @@ pub struct ClusterBuilder<'a> {
     max_hop: usize,
     cost: CostModel,
     registry: Option<&'a Registry>,
+    tier: Option<TierConfig>,
 }
 
 impl std::fmt::Debug for ClusterBuilder<'_> {
@@ -117,6 +120,7 @@ impl<'a> ClusterBuilder<'a> {
             max_hop: 2,
             cost: CostModel::default(),
             registry: None,
+            tier: None,
         }
     }
 
@@ -165,9 +169,34 @@ impl<'a> ClusterBuilder<'a> {
         self
     }
 
+    /// Serve shards out of a cold tier (compressed sealed segments under a
+    /// resident-byte budget) instead of materializing every adjacency row.
+    /// See [`crate::tier`].
+    pub fn tier_config(mut self, cfg: TierConfig) -> Self {
+        self.tier = Some(cfg);
+        self
+    }
+
+    /// Shorthand for a memory-backed cold tier with this resident budget —
+    /// the `--resident-budget` CLI knob.
+    pub fn resident_budget(self, bytes: u64) -> Self {
+        self.tier_config(TierConfig::with_budget(Some(bytes)))
+    }
+
     /// Partitions the graph, ingests all shards, seeds the epoch-0 topology
     /// and returns the serving cluster plus the build timing report.
+    ///
+    /// Panics only if a *disk-backed* cold tier fails on I/O; use
+    /// [`try_build`](Self::try_build) to handle that case.
     pub fn build(self) -> (Cluster, ClusterBuildReport) {
+        // invariant: of every builder configuration, only a disk-backed
+        // tier performs fallible I/O during build.
+        self.try_build().expect("disk-backed tier build failed")
+    }
+
+    /// Fallible [`build`](Self::build): errors instead of panicking when a
+    /// disk-backed cold tier hits I/O trouble.
+    pub fn try_build(self) -> Result<(Cluster, ClusterBuildReport), SegmentError> {
         let p = self.shards.max(1);
         let graph = self.graph;
 
@@ -190,9 +219,49 @@ impl<'a> ClusterBuilder<'a> {
         };
         let importance_time = t1.elapsed();
 
+        let disabled;
+        let registry = match self.registry {
+            Some(r) => r,
+            None => {
+                disabled = Registry::disabled();
+                &disabled
+            }
+        };
+
         let t2 = Stopwatch::start();
-        let (servers, shard_times) =
-            ingest_parallel(&graph, &partition, &importance, &self.strategy, p);
+        let (tier, servers, shard_times) = match self.tier {
+            Some(cfg) => {
+                // Tiered ingest: encode every shard's rows into sealed
+                // segments once (the tier build), then bind one thin server
+                // per shard. Nothing is materialized per shard, so the
+                // decoded-resident footprint is the budget, not the graph.
+                let owners: Vec<u32> = graph.vertices().map(|v| partition.owner_of(v).0).collect();
+                let store =
+                    TieredStore::build(Arc::clone(&graph), &owners, p, cfg, self.cost, registry)?;
+                let capacity = attr_cache_capacity(&graph);
+                let mut servers = Vec::with_capacity(p);
+                let mut shard_times = Vec::with_capacity(p);
+                for w in 0..p {
+                    let t = Stopwatch::start();
+                    let cache = NeighborCache::build(&graph, &importance, &self.strategy);
+                    servers.push(Arc::new(GraphServer::tiered(
+                        WorkerId(w as u32),
+                        Arc::clone(&graph),
+                        Arc::clone(&store),
+                        w,
+                        cache,
+                        capacity,
+                    )));
+                    shard_times.push(t.elapsed());
+                }
+                (Some(store), servers, shard_times)
+            }
+            None => {
+                let (servers, shard_times) =
+                    ingest_parallel(&graph, &partition, &importance, &self.strategy, p);
+                (None, servers, shard_times)
+            }
+        };
         let ingest_time = t2.elapsed();
 
         let report = ClusterBuildReport {
@@ -201,14 +270,6 @@ impl<'a> ClusterBuilder<'a> {
             ingest_time,
             shard_times,
             num_workers: p,
-        };
-        let disabled;
-        let registry = match self.registry {
-            Some(r) => r,
-            None => {
-                disabled = Registry::disabled();
-                &disabled
-            }
         };
         let view = TopologyView::identity(&partition, graph.num_vertices(), self.replication);
         let residency = Residency::from_owners(view.owners());
@@ -224,8 +285,9 @@ impl<'a> ClusterBuilder<'a> {
             route_meter: TierMeter::registered(registry, "topology.route"),
             migration_meter: TierMeter::registered(registry, "topology.migration"),
             loads: RwLock::new(loads),
+            tier,
         };
-        (cluster, report)
+        Ok((cluster, report))
     }
 }
 
@@ -254,6 +316,8 @@ pub struct Cluster {
     /// Routed-operation counters per shard slot — the load snapshot behind
     /// replica ranking.
     pub(crate) loads: RwLock<Vec<AtomicU64>>,
+    /// The cold tier shared by every shard, when built tiered.
+    pub(crate) tier: Option<Arc<TieredStore>>,
 }
 
 impl Cluster {
@@ -406,6 +470,21 @@ impl Cluster {
         };
         let kind = server.classify(v, hop, &self.stats, &self.cost);
         Ok((self.graph.out_neighbors(v), kind))
+    }
+
+    /// The shared cold tier, when this cluster was built tiered.
+    pub fn tier(&self) -> Option<&Arc<TieredStore>> {
+        self.tier.as_ref()
+    }
+
+    /// Announces the sampler's next frontier to the cold tier so cold
+    /// decodes overlap gather/aggregate (no-op on untired clusters).
+    /// Returns how many rows the prefetch pipeline issued.
+    pub fn prefetch(&self, frontier: &[VertexId]) -> usize {
+        match &self.tier {
+            Some(tier) => tier.prefetch(frontier),
+            None => 0,
+        }
     }
 
     /// Fraction of vertices statically cached per shard (identical across

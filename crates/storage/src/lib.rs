@@ -39,17 +39,21 @@
 
 pub mod bucket;
 pub mod cluster;
+pub mod codec;
 pub mod cost;
 pub mod executor;
 pub mod lru;
 pub mod migrate;
 pub mod neighbor_cache;
+pub mod segment;
 pub mod server;
 pub mod service;
+pub mod tier;
 pub mod topology;
 
 pub use bucket::{LockFreeWeightService, MutexWeightService, WeightService};
 pub use cluster::{Cluster, ClusterBuildReport, ClusterBuilder};
+pub use codec::CodecError;
 pub use cost::{
     AccessKind, AccessStats, AccessStatsSnapshot, CostModel, TierMeter, TierMeterSnapshot,
 };
@@ -57,8 +61,10 @@ pub use executor::{BucketExecutor, ExecutorStopped};
 pub use lru::LruCache;
 pub use migrate::{MigrationError, MigrationReport, RebalanceOp, MIGRATION_TAG};
 pub use neighbor_cache::{CacheStrategy, NeighborCache};
+pub use segment::{Segment, SegmentError, SegmentKind};
 pub use server::{GraphServer, VertexRecord};
 pub use service::GraphRequestService;
+pub use tier::{EvictionMode, TierBacking, TierConfig, TierRead, TieredStore};
 pub use topology::{
     ReplicaSet, Residency, RouteError, ShardLoads, Topology, TopologyPin, TopologyView,
 };

@@ -165,6 +165,24 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         })
     }
 
+    /// Iterates live entries in **eviction order** — least- to most-recently
+    /// used — without touching recency or stats. `iter_lru().next()` is the
+    /// entry [`put`](Self::put) would evict next; the cold tier's placement
+    /// oracle walks this to pick demotion victims deterministically.
+    pub fn iter_lru(&self) -> impl Iterator<Item = (&K, &V)> {
+        let mut idx = self.tail;
+        std::iter::from_fn(move || {
+            if idx == NIL {
+                return None;
+            }
+            let entry = &self.slab[idx];
+            idx = entry.prev;
+            // invariant: only live entries are linked into the recency
+            // list; recycled slots (value None) sit on the free list.
+            Some((&entry.key, entry.value.as_ref().expect("linked entry is live")))
+        })
+    }
+
     fn unlink(&mut self, idx: usize) {
         let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
         if prev != NIL {
@@ -283,6 +301,26 @@ mod tests {
         assert_eq!(order, vec![1, 3, 2]);
         let (h, m, _) = c.stats();
         assert_eq!((h, m), (1, 0), "iter must not count as lookups");
+    }
+
+    #[test]
+    fn iter_lru_walks_eviction_order() {
+        let mut c = LruCache::new(3);
+        c.put(1, "a");
+        c.put(2, "b");
+        c.put(3, "c");
+        c.get(&1); // 1 becomes MRU; eviction order is now 2, 3, 1
+        let order: Vec<i32> = c.iter_lru().map(|(&k, _)| k).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+        // iter_lru is exactly iter reversed, and its head is the next victim.
+        let mut fwd: Vec<i32> = c.iter().map(|(&k, _)| k).collect();
+        fwd.reverse();
+        assert_eq!(order, fwd);
+        let victim = *c.iter_lru().next().unwrap().0;
+        c.put(4, "d");
+        assert_eq!(c.peek(&victim), None, "put evicted the iter_lru head");
+        let (h, m, _) = c.stats();
+        assert_eq!((h, m), (1, 0), "iter_lru must not count as lookups");
     }
 
     #[test]

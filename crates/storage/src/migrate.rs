@@ -203,12 +203,25 @@ impl Cluster {
         // empty server slot, live in the successor view only.
         if matches!(op, RebalanceOp::Split { .. }) {
             let cache = NeighborCache::empty(self.graph().num_vertices());
-            let server = Arc::new(GraphServer::empty(
-                WorkerId(dst),
-                Arc::clone(self.graph()),
-                cache,
-                attr_cache_capacity(self.graph()),
-            ));
+            let server = Arc::new(match self.tier {
+                // A split of a tiered cluster stays tiered: the new slot
+                // serves out of the same shared store (its residency starts
+                // empty and fills as records absorb).
+                Some(ref store) => GraphServer::tiered(
+                    WorkerId(dst),
+                    Arc::clone(self.graph()),
+                    Arc::clone(store),
+                    dst as usize,
+                    cache,
+                    attr_cache_capacity(self.graph()),
+                ),
+                None => GraphServer::empty(
+                    WorkerId(dst),
+                    Arc::clone(self.graph()),
+                    cache,
+                    attr_cache_capacity(self.graph()),
+                ),
+            });
             self.servers.write().push(server);
             self.loads.write().push(AtomicU64::new(0));
         }

@@ -11,6 +11,7 @@
 use crate::cost::{AccessKind, AccessStats, CostModel};
 use crate::lru::LruCache;
 use crate::neighbor_cache::{CacheOutcome, NeighborCache};
+use crate::tier::{TierRead, TieredStore};
 use aligraph_graph::{AttrId, AttrVector, AttributedHeterogeneousGraph, Neighbor, VertexId};
 use aligraph_partition::WorkerId;
 use parking_lot::{Mutex, RwLock};
@@ -57,6 +58,18 @@ pub struct GraphServer {
     vertex_attr_cache: Mutex<LruCache<AttrId, AttrVector>>,
     /// LRU in front of the edge attribute index `I_E`.
     edge_attr_cache: Mutex<LruCache<AttrId, AttrVector>>,
+    /// Cold-tier binding. When present the server materializes **nothing**
+    /// itself: residency, adjacency rows, and weight CDFs live in the shared
+    /// [`TieredStore`] (decoded hot set + compressed segments), and resident
+    /// reads whose row is cold are metered as [`AccessKind::Cold`].
+    tier: Option<TierBinding>,
+}
+
+#[derive(Debug)]
+struct TierBinding {
+    store: Arc<TieredStore>,
+    /// This server's shard slot inside the tier's residency tables.
+    shard: usize,
 }
 
 impl GraphServer {
@@ -105,11 +118,44 @@ impl GraphServer {
             neighbor_cache,
             vertex_attr_cache: Mutex::new(LruCache::new(attr_cache_capacity)),
             edge_attr_cache: Mutex::new(LruCache::new(attr_cache_capacity)),
+            tier: None,
         }
+    }
+
+    /// A shard served out of a [`TieredStore`]: nothing is materialized
+    /// here — residency and rows live in the tier under its byte budget,
+    /// which is what lets the cluster hold graphs 10–100× beyond the
+    /// decoded-resident footprint. `shard` is this server's slot in the
+    /// tier's residency tables (seeded by the tier build; a split
+    /// destination starts empty and gains residency via
+    /// [`absorb`](Self::absorb)).
+    pub fn tiered(
+        worker: WorkerId,
+        graph: Arc<AttributedHeterogeneousGraph>,
+        store: Arc<TieredStore>,
+        shard: usize,
+        neighbor_cache: NeighborCache,
+        attr_cache_capacity: usize,
+    ) -> Self {
+        store.ensure_shard(shard);
+        let mut server = Self::empty(worker, graph, neighbor_cache, attr_cache_capacity);
+        server.tier = Some(TierBinding { store, shard });
+        server
+    }
+
+    /// The cold tier this server reads through, if any.
+    pub fn tier(&self) -> Option<&Arc<TieredStore>> {
+        self.tier.as_ref().map(|t| &t.store)
     }
 
     /// The cumulative weight table of a resident vertex, if any.
     pub fn weight_cdf(&self, v: VertexId) -> Option<Arc<[f32]>> {
+        if let Some(tier) = &self.tier {
+            if tier.store.is_resident(tier.shard, v.0) {
+                return tier.store.weight_cdf(v);
+            }
+            return None;
+        }
         self.weight_cdf.read().get(&v.0).cloned()
     }
 
@@ -120,12 +166,18 @@ impl GraphServer {
 
     /// Number of resident vertices.
     pub fn num_owned(&self) -> usize {
+        if let Some(tier) = &self.tier {
+            return tier.store.num_resident(tier.shard);
+        }
         self.local_adjacency.read().len()
     }
 
     /// Whether a vertex is resident on this server.
     #[inline]
     pub fn is_local(&self, v: VertexId) -> bool {
+        if let Some(tier) = &self.tier {
+            return tier.store.is_resident(tier.shard, v.0);
+        }
         self.local_adjacency.read().contains_key(&v.0)
     }
 
@@ -138,6 +190,9 @@ impl GraphServer {
     /// resident here). The source keeps serving the vertex until
     /// [`retire`](Self::retire) — live migration's both-sides-serve window.
     pub fn extract(&self, v: VertexId) -> Option<VertexRecord> {
+        if let Some(tier) = &self.tier {
+            return tier.store.extract(tier.shard, v);
+        }
         let adjacency = self.local_adjacency.read();
         let nbrs = adjacency.get(&v.0)?;
         let weight_cdf =
@@ -149,6 +204,10 @@ impl GraphServer {
     /// as `Local` here. Idempotent (re-absorbing overwrites with identical
     /// data — the graph is immutable).
     pub fn absorb(&self, rec: VertexRecord) {
+        if let Some(tier) = &self.tier {
+            tier.store.absorb(tier.shard, rec);
+            return;
+        }
         if !rec.weight_cdf.is_empty() {
             self.weight_cdf.write().insert(rec.vertex.0, rec.weight_cdf);
         }
@@ -159,6 +218,10 @@ impl GraphServer {
     /// the destination has absorbed and cut over, readers on the new epoch
     /// route there, so the source copy can go).
     pub fn retire(&self, vertices: &[u32]) {
+        if let Some(tier) = &self.tier {
+            tier.store.retire(tier.shard, vertices);
+            return;
+        }
         let mut adjacency = self.local_adjacency.write();
         let mut cdfs = self.weight_cdf.write();
         for v in vertices {
@@ -178,6 +241,35 @@ impl GraphServer {
         stats: &AccessStats,
         model: &CostModel,
     ) -> AccessKind {
+        if let Some(tier) = &self.tier {
+            if tier.store.is_resident(tier.shard, v.0) {
+                // Resident: the tier read decides hot vs cold (and promotes
+                // the row, demoting an LRU victim if over budget).
+                let (_, _, how) = tier.store.read_adjacency(v);
+                return match how {
+                    TierRead::Hot => {
+                        stats.record(AccessKind::Local, model);
+                        AccessKind::Local
+                    }
+                    TierRead::Prefetched => {
+                        // Overlapped decode: counts as a cold op, costs only
+                        // the prefetch-hit latency on the blocking clock.
+                        stats.record_overlapped_cold(model);
+                        AccessKind::Cold
+                    }
+                    TierRead::Cold | TierRead::Materialized => {
+                        stats.record(AccessKind::Cold, model);
+                        AccessKind::Cold
+                    }
+                };
+            }
+            let kind = match self.neighbor_cache.lookup(v, hop, stats, model) {
+                CacheOutcome::Hit => AccessKind::CachedRemote,
+                CacheOutcome::Miss | CacheOutcome::MissEvicted => AccessKind::Remote,
+            };
+            stats.record(kind, model);
+            return kind;
+        }
         let kind = if self.local_adjacency.read().contains_key(&v.0) {
             AccessKind::Local
         } else {
@@ -253,7 +345,7 @@ impl GraphServer {
 }
 
 /// Cumulative weight table over one adjacency row.
-fn build_cdf(nbrs: &[Neighbor]) -> Arc<[f32]> {
+pub(crate) fn build_cdf(nbrs: &[Neighbor]) -> Arc<[f32]> {
     let mut cdf = Vec::with_capacity(nbrs.len());
     let mut acc = 0.0f32;
     for n in nbrs {

@@ -1,0 +1,1117 @@
+//! Out-of-core tiered storage: compressed cold rows under a byte-budgeted
+//! hot set (ROADMAP item 2; GriNNder-style storage offloading with the
+//! paper's own importance analysis deciding *what* stays hot).
+//!
+//! A [`TieredStore`] sits beneath the sharded store. At build time every
+//! vertex's adjacency row is delta-varint encoded ([`crate::codec`]) into
+//! per-shard FNV-sealed segments ([`crate::segment`]); feature rows join
+//! via [`TieredStore::attach_features`]. A **hot set** of decoded rows is
+//! bounded by a resident-byte budget ([`TierConfig::resident_budget`]):
+//! placement seeds it with the highest-importance vertices (Imp(v) =
+//! in-degree / out-degree, paper Eq. 1 at hop 1) and an LRU demotes the
+//! coldest row when a promotion would burst the budget
+//! ([`crate::lru::LruCache::iter_lru`] is the eviction oracle). Every read
+//! not served hot decodes from the newest segment generation holding the
+//! row and is metered as [`AccessKind::Cold`] by the caller; decode results
+//! are **bit-exact** against the all-hot oracle — that is the tier's
+//! headline invariant, pinned by `tests/storage_integration.rs`.
+//!
+//! The **prefetch pipeline** ([`TieredStore::prefetch`]) batches the cold
+//! decodes of an upcoming sampling frontier into a double buffer: the
+//! sampler announces the next frontier (deterministic issue order — sorted,
+//! deduplicated), decodes land in the standby buffer, and the buffers swap
+//! so gather/aggregate overlaps the decode. A read served from the buffer
+//! still counts as a cold op, but only `prefetch_hit_ns` lands on the
+//! blocking clock ([`crate::cost::AccessStats::record_overlapped_cold`]);
+//! the full `cold_ns` is charged to the overlapped storage clock
+//! (`tier.io.virtual_ns`). Everything is virtual-tick metered — no wall
+//! clock anywhere near a seeded path.
+//!
+//! Dirty feature rows ([`TieredStore::write_row`]) are written back on
+//! demotion into fresh segment generations (sorted, deterministic bytes).
+//! [`EvictionMode::DropDirty`] deliberately skips the writeback — it exists
+//! only so the differential tests can prove they would catch a writeback
+//! bug, mirroring the chaos plane's broken-recovery variants.
+
+use crate::codec::{decode_adjacency, decode_feature_row, encode_adjacency, encode_feature_row};
+use crate::cost::{AccessKind, CostModel, TierMeter};
+use crate::lru::LruCache;
+use crate::segment::{Segment, SegmentError, SegmentKind};
+use crate::server::{build_cdf, VertexRecord};
+use aligraph_graph::{AttributedHeterogeneousGraph, FeatureMatrix, Neighbor, VertexId};
+use aligraph_telemetry::{Counter, Gauge, Registry};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Where the sealed segments live.
+#[derive(Debug, Clone, Default)]
+pub enum TierBacking {
+    /// Sealed segments held in memory (compressed). The default: fast, no
+    /// filesystem, still 4–6× smaller than decoded rows.
+    #[default]
+    Memory,
+    /// Segments written to (and reopenable from) files in this directory —
+    /// the out-of-core form. Loaded segments are kept resident compressed,
+    /// standing in for the OS page cache.
+    Disk(PathBuf),
+}
+
+/// What demotion does with a dirty feature row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionMode {
+    /// Write dirty rows back into a fresh segment generation before the hot
+    /// copy is dropped. The only correct mode.
+    #[default]
+    Writeback,
+    /// **Deliberately broken**: demotion discards dirty rows. Exists so the
+    /// differential oracle tests can prove they would catch a writeback bug
+    /// (the broken-recovery pattern of the chaos plane).
+    DropDirty,
+}
+
+/// Cold-tier configuration.
+#[derive(Debug, Clone, Default)]
+pub struct TierConfig {
+    /// Byte cap on decoded hot rows. `None` = unbounded (every row hot —
+    /// the oracle configuration).
+    pub resident_budget: Option<u64>,
+    /// Segment backing.
+    pub backing: TierBacking,
+    /// Demotion behaviour for dirty rows.
+    pub eviction: EvictionMode,
+}
+
+impl TierConfig {
+    /// Memory-backed config with the given budget.
+    pub fn with_budget(budget: Option<u64>) -> Self {
+        TierConfig { resident_budget: budget, ..TierConfig::default() }
+    }
+}
+
+/// How one tier read was served (the caller maps this onto
+/// [`AccessKind`] accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierRead {
+    /// Decoded row was already hot.
+    Hot,
+    /// Served from the prefetch double-buffer (decode overlapped).
+    Prefetched,
+    /// Blocking cold decode from a segment.
+    Cold,
+    /// Row absent from every segment generation — re-materialized from the
+    /// shared graph (the seal-rejection fallback path).
+    Materialized,
+}
+
+impl TierRead {
+    /// Telemetry label (`src=<label>`).
+    pub fn as_label(self) -> &'static str {
+        match self {
+            TierRead::Hot => "hot",
+            TierRead::Prefetched => "prefetch",
+            TierRead::Cold => "cold",
+            TierRead::Materialized => "materialized",
+        }
+    }
+}
+
+/// Flush the writeback staging area once this many dirty rows accumulate
+/// (bounds the staging footprint to a constant number of rows).
+const WRITEBACK_FLUSH_ROWS: usize = 64;
+
+const KIND_ADJ: u8 = 0;
+const KIND_FEAT: u8 = 1;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RowKey {
+    kind: u8,
+    vertex: u32,
+}
+
+#[derive(Debug, Clone)]
+enum HotRow {
+    Adjacency { nbrs: Arc<[Neighbor]>, cdf: Arc<[f32]> },
+    Feature { row: Arc<[f32]>, dirty: bool },
+}
+
+impl HotRow {
+    /// Decoded in-memory footprint charged against the resident budget.
+    fn bytes(&self) -> u64 {
+        match self {
+            HotRow::Adjacency { nbrs, cdf } => 32 + nbrs.len() as u64 * 24 + cdf.len() as u64 * 4,
+            HotRow::Feature { row, .. } => 32 + row.len() as u64 * 4,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TierMetrics {
+    resident_bytes: Arc<Gauge>,
+    peak_resident_bytes: Arc<Gauge>,
+    segment_bytes: Arc<Gauge>,
+    hot_rows: Arc<Gauge>,
+    reads_hot: Arc<Counter>,
+    reads_prefetch: Arc<Counter>,
+    reads_cold: Arc<Counter>,
+    reads_materialized: Arc<Counter>,
+    demote_clean: Arc<Counter>,
+    demote_writeback: Arc<Counter>,
+    demote_dropped: Arc<Counter>,
+    prefetch_issued: Arc<Counter>,
+    prefetch_wasted: Arc<Counter>,
+    prefetch_virtual_ns: Arc<Counter>,
+    writeback_segments: Arc<Counter>,
+    writeback_rows: Arc<Counter>,
+    seal_rejections: Arc<Counter>,
+}
+
+impl TierMetrics {
+    fn registered(r: &Registry) -> Self {
+        TierMetrics {
+            resident_bytes: r.gauge("tier.resident_bytes", &[]),
+            peak_resident_bytes: r.gauge("tier.peak_resident_bytes", &[]),
+            segment_bytes: r.gauge("tier.segment_bytes", &[]),
+            hot_rows: r.gauge("tier.hot_rows", &[]),
+            reads_hot: r.counter("tier.reads", &[("src", "hot")]),
+            reads_prefetch: r.counter("tier.reads", &[("src", "prefetch")]),
+            reads_cold: r.counter("tier.reads", &[("src", "cold")]),
+            reads_materialized: r.counter("tier.reads", &[("src", "materialized")]),
+            demote_clean: r.counter("tier.demotions", &[("outcome", "clean")]),
+            demote_writeback: r.counter("tier.demotions", &[("outcome", "writeback")]),
+            demote_dropped: r.counter("tier.demotions", &[("outcome", "dropped")]),
+            prefetch_issued: r.counter("tier.prefetch.issued", &[]),
+            prefetch_wasted: r.counter("tier.prefetch.wasted", &[]),
+            prefetch_virtual_ns: r.counter("tier.prefetch.virtual_ns", &[]),
+            writeback_segments: r.counter("tier.writeback.segments", &[]),
+            writeback_rows: r.counter("tier.writeback.rows", &[]),
+            seal_rejections: r.counter("tier.seal_rejections", &[]),
+        }
+    }
+
+    fn read(&self, how: TierRead) {
+        match how {
+            TierRead::Hot => self.reads_hot.inc(),
+            TierRead::Prefetched => self.reads_prefetch.inc(),
+            TierRead::Cold => self.reads_cold.inc(),
+            TierRead::Materialized => self.reads_materialized.inc(),
+        }
+    }
+}
+
+/// A decoded adjacency row staged by the prefetch pipeline: the neighbor
+/// list plus its weight CDF.
+type PrefetchedRow = (Arc<[Neighbor]>, Arc<[f32]>);
+
+#[derive(Debug)]
+struct TierState {
+    /// Decoded hot rows, recency-ordered. Count capacity equals the maximum
+    /// possible live entries (one adjacency + one feature row per vertex),
+    /// so count-eviction never fires; the byte budget is enforced here.
+    hot: LruCache<RowKey, HotRow>,
+    hot_bytes: u64,
+    peak_hot_bytes: u64,
+    /// Per-shard residency bitmaps (bit v = vertex v serves as Local from
+    /// that shard).
+    resident: Vec<Vec<u64>>,
+    resident_counts: Vec<usize>,
+    /// Per-shard adjacency segment generations, oldest first.
+    adj_segments: Vec<Vec<Segment>>,
+    /// Per-shard feature segment generations, oldest first.
+    feat_segments: Vec<Vec<Segment>>,
+    /// Dirty rows demoted but not yet flushed into a segment. A `BTreeMap`
+    /// so the flush drains in sorted vertex order — one canonical byte
+    /// stream per logical content.
+    writeback_pending: BTreeMap<u32, Arc<[f32]>>,
+    /// The prefetch double-buffer's active side: decoded adjacency rows the
+    /// announced frontier is about to read.
+    prefetch_active: HashMap<u32, PrefetchedRow>,
+    /// Whether feature segments exist.
+    has_features: bool,
+}
+
+impl TierState {
+    fn set_resident(&mut self, shard: usize, v: u32, on: bool) {
+        let map = &mut self.resident[shard];
+        let (word, bit) = (v as usize / 64, v as usize % 64);
+        if word >= map.len() {
+            map.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        let was = map[word] & mask != 0;
+        if on && !was {
+            map[word] |= mask;
+            self.resident_counts[shard] += 1;
+        } else if !on && was {
+            map[word] &= !mask;
+            self.resident_counts[shard] -= 1;
+        }
+    }
+
+    fn is_resident(&self, shard: usize, v: u32) -> bool {
+        self.resident
+            .get(shard)
+            .and_then(|map| map.get(v as usize / 64))
+            .is_some_and(|w| w & (1u64 << (v as usize % 64)) != 0)
+    }
+
+    fn segment_bytes(&self) -> u64 {
+        self.adj_segments
+            .iter()
+            .chain(self.feat_segments.iter())
+            .flatten()
+            .map(Segment::encoded_bytes)
+            .sum()
+    }
+}
+
+/// The out-of-core tier beneath a cluster's shards. One instance is shared
+/// by every [`crate::server::GraphServer`] of a tiered cluster.
+#[derive(Debug)]
+pub struct TieredStore {
+    graph: Arc<AttributedHeterogeneousGraph>,
+    /// Build-time owner of each vertex — the shard whose segments hold its
+    /// rows (stable across migrations; adjacency is immutable).
+    owner: Vec<u32>,
+    cfg: TierConfig,
+    cost: CostModel,
+    state: Mutex<TierState>,
+    metrics: TierMetrics,
+    /// Cold-tier I/O metering: every segment decode records a `Cold` op
+    /// with its encoded bytes on the overlapped storage clock
+    /// (`tier.io.virtual_ns`).
+    io_meter: TierMeter,
+}
+
+impl TieredStore {
+    /// Builds the tier: encodes every vertex's adjacency into its owner
+    /// shard's generation-0 segment (written to disk under a `Disk`
+    /// backing), seeds residency from `owners`, and admits the
+    /// highest-importance rows hot until the budget is reached.
+    pub fn build(
+        graph: Arc<AttributedHeterogeneousGraph>,
+        owners: &[u32],
+        shards: usize,
+        cfg: TierConfig,
+        cost: CostModel,
+        registry: &Registry,
+    ) -> Result<Arc<TieredStore>, SegmentError> {
+        let mut rows: Vec<Vec<(u32, Vec<u8>)>> = vec![Vec::new(); shards];
+        for v in graph.vertices() {
+            let shard = owners[v.index()] as usize;
+            let mut buf = Vec::new();
+            encode_adjacency(graph.out_neighbors(v), &mut buf);
+            rows[shard].push((v.0, buf));
+        }
+        let mut adj_segments = Vec::with_capacity(shards);
+        for (shard, shard_rows) in rows.into_iter().enumerate() {
+            let seg = Segment::build(SegmentKind::Adjacency, shard as u16, shard_rows);
+            if let TierBacking::Disk(dir) = &cfg.backing {
+                seg.write_to(&segment_path(dir, shard, SegmentKind::Adjacency, 0))?;
+            }
+            adj_segments.push(vec![seg]);
+        }
+        let store = Self::assemble(graph, owners, shards, adj_segments, cfg, cost, registry);
+        store.seed_hot_set();
+        Ok(store)
+    }
+
+    /// Reopens a disk-backed tier from its segment files, verifying every
+    /// seal. A corrupt (chaos-flipped) segment is **rejected and counted**
+    /// (`tier.seal_rejections`), its shard's adjacency re-materialized from
+    /// the shared graph and re-written — the mirror of
+    /// `latest_valid_checkpoint` skipping CRC-corrupt checkpoint files.
+    /// Feature segments are not reopened; re-attach them via
+    /// [`attach_features`](Self::attach_features).
+    pub fn reopen(
+        graph: Arc<AttributedHeterogeneousGraph>,
+        owners: &[u32],
+        shards: usize,
+        cfg: TierConfig,
+        cost: CostModel,
+        registry: &Registry,
+    ) -> Result<Arc<TieredStore>, SegmentError> {
+        let dir = match &cfg.backing {
+            TierBacking::Disk(dir) => dir.clone(),
+            TierBacking::Memory => {
+                return Err(SegmentError::Io("reopen requires a disk backing".into()))
+            }
+        };
+        let mut rejections = 0u64;
+        let mut adj_segments: Vec<Vec<Segment>> = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let mut gens = Vec::new();
+            let mut rebuild = false;
+            for gen in 0.. {
+                let path = segment_path(&dir, shard, SegmentKind::Adjacency, gen);
+                if !path.exists() {
+                    if gen == 0 {
+                        rebuild = true;
+                    }
+                    break;
+                }
+                match Segment::read_from(&path) {
+                    Ok(seg) => gens.push(seg),
+                    Err(SegmentError::Io(e)) => return Err(SegmentError::Io(e)),
+                    Err(_) => {
+                        // Seal (or structure) rejected: fall back to
+                        // re-materializing this shard from the graph.
+                        rejections += 1;
+                        rebuild = true;
+                        break;
+                    }
+                }
+            }
+            if rebuild {
+                let mut rows = Vec::new();
+                for v in graph.vertices() {
+                    if owners[v.index()] as usize == shard {
+                        let mut buf = Vec::new();
+                        encode_adjacency(graph.out_neighbors(v), &mut buf);
+                        rows.push((v.0, buf));
+                    }
+                }
+                let seg = Segment::build(SegmentKind::Adjacency, shard as u16, rows);
+                seg.write_to(&segment_path(&dir, shard, SegmentKind::Adjacency, 0))?;
+                gens = vec![seg];
+            }
+            adj_segments.push(gens);
+        }
+        let store = Self::assemble(graph, owners, shards, adj_segments, cfg, cost, registry);
+        store.metrics.seal_rejections.add(rejections);
+        store.seed_hot_set();
+        Ok(store)
+    }
+
+    fn assemble(
+        graph: Arc<AttributedHeterogeneousGraph>,
+        owners: &[u32],
+        shards: usize,
+        adj_segments: Vec<Vec<Segment>>,
+        cfg: TierConfig,
+        cost: CostModel,
+        registry: &Registry,
+    ) -> Arc<TieredStore> {
+        let n = graph.num_vertices();
+        let words = n.div_ceil(64);
+        let mut state = TierState {
+            // One adjacency plus one feature row per vertex is the hard cap
+            // on live hot entries.
+            hot: LruCache::new(2 * n + 2),
+            hot_bytes: 0,
+            peak_hot_bytes: 0,
+            resident: vec![vec![0u64; words]; shards],
+            resident_counts: vec![0; shards],
+            adj_segments,
+            feat_segments: vec![Vec::new(); shards],
+            writeback_pending: BTreeMap::new(),
+            prefetch_active: HashMap::new(),
+            has_features: false,
+        };
+        for v in graph.vertices() {
+            state.set_resident(owners[v.index()] as usize, v.0, true);
+        }
+        let metrics = TierMetrics::registered(registry);
+        metrics.segment_bytes.set(state.segment_bytes() as i64);
+        Arc::new(TieredStore {
+            graph,
+            owner: owners.to_vec(),
+            cfg,
+            cost,
+            state: Mutex::new(state),
+            metrics,
+            io_meter: TierMeter::registered(registry, "tier.io"),
+        })
+    }
+
+    /// Importance-ranked vertex ids: Imp(v) = in-degree / out-degree (paper
+    /// Eq. 1 at hop 1; 0 for sinks, matching `ImportanceTable`), descending,
+    /// vertex id as the deterministic tie-break.
+    fn importance_ranking(&self) -> Vec<u32> {
+        let mut ranked: Vec<(f64, u32)> = self
+            .graph
+            .vertices()
+            .map(|v| {
+                let d_out = self.graph.out_degree(v);
+                let imp =
+                    if d_out == 0 { 0.0 } else { self.graph.in_degree(v) as f64 / d_out as f64 };
+                (imp, v.0)
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        ranked.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Seeds the hot set: walk the importance ranking, take adjacency rows
+    /// while they fit the budget, then insert the chosen prefix in reverse
+    /// so the *least* important hot row is also the least recently used —
+    /// the first demotion victim.
+    fn seed_hot_set(&self) {
+        let ranking = self.importance_ranking();
+        let mut chosen = Vec::new();
+        let mut bytes = 0u64;
+        for &v in &ranking {
+            let nbrs = self.graph.out_neighbors(VertexId(v));
+            let sz = 32
+                + nbrs.len() as u64 * 24
+                + if nbrs.is_empty() { 0 } else { nbrs.len() as u64 * 4 };
+            if let Some(budget) = self.cfg.resident_budget {
+                if bytes + sz > budget {
+                    continue;
+                }
+            }
+            bytes += sz;
+            chosen.push(v);
+        }
+        let mut state = self.state.lock();
+        for &v in chosen.iter().rev() {
+            let nbrs: Arc<[Neighbor]> = self.graph.out_neighbors(VertexId(v)).into();
+            let cdf = if nbrs.is_empty() { Arc::from(Vec::new()) } else { build_cdf(&nbrs) };
+            self.admit(
+                &mut state,
+                RowKey { kind: KIND_ADJ, vertex: v },
+                HotRow::Adjacency { nbrs, cdf },
+            );
+        }
+        self.publish_gauges(&state);
+    }
+
+    /// Encodes every vertex's feature row into its owner shard's feature
+    /// segment and admits high-importance rows hot under the remaining
+    /// budget.
+    pub fn attach_features(&self, features: &FeatureMatrix) -> Result<(), SegmentError> {
+        let shards = self.num_shards();
+        let mut rows: Vec<Vec<(u32, Vec<u8>)>> = vec![Vec::new(); shards];
+        for v in self.graph.vertices() {
+            let mut buf = Vec::new();
+            encode_feature_row(features.row(v), &mut buf);
+            rows[self.owner[v.index()] as usize].push((v.0, buf));
+        }
+        {
+            let mut state = self.state.lock();
+            for (shard, shard_rows) in rows.into_iter().enumerate() {
+                let seg = Segment::build(SegmentKind::Feature, shard as u16, shard_rows);
+                if let TierBacking::Disk(dir) = &self.cfg.backing {
+                    seg.write_to(&segment_path(dir, shard, SegmentKind::Feature, 0))?;
+                }
+                state.feat_segments[shard] = vec![seg];
+            }
+            state.has_features = true;
+            self.metrics.segment_bytes.set(state.segment_bytes() as i64);
+        }
+        // Admit hot feature rows for the importance prefix that still fits.
+        let ranking = self.importance_ranking();
+        let row_sz = 32 + features.dim as u64 * 4;
+        let mut state = self.state.lock();
+        let mut chosen = Vec::new();
+        let mut bytes = state.hot_bytes;
+        for &v in &ranking {
+            if let Some(budget) = self.cfg.resident_budget {
+                if bytes + row_sz > budget {
+                    break;
+                }
+            }
+            bytes += row_sz;
+            chosen.push(v);
+        }
+        for &v in chosen.iter().rev() {
+            let row: Arc<[f32]> = features.row(VertexId(v)).into();
+            self.admit(
+                &mut state,
+                RowKey { kind: KIND_FEAT, vertex: v },
+                HotRow::Feature { row, dirty: false },
+            );
+        }
+        self.publish_gauges(&state);
+        Ok(())
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> Option<u64> {
+        self.cfg.resident_budget
+    }
+
+    /// Number of shards with segment storage.
+    pub fn num_shards(&self) -> usize {
+        self.state.lock().adj_segments.len()
+    }
+
+    /// Current decoded hot bytes (the `tier.resident_bytes` gauge).
+    pub fn resident_bytes(&self) -> u64 {
+        self.state.lock().hot_bytes
+    }
+
+    /// High-water mark of decoded hot bytes.
+    pub fn peak_resident_bytes(&self) -> u64 {
+        self.state.lock().peak_hot_bytes
+    }
+
+    /// Whether `v` serves as `Local` from `shard`.
+    pub fn is_resident(&self, shard: usize, v: u32) -> bool {
+        self.state.lock().is_resident(shard, v)
+    }
+
+    /// Number of vertices resident on `shard`.
+    pub fn num_resident(&self, shard: usize) -> usize {
+        self.state.lock().resident_counts.get(shard).copied().unwrap_or(0)
+    }
+
+    /// Grows per-shard tables to cover `slot` (a split's new shard).
+    pub fn ensure_shard(&self, slot: usize) {
+        let mut state = self.state.lock();
+        let words = self.graph.num_vertices().div_ceil(64);
+        while state.resident.len() <= slot {
+            state.resident.push(vec![0u64; words]);
+            state.resident_counts.push(0);
+            state.adj_segments.push(Vec::new());
+            state.feat_segments.push(Vec::new());
+        }
+    }
+
+    /// Reads one adjacency row (with its weight CDF) through the tier.
+    /// Always bit-exact against `graph.out_neighbors(v)`; the second tuple
+    /// element says how the read was served.
+    pub fn read_adjacency(&self, v: VertexId) -> (Arc<[Neighbor]>, Arc<[f32]>, TierRead) {
+        let key = RowKey { kind: KIND_ADJ, vertex: v.0 };
+        let mut state = self.state.lock();
+        if let Some(HotRow::Adjacency { nbrs, cdf }) = state.hot.get(&key) {
+            let out = (Arc::clone(nbrs), Arc::clone(cdf), TierRead::Hot);
+            self.metrics.read(TierRead::Hot);
+            return out;
+        }
+        if let Some((nbrs, cdf)) = state.prefetch_active.remove(&v.0) {
+            self.admit(
+                &mut state,
+                key,
+                HotRow::Adjacency { nbrs: Arc::clone(&nbrs), cdf: Arc::clone(&cdf) },
+            );
+            self.publish_gauges(&state);
+            self.metrics.read(TierRead::Prefetched);
+            return (nbrs, cdf, TierRead::Prefetched);
+        }
+        let (nbrs, how) = self.decode_adjacency_row(&state, v);
+        let cdf: Arc<[f32]> =
+            if nbrs.is_empty() { Arc::from(Vec::new()) } else { build_cdf(&nbrs) };
+        self.admit(
+            &mut state,
+            key,
+            HotRow::Adjacency { nbrs: Arc::clone(&nbrs), cdf: Arc::clone(&cdf) },
+        );
+        self.publish_gauges(&state);
+        self.metrics.read(how);
+        (nbrs, cdf, how)
+    }
+
+    /// The weight CDF of `v`'s adjacency (`None` for isolated vertices).
+    pub fn weight_cdf(&self, v: VertexId) -> Option<Arc<[f32]>> {
+        let (_, cdf, _) = self.read_adjacency(v);
+        if cdf.is_empty() {
+            None
+        } else {
+            Some(cdf)
+        }
+    }
+
+    fn decode_adjacency_row(&self, state: &TierState, v: VertexId) -> (Arc<[Neighbor]>, TierRead) {
+        let shard = self.owner.get(v.index()).copied().unwrap_or(0) as usize;
+        if let Some(gens) = state.adj_segments.get(shard) {
+            for seg in gens.iter().rev() {
+                if let Some(bytes) = seg.lookup(v.0) {
+                    if let Ok(nbrs) = decode_adjacency(bytes) {
+                        self.io_meter.record(AccessKind::Cold, bytes.len() as u64, &self.cost);
+                        return (nbrs.into(), TierRead::Cold);
+                    }
+                }
+            }
+        }
+        // Not in any generation (or undecodable): serve from the shared
+        // graph — correctness never depends on the cold copy.
+        (self.graph.out_neighbors(v).into(), TierRead::Materialized)
+    }
+
+    /// Reads one feature row through the tier. `None` when no features are
+    /// attached or `v` is out of range.
+    pub fn feature_row(&self, v: VertexId) -> Option<(Arc<[f32]>, TierRead)> {
+        if v.index() >= self.graph.num_vertices() {
+            return None;
+        }
+        let key = RowKey { kind: KIND_FEAT, vertex: v.0 };
+        let mut state = self.state.lock();
+        if !state.has_features
+            && state.hot.peek(&key).is_none()
+            && state.writeback_pending.is_empty()
+        {
+            return None;
+        }
+        if let Some(HotRow::Feature { row, .. }) = state.hot.get(&key) {
+            let out = (Arc::clone(row), TierRead::Hot);
+            self.metrics.read(TierRead::Hot);
+            return Some(out);
+        }
+        if let Some(row) = state.writeback_pending.remove(&v.0) {
+            // A demoted-dirty row read back before its flush: promote it hot
+            // again, still dirty.
+            self.admit(&mut state, key, HotRow::Feature { row: Arc::clone(&row), dirty: true });
+            self.publish_gauges(&state);
+            self.metrics.read(TierRead::Hot);
+            return Some((row, TierRead::Hot));
+        }
+        let shard = self.owner.get(v.index()).copied().unwrap_or(0) as usize;
+        let mut found: Option<Arc<[f32]>> = None;
+        if let Some(gens) = state.feat_segments.get(shard) {
+            for seg in gens.iter().rev() {
+                if let Some(bytes) = seg.lookup(v.0) {
+                    if let Ok(row) = decode_feature_row(bytes) {
+                        self.io_meter.record(AccessKind::Cold, bytes.len() as u64, &self.cost);
+                        found = Some(row.into());
+                        break;
+                    }
+                }
+            }
+        }
+        let row = found?;
+        self.admit(&mut state, key, HotRow::Feature { row: Arc::clone(&row), dirty: false });
+        self.publish_gauges(&state);
+        self.metrics.read(TierRead::Cold);
+        Some((row, TierRead::Cold))
+    }
+
+    /// Overwrites one feature row (marked dirty; written back to a fresh
+    /// segment generation when demoted).
+    pub fn write_row(&self, v: VertexId, row: &[f32]) {
+        let key = RowKey { kind: KIND_FEAT, vertex: v.0 };
+        let mut state = self.state.lock();
+        state.writeback_pending.remove(&v.0);
+        if let Some(old) = state.hot.remove(&key) {
+            state.hot_bytes -= old.bytes();
+        }
+        self.admit(&mut state, key, HotRow::Feature { row: row.into(), dirty: true });
+        self.publish_gauges(&state);
+    }
+
+    /// Announces the next sampling frontier: decodes each cold adjacency
+    /// row into the standby buffer (deterministic issue order — sorted,
+    /// deduplicated) and swaps buffers. Rows left unread in the old buffer
+    /// count as wasted prefetch. Decode cost lands on the overlapped
+    /// storage clock, not the blocking one. Returns how many rows were
+    /// issued.
+    pub fn prefetch(&self, frontier: &[VertexId]) -> usize {
+        let mut ids: Vec<u32> = frontier
+            .iter()
+            .map(|v| v.0)
+            .filter(|&v| (v as usize) < self.graph.num_vertices())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let mut state = self.state.lock();
+        let mut standby = HashMap::with_capacity(ids.len());
+        let mut issued = 0usize;
+        for v in ids {
+            let key = RowKey { kind: KIND_ADJ, vertex: v };
+            if state.hot.peek(&key).is_some() {
+                continue;
+            }
+            if let Some(entry) = state.prefetch_active.remove(&v) {
+                // Still staged from the previous frontier: carry it over
+                // without re-decoding.
+                standby.insert(v, entry);
+                continue;
+            }
+            let (nbrs, _) = self.decode_adjacency_row(&state, VertexId(v));
+            let cdf: Arc<[f32]> =
+                if nbrs.is_empty() { Arc::from(Vec::new()) } else { build_cdf(&nbrs) };
+            self.metrics.prefetch_virtual_ns.add(self.cost.cold_ns);
+            standby.insert(v, (nbrs, cdf));
+            issued += 1;
+        }
+        self.metrics.prefetch_issued.add(issued as u64);
+        self.metrics.prefetch_wasted.add(state.prefetch_active.len() as u64);
+        state.prefetch_active = standby;
+        issued
+    }
+
+    /// Whether `v` currently sits in the prefetch buffer (test hook).
+    pub fn is_prefetched(&self, v: VertexId) -> bool {
+        self.state.lock().prefetch_active.contains_key(&v.0)
+    }
+
+    /// Forces the writeback staging area into a segment generation (called
+    /// at epoch boundaries and before reads that must see every write
+    /// durable).
+    pub fn flush_writeback(&self) -> Result<(), SegmentError> {
+        let mut state = self.state.lock();
+        self.flush_writeback_locked(&mut state)
+    }
+
+    fn flush_writeback_locked(&self, state: &mut TierState) -> Result<(), SegmentError> {
+        if state.writeback_pending.is_empty() {
+            return Ok(());
+        }
+        let pending = std::mem::take(&mut state.writeback_pending);
+        let mut per_shard: Vec<Vec<(u32, Vec<u8>)>> = vec![Vec::new(); state.feat_segments.len()];
+        // BTreeMap drains in vertex order — deterministic segment bytes.
+        for (v, row) in pending {
+            let mut buf = Vec::new();
+            encode_feature_row(&row, &mut buf);
+            let shard = self.owner.get(v as usize).copied().unwrap_or(0) as usize;
+            per_shard[shard].push((v, buf));
+        }
+        for (shard, rows) in per_shard.into_iter().enumerate() {
+            if rows.is_empty() {
+                continue;
+            }
+            self.metrics.writeback_rows.add(rows.len() as u64);
+            let seg = Segment::build(SegmentKind::Feature, shard as u16, rows);
+            if let TierBacking::Disk(dir) = &self.cfg.backing {
+                let gen = state.feat_segments[shard].len();
+                seg.write_to(&segment_path(dir, shard, SegmentKind::Feature, gen))?;
+            }
+            state.feat_segments[shard].push(seg);
+            self.metrics.writeback_segments.inc();
+        }
+        self.metrics.segment_bytes.set(state.segment_bytes() as i64);
+        Ok(())
+    }
+
+    /// A movable copy of one resident vertex's state (`None` if not
+    /// resident on `shard`) — the tiered form of
+    /// [`crate::server::GraphServer::extract`].
+    pub fn extract(&self, shard: usize, v: VertexId) -> Option<VertexRecord> {
+        if !self.is_resident(shard, v.0) {
+            return None;
+        }
+        let (nbrs, cdf, _) = self.read_adjacency(v);
+        Some(VertexRecord { vertex: v, neighbors: nbrs.iter().copied().collect(), weight_cdf: cdf })
+    }
+
+    /// Installs one migrated vertex record as resident on `shard` (and hot
+    /// — a freshly migrated row is about to be read).
+    pub fn absorb(&self, shard: usize, rec: VertexRecord) {
+        self.ensure_shard(shard);
+        let mut state = self.state.lock();
+        state.set_resident(shard, rec.vertex.0, true);
+        let nbrs: Arc<[Neighbor]> = rec.neighbors.into();
+        self.admit(
+            &mut state,
+            RowKey { kind: KIND_ADJ, vertex: rec.vertex.0 },
+            HotRow::Adjacency { nbrs, cdf: rec.weight_cdf },
+        );
+        self.publish_gauges(&state);
+    }
+
+    /// Drops residency of the given vertices from `shard`.
+    pub fn retire(&self, shard: usize, vertices: &[u32]) {
+        let mut state = self.state.lock();
+        for &v in vertices {
+            state.set_resident(shard, v, false);
+        }
+    }
+
+    /// Inserts a hot row and demotes LRU victims until the budget holds.
+    fn admit(&self, state: &mut TierState, key: RowKey, row: HotRow) {
+        let sz = row.bytes();
+        if let Some(old) = state.hot.remove(&key) {
+            state.hot_bytes -= old.bytes();
+        }
+        state.hot.put(key, row);
+        state.hot_bytes += sz;
+        if let Some(budget) = self.cfg.resident_budget {
+            while state.hot_bytes > budget && !state.hot.is_empty() {
+                // invariant: the cache is non-empty, so eviction order has
+                // a head.
+                let victim = *state.hot.iter_lru().next().expect("non-empty cache").0;
+                self.demote(state, victim);
+            }
+        }
+        state.peak_hot_bytes = state.peak_hot_bytes.max(state.hot_bytes);
+    }
+
+    fn demote(&self, state: &mut TierState, key: RowKey) {
+        let Some(row) = state.hot.remove(&key) else { return };
+        state.hot_bytes -= row.bytes();
+        match row {
+            HotRow::Feature { row, dirty: true } => match self.cfg.eviction {
+                EvictionMode::Writeback => {
+                    self.metrics.demote_writeback.inc();
+                    state.writeback_pending.insert(key.vertex, row);
+                    if state.writeback_pending.len() >= WRITEBACK_FLUSH_ROWS {
+                        // A flush failure only matters under a disk backing;
+                        // the rows stay pending (and re-flushable) on error.
+                        let _ = self.flush_writeback_locked(state);
+                    }
+                }
+                EvictionMode::DropDirty => {
+                    // Deliberately broken: the dirty row is gone. The
+                    // differential oracle must notice.
+                    self.metrics.demote_dropped.inc();
+                }
+            },
+            _ => self.metrics.demote_clean.inc(),
+        }
+    }
+
+    fn publish_gauges(&self, state: &TierState) {
+        self.metrics.resident_bytes.set(state.hot_bytes as i64);
+        self.metrics.peak_resident_bytes.set(state.peak_hot_bytes as i64);
+        self.metrics.hot_rows.set(state.hot.len() as i64);
+    }
+}
+
+fn segment_path(dir: &std::path::Path, shard: usize, kind: SegmentKind, gen: usize) -> PathBuf {
+    let k = match kind {
+        SegmentKind::Adjacency => "adj",
+        SegmentKind::Feature => "feat",
+    };
+    dir.join(format!("shard-{shard:04}-{k}-gen{gen:04}.seg"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aligraph_graph::generate::TaobaoConfig;
+    use aligraph_graph::Featurizer;
+    use aligraph_partition::{EdgeCutHash, Partitioner};
+
+    fn setup(budget: Option<u64>) -> (Arc<AttributedHeterogeneousGraph>, Arc<TieredStore>) {
+        let g = Arc::new(TaobaoConfig::tiny().generate().unwrap());
+        let part = EdgeCutHash.partition(&g, 4);
+        let owners: Vec<u32> = g.vertices().map(|v| part.owner_of(v).0).collect();
+        let store = TieredStore::build(
+            Arc::clone(&g),
+            &owners,
+            4,
+            TierConfig::with_budget(budget),
+            CostModel::default(),
+            &Registry::disabled(),
+        )
+        .unwrap();
+        (g, store)
+    }
+
+    #[test]
+    fn every_adjacency_read_bit_exact_vs_graph() {
+        let (g, store) = setup(Some(4_000));
+        for v in g.vertices() {
+            let (nbrs, cdf, _) = store.read_adjacency(v);
+            let oracle = g.out_neighbors(v);
+            assert_eq!(nbrs.len(), oracle.len());
+            for (a, b) in nbrs.iter().zip(oracle) {
+                assert_eq!(a.vertex, b.vertex);
+                assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+                assert_eq!(a.edge, b.edge);
+            }
+            // CDF matches the one the all-hot server would build.
+            if !oracle.is_empty() {
+                let want = build_cdf(oracle);
+                assert_eq!(cdf.len(), want.len());
+                for (a, b) in cdf.iter().zip(want.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_is_enforced_with_lru_demotion() {
+        let (g, store) = setup(Some(2_000));
+        assert!(store.resident_bytes() <= 2_000);
+        for v in g.vertices() {
+            store.read_adjacency(v);
+            assert!(store.resident_bytes() <= 2_000, "budget burst at {v:?}");
+        }
+        assert!(store.peak_resident_bytes() <= 2_000);
+        // Infinite budget: everything stays hot after a full sweep.
+        let (g2, store2) = setup(None);
+        for v in g2.vertices() {
+            store2.read_adjacency(v);
+        }
+        let mut hot = 0;
+        for v in g2.vertices() {
+            if matches!(store2.read_adjacency(v).2, TierRead::Hot) {
+                hot += 1;
+            }
+        }
+        assert_eq!(hot, g2.num_vertices());
+    }
+
+    #[test]
+    fn importance_seeding_puts_hubs_hot() {
+        let (g, store) = setup(Some(6_000));
+        let ranking = store.importance_ranking();
+        // The top-ranked vertex must be served hot right away.
+        let top = VertexId(ranking[0]);
+        assert!(matches!(store.read_adjacency(top).2, TierRead::Hot));
+        let _ = g;
+    }
+
+    #[test]
+    fn feature_rows_roundtrip_and_write_back() {
+        let (g, store) = setup(Some(3_000));
+        let features = Featurizer::new(8).matrix(&g);
+        store.attach_features(&features).unwrap();
+        for v in g.vertices().take(200) {
+            let (row, _) = store.feature_row(v).unwrap();
+            let oracle = features.row(v);
+            assert_eq!(row.len(), oracle.len());
+            for (a, b) in row.iter().zip(oracle) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // Overwrite a row, force demotion pressure, then read it back.
+        let v0 = g.vertices().next().unwrap();
+        let new_row: Vec<f32> = (0..8).map(|i| i as f32 * 0.25).collect();
+        store.write_row(v0, &new_row);
+        for v in g.vertices().take(400) {
+            store.read_adjacency(v);
+        }
+        store.flush_writeback().unwrap();
+        let (row, _) = store.feature_row(v0).unwrap();
+        assert_eq!(&row[..], &new_row[..], "dirty row survived demotion via writeback");
+    }
+
+    #[test]
+    fn drop_dirty_eviction_loses_writes() {
+        let g = Arc::new(TaobaoConfig::tiny().generate().unwrap());
+        let part = EdgeCutHash.partition(&g, 2);
+        let owners: Vec<u32> = g.vertices().map(|v| part.owner_of(v).0).collect();
+        let cfg = TierConfig {
+            resident_budget: Some(2_000),
+            eviction: EvictionMode::DropDirty,
+            ..TierConfig::default()
+        };
+        let store = TieredStore::build(
+            Arc::clone(&g),
+            &owners,
+            2,
+            cfg,
+            CostModel::default(),
+            &Registry::disabled(),
+        )
+        .unwrap();
+        let features = Featurizer::new(8).matrix(&g);
+        store.attach_features(&features).unwrap();
+        let v0 = g.vertices().next().unwrap();
+        store.write_row(v0, &[9.0; 8]);
+        // Evict v0 by touching everything else.
+        for v in g.vertices() {
+            store.read_adjacency(v);
+        }
+        let (row, _) = store.feature_row(v0).unwrap();
+        assert_ne!(&row[..], &[9.0; 8], "DropDirty must lose the write (teeth)");
+    }
+
+    #[test]
+    fn prefetch_overlaps_and_double_buffers() {
+        let (g, store) = setup(Some(2_000));
+        let frontier: Vec<VertexId> = g.vertices().skip(50).take(16).collect();
+        let issued = store.prefetch(&frontier);
+        assert!(issued > 0);
+        assert!(
+            store.is_prefetched(frontier[0]) || {
+                // Hot rows are skipped by prefetch; at least one cold row must
+                // have been staged given the tight budget.
+                frontier.iter().any(|&v| store.is_prefetched(v))
+            }
+        );
+        let staged = frontier.iter().find(|&&v| store.is_prefetched(v)).copied().unwrap();
+        let (_, _, how) = store.read_adjacency(staged);
+        assert_eq!(how, TierRead::Prefetched);
+        // Second read of the same row is hot now.
+        assert_eq!(store.read_adjacency(staged).2, TierRead::Hot);
+        // A new frontier swaps the double buffer; unread rows count wasted.
+        let issued2 = store.prefetch(&g.vertices().take(8).collect::<Vec<_>>());
+        let _ = issued2;
+        assert!(!store.is_prefetched(staged));
+    }
+
+    #[test]
+    fn residency_moves_with_extract_absorb_retire() {
+        let (g, store) = setup(Some(4_000));
+        let v = g.vertices().next().unwrap();
+        let home = (0..4).find(|&s| store.is_resident(s, v.0)).unwrap();
+        let rec = store.extract(home, v).unwrap();
+        assert_eq!(&rec.neighbors[..], g.out_neighbors(v));
+        store.ensure_shard(5);
+        store.absorb(5, rec);
+        assert!(store.is_resident(5, v.0));
+        assert!(store.is_resident(home, v.0), "both-sides-serve window");
+        store.retire(home, &[v.0]);
+        assert!(!store.is_resident(home, v.0));
+        assert_eq!(store.extract(home, v), None);
+    }
+
+    #[test]
+    fn disk_backing_reopens_and_rejects_corruption() {
+        let dir = std::env::temp_dir().join(format!("aligraph-tier-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let g = Arc::new(TaobaoConfig::tiny().generate().unwrap());
+        let part = EdgeCutHash.partition(&g, 2);
+        let owners: Vec<u32> = g.vertices().map(|v| part.owner_of(v).0).collect();
+        let cfg = TierConfig {
+            resident_budget: Some(4_000),
+            backing: TierBacking::Disk(dir.clone()),
+            ..TierConfig::default()
+        };
+        let registry = Registry::new();
+        let store = TieredStore::build(
+            Arc::clone(&g),
+            &owners,
+            2,
+            cfg.clone(),
+            CostModel::default(),
+            &registry,
+        )
+        .unwrap();
+        drop(store);
+        // Flip one byte in shard 0's segment file.
+        let path = segment_path(&dir, 0, SegmentKind::Adjacency, 0);
+        let mut raw = std::fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x40;
+        std::fs::write(&path, &raw).unwrap();
+        let registry2 = Registry::new();
+        let store2 =
+            TieredStore::reopen(Arc::clone(&g), &owners, 2, cfg, CostModel::default(), &registry2)
+                .unwrap();
+        let snap = registry2.snapshot();
+        assert_eq!(snap.counter("tier.seal_rejections", &[]), 1);
+        // Reads are still bit-exact: the shard was re-materialized.
+        for v in g.vertices() {
+            let (nbrs, _, _) = store2.read_adjacency(v);
+            assert_eq!(&nbrs[..], g.out_neighbors(v));
+        }
+        // The re-written file is valid again.
+        assert!(Segment::read_from(&path).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gauges_and_read_counters_publish() {
+        let g = Arc::new(TaobaoConfig::tiny().generate().unwrap());
+        let part = EdgeCutHash.partition(&g, 2);
+        let owners: Vec<u32> = g.vertices().map(|v| part.owner_of(v).0).collect();
+        let registry = Registry::new();
+        let store = TieredStore::build(
+            Arc::clone(&g),
+            &owners,
+            2,
+            TierConfig::with_budget(Some(2_000)),
+            CostModel::default(),
+            &registry,
+        )
+        .unwrap();
+        for v in g.vertices().take(50) {
+            store.read_adjacency(v);
+        }
+        let snap = registry.snapshot();
+        assert!(snap.gauge("tier.resident_bytes", &[]) > 0);
+        assert!(snap.gauge("tier.resident_bytes", &[]) <= 2_000);
+        assert!(snap.gauge("tier.segment_bytes", &[]) > 0);
+        let reads = snap.counter("tier.reads", &[("src", "hot")])
+            + snap.counter("tier.reads", &[("src", "cold")])
+            + snap.counter("tier.reads", &[("src", "materialized")]);
+        assert_eq!(reads, 50);
+        assert!(snap.counter("tier.io.ops", &[("tier", "cold")]) > 0);
+    }
+}
